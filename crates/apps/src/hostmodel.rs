@@ -1,0 +1,135 @@
+//! Host performance model for the end-to-end application experiments.
+//!
+//! The paper's §5.2 testbed measures what happens *on the hosts* when
+//! multicast is emulated over unicast: the sender serializes one copy per
+//! receiver, so per-receiver throughput falls as `1/N` and the sender's CPU
+//! climbs with connection count until it saturates. We have no testbed, so
+//! this model reproduces those mechanisms with constants calibrated to the
+//! paper's reported data points (§5.2.1):
+//!
+//! * a publisher services a single subscriber at ≈ 185K requests/s;
+//! * with Elmo the publisher VM's CPU sits at ≈ 4.9% regardless of N;
+//! * with unicast the CPU reaches ≈ 32% at 64 subscribers and saturates at
+//!   256 subscribers onwards.
+//!
+//! Fitting `cpu(N) = base + slope·N` through (64, 32%) with base 4.9% gives
+//! slope ≈ 0.42%/subscriber, which indeed saturates (≥ 100%) a little above
+//! 224 subscribers — consistent with the paper's "saturates at 256".
+
+/// Calibrated host constants.
+#[derive(Clone, Copy, Debug)]
+pub struct HostModel {
+    /// Application-level send capacity (messages serialized per second).
+    pub send_capacity_per_sec: f64,
+    /// Baseline CPU share of the publishing VM, percent.
+    pub base_cpu_pct: f64,
+    /// Additional CPU percent per unicast connection.
+    pub per_connection_cpu_pct: f64,
+    /// NIC line rate in bits per second (testbed: 2 × 10 Gbps bonded).
+    pub nic_bps: f64,
+}
+
+impl Default for HostModel {
+    fn default() -> Self {
+        HostModel {
+            send_capacity_per_sec: 185_000.0,
+            base_cpu_pct: 4.9,
+            per_connection_cpu_pct: (32.0 - 4.9) / 64.0,
+            nic_bps: 20e9,
+        }
+    }
+}
+
+impl HostModel {
+    /// Publisher CPU percentage when replicating to `n` unicast receivers.
+    pub fn unicast_cpu_pct(&self, n: usize) -> f64 {
+        (self.base_cpu_pct + self.per_connection_cpu_pct * n as f64).min(100.0)
+    }
+
+    /// Publisher CPU percentage under native multicast (one send per
+    /// message, independent of group size).
+    pub fn multicast_cpu_pct(&self) -> f64 {
+        self.base_cpu_pct
+    }
+
+    /// Per-receiver message rate when the publisher must serialize one copy
+    /// per receiver: capacity is divided by `n`, further scaled down once
+    /// the CPU saturates.
+    pub fn unicast_rate_per_receiver(&self, n: usize, msg_bytes: usize) -> f64 {
+        if n == 0 {
+            return 0.0;
+        }
+        let raw_cpu = self.base_cpu_pct + self.per_connection_cpu_pct * n as f64;
+        let cpu_derate = if raw_cpu > 100.0 {
+            100.0 / raw_cpu
+        } else {
+            1.0
+        };
+        let cpu_bound = self.send_capacity_per_sec / n as f64 * cpu_derate;
+        let wire_bound = self.nic_bps / 8.0 / msg_bytes as f64 / n as f64;
+        cpu_bound.min(wire_bound)
+    }
+
+    /// Per-receiver message rate under native multicast: one serialized copy
+    /// regardless of group size; the network replicates.
+    pub fn multicast_rate_per_receiver(&self, msg_bytes: usize) -> f64 {
+        let wire_bound = self.nic_bps / 8.0 / msg_bytes as f64;
+        self.send_capacity_per_sec.min(wire_bound)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_subscriber_matches_calibration() {
+        let m = HostModel::default();
+        let r = m.unicast_rate_per_receiver(1, 100);
+        assert!((r - 185_000.0).abs() < 1.0, "got {r}");
+        assert!((m.multicast_rate_per_receiver(100) - 185_000.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn unicast_rate_falls_roughly_as_one_over_n() {
+        let m = HostModel::default();
+        let r64 = m.unicast_rate_per_receiver(64, 100);
+        assert!((2_500.0..3_200.0).contains(&r64), "got {r64}");
+        // Paper: ~0.3K at 256 subscribers.
+        let r256 = m.unicast_rate_per_receiver(256, 100);
+        assert!((300.0..900.0).contains(&r256), "got {r256}");
+        assert!(r256 < r64);
+    }
+
+    #[test]
+    fn cpu_calibration_points() {
+        let m = HostModel::default();
+        assert!((m.unicast_cpu_pct(64) - 32.0).abs() < 0.5);
+        assert!((m.unicast_cpu_pct(1) - 5.32).abs() < 0.2);
+        assert_eq!(m.unicast_cpu_pct(256), 100.0, "saturated");
+        assert!((m.multicast_cpu_pct() - 4.9).abs() < f64::EPSILON);
+    }
+
+    #[test]
+    fn multicast_rate_is_flat_in_n() {
+        let m = HostModel::default();
+        let r = m.multicast_rate_per_receiver(100);
+        // Group size does not appear in the multicast rate at all; assert
+        // the rate is wire- or capacity-bound, not receiver-bound.
+        assert!(r >= m.unicast_rate_per_receiver(2, 100));
+    }
+
+    #[test]
+    fn giant_messages_become_wire_bound() {
+        let m = HostModel::default();
+        // 1 MB messages at 20 Gbps: 2,500 msgs/s, far below send capacity.
+        let r = m.multicast_rate_per_receiver(1_000_000);
+        assert!((2_400.0..2_600.0).contains(&r), "got {r}");
+    }
+
+    #[test]
+    fn zero_receivers_rate_is_zero() {
+        let m = HostModel::default();
+        assert_eq!(m.unicast_rate_per_receiver(0, 100), 0.0);
+    }
+}

@@ -1,0 +1,54 @@
+//! The cost of a Figure 4/5 data point: encoding a whole multi-tenant
+//! workload at a given redundancy limit. At the paper's full scale this is
+//! one million groups per (placement, R) cell; this bench times a 2,000
+//! group slice so the per-group cost (and its sensitivity to R and
+//! placement) is visible.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use elmo_controller::srules::SRuleSpace;
+use elmo_core::{encode_group, EncoderConfig, HeaderLayout};
+use elmo_topology::{Clos, GroupTree};
+use elmo_workloads::{GroupSizeDist, Workload, WorkloadConfig};
+
+fn bench_encode_sweep(c: &mut Criterion) {
+    let topo = Clos::scaled_fabric(6, 24, 16);
+    let layout = HeaderLayout::for_clos(&topo);
+    let mut g = c.benchmark_group("encode_sweep");
+    for placement in [12usize, 1] {
+        let mut cfg = WorkloadConfig::scaled(&topo, placement, GroupSizeDist::Wve);
+        cfg.total_groups = 2_000;
+        cfg.seed = 0xbe7c;
+        let workload = Workload::generate(topo, cfg);
+        // Pre-materialize trees so only Algorithm 1 is timed.
+        let trees: Vec<GroupTree> = workload
+            .groups
+            .iter()
+            .map(|spec| GroupTree::new(&topo, workload.member_hosts(spec)))
+            .collect();
+        for r in [0usize, 12] {
+            let encoder = EncoderConfig::with_budget(&layout, layout.max_header_bytes(2, 30, 2), r);
+            g.throughput(Throughput::Elements(trees.len() as u64));
+            g.bench_with_input(BenchmarkId::new(format!("p{placement}"), r), &r, |b, _| {
+                b.iter(|| {
+                    let mut space = SRuleSpace::unlimited(&topo);
+                    let mut covered = 0usize;
+                    for tree in &trees {
+                        let cell = std::cell::RefCell::new(&mut space);
+                        let mut sa = |p| cell.borrow_mut().alloc_pod(p);
+                        let mut la = |l| cell.borrow_mut().alloc_leaf(l);
+                        let enc = encode_group(&topo, tree, &encoder, &mut sa, &mut la);
+                        if enc.leaf_covered_by_p_rules() {
+                            covered += 1;
+                        }
+                    }
+                    std::hint::black_box(covered)
+                })
+            });
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_encode_sweep);
+criterion_main!(benches);

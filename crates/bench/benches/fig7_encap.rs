@@ -1,0 +1,53 @@
+//! Figure 7: hypervisor-switch encapsulation throughput as a function of
+//! the number of p-rules in the header.
+//!
+//! The paper's claim: because the hypervisor writes all p-rules as one
+//! contiguous header (one DMA write), throughput in bits/s stays at line
+//! rate; packets/s falls only because packets grow. This bench measures the
+//! real encap path — flow-table lookup + one-pass header write over a
+//! 128-byte inner frame — for 0..30 p-rules. `elmo-eval fig7` converts the
+//! same measurement into the paper's Mpps/Gbps axes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use elmo_core::HeaderLayout;
+use elmo_dataplane::{HypervisorSwitch, SenderFlow};
+use elmo_net::vxlan::Vni;
+use elmo_sim::perf::header_with_rules;
+use elmo_topology::{Clos, HostId};
+use std::net::Ipv4Addr;
+
+fn bench_encap(c: &mut Criterion) {
+    let topo = Clos::facebook_fabric();
+    let layout = HeaderLayout::for_clos(&topo);
+    let inner = vec![0u8; 128];
+    let group = Ipv4Addr::new(225, 0, 0, 1);
+
+    let mut g = c.benchmark_group("fig7_encap");
+    for rules in [0usize, 5, 10, 15, 20, 25, 30] {
+        let mut hv = HypervisorSwitch::new(HostId(0));
+        let header = header_with_rules(&layout, rules);
+        hv.install_flow(
+            Vni(1),
+            group,
+            SenderFlow::new(
+                Ipv4Addr::new(230, 0, 0, 1),
+                Vni(1),
+                &header,
+                &layout,
+                vec![],
+            ),
+        );
+        let wire_len = hv.send(Vni(1), group, &inner, &layout)[0].len();
+        g.throughput(Throughput::Bytes(wire_len as u64));
+        g.bench_with_input(BenchmarkId::from_parameter(rules), &rules, |b, _| {
+            b.iter(|| {
+                std::hint::black_box(hv.send(Vni(1), group, std::hint::black_box(&inner), &layout))
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_encap);
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! The clustering inner loop: approximate MIN-K-UNION over a layer's port
+//! bitmaps (paper §3.2). Measured across candidate-set sizes straddling the
+//! pair-seeding threshold, since the quadratic pair search is the dominant
+//! cost for mid-size layers.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use elmo_core::{approx_min_k_union, PortBitmap};
+
+/// `n` bitmaps over 48 ports with `density` bits set, like a leaf layer of
+/// a large group.
+fn random_bitmaps(n: usize, density: usize, seed: u64) -> Vec<PortBitmap> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| PortBitmap::from_ports(48, (0..density).map(|_| rng.gen_range(0..48))))
+        .collect()
+}
+
+fn bench_min_k_union(c: &mut Criterion) {
+    let mut g = c.benchmark_group("min_k_union");
+    for n in [8usize, 32, 64, 128, 256, 576] {
+        let bitmaps = random_bitmaps(n, 4, n as u64);
+        let refs: Vec<&PortBitmap> = bitmaps.iter().collect();
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| std::hint::black_box(approx_min_k_union(2, std::hint::black_box(&refs))))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_min_k_union);
+criterion_main!(benches);

@@ -1,0 +1,84 @@
+//! Network-switch forwarding cost: parse the outer stack and the p-rule
+//! list, match-and-set on the switch's own identifier, replicate, and
+//! re-emit with the spent sections popped — the per-packet work the paper
+//! argues a PISA parser does at line rate (§4.1). Measured for each switch
+//! role and for the p-rule-miss paths (s-rule hit, default hit).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use elmo_core::{encode_group, header_for_sender, EncoderConfig, HeaderLayout, PortBitmap};
+use elmo_dataplane::{HypervisorSwitch, NetworkSwitch, SenderFlow, SwitchConfig};
+use elmo_net::vxlan::Vni;
+use elmo_topology::{Clos, GroupTree, HostId, LeafId, SpineId, UpstreamCover};
+use std::net::Ipv4Addr;
+
+const OUTER_GROUP: Ipv4Addr = Ipv4Addr::new(230, 0, 0, 7);
+
+/// Build a realistic cross-pod packet as it leaves the sender's hypervisor.
+fn sample_packet(topo: &Clos, layout: &HeaderLayout) -> Vec<u8> {
+    let members: Vec<HostId> = (0..24)
+        .map(|i| HostId(((i * 997) % topo.num_hosts()) as u32))
+        .collect();
+    let tree = GroupTree::new(topo, members.iter().copied());
+    let encoder = EncoderConfig::paper_default(layout, 12);
+    let mut sa = |_p| false;
+    let mut la = |_l| false;
+    let enc = encode_group(topo, &tree, &encoder, &mut sa, &mut la);
+    let header = header_for_sender(
+        topo,
+        layout,
+        &tree,
+        &enc,
+        members[0],
+        &UpstreamCover::multipath(),
+    );
+    let mut hv = HypervisorSwitch::new(members[0]);
+    hv.install_flow(
+        Vni(1),
+        Ipv4Addr::new(225, 0, 0, 7),
+        SenderFlow::new(OUTER_GROUP, Vni(1), &header, layout, vec![]),
+    );
+    hv.send(Vni(1), Ipv4Addr::new(225, 0, 0, 7), &[0u8; 128], layout)
+        .remove(0)
+}
+
+fn bench_switch_forward(c: &mut Criterion) {
+    let topo = Clos::facebook_fabric();
+    let layout = HeaderLayout::for_clos(&topo);
+    let pkt = sample_packet(&topo, &layout);
+    // The downstream packet a spine would receive (upstream sections popped).
+    let mut leaf0 = NetworkSwitch::new_leaf(topo, LeafId(0), SwitchConfig::default());
+    let up = leaf0.process(topo.host_port_on_leaf(HostId(0)), &pkt, &layout);
+    let up_pkt = up
+        .iter()
+        .find(|(p, _)| *p >= topo.leaf_down_ports())
+        .expect("up copy")
+        .1
+        .clone();
+
+    let mut g = c.benchmark_group("switch_forward");
+    g.bench_function("leaf_upstream", |b| {
+        let mut sw = NetworkSwitch::new_leaf(topo, LeafId(0), SwitchConfig::default());
+        b.iter(|| std::hint::black_box(sw.process(0, std::hint::black_box(&pkt), &layout)))
+    });
+    g.bench_function("spine_upstream", |b| {
+        let mut sw = NetworkSwitch::new_spine(topo, SpineId(0), SwitchConfig::default());
+        b.iter(|| std::hint::black_box(sw.process(0, std::hint::black_box(&up_pkt), &layout)))
+    });
+    g.bench_function("srule_lookup_hit", |b| {
+        // A leaf whose identifier is NOT in the header falls to the group
+        // table: the Elmo miss + s-rule hit path.
+        let mut sw = NetworkSwitch::new_leaf(topo, LeafId(570), SwitchConfig::default());
+        sw.install_srule(
+            OUTER_GROUP,
+            PortBitmap::from_ports(topo.leaf_down_ports(), [0, 1]),
+        )
+        .expect("capacity");
+        let ingress = topo.leaf_up_port(0);
+        b.iter(|| std::hint::black_box(sw.process(ingress, std::hint::black_box(&up_pkt), &layout)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_switch_forward);
+criterion_main!(benches);

@@ -1,0 +1,14 @@
+//! Criterion benchmarks for the Elmo reproduction. The benches live in
+//! `benches/` (run with `cargo bench -p elmo-bench`); each regenerates one
+//! of the paper's performance results:
+//!
+//! * `fig7_encap` — hypervisor encap throughput vs p-rule count (Figure 7);
+//! * `controller_latency` — Algorithm 1 end-to-end per group (§5.1.3's
+//!   "<1 ms" claim);
+//! * `switch_forward` — network-switch parse/match/forward per packet;
+//! * `encode_sweep` — whole-workload encoding cost per redundancy limit
+//!   (the work behind each Figure 4/5 data point);
+//! * `min_k_union` — the clustering inner loop.
+//!
+//! This library target is intentionally empty; all code is in the bench
+//! targets so it can use dev-dependencies.

@@ -1,0 +1,372 @@
+//! Failure handling (paper §3.3, §5.1.3b).
+//!
+//! When a spine or core fails, groups whose in-use paths traversed it need
+//! new upstream p-rules: the controller disables the multipath flag and
+//! writes explicit upstream ports computed by greedy set cover, updating
+//! only the affected *sender hypervisors* — network switches need no rule
+//! changes, which is the point of source routing. Groups whose members
+//! become unreachable degrade to unicast until the network reconverges.
+//!
+//! Which groups count as *affected* follows the paper's simulation: each
+//! (group, sender pod) pair has a deterministic in-use upstream spine (its
+//! ECMP choice), which fixes the core plane the flow crosses and therefore
+//! the attach spine in every receiver pod. A switch failure affects the
+//! group if any of those in-use devices is the failed one.
+
+use std::collections::BTreeMap;
+
+use elmo_topology::{CoreId, HostId, PodId, SpineId, UpstreamCover};
+
+use crate::controller::{Controller, GroupId, GroupState};
+
+/// Outcome of processing one switch failure.
+#[derive(Clone, Debug, Default)]
+pub struct FailureImpact {
+    /// Groups whose in-use paths traversed the failed switch.
+    pub affected_groups: usize,
+    /// Total groups managed when the failure hit.
+    pub total_groups: usize,
+    /// Updates pushed to each hypervisor (new upstream p-rules per group).
+    pub hypervisor_updates: BTreeMap<HostId, u32>,
+    /// Groups degraded to unicast because no cover could reach all members.
+    pub degraded_to_unicast: usize,
+}
+
+impl FailureImpact {
+    /// Fraction of groups affected.
+    pub fn affected_fraction(&self) -> f64 {
+        if self.total_groups == 0 {
+            0.0
+        } else {
+            self.affected_groups as f64 / self.total_groups as f64
+        }
+    }
+
+    /// Mean updates per hypervisor that received at least one update.
+    pub fn mean_updates_per_hypervisor(&self) -> f64 {
+        if self.hypervisor_updates.is_empty() {
+            return 0.0;
+        }
+        self.hypervisor_updates
+            .values()
+            .map(|&v| v as u64)
+            .sum::<u64>() as f64
+            / self.hypervisor_updates.len() as f64
+    }
+
+    /// Max updates any single hypervisor received.
+    pub fn max_updates_per_hypervisor(&self) -> u32 {
+        self.hypervisor_updates.values().copied().max().unwrap_or(0)
+    }
+}
+
+/// The in-use upstream spine (local index) for a (group, sender-pod) pair —
+/// the deterministic stand-in for the flow's ECMP choice.
+fn chosen_plane(group: GroupId, pod: PodId, planes: usize) -> usize {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in group.0.to_be_bytes().into_iter().chain(pod.0.to_be_bytes()) {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    (h % planes as u64) as usize
+}
+
+impl Controller {
+    /// The representative flow's sender pod: the group's first sender host
+    /// (or first member if the group has no dedicated senders). Impact
+    /// accounting follows the paper's simulation in treating each group as
+    /// one in-use tree rather than one per sender.
+    fn flow_pod(&self, state: &GroupState) -> Option<PodId> {
+        state
+            .sender_hosts()
+            .next()
+            .or_else(|| state.members.keys().next().copied())
+            .map(|h| self.topo().pod_of_host(h))
+    }
+
+    /// The spine planes a sender pod's flows actually use: the explicit
+    /// cover's uplinks when one is installed, otherwise the single ECMP
+    /// choice.
+    fn used_planes(&self, state: &GroupState, pod: PodId) -> Vec<usize> {
+        match state.covers.get(&pod) {
+            Some(c) if !c.leaf_up_ports.is_empty() => c.leaf_up_ports.clone(),
+            _ => vec![chosen_plane(
+                state.id,
+                pod,
+                self.topo().params().spines_per_pod,
+            )],
+        }
+    }
+
+    /// The cores a sender pod's flows use to leave the pod.
+    fn used_cores(&self, state: &GroupState, pod: PodId) -> Vec<CoreId> {
+        let cps = self.topo().cores_per_spine();
+        match state.covers.get(&pod) {
+            Some(c) if !c.leaf_up_ports.is_empty() => {
+                let mut cores = Vec::new();
+                for &plane in &c.leaf_up_ports {
+                    if c.spine_up_ports.is_empty() {
+                        // Covers without core ports only serve local leaves.
+                        continue;
+                    }
+                    for &w in &c.spine_up_ports {
+                        cores.push(CoreId((plane * cps + w) as u32));
+                    }
+                }
+                cores
+            }
+            _ => {
+                let plane = chosen_plane(state.id, pod, self.topo().params().spines_per_pod);
+                let within = chosen_plane(state.id, PodId(pod.0 ^ 0x5a5a), cps.max(1));
+                vec![CoreId((plane * cps + within) as u32)]
+            }
+        }
+    }
+
+    /// Whether the group's in-use tree traverses `failed` (a spine).
+    fn group_uses_spine(&self, state: &GroupState, failed: SpineId) -> bool {
+        let topo = self.topo();
+        let failed_pod = topo.pod_of_spine(failed);
+        let failed_plane = topo.spine_index_in_pod(failed);
+        let Some(a) = self.flow_pod(state) else {
+            return false;
+        };
+        // The tree only leaves the sender's leaf when there are receivers
+        // beyond it; single-leaf groups never touch spines.
+        if state.tree.num_leaves() <= 1 && state.tree.leaves_in_pod(a).len() <= 1 {
+            let only_leaf = state.tree.leaves().next();
+            let sender_leaf = state
+                .sender_hosts()
+                .next()
+                .or_else(|| state.members.keys().next().copied())
+                .map(|h| topo.leaf_of_host(h));
+            if only_leaf == sender_leaf {
+                return false;
+            }
+        }
+        for plane in self.used_planes(state, a) {
+            // Upstream: the sender pod's chosen spine.
+            if a == failed_pod && plane == failed_plane {
+                return true;
+            }
+            // Downstream: the flow enters every remote receiver pod through
+            // the attach spine of its core plane.
+            if a != failed_pod && plane == failed_plane && state.tree.has_pod(failed_pod) {
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Whether the group's in-use tree traverses `failed` (a core).
+    fn group_uses_core(&self, state: &GroupState, failed: CoreId) -> bool {
+        let Some(a) = self.flow_pod(state) else {
+            return false;
+        };
+        // The core is only traversed when the group spans beyond pod `a`.
+        if !state.tree.pods().any(|p| p != a) {
+            return false;
+        }
+        self.used_cores(state, a).contains(&failed)
+    }
+
+    /// Process a spine failure: recompute upstream covers for affected
+    /// groups, mark unreachable ones for unicast fallback, and report the
+    /// per-hypervisor update load.
+    pub fn handle_spine_failure(&mut self, failed: SpineId) -> FailureImpact {
+        self.failures_mut().fail_spine(failed);
+        self.recompute_after_failure(|ctl, state| ctl.group_uses_spine(state, failed))
+    }
+
+    /// Process a core failure (same flow as [`Self::handle_spine_failure`]).
+    pub fn handle_core_failure(&mut self, failed: CoreId) -> FailureImpact {
+        self.failures_mut().fail_core(failed);
+        self.recompute_after_failure(|ctl, state| ctl.group_uses_core(state, failed))
+    }
+
+    fn recompute_after_failure(
+        &mut self,
+        affected: impl Fn(&Controller, &GroupState) -> bool,
+    ) -> FailureImpact {
+        let mut impact = FailureImpact {
+            total_groups: self.group_count(),
+            ..Default::default()
+        };
+        let ids: Vec<GroupId> = self.groups().map(|g| g.id).collect();
+        for id in ids {
+            let state = self.group(id).expect("listed group");
+            if !affected(self, state) {
+                continue;
+            }
+            impact.affected_groups += 1;
+            // Compute a new explicit cover per sender pod.
+            let topo = *self.topo();
+            let failures = self.failures().clone();
+            let state = self.group_mut(id).expect("listed group");
+            let sender_hosts: Vec<HostId> = state.sender_hosts().collect();
+            let mut degraded = false;
+            let mut covers = BTreeMap::new();
+            let mut sender_pods: Vec<PodId> =
+                sender_hosts.iter().map(|&h| topo.pod_of_host(h)).collect();
+            sender_pods.sort_unstable();
+            sender_pods.dedup();
+            for pod in sender_pods {
+                let local_leaves = state
+                    .tree
+                    .leaves_in_pod(pod)
+                    .iter()
+                    .any(|&l| sender_hosts.iter().any(|&h| topo.leaf_of_host(h) != l));
+                let cover =
+                    UpstreamCover::compute(&topo, &failures, &state.tree, pod, local_leaves);
+                if !cover.complete {
+                    degraded = true;
+                }
+                covers.insert(pod, cover);
+            }
+            state.covers = covers;
+            state.unicast_fallback = degraded;
+            if degraded {
+                impact.degraded_to_unicast += 1;
+            }
+            // Every sender hypervisor re-encapsulates with the new upstream
+            // rules.
+            for h in sender_hosts {
+                *impact.hypervisor_updates.entry(h).or_insert(0) += 1;
+            }
+        }
+        impact
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::controller::{ControllerConfig, MemberRole};
+    use elmo_net::vxlan::Vni;
+    use elmo_topology::Clos;
+    use std::net::Ipv4Addr;
+
+    fn controller_with_groups(n: u64) -> Controller {
+        let topo = Clos::paper_example();
+        let mut ctl = Controller::new(topo, ControllerConfig::paper_default(2));
+        for g in 0..n {
+            // Spread groups over hosts deterministically; members both send
+            // and receive.
+            let base = (g * 7) % 48;
+            let members = [
+                (HostId(base as u32), MemberRole::Both),
+                (HostId((base as u32 + 9) % 64), MemberRole::Both),
+                (HostId((base as u32 + 33) % 64), MemberRole::Both),
+            ];
+            ctl.create_group(
+                GroupId(g),
+                Vni(1),
+                Ipv4Addr::new(225, 0, (g >> 8) as u8, g as u8),
+                members,
+            );
+        }
+        ctl
+    }
+
+    #[test]
+    fn spine_failure_affects_a_strict_subset() {
+        let mut ctl = controller_with_groups(64);
+        let impact = ctl.handle_spine_failure(SpineId(0));
+        assert_eq!(impact.total_groups, 64);
+        assert!(impact.affected_groups > 0, "some groups use spine 0");
+        assert!(impact.affected_groups < 64, "not all groups use spine 0");
+        assert!(impact.affected_fraction() > 0.0 && impact.affected_fraction() < 1.0);
+    }
+
+    #[test]
+    fn affected_groups_get_sender_updates() {
+        let mut ctl = controller_with_groups(32);
+        let impact = ctl.handle_spine_failure(SpineId(1));
+        if impact.affected_groups > 0 {
+            assert!(!impact.hypervisor_updates.is_empty());
+            assert!(impact.mean_updates_per_hypervisor() >= 1.0);
+            assert!(impact.max_updates_per_hypervisor() >= 1);
+        }
+    }
+
+    #[test]
+    fn covers_are_installed_and_complete_without_partition() {
+        let mut ctl = controller_with_groups(32);
+        let impact = ctl.handle_spine_failure(SpineId(0));
+        // One spine down out of two per pod: everything still reachable.
+        assert_eq!(impact.degraded_to_unicast, 0);
+        let mut explicit = 0;
+        for g in ctl.groups() {
+            for c in g.covers.values() {
+                assert!(c.complete);
+                if !c.leaf_up_ports.is_empty() {
+                    explicit += 1;
+                }
+            }
+        }
+        assert!(explicit > 0, "affected groups carry explicit covers");
+    }
+
+    #[test]
+    fn total_partition_degrades_to_unicast() {
+        let topo = Clos::paper_example();
+        let mut ctl = Controller::new(topo, ControllerConfig::paper_default(2));
+        // Group spanning pods 0 and 2; senders in pod 0.
+        ctl.create_group(
+            GroupId(1),
+            Vni(1),
+            Ipv4Addr::new(225, 0, 0, 1),
+            [
+                (HostId(0), MemberRole::Both),
+                (HostId(40), MemberRole::Receiver),
+            ],
+        );
+        // Kill both spines of pod 2: pod 2 is unreachable.
+        ctl.handle_spine_failure(SpineId(4));
+        let impact = ctl.handle_spine_failure(SpineId(5));
+        // Whichever of the two failure events hit the group's chosen plane,
+        // by the second event the group must be degraded.
+        let g = ctl.group(GroupId(1)).unwrap();
+        assert!(g.unicast_fallback);
+        assert!(impact.total_groups == 1);
+    }
+
+    #[test]
+    fn core_failure_affects_only_multi_pod_groups() {
+        let topo = Clos::paper_example();
+        let mut ctl = Controller::new(topo, ControllerConfig::paper_default(2));
+        // Group A: single-leaf (never leaves the rack).
+        ctl.create_group(
+            GroupId(1),
+            Vni(1),
+            Ipv4Addr::new(225, 0, 0, 1),
+            [
+                (HostId(0), MemberRole::Both),
+                (HostId(1), MemberRole::Receiver),
+            ],
+        );
+        // Groups B..: cross-pod, one per core plane hash.
+        for g in 2..10 {
+            ctl.create_group(
+                GroupId(g),
+                Vni(1),
+                Ipv4Addr::new(225, 0, 0, g as u8),
+                [
+                    (HostId(0), MemberRole::Both),
+                    (HostId(40 + g as u32), MemberRole::Receiver),
+                ],
+            );
+        }
+        let mut affected_total = 0;
+        for c in 0..4u32 {
+            let impact = ctl.handle_core_failure(CoreId(c));
+            affected_total += impact.affected_groups;
+            // The single-leaf group is never affected.
+            assert!(!ctl.group(GroupId(1)).unwrap().unicast_fallback || c > 0);
+        }
+        assert!(
+            affected_total >= 8,
+            "every cross-pod group hit by some core failure"
+        );
+    }
+}

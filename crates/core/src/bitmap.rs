@@ -1,0 +1,263 @@
+//! Port bitmaps.
+//!
+//! A [`PortBitmap`] is the set of output ports a switch must forward a packet
+//! to — the internal representation PISA switch queue managers consume
+//! directly, which is why Elmo encodes p-rules as bitmaps rather than member
+//! lists or Bloom filters (paper §3.1, D1). Widths range from a handful of
+//! ports in the running example up to 576-port spine layers, so the bitmap
+//! is backed by a small word vector rather than a fixed-size integer.
+
+use crate::bits::{BitReader, BitWriter, OutOfBits};
+
+/// A fixed-width set of switch ports.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct PortBitmap {
+    width: usize,
+    words: Vec<u64>,
+}
+
+impl PortBitmap {
+    /// An empty bitmap with `width` ports.
+    pub fn new(width: usize) -> Self {
+        PortBitmap {
+            width,
+            words: vec![0; width.div_ceil(64)],
+        }
+    }
+
+    /// A bitmap with the given ports set.
+    ///
+    /// # Panics
+    /// Panics if any port is out of range.
+    pub fn from_ports(width: usize, ports: impl IntoIterator<Item = usize>) -> Self {
+        let mut bm = PortBitmap::new(width);
+        for p in ports {
+            bm.set(p);
+        }
+        bm
+    }
+
+    /// Number of ports the bitmap covers.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Set a port.
+    pub fn set(&mut self, port: usize) {
+        assert!(
+            port < self.width,
+            "port {port} out of range (width {})",
+            self.width
+        );
+        self.words[port / 64] |= 1 << (port % 64);
+    }
+
+    /// Clear a port.
+    pub fn clear(&mut self, port: usize) {
+        assert!(
+            port < self.width,
+            "port {port} out of range (width {})",
+            self.width
+        );
+        self.words[port / 64] &= !(1 << (port % 64));
+    }
+
+    /// Whether a port is set.
+    pub fn get(&self, port: usize) -> bool {
+        assert!(
+            port < self.width,
+            "port {port} out of range (width {})",
+            self.width
+        );
+        self.words[port / 64] >> (port % 64) & 1 == 1
+    }
+
+    /// Whether no port is set.
+    pub fn is_empty(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// Number of set ports.
+    pub fn count_ones(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Iterate over set ports in ascending order.
+    pub fn iter_ones(&self) -> impl Iterator<Item = usize> + '_ {
+        self.words.iter().enumerate().flat_map(|(i, &w)| {
+            let mut w = w;
+            std::iter::from_fn(move || {
+                if w == 0 {
+                    None
+                } else {
+                    let b = w.trailing_zeros() as usize;
+                    w &= w - 1;
+                    Some(i * 64 + b)
+                }
+            })
+        })
+    }
+
+    /// In-place union with another bitmap of the same width.
+    pub fn or_assign(&mut self, other: &PortBitmap) {
+        assert_eq!(self.width, other.width, "bitmap widths differ");
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a |= b;
+        }
+    }
+
+    /// Union of two bitmaps.
+    pub fn or(&self, other: &PortBitmap) -> PortBitmap {
+        let mut out = self.clone();
+        out.or_assign(other);
+        out
+    }
+
+    /// Number of set ports in the union of two bitmaps (no allocation).
+    pub fn union_count(&self, other: &PortBitmap) -> usize {
+        assert_eq!(self.width, other.width, "bitmap widths differ");
+        self.words
+            .iter()
+            .zip(&other.words)
+            .map(|(a, b)| (a | b).count_ones() as usize)
+            .sum()
+    }
+
+    /// Hamming distance to another bitmap of the same width.
+    pub fn hamming(&self, other: &PortBitmap) -> usize {
+        assert_eq!(self.width, other.width, "bitmap widths differ");
+        self.words
+            .iter()
+            .zip(&other.words)
+            .map(|(a, b)| (a ^ b).count_ones() as usize)
+            .sum()
+    }
+
+    /// Whether every set port of `self` is also set in `other`.
+    pub fn is_subset_of(&self, other: &PortBitmap) -> bool {
+        assert_eq!(self.width, other.width, "bitmap widths differ");
+        self.words
+            .iter()
+            .zip(&other.words)
+            .all(|(a, b)| a & !b == 0)
+    }
+
+    /// Serialize the bitmap MSB-first (port 0 is the first bit on the wire).
+    pub fn write(&self, w: &mut BitWriter) {
+        for p in 0..self.width {
+            w.write_bit(self.get(p));
+        }
+    }
+
+    /// Deserialize a bitmap of the given width.
+    pub fn read(r: &mut BitReader<'_>, width: usize) -> Result<PortBitmap, OutOfBits> {
+        let mut bm = PortBitmap::new(width);
+        for p in 0..width {
+            if r.read_bit()? {
+                bm.set(p);
+            }
+        }
+        Ok(bm)
+    }
+
+    /// Render as a binary string, port 0 leftmost (matching Figure 3's
+    /// notation, e.g. `10:[P0]`).
+    pub fn to_binary_string(&self) -> String {
+        (0..self.width)
+            .map(|p| if self.get(p) { '1' } else { '0' })
+            .collect()
+    }
+}
+
+impl std::fmt::Display for PortBitmap {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.to_binary_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_get_clear() {
+        let mut bm = PortBitmap::new(100);
+        assert!(bm.is_empty());
+        bm.set(0);
+        bm.set(63);
+        bm.set(64);
+        bm.set(99);
+        assert!(bm.get(0) && bm.get(63) && bm.get(64) && bm.get(99));
+        assert!(!bm.get(1));
+        assert_eq!(bm.count_ones(), 4);
+        bm.clear(63);
+        assert!(!bm.get(63));
+        assert_eq!(bm.count_ones(), 3);
+    }
+
+    #[test]
+    fn iter_ones_ascending() {
+        let bm = PortBitmap::from_ports(130, [5, 64, 128, 0]);
+        assert_eq!(bm.iter_ones().collect::<Vec<_>>(), vec![0, 5, 64, 128]);
+    }
+
+    #[test]
+    fn or_and_union_count() {
+        let a = PortBitmap::from_ports(10, [1, 2]);
+        let b = PortBitmap::from_ports(10, [2, 3]);
+        assert_eq!(a.union_count(&b), 3);
+        let u = a.or(&b);
+        assert_eq!(u.iter_ones().collect::<Vec<_>>(), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn hamming_and_subset() {
+        let a = PortBitmap::from_ports(8, [0, 1]);
+        let b = PortBitmap::from_ports(8, [1, 2]);
+        assert_eq!(a.hamming(&b), 2);
+        assert_eq!(a.hamming(&a), 0);
+        let u = a.or(&b);
+        assert!(a.is_subset_of(&u));
+        assert!(!u.is_subset_of(&a));
+    }
+
+    #[test]
+    fn wire_roundtrip() {
+        let bm = PortBitmap::from_ports(13, [0, 5, 12]);
+        let mut w = BitWriter::new();
+        bm.write(&mut w);
+        let bytes = w.finish();
+        let mut r = BitReader::new(&bytes);
+        assert_eq!(PortBitmap::read(&mut r, 13).unwrap(), bm);
+    }
+
+    #[test]
+    fn binary_string_matches_figure_notation() {
+        // Figure 3a: P2's downstream bitmap over its two leaves is "01"
+        // (second leaf only).
+        let bm = PortBitmap::from_ports(2, [1]);
+        assert_eq!(bm.to_binary_string(), "01");
+        assert_eq!(bm.to_string(), "01");
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_set_panics() {
+        PortBitmap::new(4).set(4);
+    }
+
+    #[test]
+    #[should_panic(expected = "widths differ")]
+    fn width_mismatch_panics() {
+        let a = PortBitmap::new(4);
+        let b = PortBitmap::new(5);
+        let _ = a.union_count(&b);
+    }
+
+    #[test]
+    fn read_out_of_bits() {
+        let bytes = [0u8; 1];
+        let mut r = BitReader::new(&bytes);
+        assert!(PortBitmap::read(&mut r, 9).is_err());
+    }
+}

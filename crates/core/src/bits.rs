@@ -1,0 +1,200 @@
+//! Bit-granular serialization.
+//!
+//! Elmo headers are bit-packed: bitmaps are as wide as a switch's port count,
+//! switch identifiers as wide as `ceil(log2(#switches in the layer))`, and
+//! single-bit flags separate rules and identifiers (paper Figure 2). The
+//! whole header is padded to a byte boundary only once, at the end.
+//!
+//! Bits are written MSB-first within each byte, matching how network wire
+//! formats are conventionally drawn.
+
+/// Writes an MSB-first bit stream into a growable byte buffer.
+#[derive(Clone, Debug, Default)]
+pub struct BitWriter {
+    bytes: Vec<u8>,
+    /// Number of valid bits in the stream (may not be byte-aligned).
+    len_bits: usize,
+}
+
+impl BitWriter {
+    /// An empty stream.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of bits written so far.
+    pub fn len_bits(&self) -> usize {
+        self.len_bits
+    }
+
+    /// Append the low `width` bits of `value`, most significant first.
+    ///
+    /// # Panics
+    /// Panics if `width > 64` or if `value` does not fit in `width` bits.
+    pub fn write_bits(&mut self, value: u64, width: usize) {
+        assert!(width <= 64, "width {width} exceeds 64");
+        assert!(
+            width == 64 || value < (1u64 << width),
+            "value {value} does not fit in {width} bits"
+        );
+        for i in (0..width).rev() {
+            let bit = (value >> i) & 1 == 1;
+            self.write_bit(bit);
+        }
+    }
+
+    /// Append a single bit.
+    pub fn write_bit(&mut self, bit: bool) {
+        let byte_idx = self.len_bits / 8;
+        let bit_idx = 7 - (self.len_bits % 8);
+        if byte_idx == self.bytes.len() {
+            self.bytes.push(0);
+        }
+        if bit {
+            self.bytes[byte_idx] |= 1 << bit_idx;
+        }
+        self.len_bits += 1;
+    }
+
+    /// Finish the stream, zero-padding to a byte boundary, and return the
+    /// bytes.
+    pub fn finish(self) -> Vec<u8> {
+        self.bytes
+    }
+
+    /// Total length in bytes after padding.
+    pub fn byte_len(&self) -> usize {
+        self.len_bits.div_ceil(8)
+    }
+}
+
+/// Reads an MSB-first bit stream from a byte slice.
+#[derive(Clone, Copy, Debug)]
+pub struct BitReader<'a> {
+    bytes: &'a [u8],
+    pos_bits: usize,
+}
+
+/// Error returned when a read runs past the end of the stream.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct OutOfBits;
+
+impl std::fmt::Display for OutOfBits {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "bit stream exhausted")
+    }
+}
+
+impl std::error::Error for OutOfBits {}
+
+impl<'a> BitReader<'a> {
+    /// Start reading at the beginning of `bytes`.
+    pub fn new(bytes: &'a [u8]) -> Self {
+        BitReader { bytes, pos_bits: 0 }
+    }
+
+    /// Current position in bits.
+    pub fn pos_bits(&self) -> usize {
+        self.pos_bits
+    }
+
+    /// Bits remaining in the stream.
+    pub fn remaining_bits(&self) -> usize {
+        self.bytes.len() * 8 - self.pos_bits
+    }
+
+    /// Read `width` bits (MSB-first) into the low bits of a `u64`.
+    pub fn read_bits(&mut self, width: usize) -> Result<u64, OutOfBits> {
+        assert!(width <= 64);
+        if self.remaining_bits() < width {
+            return Err(OutOfBits);
+        }
+        let mut v = 0u64;
+        for _ in 0..width {
+            v = (v << 1) | self.read_bit_unchecked() as u64;
+        }
+        Ok(v)
+    }
+
+    /// Read a single bit.
+    pub fn read_bit(&mut self) -> Result<bool, OutOfBits> {
+        if self.remaining_bits() == 0 {
+            return Err(OutOfBits);
+        }
+        Ok(self.read_bit_unchecked())
+    }
+
+    fn read_bit_unchecked(&mut self) -> bool {
+        let byte = self.bytes[self.pos_bits / 8];
+        let bit = (byte >> (7 - self.pos_bits % 8)) & 1 == 1;
+        self.pos_bits += 1;
+        bit
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_mixed_widths() {
+        let mut w = BitWriter::new();
+        w.write_bits(0b101, 3);
+        w.write_bit(true);
+        w.write_bits(0xdead, 16);
+        w.write_bits(0, 1);
+        w.write_bits(u64::MAX, 64);
+        assert_eq!(w.len_bits(), 3 + 1 + 16 + 1 + 64);
+        let bytes = w.finish();
+        let mut r = BitReader::new(&bytes);
+        assert_eq!(r.read_bits(3).unwrap(), 0b101);
+        assert!(r.read_bit().unwrap());
+        assert_eq!(r.read_bits(16).unwrap(), 0xdead);
+        assert!(!r.read_bit().unwrap());
+        assert_eq!(r.read_bits(64).unwrap(), u64::MAX);
+    }
+
+    #[test]
+    fn msb_first_layout() {
+        let mut w = BitWriter::new();
+        w.write_bits(0b1, 1);
+        w.write_bits(0b0000000, 7);
+        assert_eq!(w.finish(), vec![0b1000_0000]);
+        let mut w = BitWriter::new();
+        w.write_bits(0b11, 2);
+        assert_eq!(w.finish(), vec![0b1100_0000]); // zero padded
+    }
+
+    #[test]
+    fn byte_len_rounds_up() {
+        let mut w = BitWriter::new();
+        assert_eq!(w.byte_len(), 0);
+        w.write_bits(0, 9);
+        assert_eq!(w.byte_len(), 2);
+    }
+
+    #[test]
+    fn reader_detects_exhaustion() {
+        let bytes = [0xffu8];
+        let mut r = BitReader::new(&bytes);
+        assert_eq!(r.read_bits(8).unwrap(), 0xff);
+        assert_eq!(r.read_bits(1).unwrap_err(), OutOfBits);
+        assert_eq!(r.read_bit().unwrap_err(), OutOfBits);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not fit")]
+    fn writer_rejects_oversized_values() {
+        BitWriter::new().write_bits(4, 2);
+    }
+
+    #[test]
+    fn position_tracking() {
+        let bytes = [0xabu8, 0xcd];
+        let mut r = BitReader::new(&bytes);
+        assert_eq!(r.remaining_bits(), 16);
+        r.read_bits(5).unwrap();
+        assert_eq!(r.pos_bits(), 5);
+        assert_eq!(r.remaining_bits(), 11);
+    }
+}

@@ -1,0 +1,546 @@
+//! The Elmo packet header: a bit-packed list of p-rules.
+//!
+//! A header carries (paper Figure 2a, §3.1):
+//!
+//! 1. an **upstream leaf** p-rule — sender-specific: which of the sender
+//!    leaf's host ports to copy to, whether to multipath upward, and (under
+//!    failures) explicit spine uplinks;
+//! 2. an **upstream spine** p-rule — same shape, one level up;
+//! 3. a **core** p-rule — the pods the logical core must copy to;
+//! 4. **downstream spine** p-rules — shared by all senders: `(bitmap,
+//!    [pod ids])` pairs plus an optional default bitmap;
+//! 5. **downstream leaf** p-rules — `(bitmap, [leaf ids])` pairs plus an
+//!    optional default bitmap.
+//!
+//! Switches pop the sections for layers already traversed (D2d), so the
+//! header shrinks hop by hop; [`ElmoHeader::pop_upstream_leaf`] and friends
+//! model exactly what the egress pipeline's header invalidation does.
+
+use crate::bitmap::PortBitmap;
+use crate::bits::{BitReader, BitWriter};
+use crate::layout::HeaderLayout;
+
+/// Errors from decoding an Elmo header.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum HeaderError {
+    /// The buffer ran out before the header was complete.
+    Truncated,
+    /// A structural invariant is violated (e.g. reserved flag set).
+    Malformed,
+}
+
+impl std::fmt::Display for HeaderError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            HeaderError::Truncated => write!(f, "truncated Elmo header"),
+            HeaderError::Malformed => write!(f, "malformed Elmo header"),
+        }
+    }
+}
+
+impl std::error::Error for HeaderError {}
+
+/// An upstream p-rule (leaf or spine): downstream copies for the current
+/// switch plus how to continue upward.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct UpstreamRule {
+    /// Downstream ports to copy to at this switch.
+    pub down: PortBitmap,
+    /// Use the underlying multipath scheme (ECMP & co.) to go up.
+    pub multipath: bool,
+    /// Explicit upstream ports, used when `multipath` is off (§3.3). An
+    /// empty bitmap with `multipath` off means "do not go up".
+    pub up: PortBitmap,
+}
+
+impl UpstreamRule {
+    /// A rule that goes nowhere (used when a layer needs no traversal).
+    pub fn inert(layout_down: usize, layout_up: usize) -> Self {
+        UpstreamRule {
+            down: PortBitmap::new(layout_down),
+            multipath: false,
+            up: PortBitmap::new(layout_up),
+        }
+    }
+
+    /// Whether the rule forwards upward at all.
+    pub fn goes_up(&self) -> bool {
+        self.multipath || !self.up.is_empty()
+    }
+}
+
+/// A downstream p-rule: an output bitmap shared by one or more switches of
+/// the layer, identified by layer-local identifiers (global leaf index, or
+/// pod index for logical spines).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct DownstreamRule {
+    /// Output ports (bitwise OR of the member switches' port sets, D3).
+    pub bitmap: PortBitmap,
+    /// Switch identifiers sharing this rule. Never empty.
+    pub switches: Vec<u32>,
+}
+
+/// A decoded Elmo header.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct ElmoHeader {
+    pub u_leaf: Option<UpstreamRule>,
+    pub u_spine: Option<UpstreamRule>,
+    /// Pods the logical core forwards to.
+    pub core: Option<PortBitmap>,
+    pub d_spine: Vec<DownstreamRule>,
+    pub d_spine_default: Option<PortBitmap>,
+    pub d_leaf: Vec<DownstreamRule>,
+    pub d_leaf_default: Option<PortBitmap>,
+}
+
+mod flag {
+    pub const U_LEAF: u64 = 1 << 7;
+    pub const U_SPINE: u64 = 1 << 6;
+    pub const CORE: u64 = 1 << 5;
+    pub const D_SPINE: u64 = 1 << 4;
+    pub const D_SPINE_DEFAULT: u64 = 1 << 3;
+    pub const D_LEAF: u64 = 1 << 2;
+    pub const D_LEAF_DEFAULT: u64 = 1 << 1;
+    /// Reserved, must be zero.
+    pub const RESERVED: u64 = 1;
+}
+
+impl ElmoHeader {
+    /// An empty header (nothing present).
+    pub fn empty() -> Self {
+        ElmoHeader {
+            u_leaf: None,
+            u_spine: None,
+            core: None,
+            d_spine: Vec::new(),
+            d_spine_default: None,
+            d_leaf: Vec::new(),
+            d_leaf_default: None,
+        }
+    }
+
+    /// Exact encoded size in bits (before byte padding).
+    pub fn bit_len(&self, layout: &HeaderLayout) -> usize {
+        let mut bits = layout.flags_bits();
+        if self.u_leaf.is_some() {
+            bits += layout.u_leaf_bits();
+        }
+        if self.u_spine.is_some() {
+            bits += layout.u_spine_bits();
+        }
+        if self.core.is_some() {
+            bits += layout.core_bits();
+        }
+        for r in &self.d_spine {
+            bits += layout.d_spine_rule_bits(r.switches.len());
+        }
+        if self.d_spine_default.is_some() {
+            bits += layout.d_spine_default_bits();
+        }
+        for r in &self.d_leaf {
+            bits += layout.d_leaf_rule_bits(r.switches.len());
+        }
+        if self.d_leaf_default.is_some() {
+            bits += layout.d_leaf_default_bits();
+        }
+        bits
+    }
+
+    /// Encoded size in bytes.
+    pub fn byte_len(&self, layout: &HeaderLayout) -> usize {
+        self.bit_len(layout).div_ceil(8)
+    }
+
+    /// Serialize to bytes (padded to a byte boundary).
+    pub fn encode(&self, layout: &HeaderLayout) -> Vec<u8> {
+        let mut w = BitWriter::new();
+        let mut flags = 0u64;
+        if self.u_leaf.is_some() {
+            flags |= flag::U_LEAF;
+        }
+        if self.u_spine.is_some() {
+            flags |= flag::U_SPINE;
+        }
+        if self.core.is_some() {
+            flags |= flag::CORE;
+        }
+        if !self.d_spine.is_empty() {
+            flags |= flag::D_SPINE;
+        }
+        if self.d_spine_default.is_some() {
+            flags |= flag::D_SPINE_DEFAULT;
+        }
+        if !self.d_leaf.is_empty() {
+            flags |= flag::D_LEAF;
+        }
+        if self.d_leaf_default.is_some() {
+            flags |= flag::D_LEAF_DEFAULT;
+        }
+        w.write_bits(flags, 8);
+        if let Some(r) = &self.u_leaf {
+            debug_assert_eq!(r.down.width(), layout.leaf_down_ports);
+            debug_assert_eq!(r.up.width(), layout.leaf_up_ports);
+            r.down.write(&mut w);
+            w.write_bit(r.multipath);
+            r.up.write(&mut w);
+        }
+        if let Some(r) = &self.u_spine {
+            debug_assert_eq!(r.down.width(), layout.spine_down_ports);
+            debug_assert_eq!(r.up.width(), layout.spine_up_ports);
+            r.down.write(&mut w);
+            w.write_bit(r.multipath);
+            r.up.write(&mut w);
+        }
+        if let Some(bm) = &self.core {
+            debug_assert_eq!(bm.width(), layout.core_ports);
+            bm.write(&mut w);
+        }
+        Self::encode_rules(&mut w, &self.d_spine, layout.pod_id_bits);
+        if let Some(bm) = &self.d_spine_default {
+            bm.write(&mut w);
+        }
+        Self::encode_rules(&mut w, &self.d_leaf, layout.leaf_id_bits);
+        if let Some(bm) = &self.d_leaf_default {
+            bm.write(&mut w);
+        }
+        w.finish()
+    }
+
+    fn encode_rules(w: &mut BitWriter, rules: &[DownstreamRule], id_bits: usize) {
+        for (i, rule) in rules.iter().enumerate() {
+            assert!(
+                !rule.switches.is_empty(),
+                "downstream rule with no switches"
+            );
+            rule.bitmap.write(w);
+            for (j, &id) in rule.switches.iter().enumerate() {
+                w.write_bits(id as u64, id_bits);
+                w.write_bit(j + 1 < rule.switches.len()); // more-ids flag
+            }
+            w.write_bit(i + 1 < rules.len()); // next-rule flag
+        }
+    }
+
+    /// Deserialize from bytes. Returns the header and the number of bytes it
+    /// occupied (callers slice the remaining payload off that).
+    pub fn decode(bytes: &[u8], layout: &HeaderLayout) -> Result<(ElmoHeader, usize), HeaderError> {
+        let mut r = BitReader::new(bytes);
+        let flags = r.read_bits(8).map_err(|_| HeaderError::Truncated)?;
+        if flags & flag::RESERVED != 0 {
+            return Err(HeaderError::Malformed);
+        }
+        let mut header = ElmoHeader::empty();
+        if flags & flag::U_LEAF != 0 {
+            header.u_leaf = Some(Self::read_upstream(
+                &mut r,
+                layout.leaf_down_ports,
+                layout.leaf_up_ports,
+            )?);
+        }
+        if flags & flag::U_SPINE != 0 {
+            header.u_spine = Some(Self::read_upstream(
+                &mut r,
+                layout.spine_down_ports,
+                layout.spine_up_ports,
+            )?);
+        }
+        if flags & flag::CORE != 0 {
+            header.core = Some(
+                PortBitmap::read(&mut r, layout.core_ports).map_err(|_| HeaderError::Truncated)?,
+            );
+        }
+        if flags & flag::D_SPINE != 0 {
+            header.d_spine = Self::read_rules(&mut r, layout.spine_down_ports, layout.pod_id_bits)?;
+        }
+        if flags & flag::D_SPINE_DEFAULT != 0 {
+            header.d_spine_default = Some(
+                PortBitmap::read(&mut r, layout.spine_down_ports)
+                    .map_err(|_| HeaderError::Truncated)?,
+            );
+        }
+        if flags & flag::D_LEAF != 0 {
+            header.d_leaf = Self::read_rules(&mut r, layout.leaf_down_ports, layout.leaf_id_bits)?;
+        }
+        if flags & flag::D_LEAF_DEFAULT != 0 {
+            header.d_leaf_default = Some(
+                PortBitmap::read(&mut r, layout.leaf_down_ports)
+                    .map_err(|_| HeaderError::Truncated)?,
+            );
+        }
+        Ok((header, r.pos_bits().div_ceil(8)))
+    }
+
+    fn read_upstream(
+        r: &mut BitReader<'_>,
+        down_ports: usize,
+        up_ports: usize,
+    ) -> Result<UpstreamRule, HeaderError> {
+        let down = PortBitmap::read(r, down_ports).map_err(|_| HeaderError::Truncated)?;
+        let multipath = r.read_bit().map_err(|_| HeaderError::Truncated)?;
+        let up = PortBitmap::read(r, up_ports).map_err(|_| HeaderError::Truncated)?;
+        Ok(UpstreamRule {
+            down,
+            multipath,
+            up,
+        })
+    }
+
+    fn read_rules(
+        r: &mut BitReader<'_>,
+        bitmap_width: usize,
+        id_bits: usize,
+    ) -> Result<Vec<DownstreamRule>, HeaderError> {
+        let mut rules = Vec::new();
+        loop {
+            let bitmap = PortBitmap::read(r, bitmap_width).map_err(|_| HeaderError::Truncated)?;
+            let mut switches = Vec::new();
+            loop {
+                let id = r.read_bits(id_bits).map_err(|_| HeaderError::Truncated)? as u32;
+                switches.push(id);
+                let more = r.read_bit().map_err(|_| HeaderError::Truncated)?;
+                if !more {
+                    break;
+                }
+            }
+            rules.push(DownstreamRule { bitmap, switches });
+            let next = r.read_bit().map_err(|_| HeaderError::Truncated)?;
+            if !next {
+                break;
+            }
+        }
+        Ok(rules)
+    }
+
+    // ----- lookups (what the switch parser does) ----------------------------
+
+    /// The downstream spine rule matching a pod, if any (parser match-and-set
+    /// on the switch's own identifier, §4.1).
+    pub fn find_d_spine(&self, pod: u32) -> Option<&DownstreamRule> {
+        self.d_spine.iter().find(|r| r.switches.contains(&pod))
+    }
+
+    /// The downstream leaf rule matching a leaf, if any.
+    pub fn find_d_leaf(&self, leaf: u32) -> Option<&DownstreamRule> {
+        self.d_leaf.iter().find(|r| r.switches.contains(&leaf))
+    }
+
+    // ----- popping (what the egress pipeline does, D2d) ----------------------
+
+    /// Pop the upstream leaf rule (done by the sender's leaf before sending
+    /// the packet up).
+    pub fn pop_upstream_leaf(&mut self) {
+        self.u_leaf = None;
+    }
+
+    /// Pop the upstream spine rule (done by the upstream spine).
+    pub fn pop_upstream_spine(&mut self) {
+        self.u_spine = None;
+    }
+
+    /// Pop the core rule (done by the core switch).
+    pub fn pop_core(&mut self) {
+        self.core = None;
+    }
+
+    /// Pop the downstream spine section (done by a downstream spine before
+    /// sending the packet to leaves).
+    pub fn pop_d_spine(&mut self) {
+        self.d_spine.clear();
+        self.d_spine_default = None;
+    }
+
+    /// Pop everything (done by a leaf before delivering to hosts, saving the
+    /// receiving hypervisor the decap work, §4.1).
+    pub fn pop_all(&mut self) {
+        *self = ElmoHeader::empty();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use elmo_topology::Clos;
+
+    fn example_layout() -> HeaderLayout {
+        HeaderLayout::for_clos(&Clos::paper_example())
+    }
+
+    /// The shared downstream rules of Figure 3a with R = 2: spines P2,P3
+    /// share bitmap 11; leaves L0,L6 share 11 and L5,L7 share 11/10... here
+    /// we encode the R = 0 assignment from Figure 3b exactly.
+    fn figure3b_header(layout: &HeaderLayout) -> ElmoHeader {
+        ElmoHeader {
+            // Sender Ha on L0: deliver to host port 1 (Hb), multipath up.
+            u_leaf: Some(UpstreamRule {
+                down: PortBitmap::from_ports(layout.leaf_down_ports, [1]),
+                multipath: true,
+                up: PortBitmap::new(layout.leaf_up_ports),
+            }),
+            // P0: nothing to other local leaves, multipath to the core.
+            u_spine: Some(UpstreamRule {
+                down: PortBitmap::new(layout.spine_down_ports),
+                multipath: true,
+                up: PortBitmap::new(layout.spine_up_ports),
+            }),
+            // Core: forward to pods 2 and 3.
+            core: Some(PortBitmap::from_ports(layout.core_ports, [2, 3])),
+            d_spine: vec![
+                DownstreamRule {
+                    bitmap: PortBitmap::from_ports(layout.spine_down_ports, [0]),
+                    switches: vec![0],
+                },
+                DownstreamRule {
+                    bitmap: PortBitmap::from_ports(layout.spine_down_ports, [1]),
+                    switches: vec![2],
+                },
+            ],
+            // Default: pod 3 forwards to both leaves.
+            d_spine_default: Some(PortBitmap::from_ports(layout.spine_down_ports, [0, 1])),
+            d_leaf: vec![
+                DownstreamRule {
+                    bitmap: PortBitmap::from_ports(layout.leaf_down_ports, [0, 1]),
+                    switches: vec![0, 6],
+                },
+                DownstreamRule {
+                    bitmap: PortBitmap::from_ports(layout.leaf_down_ports, [2]),
+                    switches: vec![5],
+                },
+            ],
+            d_leaf_default: Some(PortBitmap::from_ports(layout.leaf_down_ports, [1])),
+        }
+    }
+
+    #[test]
+    fn roundtrip_full_header() {
+        let layout = example_layout();
+        let header = figure3b_header(&layout);
+        let bytes = header.encode(&layout);
+        assert_eq!(bytes.len(), header.byte_len(&layout));
+        let (decoded, used) = ElmoHeader::decode(&bytes, &layout).unwrap();
+        assert_eq!(used, bytes.len());
+        assert_eq!(decoded, header);
+    }
+
+    #[test]
+    fn roundtrip_empty_header() {
+        let layout = example_layout();
+        let header = ElmoHeader::empty();
+        let bytes = header.encode(&layout);
+        assert_eq!(bytes.len(), 1); // just the flags byte
+        let (decoded, used) = ElmoHeader::decode(&bytes, &layout).unwrap();
+        assert_eq!(used, 1);
+        assert_eq!(decoded, header);
+    }
+
+    #[test]
+    fn roundtrip_after_pops() {
+        let layout = example_layout();
+        let mut header = figure3b_header(&layout);
+        header.pop_upstream_leaf();
+        header.pop_upstream_spine();
+        let bytes = header.encode(&layout);
+        let (decoded, _) = ElmoHeader::decode(&bytes, &layout).unwrap();
+        assert_eq!(decoded, header);
+        assert!(decoded.u_leaf.is_none());
+        assert!(decoded.core.is_some());
+    }
+
+    #[test]
+    fn popping_shrinks_the_header() {
+        let layout = example_layout();
+        let mut header = figure3b_header(&layout);
+        let full = header.byte_len(&layout);
+        header.pop_upstream_leaf();
+        header.pop_upstream_spine();
+        header.pop_core();
+        let after_core = header.byte_len(&layout);
+        assert!(after_core < full);
+        header.pop_d_spine();
+        let after_spine = header.byte_len(&layout);
+        assert!(after_spine < after_core);
+        header.pop_all();
+        assert_eq!(header.byte_len(&layout), 1);
+    }
+
+    #[test]
+    fn find_rules_matches_figure3() {
+        let layout = example_layout();
+        let header = figure3b_header(&layout);
+        // P0 -> leaf 0 of the pod; P2 -> leaf index 1 (= L5); P3 unmatched.
+        assert_eq!(
+            header.find_d_spine(0).unwrap().bitmap.to_binary_string(),
+            "10"
+        );
+        assert_eq!(
+            header.find_d_spine(2).unwrap().bitmap.to_binary_string(),
+            "01"
+        );
+        assert!(header.find_d_spine(3).is_none()); // falls to s-rule/default
+        assert!(header.find_d_leaf(0).is_some());
+        assert!(header.find_d_leaf(6).is_some());
+        assert!(header.find_d_leaf(7).is_none());
+    }
+
+    #[test]
+    fn truncated_buffer_is_rejected() {
+        let layout = example_layout();
+        let header = figure3b_header(&layout);
+        let bytes = header.encode(&layout);
+        for cut in 0..bytes.len() - 1 {
+            let result = ElmoHeader::decode(&bytes[..cut], &layout);
+            assert!(result.is_err(), "cut at {cut} should fail");
+        }
+    }
+
+    #[test]
+    fn reserved_flag_is_malformed() {
+        let layout = example_layout();
+        let bytes = [0x01u8];
+        assert_eq!(
+            ElmoHeader::decode(&bytes, &layout).unwrap_err(),
+            HeaderError::Malformed
+        );
+    }
+
+    #[test]
+    fn bit_len_matches_layout_accounting() {
+        let layout = example_layout();
+        let header = figure3b_header(&layout);
+        let expected = layout.flags_bits()
+            + layout.u_leaf_bits()
+            + layout.u_spine_bits()
+            + layout.core_bits()
+            + layout.d_spine_rule_bits(1) * 2
+            + layout.d_spine_default_bits()
+            + layout.d_leaf_rule_bits(2)
+            + layout.d_leaf_rule_bits(1)
+            + layout.d_leaf_default_bits();
+        assert_eq!(header.bit_len(&layout), expected);
+    }
+
+    #[test]
+    fn upstream_rule_goes_up() {
+        let r = UpstreamRule::inert(4, 2);
+        assert!(!r.goes_up());
+        let r = UpstreamRule {
+            multipath: true,
+            ..UpstreamRule::inert(4, 2)
+        };
+        assert!(r.goes_up());
+        let mut r = UpstreamRule::inert(4, 2);
+        r.up.set(0);
+        assert!(r.goes_up());
+    }
+
+    #[test]
+    fn decode_reports_consumed_bytes_with_trailing_payload() {
+        let layout = example_layout();
+        let header = figure3b_header(&layout);
+        let mut bytes = header.encode(&layout);
+        let header_len = bytes.len();
+        bytes.extend_from_slice(b"payload");
+        let (decoded, used) = ElmoHeader::decode(&bytes, &layout).unwrap();
+        assert_eq!(used, header_len);
+        assert_eq!(decoded, header);
+    }
+}

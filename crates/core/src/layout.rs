@@ -1,0 +1,209 @@
+//! Header layout: the bit widths of every Elmo header field.
+//!
+//! Figure 2 of the paper gives field semantics (type, bitmaps, identifier
+//! lists, next-flags) but not a byte-exact layout, so this module fixes one.
+//! All widths derive from the fabric's dimensions:
+//!
+//! * downstream **leaf** p-rule bitmaps are `hosts_per_leaf` wide and carry
+//!   global leaf identifiers of `ceil(log2(#leaves))` bits;
+//! * downstream **spine** p-rule bitmaps are `leaves_per_pod` wide and carry
+//!   logical-spine (= pod) identifiers of `ceil(log2(#pods))` bits;
+//! * the **core** p-rule is a single `#pods`-wide bitmap with no identifier
+//!   (there is exactly one logical core, D2);
+//! * **upstream** p-rules carry a downstream-port bitmap, a multipath flag
+//!   and an upstream-port bitmap, and no identifiers (D2b);
+//! * identifier lists and rule lists are terminated by 1-bit *next* flags,
+//!   exactly as drawn in Figure 2b;
+//! * one leading flags byte records which sections are present (this plays
+//!   the role of Figure 2's per-rule `type` field).
+
+use elmo_topology::Clos;
+
+/// Bit widths of every field of an Elmo header for one fabric.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct HeaderLayout {
+    /// Downstream ports per leaf (hosts per leaf).
+    pub leaf_down_ports: usize,
+    /// Upstream ports per leaf (spines per pod).
+    pub leaf_up_ports: usize,
+    /// Downstream ports per spine (leaves per pod).
+    pub spine_down_ports: usize,
+    /// Upstream ports per spine (cores per spine).
+    pub spine_up_ports: usize,
+    /// Ports on the logical core (number of pods).
+    pub core_ports: usize,
+    /// Bits per (global) leaf identifier.
+    pub leaf_id_bits: usize,
+    /// Bits per logical-spine (pod) identifier.
+    pub pod_id_bits: usize,
+}
+
+/// Bits needed to address `n` distinct values (at least 1).
+pub fn id_bits(n: usize) -> usize {
+    if n <= 1 {
+        1
+    } else {
+        (usize::BITS - (n - 1).leading_zeros()) as usize
+    }
+}
+
+impl HeaderLayout {
+    /// Derive the layout for a Clos fabric.
+    pub fn for_clos(topo: &Clos) -> Self {
+        HeaderLayout {
+            leaf_down_ports: topo.leaf_down_ports(),
+            leaf_up_ports: topo.leaf_up_ports(),
+            spine_down_ports: topo.spine_down_ports(),
+            spine_up_ports: topo.spine_up_ports(),
+            core_ports: topo.num_pods(),
+            leaf_id_bits: id_bits(topo.num_leaves()),
+            pod_id_bits: id_bits(topo.num_pods()),
+        }
+    }
+
+    /// The leading flags byte.
+    pub fn flags_bits(&self) -> usize {
+        8
+    }
+
+    /// An upstream leaf p-rule: down bitmap + multipath flag + up bitmap.
+    pub fn u_leaf_bits(&self) -> usize {
+        self.leaf_down_ports + 1 + self.leaf_up_ports
+    }
+
+    /// An upstream spine p-rule: down bitmap + multipath flag + up bitmap.
+    pub fn u_spine_bits(&self) -> usize {
+        self.spine_down_ports + 1 + self.spine_up_ports
+    }
+
+    /// The core p-rule: one pod bitmap.
+    pub fn core_bits(&self) -> usize {
+        self.core_ports
+    }
+
+    /// A downstream spine p-rule carrying `k` pod identifiers: bitmap, then
+    /// `k` (id + 1-bit more-ids flag) pairs, then a 1-bit next-rule flag.
+    pub fn d_spine_rule_bits(&self, k: usize) -> usize {
+        debug_assert!(k >= 1);
+        self.spine_down_ports + k * (self.pod_id_bits + 1) + 1
+    }
+
+    /// A downstream leaf p-rule carrying `k` leaf identifiers.
+    pub fn d_leaf_rule_bits(&self, k: usize) -> usize {
+        debug_assert!(k >= 1);
+        self.leaf_down_ports + k * (self.leaf_id_bits + 1) + 1
+    }
+
+    /// A default p-rule for the spine layer (bitmap only).
+    pub fn d_spine_default_bits(&self) -> usize {
+        self.spine_down_ports
+    }
+
+    /// A default p-rule for the leaf layer (bitmap only).
+    pub fn d_leaf_default_bits(&self) -> usize {
+        self.leaf_down_ports
+    }
+
+    /// Worst-case header size in **bits** for a rule budget: `h_spine`
+    /// downstream spine rules and `h_leaf` downstream leaf rules, each
+    /// carrying the maximum `kmax` identifiers, with both default rules and
+    /// all upstream sections present.
+    pub fn max_header_bits(&self, h_spine: usize, h_leaf: usize, kmax: usize) -> usize {
+        self.flags_bits()
+            + self.u_leaf_bits()
+            + self.u_spine_bits()
+            + self.core_bits()
+            + h_spine * self.d_spine_rule_bits(kmax)
+            + self.d_spine_default_bits()
+            + h_leaf * self.d_leaf_rule_bits(kmax)
+            + self.d_leaf_default_bits()
+    }
+
+    /// Worst-case header size in bytes (see [`Self::max_header_bits`]).
+    pub fn max_header_bytes(&self, h_spine: usize, h_leaf: usize, kmax: usize) -> usize {
+        self.max_header_bits(h_spine, h_leaf, kmax).div_ceil(8)
+    }
+
+    /// The largest downstream-leaf rule budget (`Hmax` for the leaf layer)
+    /// that keeps the worst-case header within `budget_bytes`, given a spine
+    /// rule budget and `kmax`. Returns 0 if even zero leaf rules overflow.
+    pub fn max_leaf_rules(&self, budget_bytes: usize, h_spine: usize, kmax: usize) -> usize {
+        let fixed = self.max_header_bits(h_spine, 0, kmax);
+        let budget_bits = budget_bytes * 8;
+        if budget_bits < fixed {
+            return 0;
+        }
+        (budget_bits - fixed) / self.d_leaf_rule_bits(kmax)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn id_bits_values() {
+        assert_eq!(id_bits(1), 1);
+        assert_eq!(id_bits(2), 1);
+        assert_eq!(id_bits(3), 2);
+        assert_eq!(id_bits(4), 2);
+        assert_eq!(id_bits(5), 3);
+        assert_eq!(id_bits(12), 4);
+        assert_eq!(id_bits(576), 10);
+        assert_eq!(id_bits(1024), 10);
+        assert_eq!(id_bits(1025), 11);
+    }
+
+    #[test]
+    fn paper_example_layout() {
+        let layout = HeaderLayout::for_clos(&Clos::paper_example());
+        // 8 hosts + 2 spine uplinks per leaf; 2 leaves + 2 core uplinks per
+        // spine; 4 pods; 8 leaves -> 3 id bits; 4 pods -> 2 id bits.
+        assert_eq!(layout.leaf_down_ports, 8);
+        assert_eq!(layout.leaf_up_ports, 2);
+        assert_eq!(layout.spine_down_ports, 2);
+        assert_eq!(layout.spine_up_ports, 2);
+        assert_eq!(layout.core_ports, 4);
+        assert_eq!(layout.leaf_id_bits, 3);
+        assert_eq!(layout.pod_id_bits, 2);
+        assert_eq!(layout.u_leaf_bits(), 11);
+        assert_eq!(layout.u_spine_bits(), 5);
+        assert_eq!(layout.core_bits(), 4);
+        // Rule with one id: 2 + (2+1) + 1 = 6 bits.
+        assert_eq!(layout.d_spine_rule_bits(1), 6);
+        // Rule with two ids: 8 + 2*(3+1) + 1 = 17 bits.
+        assert_eq!(layout.d_leaf_rule_bits(2), 17);
+    }
+
+    #[test]
+    fn fabric_layout_matches_paper_budget() {
+        // The paper caps headers at 325 bytes, "which allows up to 30
+        // p-rules for the downstream leaf layer and two for the spine layer"
+        // (§5.1.2). With our bit-exact layout and Kmax = 2 (the sharing
+        // degree used in Figure 3a), 30 leaf rules fit in 325 bytes.
+        let layout = HeaderLayout::for_clos(&Clos::facebook_fabric());
+        assert_eq!(layout.leaf_id_bits, 10); // 576 leaves
+        assert_eq!(layout.pod_id_bits, 4); // 12 pods
+        assert!(layout.max_leaf_rules(325, 2, 2) >= 30);
+        // And the whole worst-case header stays within the RMT 512-byte
+        // parser limit with room to spare.
+        assert!(layout.max_header_bytes(2, 30, 2) <= 325);
+    }
+
+    #[test]
+    fn max_leaf_rules_monotone_in_budget() {
+        let layout = HeaderLayout::for_clos(&Clos::facebook_fabric());
+        let small = layout.max_leaf_rules(125, 2, 2);
+        let big = layout.max_leaf_rules(325, 2, 2);
+        assert!(small < big);
+        // §5.1.2's "reduced header" scenario: ~125 bytes supports about 10
+        // leaf p-rules.
+        assert!((8..=12).contains(&small), "got {small}");
+    }
+
+    #[test]
+    fn zero_budget_yields_zero_rules() {
+        let layout = HeaderLayout::for_clos(&Clos::paper_example());
+        assert_eq!(layout.max_leaf_rules(0, 0, 1), 0);
+    }
+}

@@ -1,0 +1,191 @@
+//! Approximate MIN-K-UNION over port bitmaps.
+//!
+//! Algorithm 1 (paper §3.2) repeatedly asks: among the still-unassigned
+//! switches of a layer, which `K` have port bitmaps whose union has the
+//! fewest set bits? That is the MIN-K-UNION problem — NP-hard, so the paper
+//! uses an approximation (citing Vinterbo). We implement a greedy variant:
+//!
+//! * seed with the **pair** of bitmaps minimizing `(union size, summed
+//!   Hamming distance to the union)` — seeding with a pair rather than a
+//!   single bitmap reproduces the paper's Figure 3a assignments, where
+//!   identical bitmaps pair up before anything else;
+//! * grow by repeatedly adding the bitmap whose inclusion enlarges the union
+//!   the least;
+//! * break all ties toward lower indices, keeping results deterministic.
+//!
+//! For very large candidate sets the quadratic pair search is skipped in
+//! favor of lightest-first seeding, bounding each call at `O(k · n)`.
+
+use crate::bitmap::PortBitmap;
+
+/// Above this many candidates, fall back to linear seeding.
+const PAIR_SEED_LIMIT: usize = 128;
+
+/// Return the indices (into `bitmaps`) of an approximately minimum-union
+/// group of `k` bitmaps. If fewer than `k` bitmaps are available, all of
+/// them are returned.
+pub fn approx_min_k_union(k: usize, bitmaps: &[&PortBitmap]) -> Vec<usize> {
+    assert!(k >= 1, "k must be at least 1");
+    if bitmaps.is_empty() {
+        return Vec::new();
+    }
+
+    let lightest = bitmaps
+        .iter()
+        .enumerate()
+        .min_by_key(|(i, b)| (b.count_ones(), *i))
+        .map(|(i, _)| i)
+        .expect("non-empty");
+
+    let (mut chosen, mut union) = if k >= 2 && bitmaps.len() >= 2 {
+        match best_pair(bitmaps) {
+            Some((i, j)) => (vec![i, j], bitmaps[i].or(bitmaps[j])),
+            None => (vec![lightest], bitmaps[lightest].clone()),
+        }
+    } else {
+        (vec![lightest], bitmaps[lightest].clone())
+    };
+
+    let mut in_set = vec![false; bitmaps.len()];
+    for &i in &chosen {
+        in_set[i] = true;
+    }
+
+    while chosen.len() < k.min(bitmaps.len()) {
+        let mut best: Option<(usize, usize)> = None; // (union size, index)
+        for (i, b) in bitmaps.iter().enumerate() {
+            if in_set[i] {
+                continue;
+            }
+            let size = union.union_count(b);
+            if best.is_none_or(|(s, _)| size < s) {
+                best = Some((size, i));
+            }
+        }
+        let (_, i) = best.expect("candidates remain");
+        union.or_assign(bitmaps[i]);
+        chosen.push(i);
+        in_set[i] = true;
+    }
+    chosen.sort_unstable();
+    chosen
+}
+
+/// The pair `(i, j)` with the smallest `(union size, summed Hamming distance
+/// to the union)`, or `None` when the quadratic search would be too costly.
+fn best_pair(bitmaps: &[&PortBitmap]) -> Option<(usize, usize)> {
+    if bitmaps.len() > PAIR_SEED_LIMIT {
+        return None;
+    }
+    let mut best: Option<((usize, usize), (usize, usize))> = None; // (score, pair)
+    for i in 0..bitmaps.len() {
+        for j in (i + 1)..bitmaps.len() {
+            let union_size = bitmaps[i].union_count(bitmaps[j]);
+            // Summed distance to the union = spurious ports if these two
+            // share a rule: (union - |b_i|) + (union - |b_j|).
+            let hd_sum = 2 * union_size - bitmaps[i].count_ones() - bitmaps[j].count_ones();
+            let score = (union_size, hd_sum);
+            if best.is_none_or(|(s, _)| score < s) {
+                best = Some((score, (i, j)));
+            }
+        }
+    }
+    best.map(|(_, pair)| pair)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bm(width: usize, ports: &[usize]) -> PortBitmap {
+        PortBitmap::from_ports(width, ports.iter().copied())
+    }
+
+    #[test]
+    fn picks_identical_bitmaps_first() {
+        let a = bm(8, &[0, 1]);
+        let b = bm(8, &[4, 5, 6]);
+        let c = bm(8, &[0, 1]);
+        let refs = [&a, &b, &c];
+        assert_eq!(approx_min_k_union(2, &refs), vec![0, 2]);
+    }
+
+    #[test]
+    fn prefers_overlapping_over_disjoint() {
+        let a = bm(8, &[0, 1, 2]);
+        let b = bm(8, &[1, 2, 3]); // union with a: 4 bits
+        let c = bm(8, &[5, 6, 7]); // union with a: 6 bits
+        let refs = [&a, &b, &c];
+        assert_eq!(approx_min_k_union(2, &refs), vec![0, 1]);
+    }
+
+    #[test]
+    fn k_larger_than_input_returns_all() {
+        let a = bm(4, &[0]);
+        let b = bm(4, &[1]);
+        let refs = [&a, &b];
+        assert_eq!(approx_min_k_union(5, &refs), vec![0, 1]);
+    }
+
+    #[test]
+    fn k_one_returns_lightest() {
+        let a = bm(8, &[0, 1, 2]);
+        let b = bm(8, &[4]);
+        let refs = [&a, &b];
+        assert_eq!(approx_min_k_union(1, &refs), vec![1]);
+    }
+
+    #[test]
+    fn empty_input() {
+        let refs: [&PortBitmap; 0] = [];
+        assert!(approx_min_k_union(3, &refs).is_empty());
+    }
+
+    #[test]
+    fn deterministic_tie_break() {
+        let a = bm(4, &[0]);
+        let b = bm(4, &[1]);
+        let c = bm(4, &[2]);
+        let refs = [&a, &b, &c];
+        // All pairs have union 2, distance sum 2: the lowest-index pair wins.
+        assert_eq!(approx_min_k_union(2, &refs), vec![0, 1]);
+    }
+
+    #[test]
+    fn pair_seed_minimizes_redundancy_not_just_union() {
+        // Figure 3a's spine layer: P0 = 10, P2 = 01, P3 = 11. All pairs have
+        // union weight 2, but sharing with P3 wastes fewer transmissions
+        // (distance sum 1 vs 2 for {P0, P2}).
+        let p0 = bm(2, &[0]);
+        let p2 = bm(2, &[1]);
+        let p3 = bm(2, &[0, 1]);
+        let refs = [&p0, &p2, &p3];
+        let got = approx_min_k_union(2, &refs);
+        assert!(
+            got.contains(&2),
+            "P3 must be in the minimum-redundancy pair, got {got:?}"
+        );
+    }
+
+    #[test]
+    fn subset_growth_is_free() {
+        // 111 ⊃ 110 ⊃ 100: growing the union over subsets adds nothing.
+        let a = bm(3, &[0]);
+        let b = bm(3, &[0, 1]);
+        let c = bm(3, &[0, 1, 2]);
+        let refs = [&a, &b, &c];
+        let got = approx_min_k_union(3, &refs);
+        assert_eq!(got, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn large_input_falls_back_to_linear_seed() {
+        // 600 candidates exceeds the pair-search limit; the call must still
+        // return a valid, deterministic answer.
+        let bitmaps: Vec<PortBitmap> = (0..600).map(|i| bm(16, &[i % 16])).collect();
+        let refs: Vec<&PortBitmap> = bitmaps.iter().collect();
+        let got = approx_min_k_union(2, &refs);
+        assert_eq!(got.len(), 2);
+        assert_eq!(got, approx_min_k_union(2, &refs));
+    }
+}

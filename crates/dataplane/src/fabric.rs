@@ -1,0 +1,608 @@
+//! The wired fabric: every network switch instantiated and connected per the
+//! Clos topology, moving real packet bytes and accounting per-tier link
+//! traffic.
+//!
+//! [`Fabric::inject`] pushes one packet from a host NIC into its leaf and
+//! runs it to completion (breadth-first over switch hops), returning the
+//! copies delivered to host NICs. Byte counters per link tier feed the
+//! traffic-overhead metric (paper Figures 4/5, right panels).
+
+use elmo_core::HeaderLayout;
+use elmo_topology::{Clos, CoreId, HostId, LeafId, PodId, SpineId, SwitchRef};
+
+use crate::netswitch::{NetworkSwitch, SwitchConfig};
+
+/// Aggregate per-tier traffic counters (bytes and packets on the wire).
+#[derive(Clone, Copy, Default, PartialEq, Eq, Debug)]
+pub struct FabricStats {
+    pub host_to_leaf_bytes: u64,
+    pub leaf_to_host_bytes: u64,
+    pub leaf_to_spine_bytes: u64,
+    pub spine_to_leaf_bytes: u64,
+    pub spine_to_core_bytes: u64,
+    pub core_to_spine_bytes: u64,
+    pub packets_on_links: u64,
+}
+
+impl FabricStats {
+    /// Total bytes crossing any link (the numerator of traffic overhead).
+    pub fn total_link_bytes(&self) -> u64 {
+        self.host_to_leaf_bytes
+            + self.leaf_to_host_bytes
+            + self.leaf_to_spine_bytes
+            + self.spine_to_leaf_bytes
+            + self.spine_to_core_bytes
+            + self.core_to_spine_bytes
+    }
+}
+
+/// A fully instantiated Clos fabric of [`NetworkSwitch`]es.
+#[derive(Clone, Debug)]
+pub struct Fabric {
+    topo: Clos,
+    layout: HeaderLayout,
+    leaves: Vec<NetworkSwitch>,
+    spines: Vec<NetworkSwitch>,
+    cores: Vec<NetworkSwitch>,
+    /// Switches currently failed: packets reaching them are dropped.
+    down: std::collections::BTreeSet<SwitchRef>,
+    /// When tracing, the per-hop records of the in-flight injection.
+    trace: Option<Vec<HopRecord>>,
+    /// Link counters.
+    pub stats: FabricStats,
+}
+
+/// One switch's handling of one packet copy, INT-style (paper §7's
+/// monitoring direction: per-hop telemetry carried with the multicast
+/// packet — here collected out of band by the fabric model).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct HopRecord {
+    /// The switch that processed the copy.
+    pub switch: SwitchRef,
+    /// The port it arrived on.
+    pub ingress_port: usize,
+    /// Bytes of the copy as received (headers shrink hop by hop).
+    pub bytes_in: usize,
+    /// The ports it was replicated to (empty = dropped).
+    pub egress_ports: Vec<usize>,
+}
+
+impl Fabric {
+    /// Instantiate every switch with the same resource limits.
+    pub fn new(topo: Clos, config: SwitchConfig) -> Self {
+        let layout = HeaderLayout::for_clos(&topo);
+        Fabric {
+            topo,
+            layout,
+            leaves: topo
+                .leaves()
+                .map(|l| NetworkSwitch::new_leaf(topo, l, config))
+                .collect(),
+            spines: topo
+                .spines()
+                .map(|s| NetworkSwitch::new_spine(topo, s, config))
+                .collect(),
+            cores: topo
+                .cores()
+                .map(|c| NetworkSwitch::new_core(topo, c, config))
+                .collect(),
+            down: std::collections::BTreeSet::new(),
+            trace: None,
+            stats: FabricStats::default(),
+        }
+    }
+
+    /// Take a spine out of service: packets reaching it are dropped, as on
+    /// a real fabric between the failure and reconvergence.
+    pub fn fail_spine(&mut self, s: SpineId) {
+        self.down.insert(SwitchRef::Spine(s));
+    }
+
+    /// Take a core out of service.
+    pub fn fail_core(&mut self, c: CoreId) {
+        self.down.insert(SwitchRef::Core(c));
+    }
+
+    /// Restore a failed switch.
+    pub fn restore(&mut self, sw: SwitchRef) {
+        self.down.remove(&sw);
+    }
+
+    /// The topology the fabric was built from.
+    pub fn topo(&self) -> &Clos {
+        &self.topo
+    }
+
+    /// The header layout switches parse with.
+    pub fn layout(&self) -> &HeaderLayout {
+        &self.layout
+    }
+
+    /// Mutable access to a leaf switch (e.g. for s-rule installation).
+    pub fn leaf_mut(&mut self, l: LeafId) -> &mut NetworkSwitch {
+        &mut self.leaves[l.0 as usize]
+    }
+
+    /// Immutable access to a leaf switch.
+    pub fn leaf(&self, l: LeafId) -> &NetworkSwitch {
+        &self.leaves[l.0 as usize]
+    }
+
+    /// Mutable access to a spine switch.
+    pub fn spine_mut(&mut self, s: SpineId) -> &mut NetworkSwitch {
+        &mut self.spines[s.0 as usize]
+    }
+
+    /// Immutable access to a spine switch.
+    pub fn spine(&self, s: SpineId) -> &NetworkSwitch {
+        &self.spines[s.0 as usize]
+    }
+
+    /// Mutable access to a core switch.
+    pub fn core_mut(&mut self, c: CoreId) -> &mut NetworkSwitch {
+        &mut self.cores[c.0 as usize]
+    }
+
+    /// Install an s-rule on every spine of a pod (a logical-spine s-rule must
+    /// be present wherever multipath may land the packet).
+    pub fn install_pod_srule(
+        &mut self,
+        pod: PodId,
+        group: std::net::Ipv4Addr,
+        ports: elmo_core::PortBitmap,
+    ) -> Result<(), crate::netswitch::GroupTableFull> {
+        for s in self.topo.spines_in_pod(pod) {
+            self.spines[s.0 as usize].install_srule(group, ports.clone())?;
+        }
+        Ok(())
+    }
+
+    /// Inject one packet and record per-hop telemetry — which switch saw the
+    /// packet, on which port, how large it was, and where it replicated it.
+    /// This is the paper's §7 monitoring direction (INT-style per-hop
+    /// records collected alongside the multicast packet) in model form:
+    /// `traceroute` for a multicast tree.
+    pub fn inject_traced(
+        &mut self,
+        from: HostId,
+        bytes: Vec<u8>,
+    ) -> (Vec<(HostId, Vec<u8>)>, Vec<HopRecord>) {
+        self.trace = Some(Vec::new());
+        let deliveries = self.inject(from, bytes);
+        let trace = self.trace.take().unwrap_or_default();
+        (deliveries, trace)
+    }
+
+    /// Inject one packet from a host; returns all host deliveries as
+    /// `(host, packet bytes)`.
+    pub fn inject(&mut self, from: HostId, bytes: Vec<u8>) -> Vec<(HostId, Vec<u8>)> {
+        let leaf = self.topo.leaf_of_host(from);
+        let ingress = self.topo.host_port_on_leaf(from);
+        self.stats.host_to_leaf_bytes += bytes.len() as u64;
+        self.stats.packets_on_links += 1;
+        let mut deliveries = Vec::new();
+        let mut queue: Vec<(SwitchRef, usize, Vec<u8>)> =
+            vec![(SwitchRef::Leaf(leaf), ingress, bytes)];
+        // A packet visits each layer at most twice (up, down); the queue is
+        // bounded by the output fan-out, so plain iteration terminates.
+        while let Some((sw, port_in, pkt)) = queue.pop() {
+            if self.down.contains(&sw) {
+                continue; // failed switch: the packet is lost here
+            }
+            let outputs = match sw {
+                SwitchRef::Leaf(l) => {
+                    self.leaves[l.0 as usize].process(port_in, &pkt, &self.layout)
+                }
+                SwitchRef::Spine(s) => {
+                    self.spines[s.0 as usize].process(port_in, &pkt, &self.layout)
+                }
+                SwitchRef::Core(c) => self.cores[c.0 as usize].process(port_in, &pkt, &self.layout),
+            };
+            if let Some(trace) = &mut self.trace {
+                trace.push(HopRecord {
+                    switch: sw,
+                    ingress_port: port_in,
+                    bytes_in: pkt.len(),
+                    egress_ports: outputs.iter().map(|(p, _)| *p).collect(),
+                });
+            }
+            for (port_out, out_pkt) in outputs {
+                self.stats.packets_on_links += 1;
+                match self.next_hop(sw, port_out) {
+                    Hop::Host(h) => {
+                        self.stats.leaf_to_host_bytes += out_pkt.len() as u64;
+                        deliveries.push((h, out_pkt));
+                    }
+                    Hop::Switch(next, next_port, tier) => {
+                        match tier {
+                            LinkTier::LeafSpine => {
+                                self.stats.leaf_to_spine_bytes += out_pkt.len() as u64
+                            }
+                            LinkTier::SpineLeaf => {
+                                self.stats.spine_to_leaf_bytes += out_pkt.len() as u64
+                            }
+                            LinkTier::SpineCore => {
+                                self.stats.spine_to_core_bytes += out_pkt.len() as u64
+                            }
+                            LinkTier::CoreSpine => {
+                                self.stats.core_to_spine_bytes += out_pkt.len() as u64
+                            }
+                        }
+                        queue.push((next, next_port, out_pkt));
+                    }
+                }
+            }
+        }
+        deliveries
+    }
+
+    /// Resolve a switch's output port to the device on the other end.
+    fn next_hop(&self, sw: SwitchRef, port: usize) -> Hop {
+        match sw {
+            SwitchRef::Leaf(l) => {
+                if port < self.topo.leaf_down_ports() {
+                    Hop::Host(self.topo.host_under_leaf(l, port))
+                } else {
+                    let local_spine = port - self.topo.leaf_down_ports();
+                    let pod = self.topo.pod_of_leaf(l);
+                    let spine = self.topo.spine_in_pod(pod, local_spine);
+                    Hop::Switch(
+                        SwitchRef::Spine(spine),
+                        self.topo.leaf_index_in_pod(l),
+                        LinkTier::LeafSpine,
+                    )
+                }
+            }
+            SwitchRef::Spine(s) => {
+                if port < self.topo.spine_down_ports() {
+                    let pod = self.topo.pod_of_spine(s);
+                    let leaf = self.topo.leaf_in_pod(pod, port);
+                    Hop::Switch(
+                        SwitchRef::Leaf(leaf),
+                        self.topo.leaf_up_port(self.topo.spine_index_in_pod(s)),
+                        LinkTier::SpineLeaf,
+                    )
+                } else {
+                    let local_core = port - self.topo.spine_down_ports();
+                    let core: Vec<CoreId> = self.topo.cores_of_spine(s).collect();
+                    let core = core[local_core];
+                    Hop::Switch(
+                        SwitchRef::Core(core),
+                        self.topo.pod_of_spine(s).0 as usize,
+                        LinkTier::SpineCore,
+                    )
+                }
+            }
+            SwitchRef::Core(c) => {
+                let pod = PodId(port as u32);
+                let spine = self.topo.spine_under_core(c, pod);
+                let local_core = c.0 as usize % self.topo.cores_per_spine();
+                Hop::Switch(
+                    SwitchRef::Spine(spine),
+                    self.topo.spine_up_port(local_core),
+                    LinkTier::CoreSpine,
+                )
+            }
+        }
+    }
+}
+
+enum Hop {
+    Host(HostId),
+    Switch(SwitchRef, usize, LinkTier),
+}
+
+#[derive(Clone, Copy)]
+enum LinkTier {
+    LeafSpine,
+    SpineLeaf,
+    SpineCore,
+    CoreSpine,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hypervisor::{HypervisorSwitch, SenderFlow, VmSlot};
+    use elmo_core::{encode_group, header_for_sender, EncoderConfig};
+    use elmo_net::vxlan::Vni;
+    use elmo_topology::{GroupTree, UpstreamCover};
+    use std::net::Ipv4Addr;
+
+    const OUTER: Ipv4Addr = Ipv4Addr::new(239, 1, 1, 1);
+    const GROUP: Ipv4Addr = Ipv4Addr::new(225, 0, 0, 1);
+
+    /// End-to-end: encode the Figure 3a group, send from Ha, and check every
+    /// receiver (and only receivers) gets the inner frame.
+    #[test]
+    fn figure3_end_to_end_delivery() {
+        let topo = Clos::paper_example();
+        let layout = HeaderLayout::for_clos(&topo);
+        let members = [
+            HostId(0),
+            HostId(1),
+            HostId(42),
+            HostId(48),
+            HostId(49),
+            HostId(57),
+        ];
+        let tree = GroupTree::new(&topo, members);
+        let cfg = EncoderConfig::with_budget(&layout, 325, 0);
+        let mut sa = |_p| false;
+        let mut la = |_l| false;
+        let enc = encode_group(&topo, &tree, &cfg, &mut sa, &mut la);
+        // At R = 0 with the two-rule spine budget and no s-rule capacity,
+        // pod P3 lands on the default p-rule — whose bitmap here equals
+        // P3's exact ports, so delivery is still precise.
+        assert_eq!(enc.d_spine.default_switches, vec![3]);
+
+        let mut fabric = Fabric::new(topo, SwitchConfig::default());
+        let sender = HostId(0);
+        let header = header_for_sender(
+            &topo,
+            &layout,
+            &tree,
+            &enc,
+            sender,
+            &UpstreamCover::multipath(),
+        );
+        let mut hv = HypervisorSwitch::new(sender);
+        hv.install_flow(
+            Vni(1),
+            GROUP,
+            SenderFlow::new(OUTER, Vni(1), &header, &layout, vec![]),
+        );
+        let pkt = hv
+            .send(Vni(1), GROUP, b"multicast payload", &layout)
+            .remove(0);
+
+        let deliveries = fabric.inject(sender, pkt);
+        let mut delivered_hosts: Vec<HostId> = deliveries.iter().map(|(h, _)| *h).collect();
+        delivered_hosts.sort_unstable();
+        // Every member except the sender, exactly once.
+        let expected: Vec<HostId> = members.iter().copied().filter(|&h| h != sender).collect();
+        assert_eq!(delivered_hosts, expected);
+
+        // Each delivered packet decaps at a subscribed hypervisor.
+        for (host, bytes) in &deliveries {
+            let mut rx = HypervisorSwitch::new(*host);
+            rx.subscribe(OUTER, VmSlot(0));
+            let inner = rx.receive(bytes, &layout);
+            assert_eq!(inner.len(), 1);
+            assert_eq!(inner[0].1, b"multicast payload");
+        }
+    }
+
+    #[test]
+    fn every_sender_reaches_all_other_members() {
+        let topo = Clos::paper_example();
+        let layout = HeaderLayout::for_clos(&topo);
+        let members = [
+            HostId(0),
+            HostId(1),
+            HostId(42),
+            HostId(48),
+            HostId(49),
+            HostId(57),
+        ];
+        let tree = GroupTree::new(&topo, members);
+        let cfg = EncoderConfig::with_budget(&layout, 325, 0);
+        let mut sa = |_p| false;
+        let mut la = |_l| false;
+        let enc = encode_group(&topo, &tree, &cfg, &mut sa, &mut la);
+
+        for &sender in &members {
+            let mut fabric = Fabric::new(topo, SwitchConfig::default());
+            let header = header_for_sender(
+                &topo,
+                &layout,
+                &tree,
+                &enc,
+                sender,
+                &UpstreamCover::multipath(),
+            );
+            let mut hv = HypervisorSwitch::new(sender);
+            hv.install_flow(
+                Vni(1),
+                GROUP,
+                SenderFlow::new(OUTER, Vni(1), &header, &layout, vec![]),
+            );
+            let pkt = hv.send(Vni(1), GROUP, b"m", &layout).remove(0);
+            let mut got: Vec<HostId> = fabric
+                .inject(sender, pkt)
+                .into_iter()
+                .map(|(h, _)| h)
+                .collect();
+            got.sort_unstable();
+            let expected: Vec<HostId> = members.iter().copied().filter(|&h| h != sender).collect();
+            assert_eq!(got, expected, "sender {sender}");
+        }
+    }
+
+    #[test]
+    fn srule_assignment_still_delivers() {
+        // R = 0 with s-rule capacity: some switches use group-table entries
+        // instead of p-rules; delivery must be identical.
+        let topo = Clos::paper_example();
+        let layout = HeaderLayout::for_clos(&topo);
+        let members = [
+            HostId(0),
+            HostId(1),
+            HostId(42),
+            HostId(48),
+            HostId(49),
+            HostId(57),
+        ];
+        let tree = GroupTree::new(&topo, members);
+        let cfg = EncoderConfig {
+            r: 0,
+            k_max: 2,
+            h_spine_max: 2,
+            h_leaf_max: 2,
+            budget_bytes: 325,
+            mode: elmo_core::RedundancyMode::Sum,
+        };
+        let mut sa = |_p| true;
+        let mut la = |_l| true;
+        let enc = encode_group(&topo, &tree, &cfg, &mut sa, &mut la);
+        assert!(!enc.d_spine.s_rules.is_empty() || !enc.d_leaf.s_rules.is_empty());
+
+        let mut fabric = Fabric::new(topo, SwitchConfig::default());
+        // Install the s-rules the encoder produced.
+        for (pod, bm) in &enc.d_spine.s_rules {
+            fabric
+                .install_pod_srule(PodId(*pod), OUTER, bm.clone())
+                .unwrap();
+        }
+        for (leaf, bm) in &enc.d_leaf.s_rules {
+            fabric
+                .leaf_mut(LeafId(*leaf))
+                .install_srule(OUTER, bm.clone())
+                .unwrap();
+        }
+
+        let sender = HostId(0);
+        let header = header_for_sender(
+            &topo,
+            &layout,
+            &tree,
+            &enc,
+            sender,
+            &UpstreamCover::multipath(),
+        );
+        let mut hv = HypervisorSwitch::new(sender);
+        hv.install_flow(
+            Vni(1),
+            GROUP,
+            SenderFlow::new(OUTER, Vni(1), &header, &layout, vec![]),
+        );
+        let pkt = hv.send(Vni(1), GROUP, b"m", &layout).remove(0);
+        let mut got: Vec<HostId> = fabric
+            .inject(sender, pkt)
+            .into_iter()
+            .map(|(h, _)| h)
+            .collect();
+        got.sort_unstable();
+        let expected: Vec<HostId> = members.iter().copied().filter(|&h| h != sender).collect();
+        assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn default_prule_overdelivers_but_reaches_members() {
+        // R = 0, no s-rule capacity: overflow switches use the default
+        // p-rule, which may spray extra copies — but never misses a member.
+        let topo = Clos::paper_example();
+        let layout = HeaderLayout::for_clos(&topo);
+        let members = [
+            HostId(0),
+            HostId(1),
+            HostId(42),
+            HostId(48),
+            HostId(49),
+            HostId(57),
+        ];
+        let tree = GroupTree::new(&topo, members);
+        let cfg = EncoderConfig {
+            r: 0,
+            k_max: 2,
+            h_spine_max: 2,
+            h_leaf_max: 2,
+            budget_bytes: 325,
+            mode: elmo_core::RedundancyMode::Sum,
+        };
+        let mut sa = |_p| false;
+        let mut la = |_l| false;
+        let enc = encode_group(&topo, &tree, &cfg, &mut sa, &mut la);
+        assert!(enc.d_leaf.default_rule.is_some() || enc.d_spine.default_rule.is_some());
+
+        let mut fabric = Fabric::new(topo, SwitchConfig::default());
+        let sender = HostId(0);
+        let header = header_for_sender(
+            &topo,
+            &layout,
+            &tree,
+            &enc,
+            sender,
+            &UpstreamCover::multipath(),
+        );
+        let mut hv = HypervisorSwitch::new(sender);
+        hv.install_flow(
+            Vni(1),
+            GROUP,
+            SenderFlow::new(OUTER, Vni(1), &header, &layout, vec![]),
+        );
+        let pkt = hv.send(Vni(1), GROUP, b"m", &layout).remove(0);
+        let got: std::collections::BTreeSet<HostId> = fabric
+            .inject(sender, pkt)
+            .into_iter()
+            .map(|(h, _)| h)
+            .collect();
+        for &m in &members {
+            if m != sender {
+                assert!(got.contains(&m), "member {m} missed");
+            }
+        }
+    }
+
+    #[test]
+    fn unicast_crosses_the_fabric() {
+        let topo = Clos::paper_example();
+        let layout = HeaderLayout::for_clos(&topo);
+        let mut fabric = Fabric::new(topo, SwitchConfig::default());
+        let mut hv = HypervisorSwitch::new(HostId(0));
+        let pkts = hv.send_unicast_to(&[HostId(57)], Vni(3), b"uni", &layout);
+        let deliveries = fabric.inject(HostId(0), pkts.into_iter().next().unwrap());
+        assert_eq!(deliveries.len(), 1);
+        assert_eq!(deliveries[0].0, HostId(57));
+        // The unicast path touched all tiers (different pods).
+        assert!(fabric.stats.spine_to_core_bytes > 0);
+        assert!(fabric.stats.core_to_spine_bytes > 0);
+    }
+
+    #[test]
+    fn link_bytes_shrink_as_header_pops() {
+        let topo = Clos::paper_example();
+        let layout = HeaderLayout::for_clos(&topo);
+        let members = [HostId(0), HostId(42)]; // cross-pod pair
+        let tree = GroupTree::new(&topo, members);
+        let cfg = EncoderConfig::with_budget(&layout, 325, 0);
+        let mut sa = |_p| false;
+        let mut la = |_l| false;
+        let enc = encode_group(&topo, &tree, &cfg, &mut sa, &mut la);
+        let mut fabric = Fabric::new(topo, SwitchConfig::default());
+        let header = header_for_sender(
+            &topo,
+            &layout,
+            &tree,
+            &enc,
+            HostId(0),
+            &UpstreamCover::multipath(),
+        );
+        let mut hv = HypervisorSwitch::new(HostId(0));
+        hv.install_flow(
+            Vni(1),
+            GROUP,
+            SenderFlow::new(OUTER, Vni(1), &header, &layout, vec![]),
+        );
+        let pkt = hv.send(Vni(1), GROUP, b"payload", &layout).remove(0);
+        let injected_len = pkt.len() as u64;
+        fabric.inject(HostId(0), pkt);
+        // One packet per tier on this linear path; bytes must be
+        // non-increasing hop over hop as p-rule sections pop.
+        let s = fabric.stats;
+        assert_eq!(s.host_to_leaf_bytes, injected_len);
+        assert!(s.leaf_to_spine_bytes <= s.host_to_leaf_bytes);
+        assert!(s.spine_to_core_bytes <= s.leaf_to_spine_bytes);
+        assert!(s.core_to_spine_bytes <= s.spine_to_core_bytes);
+        assert!(s.spine_to_leaf_bytes <= s.core_to_spine_bytes);
+        assert!(s.leaf_to_host_bytes < s.spine_to_leaf_bytes);
+        assert_eq!(s.total_link_bytes(), {
+            s.host_to_leaf_bytes
+                + s.leaf_to_spine_bytes
+                + s.spine_to_core_bytes
+                + s.core_to_spine_bytes
+                + s.spine_to_leaf_bytes
+                + s.leaf_to_host_bytes
+        });
+    }
+}

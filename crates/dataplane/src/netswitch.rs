@@ -1,0 +1,751 @@
+//! PISA-style network switch model (paper §4.1).
+//!
+//! A network switch processes an Elmo packet in the same stages as the
+//! paper's P4 program on RMT/Tofino:
+//!
+//! 1. **Parser** — walks the outer stack and the p-rule list, doing
+//!    match-and-set on the switch's own identifier. The parser's header
+//!    vector is bounded (512 bytes on RMT); packets whose headers exceed it
+//!    are dropped and counted, modeling the hardware limit.
+//! 2. **Ingress pipeline** — if the parser matched a p-rule, its bitmap goes
+//!    straight to the queue manager (`bitmap_port_select`); otherwise the
+//!    group table is consulted for an s-rule keyed on the outer destination
+//!    IP; otherwise the default p-rule applies; otherwise the packet drops.
+//! 3. **Egress pipeline** — pops every p-rule section irrelevant to the
+//!    next-hop layer (D2d), and strips the Elmo header entirely on copies
+//!    headed to hosts so receiving hypervisors skip the decap work.
+//!
+//! The same switch also forwards ordinary unicast VXLAN packets (used by the
+//! unicast/overlay baselines and by Elmo's transient unicast fallback).
+
+use std::collections::HashMap;
+use std::net::Ipv4Addr;
+
+use elmo_core::{HeaderLayout, PortBitmap};
+use elmo_net::ipv4;
+use elmo_topology::{Clos, CoreId, LeafId, SpineId, SwitchRef};
+
+use crate::packet::{ecmp_hash, ElmoPacketRepr};
+
+/// Per-switch resource limits.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct SwitchConfig {
+    /// Parser header-vector size in bytes (512 for RMT, paper §4.1).
+    pub header_vector_limit: usize,
+    /// Group-table capacity `Fmax` (s-rule entries).
+    pub group_table_capacity: usize,
+}
+
+impl Default for SwitchConfig {
+    fn default() -> Self {
+        SwitchConfig {
+            header_vector_limit: 512,
+            group_table_capacity: 10_000,
+        }
+    }
+}
+
+/// Counters exposed by each switch.
+#[derive(Clone, Copy, Default, PartialEq, Eq, Debug)]
+pub struct SwitchStats {
+    /// Packets forwarded using a matching p-rule.
+    pub prule_hits: u64,
+    /// Packets forwarded using an s-rule from the group table.
+    pub srule_hits: u64,
+    /// Packets forwarded using the default p-rule.
+    pub default_hits: u64,
+    /// Packets forwarded by plain unicast routing.
+    pub unicast_forwarded: u64,
+    /// Packets dropped: no matching rule of any kind.
+    pub dropped_no_rule: u64,
+    /// Packets dropped: malformed or unparseable.
+    pub dropped_parse: u64,
+    /// Packets dropped: header exceeded the parser's header vector.
+    pub dropped_header_vector: u64,
+}
+
+/// Error returned when the group table is full.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct GroupTableFull;
+
+impl std::fmt::Display for GroupTableFull {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "group table at capacity")
+    }
+}
+
+impl std::error::Error for GroupTableFull {}
+
+/// A leaf, spine, or core switch.
+#[derive(Clone, Debug)]
+pub struct NetworkSwitch {
+    id: SwitchRef,
+    topo: Clos,
+    config: SwitchConfig,
+    /// s-rules: outer multicast group address -> output ports (downstream
+    /// ports only, like downstream p-rule bitmaps).
+    group_table: HashMap<Ipv4Addr, PortBitmap>,
+    /// Counters.
+    pub stats: SwitchStats,
+}
+
+impl NetworkSwitch {
+    /// Build a leaf switch.
+    pub fn new_leaf(topo: Clos, id: LeafId, config: SwitchConfig) -> Self {
+        NetworkSwitch {
+            id: SwitchRef::Leaf(id),
+            topo,
+            config,
+            group_table: HashMap::new(),
+            stats: SwitchStats::default(),
+        }
+    }
+
+    /// Build a spine switch.
+    pub fn new_spine(topo: Clos, id: SpineId, config: SwitchConfig) -> Self {
+        NetworkSwitch {
+            id: SwitchRef::Spine(id),
+            topo,
+            config,
+            group_table: HashMap::new(),
+            stats: SwitchStats::default(),
+        }
+    }
+
+    /// Build a core switch.
+    pub fn new_core(topo: Clos, id: CoreId, config: SwitchConfig) -> Self {
+        NetworkSwitch {
+            id: SwitchRef::Core(id),
+            topo,
+            config,
+            group_table: HashMap::new(),
+            stats: SwitchStats::default(),
+        }
+    }
+
+    /// This switch's identity.
+    pub fn id(&self) -> SwitchRef {
+        self.id
+    }
+
+    /// Install an s-rule; fails when the group table is at capacity
+    /// (`Fmax`). Overwriting an existing entry for the same group is allowed.
+    pub fn install_srule(
+        &mut self,
+        group: Ipv4Addr,
+        ports: PortBitmap,
+    ) -> Result<(), GroupTableFull> {
+        if !self.group_table.contains_key(&group)
+            && self.group_table.len() >= self.config.group_table_capacity
+        {
+            return Err(GroupTableFull);
+        }
+        self.group_table.insert(group, ports);
+        Ok(())
+    }
+
+    /// Remove an s-rule; returns whether one existed.
+    pub fn remove_srule(&mut self, group: &Ipv4Addr) -> bool {
+        self.group_table.remove(group).is_some()
+    }
+
+    /// Number of installed s-rules.
+    pub fn srule_count(&self) -> usize {
+        self.group_table.len()
+    }
+
+    /// Remaining group-table capacity.
+    pub fn srule_capacity_left(&self) -> usize {
+        self.config.group_table_capacity - self.group_table.len()
+    }
+
+    /// Process one packet arriving on `ingress_port`; returns the copies to
+    /// emit as `(output port, packet bytes)` pairs.
+    pub fn process(
+        &mut self,
+        ingress_port: usize,
+        bytes: &[u8],
+        layout: &HeaderLayout,
+    ) -> Vec<(usize, Vec<u8>)> {
+        let (repr, inner_off) = match ElmoPacketRepr::parse(bytes, layout) {
+            Ok(p) => p,
+            Err(_) => {
+                self.stats.dropped_parse += 1;
+                return Vec::new();
+            }
+        };
+        if repr.header_vector_len(layout) > self.config.header_vector_limit {
+            self.stats.dropped_header_vector += 1;
+            return Vec::new();
+        }
+        let inner = &bytes[inner_off..];
+        if !ipv4::is_multicast(repr.group_ip) {
+            return self.forward_unicast(repr, inner, layout);
+        }
+        match self.id {
+            SwitchRef::Leaf(l) => self.process_leaf(l, ingress_port, repr, inner, layout),
+            SwitchRef::Spine(s) => self.process_spine(s, ingress_port, repr, inner, layout),
+            SwitchRef::Core(c) => self.process_core(c, repr, inner, layout),
+        }
+    }
+
+    // ----- multicast paths ---------------------------------------------------
+
+    fn process_leaf(
+        &mut self,
+        leaf: LeafId,
+        ingress_port: usize,
+        mut repr: ElmoPacketRepr,
+        inner: &[u8],
+        layout: &HeaderLayout,
+    ) -> Vec<(usize, Vec<u8>)> {
+        let from_host = ingress_port < self.topo.leaf_down_ports();
+        let mut out = Vec::new();
+        if from_host {
+            // Upstream direction: the u-leaf p-rule drives everything.
+            let Some(header) = repr.elmo.take() else {
+                self.stats.dropped_parse += 1;
+                return out;
+            };
+            let Some(rule) = header.u_leaf.clone() else {
+                self.stats.dropped_no_rule += 1;
+                return out;
+            };
+            self.stats.prule_hits += 1;
+            // Copies to co-located receivers: Elmo header fully stripped.
+            self.emit_host_copies(&rule.down, &repr, inner, layout, &mut out);
+            // Copy upward, with the u-leaf rule popped.
+            if rule.goes_up() {
+                let mut up_header = header;
+                up_header.pop_upstream_leaf();
+                repr.elmo = Some(up_header);
+                if rule.multipath {
+                    let spine = (ecmp_hash(&repr, leaf.0 as u64) % self.topo.leaf_up_ports() as u64)
+                        as usize;
+                    out.push((
+                        self.topo.leaf_up_port(spine),
+                        self.encode(&repr, inner, layout),
+                    ));
+                } else {
+                    for spine in rule.up.iter_ones() {
+                        out.push((
+                            self.topo.leaf_up_port(spine),
+                            self.encode(&repr, inner, layout),
+                        ));
+                    }
+                }
+            }
+            return out;
+        }
+
+        // Downstream direction: match own identifier among d-leaf p-rules,
+        // then the group table, then the default p-rule.
+        let Some(header) = repr.elmo.take() else {
+            self.stats.dropped_parse += 1;
+            return out;
+        };
+        let ports: Option<PortBitmap> = if let Some(rule) = header.find_d_leaf(leaf.0) {
+            self.stats.prule_hits += 1;
+            Some(rule.bitmap.clone())
+        } else if let Some(bm) = self.group_table.get(&repr.group_ip) {
+            self.stats.srule_hits += 1;
+            Some(bm.clone())
+        } else if let Some(bm) = &header.d_leaf_default {
+            self.stats.default_hits += 1;
+            Some(bm.clone())
+        } else {
+            self.stats.dropped_no_rule += 1;
+            None
+        };
+        if let Some(ports) = ports {
+            self.emit_host_copies(&ports, &repr, inner, layout, &mut out);
+        }
+        out
+    }
+
+    fn process_spine(
+        &mut self,
+        spine: SpineId,
+        ingress_port: usize,
+        mut repr: ElmoPacketRepr,
+        inner: &[u8],
+        layout: &HeaderLayout,
+    ) -> Vec<(usize, Vec<u8>)> {
+        let from_leaf = ingress_port < self.topo.spine_down_ports();
+        let mut out = Vec::new();
+        let Some(header) = repr.elmo.take() else {
+            self.stats.dropped_parse += 1;
+            return out;
+        };
+        if from_leaf {
+            // Upstream: the u-spine p-rule.
+            let Some(rule) = header.u_spine.clone() else {
+                self.stats.dropped_no_rule += 1;
+                return out;
+            };
+            self.stats.prule_hits += 1;
+            // Copies down to local member leaves: next hop is a leaf, so pop
+            // everything except the d-leaf section.
+            if !rule.down.is_empty() {
+                let mut down_header = header.clone();
+                down_header.pop_upstream_spine();
+                down_header.pop_core();
+                down_header.pop_d_spine();
+                let mut down_repr = repr.clone();
+                down_repr.elmo = Some(down_header);
+                for port in rule.down.iter_ones() {
+                    out.push((port, self.encode(&down_repr, inner, layout)));
+                }
+            }
+            // Copy upward to the core, u-spine popped.
+            if rule.goes_up() {
+                let mut up_header = header;
+                up_header.pop_upstream_spine();
+                repr.elmo = Some(up_header);
+                if rule.multipath {
+                    let core = (ecmp_hash(&repr, 0x51de ^ spine.0 as u64)
+                        % self.topo.spine_up_ports() as u64)
+                        as usize;
+                    out.push((
+                        self.topo.spine_up_port(core),
+                        self.encode(&repr, inner, layout),
+                    ));
+                } else {
+                    for core in rule.up.iter_ones() {
+                        out.push((
+                            self.topo.spine_up_port(core),
+                            self.encode(&repr, inner, layout),
+                        ));
+                    }
+                }
+            }
+            return out;
+        }
+
+        // Downstream: match own pod among d-spine p-rules, then the group
+        // table, then the default p-rule.
+        let pod = self.topo.pod_of_spine(spine);
+        let ports: Option<PortBitmap> = if let Some(rule) = header.find_d_spine(pod.0) {
+            self.stats.prule_hits += 1;
+            Some(rule.bitmap.clone())
+        } else if let Some(bm) = self.group_table.get(&repr.group_ip) {
+            self.stats.srule_hits += 1;
+            Some(bm.clone())
+        } else if let Some(bm) = &header.d_spine_default {
+            self.stats.default_hits += 1;
+            Some(bm.clone())
+        } else {
+            self.stats.dropped_no_rule += 1;
+            None
+        };
+        if let Some(ports) = ports {
+            // Next hop is a leaf: pop the spine section.
+            let mut down_header = header;
+            down_header.pop_d_spine();
+            repr.elmo = Some(down_header);
+            for port in ports.iter_ones() {
+                out.push((port, self.encode(&repr, inner, layout)));
+            }
+        }
+        out
+    }
+
+    fn process_core(
+        &mut self,
+        _core: CoreId,
+        mut repr: ElmoPacketRepr,
+        inner: &[u8],
+        layout: &HeaderLayout,
+    ) -> Vec<(usize, Vec<u8>)> {
+        let mut out = Vec::new();
+        let Some(header) = repr.elmo.take() else {
+            self.stats.dropped_parse += 1;
+            return out;
+        };
+        let Some(pods) = header.core.clone() else {
+            self.stats.dropped_no_rule += 1;
+            return out;
+        };
+        self.stats.prule_hits += 1;
+        let mut down_header = header;
+        down_header.pop_core();
+        repr.elmo = Some(down_header);
+        for pod in pods.iter_ones() {
+            out.push((pod, self.encode(&repr, inner, layout)));
+        }
+        out
+    }
+
+    // ----- unicast path -------------------------------------------------------
+
+    /// Plain underlay unicast: route on the destination host address. Used by
+    /// the unicast/overlay baselines and Elmo's failure fallback.
+    fn forward_unicast(
+        &mut self,
+        repr: ElmoPacketRepr,
+        inner: &[u8],
+        layout: &HeaderLayout,
+    ) -> Vec<(usize, Vec<u8>)> {
+        let Some(dst_host) = crate::hypervisor::host_of_ip(repr.group_ip) else {
+            self.stats.dropped_parse += 1;
+            return Vec::new();
+        };
+        if dst_host.0 as usize >= self.topo.num_hosts() {
+            self.stats.dropped_parse += 1;
+            return Vec::new();
+        }
+        let dst_leaf = self.topo.leaf_of_host(dst_host);
+        let dst_pod = self.topo.pod_of_leaf(dst_leaf);
+        let port = match self.id {
+            SwitchRef::Leaf(l) => {
+                if dst_leaf == l {
+                    self.topo.host_port_on_leaf(dst_host)
+                } else {
+                    let spine =
+                        (ecmp_hash(&repr, l.0 as u64) % self.topo.leaf_up_ports() as u64) as usize;
+                    self.topo.leaf_up_port(spine)
+                }
+            }
+            SwitchRef::Spine(s) => {
+                if self.topo.pod_of_spine(s) == dst_pod {
+                    self.topo.leaf_index_in_pod(dst_leaf)
+                } else {
+                    let core =
+                        (ecmp_hash(&repr, s.0 as u64) % self.topo.spine_up_ports() as u64) as usize;
+                    self.topo.spine_up_port(core)
+                }
+            }
+            SwitchRef::Core(_) => dst_pod.0 as usize,
+        };
+        self.stats.unicast_forwarded += 1;
+        vec![(port, self.encode(&repr, inner, layout))]
+    }
+
+    fn emit_host_copies(
+        &self,
+        ports: &PortBitmap,
+        repr: &ElmoPacketRepr,
+        inner: &[u8],
+        layout: &HeaderLayout,
+        out: &mut Vec<(usize, Vec<u8>)>,
+    ) {
+        if ports.is_empty() {
+            return;
+        }
+        // Host-bound copies carry no Elmo header (egress invalidation).
+        let mut host_repr = repr.clone();
+        host_repr.elmo = None;
+        for port in ports.iter_ones() {
+            out.push((port, self.encode(&host_repr, inner, layout)));
+        }
+    }
+
+    fn encode(&self, repr: &ElmoPacketRepr, inner: &[u8], layout: &HeaderLayout) -> Vec<u8> {
+        let mut buf = Vec::new();
+        repr.emit(layout, inner, &mut buf);
+        buf
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use elmo_core::{ElmoHeader, UpstreamRule};
+    use elmo_net::ethernet::MacAddr;
+    use elmo_net::vxlan::Vni;
+    use elmo_topology::HostId;
+
+    fn setup() -> (Clos, HeaderLayout) {
+        let topo = Clos::paper_example();
+        let layout = HeaderLayout::for_clos(&topo);
+        (topo, layout)
+    }
+
+    fn base_repr(header: Option<ElmoHeader>) -> ElmoPacketRepr {
+        ElmoPacketRepr {
+            src_mac: MacAddr::for_host(0),
+            dst_mac: MacAddr::from_ipv4_multicast(Ipv4Addr::new(239, 0, 0, 1)),
+            src_ip: Ipv4Addr::new(10, 0, 0, 1),
+            group_ip: Ipv4Addr::new(239, 0, 0, 1),
+            flow_entropy: 7,
+            vni: Vni(1),
+            elmo: header,
+        }
+    }
+
+    fn packet(repr: &ElmoPacketRepr, layout: &HeaderLayout) -> Vec<u8> {
+        let mut buf = Vec::new();
+        repr.emit(layout, b"inner", &mut buf);
+        buf
+    }
+
+    #[test]
+    fn leaf_upstream_delivers_local_and_multipaths_up() {
+        let (topo, layout) = setup();
+        let mut header = ElmoHeader::empty();
+        header.u_leaf = Some(UpstreamRule {
+            down: PortBitmap::from_ports(layout.leaf_down_ports, [1, 3]),
+            multipath: true,
+            up: PortBitmap::new(layout.leaf_up_ports),
+        });
+        header.core = Some(PortBitmap::from_ports(layout.core_ports, [2]));
+        let repr = base_repr(Some(header));
+        let mut leaf = NetworkSwitch::new_leaf(topo, LeafId(0), SwitchConfig::default());
+        let out = leaf.process(0, &packet(&repr, &layout), &layout);
+        // Two host copies + one upstream copy.
+        assert_eq!(out.len(), 3);
+        let host_ports: Vec<usize> = out.iter().map(|(p, _)| *p).filter(|&p| p < 8).collect();
+        assert_eq!(host_ports, vec![1, 3]);
+        let up: Vec<usize> = out.iter().map(|(p, _)| *p).filter(|&p| p >= 8).collect();
+        assert_eq!(up.len(), 1);
+        // Host copies have no Elmo header; the upstream copy kept the core
+        // rule but dropped u-leaf.
+        for (p, bytes) in &out {
+            let (parsed, _) = ElmoPacketRepr::parse(bytes, &layout).unwrap();
+            if *p < 8 {
+                assert!(parsed.elmo.is_none());
+            } else {
+                let h = parsed.elmo.unwrap();
+                assert!(h.u_leaf.is_none());
+                assert!(h.core.is_some());
+            }
+        }
+        assert_eq!(leaf.stats.prule_hits, 1);
+    }
+
+    #[test]
+    fn leaf_upstream_explicit_ports_fan_out() {
+        let (topo, layout) = setup();
+        let mut header = ElmoHeader::empty();
+        header.u_leaf = Some(UpstreamRule {
+            down: PortBitmap::new(layout.leaf_down_ports),
+            multipath: false,
+            up: PortBitmap::from_ports(layout.leaf_up_ports, [0, 1]),
+        });
+        let repr = base_repr(Some(header));
+        let mut leaf = NetworkSwitch::new_leaf(topo, LeafId(0), SwitchConfig::default());
+        let out = leaf.process(0, &packet(&repr, &layout), &layout);
+        let ports: Vec<usize> = out.iter().map(|(p, _)| *p).collect();
+        assert_eq!(ports, vec![8, 9]); // both spine uplinks
+    }
+
+    #[test]
+    fn leaf_downstream_prefers_p_rule_over_srule_and_default() {
+        let (topo, layout) = setup();
+        let mut header = ElmoHeader::empty();
+        header.d_leaf = vec![elmo_core::DownstreamRule {
+            bitmap: PortBitmap::from_ports(layout.leaf_down_ports, [2]),
+            switches: vec![0],
+        }];
+        header.d_leaf_default = Some(PortBitmap::from_ports(layout.leaf_down_ports, [5]));
+        let repr = base_repr(Some(header));
+        let mut leaf = NetworkSwitch::new_leaf(topo, LeafId(0), SwitchConfig::default());
+        leaf.install_srule(repr.group_ip, PortBitmap::from_ports(8, [7]))
+            .unwrap();
+        let out = leaf.process(8, &packet(&repr, &layout), &layout); // from spine
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].0, 2); // the p-rule port, not 7 (s-rule) or 5 (default)
+        assert_eq!(leaf.stats.prule_hits, 1);
+        assert_eq!(leaf.stats.srule_hits, 0);
+    }
+
+    #[test]
+    fn leaf_downstream_falls_to_srule_then_default() {
+        let (topo, layout) = setup();
+        let mut header = ElmoHeader::empty();
+        header.d_leaf = vec![elmo_core::DownstreamRule {
+            bitmap: PortBitmap::from_ports(layout.leaf_down_ports, [2]),
+            switches: vec![3], // some other leaf
+        }];
+        header.d_leaf_default = Some(PortBitmap::from_ports(layout.leaf_down_ports, [5]));
+        let repr = base_repr(Some(header.clone()));
+        let mut leaf = NetworkSwitch::new_leaf(topo, LeafId(0), SwitchConfig::default());
+        leaf.install_srule(repr.group_ip, PortBitmap::from_ports(8, [7]))
+            .unwrap();
+        let out = leaf.process(8, &packet(&repr, &layout), &layout);
+        assert_eq!(out[0].0, 7, "s-rule match");
+        assert_eq!(leaf.stats.srule_hits, 1);
+        // Without the s-rule, the default applies.
+        leaf.remove_srule(&repr.group_ip);
+        let out = leaf.process(8, &packet(&repr, &layout), &layout);
+        assert_eq!(out[0].0, 5, "default p-rule");
+        assert_eq!(leaf.stats.default_hits, 1);
+    }
+
+    #[test]
+    fn leaf_downstream_no_rule_drops() {
+        let (topo, layout) = setup();
+        let header = ElmoHeader::empty();
+        let repr = base_repr(Some(header));
+        let mut leaf = NetworkSwitch::new_leaf(topo, LeafId(0), SwitchConfig::default());
+        let out = leaf.process(8, &packet(&repr, &layout), &layout);
+        assert!(out.is_empty());
+        assert_eq!(leaf.stats.dropped_no_rule, 1);
+    }
+
+    #[test]
+    fn spine_upstream_splits_down_and_up() {
+        let (topo, layout) = setup();
+        let mut header = ElmoHeader::empty();
+        header.u_spine = Some(UpstreamRule {
+            down: PortBitmap::from_ports(layout.spine_down_ports, [1]),
+            multipath: true,
+            up: PortBitmap::new(layout.spine_up_ports),
+        });
+        header.core = Some(PortBitmap::from_ports(layout.core_ports, [3]));
+        header.d_spine = vec![elmo_core::DownstreamRule {
+            bitmap: PortBitmap::from_ports(layout.spine_down_ports, [0]),
+            switches: vec![3],
+        }];
+        header.d_leaf = vec![elmo_core::DownstreamRule {
+            bitmap: PortBitmap::from_ports(layout.leaf_down_ports, [0]),
+            switches: vec![1],
+        }];
+        let repr = base_repr(Some(header));
+        let mut spine = NetworkSwitch::new_spine(topo, SpineId(0), SwitchConfig::default());
+        let out = spine.process(0, &packet(&repr, &layout), &layout); // from leaf 0
+        assert_eq!(out.len(), 2);
+        // Down copy to local leaf port 1: only the d-leaf section survives.
+        let (down_port, down_bytes) = out.iter().find(|(p, _)| *p < 2).expect("down copy");
+        assert_eq!(*down_port, 1);
+        let (parsed, _) = ElmoPacketRepr::parse(down_bytes, &layout).unwrap();
+        let h = parsed.elmo.unwrap();
+        assert!(h.u_spine.is_none() && h.core.is_none() && h.d_spine.is_empty());
+        assert_eq!(h.d_leaf.len(), 1);
+        // Up copy keeps core + downstream sections.
+        let (_, up_bytes) = out.iter().find(|(p, _)| *p >= 2).expect("up copy");
+        let (parsed, _) = ElmoPacketRepr::parse(up_bytes, &layout).unwrap();
+        let h = parsed.elmo.unwrap();
+        assert!(h.u_spine.is_none());
+        assert!(h.core.is_some());
+        assert_eq!(h.d_spine.len(), 1);
+    }
+
+    #[test]
+    fn spine_downstream_matches_pod_and_pops_section() {
+        let (topo, layout) = setup();
+        let mut header = ElmoHeader::empty();
+        header.d_spine = vec![elmo_core::DownstreamRule {
+            bitmap: PortBitmap::from_ports(layout.spine_down_ports, [0, 1]),
+            switches: vec![1], // pod 1
+        }];
+        header.d_leaf = vec![elmo_core::DownstreamRule {
+            bitmap: PortBitmap::from_ports(layout.leaf_down_ports, [4]),
+            switches: vec![2],
+        }];
+        let repr = base_repr(Some(header));
+        // S2 is in pod 1; ingress from a core is port >= 2.
+        let mut spine = NetworkSwitch::new_spine(topo, SpineId(2), SwitchConfig::default());
+        let out = spine.process(2, &packet(&repr, &layout), &layout);
+        assert_eq!(out.len(), 2);
+        for (_, bytes) in &out {
+            let (parsed, _) = ElmoPacketRepr::parse(bytes, &layout).unwrap();
+            let h = parsed.elmo.unwrap();
+            assert!(h.d_spine.is_empty(), "spine section popped before leaves");
+            assert_eq!(h.d_leaf.len(), 1);
+        }
+        assert_eq!(spine.stats.prule_hits, 1);
+    }
+
+    #[test]
+    fn core_fans_out_to_pods() {
+        let (topo, layout) = setup();
+        let mut header = ElmoHeader::empty();
+        header.core = Some(PortBitmap::from_ports(layout.core_ports, [1, 3]));
+        header.d_spine = vec![elmo_core::DownstreamRule {
+            bitmap: PortBitmap::from_ports(layout.spine_down_ports, [0]),
+            switches: vec![1],
+        }];
+        let repr = base_repr(Some(header));
+        let mut core = NetworkSwitch::new_core(topo, CoreId(0), SwitchConfig::default());
+        let out = core.process(0, &packet(&repr, &layout), &layout);
+        let ports: Vec<usize> = out.iter().map(|(p, _)| *p).collect();
+        assert_eq!(ports, vec![1, 3]);
+        for (_, bytes) in &out {
+            let (parsed, _) = ElmoPacketRepr::parse(bytes, &layout).unwrap();
+            let h = parsed.elmo.unwrap();
+            assert!(h.core.is_none(), "core rule popped");
+            assert_eq!(h.d_spine.len(), 1);
+        }
+    }
+
+    #[test]
+    fn header_vector_limit_drops_oversized_headers() {
+        let (topo, layout) = setup();
+        let mut header = ElmoHeader::empty();
+        // Many d-leaf rules to blow a tiny header-vector limit.
+        header.d_leaf = (0..6)
+            .map(|i| elmo_core::DownstreamRule {
+                bitmap: PortBitmap::from_ports(layout.leaf_down_ports, [0]),
+                switches: vec![i],
+            })
+            .collect();
+        let repr = base_repr(Some(header));
+        let config = SwitchConfig {
+            header_vector_limit: 60,
+            group_table_capacity: 10,
+        };
+        let mut leaf = NetworkSwitch::new_leaf(topo, LeafId(0), config);
+        let out = leaf.process(8, &packet(&repr, &layout), &layout);
+        assert!(out.is_empty());
+        assert_eq!(leaf.stats.dropped_header_vector, 1);
+    }
+
+    #[test]
+    fn group_table_capacity_enforced() {
+        let (topo, _) = setup();
+        let config = SwitchConfig {
+            header_vector_limit: 512,
+            group_table_capacity: 2,
+        };
+        let mut leaf = NetworkSwitch::new_leaf(topo, LeafId(0), config);
+        let bm = PortBitmap::from_ports(8, [0]);
+        leaf.install_srule(Ipv4Addr::new(239, 0, 0, 1), bm.clone())
+            .unwrap();
+        leaf.install_srule(Ipv4Addr::new(239, 0, 0, 2), bm.clone())
+            .unwrap();
+        assert_eq!(
+            leaf.install_srule(Ipv4Addr::new(239, 0, 0, 3), bm.clone()),
+            Err(GroupTableFull)
+        );
+        // Overwrite of an existing group is fine at capacity.
+        assert!(leaf.install_srule(Ipv4Addr::new(239, 0, 0, 1), bm).is_ok());
+        assert_eq!(leaf.srule_count(), 2);
+        assert_eq!(leaf.srule_capacity_left(), 0);
+    }
+
+    #[test]
+    fn unicast_routing_by_layer() {
+        let (topo, layout) = setup();
+        // Destination host 42 lives on leaf 5 (pod 2), host port 2.
+        let dst = crate::hypervisor::host_ip(HostId(42));
+        let mut repr = base_repr(None);
+        repr.group_ip = dst;
+        let bytes = packet(&repr, &layout);
+        // Leaf 5 delivers straight to the host port.
+        let mut leaf5 = NetworkSwitch::new_leaf(topo, LeafId(5), SwitchConfig::default());
+        let out = leaf5.process(8, &bytes, &layout);
+        assert_eq!(out[0].0, 2);
+        // Leaf 0 sends it up to some spine.
+        let mut leaf0 = NetworkSwitch::new_leaf(topo, LeafId(0), SwitchConfig::default());
+        let out = leaf0.process(0, &bytes, &layout);
+        assert!(out[0].0 >= 8);
+        // A pod-2 spine sends it down to leaf index 1 (= L5).
+        let mut spine4 = NetworkSwitch::new_spine(topo, SpineId(4), SwitchConfig::default());
+        let out = spine4.process(2, &bytes, &layout);
+        assert_eq!(out[0].0, 1);
+        // A core sends it to pod port 2.
+        let mut core = NetworkSwitch::new_core(topo, CoreId(0), SwitchConfig::default());
+        let out = core.process(0, &bytes, &layout);
+        assert_eq!(out[0].0, 2);
+    }
+
+    #[test]
+    fn garbage_packet_counts_parse_drop() {
+        let (topo, layout) = setup();
+        let mut leaf = NetworkSwitch::new_leaf(topo, LeafId(0), SwitchConfig::default());
+        let out = leaf.process(0, &[0u8; 10], &layout);
+        assert!(out.is_empty());
+        assert_eq!(leaf.stats.dropped_parse, 1);
+    }
+}

@@ -1,0 +1,350 @@
+//! The full Elmo packet: outer Ethernet/IPv4/UDP/VXLAN, the Elmo p-rule
+//! header, and the tenant's inner frame (paper Figure 3b).
+//!
+//! [`ElmoPacketRepr::emit`] is the hypervisor's encap path: it lays the whole
+//! stack down in one pass over a caller-provided buffer — the paper's §4.2
+//! point that all p-rules must be written as *one* header (one DMA write) to
+//! keep the hypervisor switch at line rate. [`ElmoPacketRepr::parse`] is the
+//! network-switch parser path.
+
+use std::net::Ipv4Addr;
+
+use elmo_core::{ElmoHeader, HeaderLayout};
+use elmo_net::ethernet::{self, EtherType, Frame, FrameRepr, MacAddr};
+use elmo_net::ipv4::{self, Ipv4Packet, Ipv4Repr, Protocol};
+use elmo_net::udp::{self, UdpPacket, UdpRepr, VXLAN_PORT};
+use elmo_net::vxlan::{self, NextHeader, Vni, VxlanPacket, VxlanRepr};
+
+/// Everything above the tenant's inner frame.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct ElmoPacketRepr {
+    /// Outer source MAC (the sending hypervisor).
+    pub src_mac: MacAddr,
+    /// Outer destination MAC (the group's mapped multicast MAC).
+    pub dst_mac: MacAddr,
+    /// Outer source IP (the sending host's underlay address).
+    pub src_ip: Ipv4Addr,
+    /// Outer destination IP: the provider-assigned multicast group address —
+    /// what s-rules match on.
+    pub group_ip: Ipv4Addr,
+    /// Flow entropy for ECMP, carried in the outer UDP source port (standard
+    /// VXLAN practice).
+    pub flow_entropy: u16,
+    /// Tenant virtual network.
+    pub vni: Vni,
+    /// The Elmo header; `None` once a leaf has stripped it for host delivery.
+    pub elmo: Option<ElmoHeader>,
+}
+
+/// Errors from parsing a full Elmo packet.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum PacketError {
+    /// One of the outer protocol layers failed to parse.
+    Outer(elmo_net::Error),
+    /// The outer stack is valid but is not a VXLAN-over-UDP packet.
+    NotVxlan,
+    /// The Elmo header failed to parse.
+    Elmo(elmo_core::HeaderError),
+}
+
+impl std::fmt::Display for PacketError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PacketError::Outer(e) => write!(f, "outer header: {e}"),
+            PacketError::NotVxlan => write!(f, "not a VXLAN packet"),
+            PacketError::Elmo(e) => write!(f, "elmo header: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for PacketError {}
+
+impl From<elmo_net::Error> for PacketError {
+    fn from(e: elmo_net::Error) -> Self {
+        PacketError::Outer(e)
+    }
+}
+
+impl ElmoPacketRepr {
+    /// Size of the outer stack, excluding the (variable) Elmo header.
+    pub const OUTER_LEN: usize =
+        ethernet::HEADER_LEN + ipv4::HEADER_LEN + udp::HEADER_LEN + vxlan::HEADER_LEN;
+
+    /// Total bytes [`emit`](Self::emit) will produce for a given inner frame.
+    pub fn wire_len(&self, layout: &HeaderLayout, inner_len: usize) -> usize {
+        let elmo_len = self.elmo.as_ref().map_or(0, |h| h.byte_len(layout));
+        Self::OUTER_LEN + elmo_len + inner_len
+    }
+
+    /// Bytes the parser must hold in its header vector: the outer stack plus
+    /// the Elmo header (the RMT limit applies to this, not the payload).
+    pub fn header_vector_len(&self, layout: &HeaderLayout) -> usize {
+        Self::OUTER_LEN + self.elmo.as_ref().map_or(0, |h| h.byte_len(layout))
+    }
+
+    /// Serialize the whole packet (encap path). Appends to `out`, which is
+    /// cleared first; the buffer's capacity is reused across packets.
+    pub fn emit(&self, layout: &HeaderLayout, inner_frame: &[u8], out: &mut Vec<u8>) {
+        out.clear();
+        let elmo_bytes = self.elmo.as_ref().map(|h| h.encode(layout));
+        let elmo_len = elmo_bytes.as_ref().map_or(0, Vec::len);
+        let total = Self::OUTER_LEN + elmo_len + inner_frame.len();
+        out.resize(total, 0);
+
+        // Ethernet
+        let mut eth = Frame::new_unchecked(&mut out[..]);
+        FrameRepr {
+            dst: self.dst_mac,
+            src: self.src_mac,
+            ethertype: EtherType::Ipv4,
+        }
+        .emit(&mut eth);
+        // IPv4
+        let ip_payload = udp::HEADER_LEN + vxlan::HEADER_LEN + elmo_len + inner_frame.len();
+        let mut ip = Ipv4Packet::new_unchecked(&mut out[ethernet::HEADER_LEN..]);
+        Ipv4Repr {
+            src: self.src_ip,
+            dst: self.group_ip,
+            protocol: Protocol::Udp,
+            ttl: 64,
+            payload_len: ip_payload,
+        }
+        .emit(&mut ip);
+        // UDP (checksum disabled, as common for VXLAN underlays)
+        let udp_off = ethernet::HEADER_LEN + ipv4::HEADER_LEN;
+        let mut udp = UdpPacket::new_unchecked(&mut out[udp_off..]);
+        UdpRepr {
+            src_port: self.flow_entropy,
+            dst_port: VXLAN_PORT,
+            payload_len: vxlan::HEADER_LEN + elmo_len + inner_frame.len(),
+        }
+        .emit(&mut udp);
+        // VXLAN
+        let vx_off = udp_off + udp::HEADER_LEN;
+        let mut vx = VxlanPacket::new_unchecked(&mut out[vx_off..]);
+        VxlanRepr {
+            vni: self.vni,
+            next_header: if elmo_len > 0 {
+                NextHeader::Elmo
+            } else {
+                NextHeader::Ethernet
+            },
+        }
+        .emit(&mut vx);
+        // Elmo header + inner frame
+        let mut off = vx_off + vxlan::HEADER_LEN;
+        if let Some(bytes) = elmo_bytes {
+            out[off..off + bytes.len()].copy_from_slice(&bytes);
+            off += bytes.len();
+        }
+        out[off..].copy_from_slice(inner_frame);
+    }
+
+    /// Parse a packet; returns the representation and the offset of the
+    /// inner frame within `bytes`.
+    pub fn parse(
+        bytes: &[u8],
+        layout: &HeaderLayout,
+    ) -> Result<(ElmoPacketRepr, usize), PacketError> {
+        let eth = Frame::new_checked(bytes)?;
+        let eth_repr = FrameRepr::parse(&eth)?;
+        if eth_repr.ethertype != EtherType::Ipv4 {
+            return Err(PacketError::NotVxlan);
+        }
+        let ip = Ipv4Packet::new_checked(eth.payload())?;
+        let ip_repr = Ipv4Repr::parse(&ip)?;
+        if ip_repr.protocol != Protocol::Udp {
+            return Err(PacketError::NotVxlan);
+        }
+        let udp = UdpPacket::new_checked(ip.payload())?;
+        let udp_repr = UdpRepr::parse(&udp)?;
+        if udp_repr.dst_port != VXLAN_PORT {
+            return Err(PacketError::NotVxlan);
+        }
+        let vx = VxlanPacket::new_checked(udp.payload())?;
+        let vx_repr = VxlanRepr::parse(&vx)?;
+        let (elmo, elmo_len) = match vx_repr.next_header {
+            NextHeader::Elmo => {
+                let (h, used) =
+                    ElmoHeader::decode(vx.payload(), layout).map_err(PacketError::Elmo)?;
+                (Some(h), used)
+            }
+            NextHeader::Ethernet => (None, 0),
+        };
+        let inner_offset = Self::OUTER_LEN + elmo_len;
+        Ok((
+            ElmoPacketRepr {
+                src_mac: eth_repr.src,
+                dst_mac: eth_repr.dst,
+                src_ip: ip_repr.src,
+                group_ip: ip_repr.dst,
+                flow_entropy: udp_repr.src_port,
+                vni: vx_repr.vni,
+                elmo,
+            },
+            inner_offset,
+        ))
+    }
+}
+
+/// A deterministic FNV-1a hash of the packet's flow identity, used for ECMP
+/// path selection at leaves (choosing a spine) and spines (choosing a core).
+pub fn ecmp_hash(repr: &ElmoPacketRepr, salt: u64) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64 ^ salt;
+    let mut feed = |b: u8| {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    };
+    for b in repr.src_ip.octets() {
+        feed(b);
+    }
+    for b in repr.group_ip.octets() {
+        feed(b);
+    }
+    for b in repr.flow_entropy.to_be_bytes() {
+        feed(b);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use elmo_core::{PortBitmap, UpstreamRule};
+    use elmo_topology::Clos;
+
+    fn layout() -> HeaderLayout {
+        HeaderLayout::for_clos(&Clos::paper_example())
+    }
+
+    fn sample_repr(with_elmo: bool) -> ElmoPacketRepr {
+        let l = layout();
+        let elmo = with_elmo.then(|| {
+            let mut h = ElmoHeader::empty();
+            h.u_leaf = Some(UpstreamRule {
+                down: PortBitmap::from_ports(l.leaf_down_ports, [1, 3]),
+                multipath: true,
+                up: PortBitmap::new(l.leaf_up_ports),
+            });
+            h.core = Some(PortBitmap::from_ports(l.core_ports, [2]));
+            h
+        });
+        ElmoPacketRepr {
+            src_mac: MacAddr::for_host(7),
+            dst_mac: MacAddr::from_ipv4_multicast(Ipv4Addr::new(239, 0, 0, 5)),
+            src_ip: Ipv4Addr::new(10, 0, 0, 7),
+            group_ip: Ipv4Addr::new(239, 0, 0, 5),
+            flow_entropy: 0xbeef,
+            vni: Vni(42),
+            elmo,
+        }
+    }
+
+    #[test]
+    fn emit_parse_roundtrip_with_elmo() {
+        let l = layout();
+        let repr = sample_repr(true);
+        let inner = b"inner tenant frame bytes";
+        let mut buf = Vec::new();
+        repr.emit(&l, inner, &mut buf);
+        assert_eq!(buf.len(), repr.wire_len(&l, inner.len()));
+        let (parsed, off) = ElmoPacketRepr::parse(&buf, &l).unwrap();
+        assert_eq!(parsed, repr);
+        assert_eq!(&buf[off..], inner);
+    }
+
+    #[test]
+    fn emit_parse_roundtrip_without_elmo() {
+        let l = layout();
+        let repr = sample_repr(false);
+        let inner = b"x";
+        let mut buf = Vec::new();
+        repr.emit(&l, inner, &mut buf);
+        let (parsed, off) = ElmoPacketRepr::parse(&buf, &l).unwrap();
+        assert_eq!(parsed, repr);
+        assert_eq!(off, ElmoPacketRepr::OUTER_LEN);
+        assert_eq!(&buf[off..], inner);
+    }
+
+    #[test]
+    fn outer_len_constant() {
+        assert_eq!(ElmoPacketRepr::OUTER_LEN, 14 + 20 + 8 + 8);
+    }
+
+    #[test]
+    fn non_vxlan_is_rejected() {
+        let l = layout();
+        let repr = sample_repr(false);
+        let mut buf = Vec::new();
+        repr.emit(&l, b"x", &mut buf);
+        // Change the UDP destination port.
+        buf[14 + 20 + 2] = 0x12;
+        buf[14 + 20 + 3] = 0x34;
+        assert_eq!(
+            ElmoPacketRepr::parse(&buf, &l).unwrap_err(),
+            PacketError::NotVxlan
+        );
+    }
+
+    #[test]
+    fn corrupted_ip_checksum_is_rejected() {
+        let l = layout();
+        let repr = sample_repr(false);
+        let mut buf = Vec::new();
+        repr.emit(&l, b"x", &mut buf);
+        buf[14 + 8] ^= 0x01; // TTL byte
+        assert!(matches!(
+            ElmoPacketRepr::parse(&buf, &l).unwrap_err(),
+            PacketError::Outer(elmo_net::Error::Checksum)
+        ));
+    }
+
+    #[test]
+    fn truncated_elmo_header_is_rejected() {
+        let l = layout();
+        let repr = sample_repr(true);
+        let mut buf = Vec::new();
+        repr.emit(&l, b"", &mut buf);
+        // Cut into the Elmo header: keep outer stack + 1 byte. The IP total
+        // length must be patched so the outer layers still parse.
+        let cut = ElmoPacketRepr::OUTER_LEN + 1;
+        let mut short = buf[..cut].to_vec();
+        let ip_payload = (cut - 14 - 20) as u16 + 20;
+        short[14 + 2..14 + 4].copy_from_slice(&ip_payload.to_be_bytes());
+        let mut ip = Ipv4Packet::new_unchecked(&mut short[14..]);
+        ip.fill_checksum();
+        short[14 + 20 + 4..14 + 20 + 6].copy_from_slice(&((cut - 14 - 20) as u16).to_be_bytes());
+        assert!(matches!(
+            ElmoPacketRepr::parse(&short, &l).unwrap_err(),
+            PacketError::Elmo(_)
+        ));
+    }
+
+    #[test]
+    fn ecmp_hash_is_deterministic_and_flow_sensitive() {
+        let a = sample_repr(true);
+        let mut b = sample_repr(true);
+        assert_eq!(ecmp_hash(&a, 1), ecmp_hash(&a, 1));
+        assert_ne!(ecmp_hash(&a, 1), ecmp_hash(&a, 2), "salt changes the hash");
+        b.flow_entropy = 0xdead;
+        assert_ne!(
+            ecmp_hash(&a, 1),
+            ecmp_hash(&b, 1),
+            "entropy changes the hash"
+        );
+    }
+
+    #[test]
+    fn emit_reuses_buffer() {
+        let l = layout();
+        let repr = sample_repr(true);
+        let mut buf = Vec::new();
+        repr.emit(&l, b"first payload", &mut buf);
+        let cap = buf.capacity();
+        repr.emit(&l, b"x", &mut buf);
+        assert!(buf.capacity() >= cap.min(buf.len()));
+        let (parsed, off) = ElmoPacketRepr::parse(&buf, &l).unwrap();
+        assert_eq!(parsed, repr);
+        assert_eq!(&buf[off..], b"x");
+    }
+}

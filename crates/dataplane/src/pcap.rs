@@ -1,0 +1,130 @@
+//! Libpcap capture files for debugging.
+//!
+//! Multicast has historically been painful to debug (paper §7:
+//! "troubleshooting copies of a multicast packet and the lack of tools");
+//! this writer dumps any packet the simulation produces into a standard
+//! pcap file that Wireshark/tcpdump open directly — the outer
+//! Ethernet/IPv4/UDP/VXLAN stack dissects natively, with the Elmo header
+//! appearing as the VXLAN payload.
+//!
+//! Timestamps are logical (one microsecond per packet): the simulator is
+//! deliberately wall-clock free, so captures are bit-for-bit reproducible.
+
+use std::io::{self, Write};
+
+/// Linktype LINKTYPE_ETHERNET.
+const LINKTYPE_ETHERNET: u32 = 1;
+/// Classic pcap magic, microsecond resolution, little-endian.
+const MAGIC: u32 = 0xa1b2_c3d4;
+
+/// Writes packets into a classic pcap stream.
+#[derive(Debug)]
+pub struct PcapWriter<W: Write> {
+    sink: W,
+    /// Logical clock: microseconds since the start of the capture.
+    ticks_us: u32,
+    packets: u64,
+}
+
+impl<W: Write> PcapWriter<W> {
+    /// Write the global header and return the writer.
+    pub fn new(mut sink: W) -> io::Result<PcapWriter<W>> {
+        sink.write_all(&MAGIC.to_le_bytes())?;
+        sink.write_all(&2u16.to_le_bytes())?; // version major
+        sink.write_all(&4u16.to_le_bytes())?; // version minor
+        sink.write_all(&0i32.to_le_bytes())?; // thiszone
+        sink.write_all(&0u32.to_le_bytes())?; // sigfigs
+        sink.write_all(&65_535u32.to_le_bytes())?; // snaplen
+        sink.write_all(&LINKTYPE_ETHERNET.to_le_bytes())?;
+        Ok(PcapWriter {
+            sink,
+            ticks_us: 0,
+            packets: 0,
+        })
+    }
+
+    /// Append one packet, advancing the logical clock by one microsecond.
+    pub fn write_packet(&mut self, bytes: &[u8]) -> io::Result<()> {
+        let sec = self.ticks_us / 1_000_000;
+        let usec = self.ticks_us % 1_000_000;
+        self.sink.write_all(&sec.to_le_bytes())?;
+        self.sink.write_all(&usec.to_le_bytes())?;
+        self.sink.write_all(&(bytes.len() as u32).to_le_bytes())?;
+        self.sink.write_all(&(bytes.len() as u32).to_le_bytes())?;
+        self.sink.write_all(bytes)?;
+        self.ticks_us = self.ticks_us.wrapping_add(1);
+        self.packets += 1;
+        Ok(())
+    }
+
+    /// Packets written so far.
+    pub fn packet_count(&self) -> u64 {
+        self.packets
+    }
+
+    /// Flush and return the underlying sink.
+    pub fn finish(mut self) -> io::Result<W> {
+        self.sink.flush()?;
+        Ok(self.sink)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn global_header_layout() {
+        let w = PcapWriter::new(Vec::new()).expect("writes");
+        let bytes = w.finish().expect("flushes");
+        assert_eq!(bytes.len(), 24);
+        assert_eq!(&bytes[0..4], &MAGIC.to_le_bytes());
+        assert_eq!(&bytes[20..24], &LINKTYPE_ETHERNET.to_le_bytes());
+    }
+
+    #[test]
+    fn packet_records_roundtrip() {
+        let mut w = PcapWriter::new(Vec::new()).expect("writes");
+        w.write_packet(b"abc").expect("writes");
+        w.write_packet(&[0u8; 60]).expect("writes");
+        assert_eq!(w.packet_count(), 2);
+        let bytes = w.finish().expect("flushes");
+        // Record 1 at offset 24: ts 0.000000, len 3.
+        assert_eq!(&bytes[24..28], &0u32.to_le_bytes());
+        assert_eq!(&bytes[32..36], &3u32.to_le_bytes());
+        assert_eq!(&bytes[40..43], b"abc");
+        // Record 2: ts 0.000001, len 60.
+        let r2 = 24 + 16 + 3;
+        assert_eq!(&bytes[r2 + 4..r2 + 8], &1u32.to_le_bytes());
+        assert_eq!(&bytes[r2 + 8..r2 + 12], &60u32.to_le_bytes());
+        assert_eq!(bytes.len(), r2 + 16 + 60);
+    }
+
+    #[test]
+    fn captures_real_elmo_packets() {
+        use crate::hypervisor::{HypervisorSwitch, SenderFlow};
+        use elmo_core::{ElmoHeader, HeaderLayout};
+        use elmo_net::vxlan::Vni;
+        use elmo_topology::{Clos, HostId};
+        let layout = HeaderLayout::for_clos(&Clos::paper_example());
+        let mut hv = HypervisorSwitch::new(HostId(0));
+        hv.install_flow(
+            Vni(1),
+            "225.0.0.1".parse().expect("addr"),
+            SenderFlow::new(
+                "230.0.0.1".parse().expect("addr"),
+                Vni(1),
+                &ElmoHeader::empty(),
+                &layout,
+                vec![],
+            ),
+        );
+        let pkt = hv
+            .send(Vni(1), "225.0.0.1".parse().expect("addr"), b"x", &layout)
+            .remove(0);
+        let mut w = PcapWriter::new(Vec::new()).expect("writes");
+        w.write_packet(&pkt).expect("writes");
+        let bytes = w.finish().expect("flushes");
+        assert_eq!(bytes.len(), 24 + 16 + pkt.len());
+    }
+}

@@ -1,0 +1,249 @@
+//! Ethernet II frames.
+
+use crate::{Error, Result};
+
+/// A 48-bit IEEE 802 MAC address.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
+pub struct MacAddr(pub [u8; 6]);
+
+impl MacAddr {
+    /// The broadcast address `ff:ff:ff:ff:ff:ff`.
+    pub const BROADCAST: MacAddr = MacAddr([0xff; 6]);
+
+    /// Whether the address has the multicast (group) bit set.
+    pub fn is_multicast(&self) -> bool {
+        self.0[0] & 0x01 != 0
+    }
+
+    /// Whether this is the broadcast address.
+    pub fn is_broadcast(&self) -> bool {
+        *self == Self::BROADCAST
+    }
+
+    /// The IANA-mapped multicast MAC for an IPv4 multicast group
+    /// (`01:00:5e` + low 23 bits of the group address, RFC 1112 §6.4).
+    pub fn from_ipv4_multicast(group: std::net::Ipv4Addr) -> MacAddr {
+        let o = group.octets();
+        MacAddr([0x01, 0x00, 0x5e, o[1] & 0x7f, o[2], o[3]])
+    }
+
+    /// A deterministic locally-administered unicast address for host `i`
+    /// (used by the simulator to give every hypervisor a stable MAC).
+    pub fn for_host(i: u32) -> MacAddr {
+        let b = i.to_be_bytes();
+        MacAddr([0x02, 0x00, b[0], b[1], b[2], b[3]])
+    }
+}
+
+impl std::fmt::Display for MacAddr {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let a = self.0;
+        write!(
+            f,
+            "{:02x}:{:02x}:{:02x}:{:02x}:{:02x}:{:02x}",
+            a[0], a[1], a[2], a[3], a[4], a[5]
+        )
+    }
+}
+
+/// EtherType values used in this codebase.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum EtherType {
+    Ipv4,
+    Arp,
+    Unknown(u16),
+}
+
+impl From<u16> for EtherType {
+    fn from(v: u16) -> Self {
+        match v {
+            0x0800 => EtherType::Ipv4,
+            0x0806 => EtherType::Arp,
+            other => EtherType::Unknown(other),
+        }
+    }
+}
+
+impl From<EtherType> for u16 {
+    fn from(v: EtherType) -> u16 {
+        match v {
+            EtherType::Ipv4 => 0x0800,
+            EtherType::Arp => 0x0806,
+            EtherType::Unknown(other) => other,
+        }
+    }
+}
+
+/// Byte offsets of Ethernet II header fields.
+mod field {
+    pub const DST: core::ops::Range<usize> = 0..6;
+    pub const SRC: core::ops::Range<usize> = 6..12;
+    pub const ETHERTYPE: core::ops::Range<usize> = 12..14;
+    pub const PAYLOAD: usize = 14;
+}
+
+/// Length of the Ethernet II header.
+pub const HEADER_LEN: usize = field::PAYLOAD;
+
+/// A zero-copy view of an Ethernet II frame.
+#[derive(Clone, Debug)]
+pub struct Frame<T: AsRef<[u8]>> {
+    buffer: T,
+}
+
+impl<T: AsRef<[u8]>> Frame<T> {
+    /// Wrap a buffer without length checks. Accessors may panic on short
+    /// buffers; prefer [`Frame::new_checked`] for untrusted input.
+    pub fn new_unchecked(buffer: T) -> Frame<T> {
+        Frame { buffer }
+    }
+
+    /// Wrap a buffer, verifying it can hold an Ethernet header.
+    pub fn new_checked(buffer: T) -> Result<Frame<T>> {
+        if buffer.as_ref().len() < HEADER_LEN {
+            return Err(Error::Truncated);
+        }
+        Ok(Frame { buffer })
+    }
+
+    /// Consume the view, returning the underlying buffer.
+    pub fn into_inner(self) -> T {
+        self.buffer
+    }
+
+    /// Destination MAC address.
+    pub fn dst(&self) -> MacAddr {
+        let mut a = [0u8; 6];
+        a.copy_from_slice(&self.buffer.as_ref()[field::DST]);
+        MacAddr(a)
+    }
+
+    /// Source MAC address.
+    pub fn src(&self) -> MacAddr {
+        let mut a = [0u8; 6];
+        a.copy_from_slice(&self.buffer.as_ref()[field::SRC]);
+        MacAddr(a)
+    }
+
+    /// EtherType field.
+    pub fn ethertype(&self) -> EtherType {
+        let d = self.buffer.as_ref();
+        u16::from_be_bytes([d[field::ETHERTYPE.start], d[field::ETHERTYPE.start + 1]]).into()
+    }
+
+    /// Frame payload following the header.
+    pub fn payload(&self) -> &[u8] {
+        &self.buffer.as_ref()[field::PAYLOAD..]
+    }
+}
+
+impl<T: AsRef<[u8]> + AsMut<[u8]>> Frame<T> {
+    /// Set the destination MAC address.
+    pub fn set_dst(&mut self, a: MacAddr) {
+        self.buffer.as_mut()[field::DST].copy_from_slice(&a.0);
+    }
+
+    /// Set the source MAC address.
+    pub fn set_src(&mut self, a: MacAddr) {
+        self.buffer.as_mut()[field::SRC].copy_from_slice(&a.0);
+    }
+
+    /// Set the EtherType field.
+    pub fn set_ethertype(&mut self, t: EtherType) {
+        let v: u16 = t.into();
+        self.buffer.as_mut()[field::ETHERTYPE].copy_from_slice(&v.to_be_bytes());
+    }
+
+    /// Mutable frame payload.
+    pub fn payload_mut(&mut self) -> &mut [u8] {
+        &mut self.buffer.as_mut()[field::PAYLOAD..]
+    }
+}
+
+/// High-level representation of an Ethernet II header.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct FrameRepr {
+    pub dst: MacAddr,
+    pub src: MacAddr,
+    pub ethertype: EtherType,
+}
+
+impl FrameRepr {
+    /// Parse a frame view into a representation.
+    pub fn parse<T: AsRef<[u8]>>(frame: &Frame<T>) -> Result<FrameRepr> {
+        Ok(FrameRepr {
+            dst: frame.dst(),
+            src: frame.src(),
+            ethertype: frame.ethertype(),
+        })
+    }
+
+    /// The encoded header length.
+    pub fn header_len(&self) -> usize {
+        HEADER_LEN
+    }
+
+    /// Emit this representation into a frame view.
+    pub fn emit<T: AsRef<[u8]> + AsMut<[u8]>>(&self, frame: &mut Frame<T>) {
+        frame.set_dst(self.dst);
+        frame.set_src(self.src);
+        frame.set_ethertype(self.ethertype);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let repr = FrameRepr {
+            dst: MacAddr([1, 2, 3, 4, 5, 6]),
+            src: MacAddr([7, 8, 9, 10, 11, 12]),
+            ethertype: EtherType::Ipv4,
+        };
+        let mut buf = [0u8; HEADER_LEN + 4];
+        let mut frame = Frame::new_unchecked(&mut buf[..]);
+        repr.emit(&mut frame);
+        frame.payload_mut().copy_from_slice(b"abcd");
+        let frame = Frame::new_checked(&buf[..]).unwrap();
+        assert_eq!(FrameRepr::parse(&frame).unwrap(), repr);
+        assert_eq!(frame.payload(), b"abcd");
+    }
+
+    #[test]
+    fn too_short_is_rejected() {
+        assert_eq!(
+            Frame::new_checked(&[0u8; 13][..]).unwrap_err(),
+            Error::Truncated
+        );
+    }
+
+    #[test]
+    fn multicast_mac_mapping() {
+        let m = MacAddr::from_ipv4_multicast("239.1.2.3".parse().unwrap());
+        assert_eq!(m, MacAddr([0x01, 0x00, 0x5e, 0x01, 0x02, 0x03]));
+        assert!(m.is_multicast());
+        // The 24th bit of the group address is dropped (RFC 1112).
+        let m2 = MacAddr::from_ipv4_multicast("239.129.2.3".parse().unwrap());
+        assert_eq!(m2, m);
+    }
+
+    #[test]
+    fn broadcast_and_host_macs() {
+        assert!(MacAddr::BROADCAST.is_broadcast());
+        assert!(MacAddr::BROADCAST.is_multicast());
+        let h = MacAddr::for_host(0x01020304);
+        assert_eq!(h, MacAddr([0x02, 0x00, 0x01, 0x02, 0x03, 0x04]));
+        assert!(!h.is_multicast());
+        assert_eq!(h.to_string(), "02:00:01:02:03:04");
+    }
+
+    #[test]
+    fn ethertype_conversions() {
+        assert_eq!(EtherType::from(0x0800), EtherType::Ipv4);
+        assert_eq!(u16::from(EtherType::Arp), 0x0806);
+        assert_eq!(EtherType::from(0x1234), EtherType::Unknown(0x1234));
+        assert_eq!(u16::from(EtherType::Unknown(0x1234)), 0x1234);
+    }
+}

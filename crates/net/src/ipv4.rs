@@ -1,0 +1,365 @@
+//! IPv4 packets (RFC 791), including multicast addressing helpers.
+
+use std::net::Ipv4Addr;
+
+use crate::{internet_checksum, Error, Result};
+
+/// IP protocol numbers used in this codebase.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum Protocol {
+    Udp,
+    Tcp,
+    Igmp,
+    Unknown(u8),
+}
+
+impl From<u8> for Protocol {
+    fn from(v: u8) -> Self {
+        match v {
+            2 => Protocol::Igmp,
+            6 => Protocol::Tcp,
+            17 => Protocol::Udp,
+            other => Protocol::Unknown(other),
+        }
+    }
+}
+
+impl From<Protocol> for u8 {
+    fn from(v: Protocol) -> u8 {
+        match v {
+            Protocol::Igmp => 2,
+            Protocol::Tcp => 6,
+            Protocol::Udp => 17,
+            Protocol::Unknown(other) => other,
+        }
+    }
+}
+
+mod field {
+    pub const VER_IHL: usize = 0;
+    pub const DSCP_ECN: usize = 1;
+    pub const LENGTH: core::ops::Range<usize> = 2..4;
+    pub const IDENT: core::ops::Range<usize> = 4..6;
+    pub const FLAGS_FRAG: core::ops::Range<usize> = 6..8;
+    pub const TTL: usize = 8;
+    pub const PROTOCOL: usize = 9;
+    pub const CHECKSUM: core::ops::Range<usize> = 10..12;
+    pub const SRC: core::ops::Range<usize> = 12..16;
+    pub const DST: core::ops::Range<usize> = 16..20;
+}
+
+/// Length of an IPv4 header without options (the only form we emit).
+pub const HEADER_LEN: usize = 20;
+
+/// Whether an address is in the IPv4 multicast range `224.0.0.0/4`.
+pub fn is_multicast(addr: Ipv4Addr) -> bool {
+    addr.octets()[0] & 0xf0 == 0xe0
+}
+
+/// A zero-copy view of an IPv4 packet.
+#[derive(Clone, Debug)]
+pub struct Ipv4Packet<T: AsRef<[u8]>> {
+    buffer: T,
+}
+
+impl<T: AsRef<[u8]>> Ipv4Packet<T> {
+    /// Wrap a buffer without checks.
+    pub fn new_unchecked(buffer: T) -> Ipv4Packet<T> {
+        Ipv4Packet { buffer }
+    }
+
+    /// Wrap a buffer, verifying version, header length, and total length.
+    pub fn new_checked(buffer: T) -> Result<Ipv4Packet<T>> {
+        let len = buffer.as_ref().len();
+        if len < HEADER_LEN {
+            return Err(Error::Truncated);
+        }
+        let packet = Ipv4Packet { buffer };
+        if packet.version() != 4 {
+            return Err(Error::Malformed);
+        }
+        let header_len = packet.header_len();
+        if header_len < HEADER_LEN || header_len > len || packet.total_len() < header_len {
+            return Err(Error::Malformed);
+        }
+        if packet.total_len() > len {
+            return Err(Error::Truncated);
+        }
+        Ok(packet)
+    }
+
+    /// Consume the view, returning the underlying buffer.
+    pub fn into_inner(self) -> T {
+        self.buffer
+    }
+
+    /// IP version field.
+    pub fn version(&self) -> u8 {
+        self.buffer.as_ref()[field::VER_IHL] >> 4
+    }
+
+    /// Header length in bytes (IHL * 4).
+    pub fn header_len(&self) -> usize {
+        ((self.buffer.as_ref()[field::VER_IHL] & 0x0f) as usize) * 4
+    }
+
+    /// Total packet length in bytes.
+    pub fn total_len(&self) -> usize {
+        let d = self.buffer.as_ref();
+        u16::from_be_bytes([d[field::LENGTH.start], d[field::LENGTH.start + 1]]) as usize
+    }
+
+    /// Identification field.
+    pub fn ident(&self) -> u16 {
+        let d = self.buffer.as_ref();
+        u16::from_be_bytes([d[field::IDENT.start], d[field::IDENT.start + 1]])
+    }
+
+    /// Time-to-live field.
+    pub fn ttl(&self) -> u8 {
+        self.buffer.as_ref()[field::TTL]
+    }
+
+    /// Protocol field.
+    pub fn protocol(&self) -> Protocol {
+        self.buffer.as_ref()[field::PROTOCOL].into()
+    }
+
+    /// Header checksum field.
+    pub fn checksum(&self) -> u16 {
+        let d = self.buffer.as_ref();
+        u16::from_be_bytes([d[field::CHECKSUM.start], d[field::CHECKSUM.start + 1]])
+    }
+
+    /// Source address.
+    pub fn src(&self) -> Ipv4Addr {
+        let d = self.buffer.as_ref();
+        Ipv4Addr::new(d[12], d[13], d[14], d[15])
+    }
+
+    /// Destination address.
+    pub fn dst(&self) -> Ipv4Addr {
+        let d = self.buffer.as_ref();
+        Ipv4Addr::new(d[16], d[17], d[18], d[19])
+    }
+
+    /// Whether the stored checksum is valid.
+    pub fn verify_checksum(&self) -> bool {
+        let header = &self.buffer.as_ref()[..self.header_len()];
+        internet_checksum(header) == 0
+    }
+
+    /// Packet payload (bytes between the header and `total_len`).
+    pub fn payload(&self) -> &[u8] {
+        let range = self.header_len()..self.total_len();
+        &self.buffer.as_ref()[range]
+    }
+}
+
+impl<T: AsRef<[u8]> + AsMut<[u8]>> Ipv4Packet<T> {
+    /// Set version and header length (IHL expressed in bytes).
+    pub fn set_version_and_header_len(&mut self, header_len: usize) {
+        debug_assert!(header_len.is_multiple_of(4));
+        self.buffer.as_mut()[field::VER_IHL] = 0x40 | (header_len / 4) as u8;
+    }
+
+    /// Set the DSCP/ECN byte.
+    pub fn set_dscp_ecn(&mut self, v: u8) {
+        self.buffer.as_mut()[field::DSCP_ECN] = v;
+    }
+
+    /// Set the total length field.
+    pub fn set_total_len(&mut self, v: u16) {
+        self.buffer.as_mut()[field::LENGTH].copy_from_slice(&v.to_be_bytes());
+    }
+
+    /// Set the identification field.
+    pub fn set_ident(&mut self, v: u16) {
+        self.buffer.as_mut()[field::IDENT].copy_from_slice(&v.to_be_bytes());
+    }
+
+    /// Set flags and fragment offset (we always emit DF, offset 0).
+    pub fn set_flags_frag(&mut self, v: u16) {
+        self.buffer.as_mut()[field::FLAGS_FRAG].copy_from_slice(&v.to_be_bytes());
+    }
+
+    /// Set the TTL field.
+    pub fn set_ttl(&mut self, v: u8) {
+        self.buffer.as_mut()[field::TTL] = v;
+    }
+
+    /// Set the protocol field.
+    pub fn set_protocol(&mut self, v: Protocol) {
+        self.buffer.as_mut()[field::PROTOCOL] = v.into();
+    }
+
+    /// Set the checksum field.
+    pub fn set_checksum(&mut self, v: u16) {
+        self.buffer.as_mut()[field::CHECKSUM].copy_from_slice(&v.to_be_bytes());
+    }
+
+    /// Set the source address.
+    pub fn set_src(&mut self, a: Ipv4Addr) {
+        self.buffer.as_mut()[field::SRC].copy_from_slice(&a.octets());
+    }
+
+    /// Set the destination address.
+    pub fn set_dst(&mut self, a: Ipv4Addr) {
+        self.buffer.as_mut()[field::DST].copy_from_slice(&a.octets());
+    }
+
+    /// Recompute and store the header checksum.
+    pub fn fill_checksum(&mut self) {
+        self.set_checksum(0);
+        let header_len = self.header_len();
+        let c = internet_checksum(&self.buffer.as_ref()[..header_len]);
+        self.set_checksum(c);
+    }
+
+    /// Mutable payload.
+    pub fn payload_mut(&mut self) -> &mut [u8] {
+        let range = self.header_len()..self.total_len();
+        &mut self.buffer.as_mut()[range]
+    }
+}
+
+/// High-level representation of an IPv4 header (no options).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Ipv4Repr {
+    pub src: Ipv4Addr,
+    pub dst: Ipv4Addr,
+    pub protocol: Protocol,
+    pub ttl: u8,
+    /// Payload length in bytes (total length minus header).
+    pub payload_len: usize,
+}
+
+impl Ipv4Repr {
+    /// Parse a packet view, verifying its checksum.
+    pub fn parse<T: AsRef<[u8]>>(packet: &Ipv4Packet<T>) -> Result<Ipv4Repr> {
+        if !packet.verify_checksum() {
+            return Err(Error::Checksum);
+        }
+        Ok(Ipv4Repr {
+            src: packet.src(),
+            dst: packet.dst(),
+            protocol: packet.protocol(),
+            ttl: packet.ttl(),
+            payload_len: packet.total_len() - packet.header_len(),
+        })
+    }
+
+    /// The encoded header length.
+    pub fn header_len(&self) -> usize {
+        HEADER_LEN
+    }
+
+    /// Emit this representation (and a valid checksum) into a packet view.
+    pub fn emit<T: AsRef<[u8]> + AsMut<[u8]>>(&self, packet: &mut Ipv4Packet<T>) {
+        packet.set_version_and_header_len(HEADER_LEN);
+        packet.set_dscp_ecn(0);
+        packet.set_total_len((HEADER_LEN + self.payload_len) as u16);
+        packet.set_ident(0);
+        packet.set_flags_frag(0x4000); // don't fragment
+        packet.set_ttl(self.ttl);
+        packet.set_protocol(self.protocol);
+        packet.set_src(self.src);
+        packet.set_dst(self.dst);
+        packet.fill_checksum();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_repr() -> Ipv4Repr {
+        Ipv4Repr {
+            src: Ipv4Addr::new(10, 0, 0, 1),
+            dst: Ipv4Addr::new(239, 1, 1, 1),
+            protocol: Protocol::Udp,
+            ttl: 64,
+            payload_len: 8,
+        }
+    }
+
+    #[test]
+    fn roundtrip() {
+        let repr = sample_repr();
+        let mut buf = [0u8; HEADER_LEN + 8];
+        let mut p = Ipv4Packet::new_unchecked(&mut buf[..]);
+        repr.emit(&mut p);
+        p.payload_mut().copy_from_slice(b"12345678");
+        let p = Ipv4Packet::new_checked(&buf[..]).unwrap();
+        assert!(p.verify_checksum());
+        assert_eq!(Ipv4Repr::parse(&p).unwrap(), repr);
+        assert_eq!(p.payload(), b"12345678");
+    }
+
+    #[test]
+    fn corrupted_checksum_is_rejected() {
+        let repr = sample_repr();
+        let mut buf = [0u8; HEADER_LEN + 8];
+        let mut p = Ipv4Packet::new_unchecked(&mut buf[..]);
+        repr.emit(&mut p);
+        buf[14] ^= 0xff; // flip a src-address byte
+        let p = Ipv4Packet::new_checked(&buf[..]).unwrap();
+        assert_eq!(Ipv4Repr::parse(&p).unwrap_err(), Error::Checksum);
+    }
+
+    #[test]
+    fn bad_version_is_malformed() {
+        let mut buf = [0u8; HEADER_LEN];
+        buf[0] = 0x65; // version 6
+        assert_eq!(
+            Ipv4Packet::new_checked(&buf[..]).unwrap_err(),
+            Error::Malformed
+        );
+    }
+
+    #[test]
+    fn total_len_beyond_buffer_is_truncated() {
+        let repr = sample_repr();
+        let mut buf = [0u8; HEADER_LEN + 8];
+        let mut p = Ipv4Packet::new_unchecked(&mut buf[..]);
+        repr.emit(&mut p);
+        // Claim a longer payload than the buffer holds.
+        let mut p = Ipv4Packet::new_unchecked(&mut buf[..]);
+        p.set_total_len((HEADER_LEN + 100) as u16);
+        assert_eq!(
+            Ipv4Packet::new_checked(&buf[..]).unwrap_err(),
+            Error::Truncated
+        );
+    }
+
+    #[test]
+    fn multicast_range() {
+        assert!(is_multicast(Ipv4Addr::new(224, 0, 0, 1)));
+        assert!(is_multicast(Ipv4Addr::new(239, 255, 255, 255)));
+        assert!(!is_multicast(Ipv4Addr::new(223, 255, 255, 255)));
+        assert!(!is_multicast(Ipv4Addr::new(240, 0, 0, 0)));
+    }
+
+    #[test]
+    fn protocol_conversions() {
+        assert_eq!(Protocol::from(17), Protocol::Udp);
+        assert_eq!(u8::from(Protocol::Igmp), 2);
+        assert_eq!(Protocol::from(89), Protocol::Unknown(89));
+        assert_eq!(u8::from(Protocol::Unknown(89)), 89);
+    }
+
+    #[test]
+    fn payload_respects_total_len() {
+        // The view must ignore trailing bytes past total_len (e.g. Ethernet
+        // padding).
+        let repr = Ipv4Repr {
+            payload_len: 4,
+            ..sample_repr()
+        };
+        let mut buf = [0u8; HEADER_LEN + 10];
+        let mut p = Ipv4Packet::new_unchecked(&mut buf[..]);
+        repr.emit(&mut p);
+        let p = Ipv4Packet::new_checked(&buf[..]).unwrap();
+        assert_eq!(p.payload().len(), 4);
+    }
+}

@@ -1,0 +1,117 @@
+//! Substrate packet stack for Elmo.
+//!
+//! Elmo packets ride a conventional datacenter encapsulation: an outer
+//! Ethernet/IPv4/UDP/VXLAN stack pushed by the source hypervisor switch, the
+//! Elmo p-rule header (defined in `elmo-core`), and the tenant's inner frame
+//! (paper Figure 3b). This crate provides those outer protocols in the
+//! smoltcp style:
+//!
+//! * a `Packet<T: AsRef<[u8]>>` *view* per protocol giving zero-copy field
+//!   accessors over a byte buffer (and setters when `T: AsMut<[u8]>`), and
+//! * a `Repr` *representation* per protocol — a plain Rust struct with
+//!   `parse` and `emit` — for code that wants values, not buffers.
+//!
+//! Nothing here allocates on the packet path; views borrow the caller's
+//! buffer.
+
+pub mod ethernet;
+pub mod igmp;
+pub mod ipv4;
+pub mod udp;
+pub mod vxlan;
+
+pub use ethernet::{EtherType, Frame, FrameRepr, MacAddr};
+pub use igmp::{IgmpPacket, IgmpRepr, IgmpType};
+pub use ipv4::{Ipv4Packet, Ipv4Repr, Protocol};
+pub use udp::{UdpPacket, UdpRepr};
+pub use vxlan::{NextHeader, Vni, VxlanPacket, VxlanRepr};
+
+/// Errors returned by packet parsing.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Error {
+    /// The buffer is too short to contain the protocol's header (or the
+    /// length field points past the end of the buffer).
+    Truncated,
+    /// A field holds a value the protocol does not allow.
+    Malformed,
+    /// A checksum failed verification.
+    Checksum,
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Error::Truncated => write!(f, "truncated packet"),
+            Error::Malformed => write!(f, "malformed field"),
+            Error::Checksum => write!(f, "checksum mismatch"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Result alias for packet operations.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// RFC 1071 Internet checksum over `data` (used by IPv4 and UDP).
+pub fn internet_checksum(data: &[u8]) -> u16 {
+    !fold_checksum(sum_be_words(data))
+}
+
+/// One's-complement sum of big-endian 16-bit words (odd trailing byte is
+/// padded with zero), without the final fold.
+pub(crate) fn sum_be_words(data: &[u8]) -> u32 {
+    let mut sum = 0u32;
+    let mut chunks = data.chunks_exact(2);
+    for w in &mut chunks {
+        sum = sum.wrapping_add(u16::from_be_bytes([w[0], w[1]]) as u32);
+        // Fold eagerly so the u32 cannot overflow on jumbo inputs.
+        sum = (sum & 0xffff) + (sum >> 16);
+    }
+    if let [last] = chunks.remainder() {
+        sum = sum.wrapping_add(u16::from_be_bytes([*last, 0]) as u32);
+    }
+    sum
+}
+
+/// Fold a 32-bit one's-complement accumulator down to 16 bits.
+pub(crate) fn fold_checksum(mut sum: u32) -> u16 {
+    while sum >> 16 != 0 {
+        sum = (sum & 0xffff) + (sum >> 16);
+    }
+    sum as u16
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn checksum_of_zeros_is_ffff() {
+        assert_eq!(internet_checksum(&[0; 20]), 0xffff);
+    }
+
+    #[test]
+    fn checksum_validates_to_zero_when_included() {
+        let mut data: [u8; 20] = [
+            0x45, 0x00, 0x00, 0x73, 0x00, 0x00, 0x40, 0x00, 0x40, 0x11, 0x00, 0x00, 0xc0, 0xa8,
+            0x00, 0x01, 0xc0, 0xa8, 0x00, 0xc7,
+        ];
+        let c = internet_checksum(&data);
+        data[10..12].copy_from_slice(&c.to_be_bytes());
+        // A header carrying its own correct checksum sums to zero.
+        assert_eq!(internet_checksum(&data), 0);
+    }
+
+    #[test]
+    fn checksum_odd_length() {
+        // Must not panic and must pad with zero.
+        assert_eq!(internet_checksum(&[0xff]), !0xff00);
+    }
+
+    #[test]
+    fn error_display() {
+        assert_eq!(Error::Truncated.to_string(), "truncated packet");
+        assert_eq!(Error::Checksum.to_string(), "checksum mismatch");
+    }
+}

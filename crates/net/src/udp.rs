@@ -1,0 +1,273 @@
+//! UDP datagrams (RFC 768), with pseudo-header checksums.
+
+use std::net::Ipv4Addr;
+
+use crate::{fold_checksum, sum_be_words, Error, Result};
+
+mod field {
+    pub const SRC_PORT: core::ops::Range<usize> = 0..2;
+    pub const DST_PORT: core::ops::Range<usize> = 2..4;
+    pub const LENGTH: core::ops::Range<usize> = 4..6;
+    pub const CHECKSUM: core::ops::Range<usize> = 6..8;
+}
+
+/// Length of the UDP header.
+pub const HEADER_LEN: usize = 8;
+
+/// The IANA-assigned VXLAN destination port.
+pub const VXLAN_PORT: u16 = 4789;
+
+/// A zero-copy view of a UDP datagram.
+#[derive(Clone, Debug)]
+pub struct UdpPacket<T: AsRef<[u8]>> {
+    buffer: T,
+}
+
+impl<T: AsRef<[u8]>> UdpPacket<T> {
+    /// Wrap a buffer without checks.
+    pub fn new_unchecked(buffer: T) -> UdpPacket<T> {
+        UdpPacket { buffer }
+    }
+
+    /// Wrap a buffer, verifying the header fits and the length field is sane.
+    pub fn new_checked(buffer: T) -> Result<UdpPacket<T>> {
+        let len = buffer.as_ref().len();
+        if len < HEADER_LEN {
+            return Err(Error::Truncated);
+        }
+        let packet = UdpPacket { buffer };
+        let l = packet.len_field();
+        if l < HEADER_LEN {
+            return Err(Error::Malformed);
+        }
+        if l > len {
+            return Err(Error::Truncated);
+        }
+        Ok(packet)
+    }
+
+    /// Consume the view, returning the underlying buffer.
+    pub fn into_inner(self) -> T {
+        self.buffer
+    }
+
+    /// Source port.
+    pub fn src_port(&self) -> u16 {
+        let d = self.buffer.as_ref();
+        u16::from_be_bytes([d[0], d[1]])
+    }
+
+    /// Destination port.
+    pub fn dst_port(&self) -> u16 {
+        let d = self.buffer.as_ref();
+        u16::from_be_bytes([d[2], d[3]])
+    }
+
+    /// Value of the length field (header + payload).
+    pub fn len_field(&self) -> usize {
+        let d = self.buffer.as_ref();
+        u16::from_be_bytes([d[4], d[5]]) as usize
+    }
+
+    /// Checksum field (zero means "not computed", allowed for IPv4).
+    pub fn checksum(&self) -> u16 {
+        let d = self.buffer.as_ref();
+        u16::from_be_bytes([d[6], d[7]])
+    }
+
+    /// Datagram payload.
+    pub fn payload(&self) -> &[u8] {
+        &self.buffer.as_ref()[HEADER_LEN..self.len_field()]
+    }
+
+    /// Verify the checksum against the IPv4 pseudo-header. A zero stored
+    /// checksum is accepted (checksum disabled).
+    pub fn verify_checksum(&self, src: Ipv4Addr, dst: Ipv4Addr) -> bool {
+        if self.checksum() == 0 {
+            return true;
+        }
+        let data = &self.buffer.as_ref()[..self.len_field()];
+        fold_checksum(pseudo_header_sum(src, dst, data.len()) + sum_be_words(data)) == 0xffff
+    }
+}
+
+impl<T: AsRef<[u8]> + AsMut<[u8]>> UdpPacket<T> {
+    /// Set the source port.
+    pub fn set_src_port(&mut self, v: u16) {
+        self.buffer.as_mut()[field::SRC_PORT].copy_from_slice(&v.to_be_bytes());
+    }
+
+    /// Set the destination port.
+    pub fn set_dst_port(&mut self, v: u16) {
+        self.buffer.as_mut()[field::DST_PORT].copy_from_slice(&v.to_be_bytes());
+    }
+
+    /// Set the length field.
+    pub fn set_len_field(&mut self, v: u16) {
+        self.buffer.as_mut()[field::LENGTH].copy_from_slice(&v.to_be_bytes());
+    }
+
+    /// Set the checksum field.
+    pub fn set_checksum(&mut self, v: u16) {
+        self.buffer.as_mut()[field::CHECKSUM].copy_from_slice(&v.to_be_bytes());
+    }
+
+    /// Mutable payload.
+    pub fn payload_mut(&mut self) -> &mut [u8] {
+        let l = self.len_field();
+        &mut self.buffer.as_mut()[HEADER_LEN..l]
+    }
+
+    /// Compute and store the checksum over the pseudo-header and datagram.
+    /// Stores `0xffff` when the computed sum is zero, per RFC 768.
+    pub fn fill_checksum(&mut self, src: Ipv4Addr, dst: Ipv4Addr) {
+        self.set_checksum(0);
+        let len = self.len_field();
+        let data = &self.buffer.as_ref()[..len];
+        let sum = pseudo_header_sum(src, dst, len) + sum_be_words(data);
+        let c = !fold_checksum(sum);
+        self.set_checksum(if c == 0 { 0xffff } else { c });
+    }
+}
+
+fn pseudo_header_sum(src: Ipv4Addr, dst: Ipv4Addr, udp_len: usize) -> u32 {
+    let s = src.octets();
+    let d = dst.octets();
+    let mut sum = 0u32;
+    for w in [
+        u16::from_be_bytes([s[0], s[1]]),
+        u16::from_be_bytes([s[2], s[3]]),
+        u16::from_be_bytes([d[0], d[1]]),
+        u16::from_be_bytes([d[2], d[3]]),
+        17u16, // protocol
+        udp_len as u16,
+    ] {
+        sum += w as u32;
+    }
+    sum
+}
+
+/// High-level representation of a UDP header.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct UdpRepr {
+    pub src_port: u16,
+    pub dst_port: u16,
+    /// Payload length in bytes.
+    pub payload_len: usize,
+}
+
+impl UdpRepr {
+    /// Parse a datagram view (checksum verification is separate since it
+    /// needs the pseudo-header addresses).
+    pub fn parse<T: AsRef<[u8]>>(packet: &UdpPacket<T>) -> Result<UdpRepr> {
+        Ok(UdpRepr {
+            src_port: packet.src_port(),
+            dst_port: packet.dst_port(),
+            payload_len: packet.len_field() - HEADER_LEN,
+        })
+    }
+
+    /// The encoded header length.
+    pub fn header_len(&self) -> usize {
+        HEADER_LEN
+    }
+
+    /// Emit the header fields (checksum left zero — call
+    /// [`UdpPacket::fill_checksum`] afterwards if wanted).
+    pub fn emit<T: AsRef<[u8]> + AsMut<[u8]>>(&self, packet: &mut UdpPacket<T>) {
+        packet.set_src_port(self.src_port);
+        packet.set_dst_port(self.dst_port);
+        packet.set_len_field((HEADER_LEN + self.payload_len) as u16);
+        packet.set_checksum(0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SRC: Ipv4Addr = Ipv4Addr::new(10, 0, 0, 1);
+    const DST: Ipv4Addr = Ipv4Addr::new(10, 0, 0, 2);
+
+    #[test]
+    fn roundtrip_with_checksum() {
+        let repr = UdpRepr {
+            src_port: 5353,
+            dst_port: VXLAN_PORT,
+            payload_len: 5,
+        };
+        let mut buf = [0u8; HEADER_LEN + 5];
+        let mut p = UdpPacket::new_unchecked(&mut buf[..]);
+        repr.emit(&mut p);
+        p.payload_mut().copy_from_slice(b"hello");
+        p.fill_checksum(SRC, DST);
+        let p = UdpPacket::new_checked(&buf[..]).unwrap();
+        assert!(p.verify_checksum(SRC, DST));
+        assert_eq!(UdpRepr::parse(&p).unwrap(), repr);
+        assert_eq!(p.payload(), b"hello");
+    }
+
+    #[test]
+    fn corrupted_payload_fails_checksum() {
+        let repr = UdpRepr {
+            src_port: 1,
+            dst_port: 2,
+            payload_len: 5,
+        };
+        let mut buf = [0u8; HEADER_LEN + 5];
+        let mut p = UdpPacket::new_unchecked(&mut buf[..]);
+        repr.emit(&mut p);
+        p.payload_mut().copy_from_slice(b"hello");
+        p.fill_checksum(SRC, DST);
+        buf[HEADER_LEN] ^= 0x01;
+        let p = UdpPacket::new_checked(&buf[..]).unwrap();
+        assert!(!p.verify_checksum(SRC, DST));
+    }
+
+    #[test]
+    fn zero_checksum_means_disabled() {
+        let repr = UdpRepr {
+            src_port: 1,
+            dst_port: 2,
+            payload_len: 0,
+        };
+        let mut buf = [0u8; HEADER_LEN];
+        let mut p = UdpPacket::new_unchecked(&mut buf[..]);
+        repr.emit(&mut p);
+        let p = UdpPacket::new_checked(&buf[..]).unwrap();
+        assert!(p.verify_checksum(SRC, DST));
+    }
+
+    #[test]
+    fn length_checks() {
+        assert_eq!(
+            UdpPacket::new_checked(&[0u8; 4][..]).unwrap_err(),
+            Error::Truncated
+        );
+        let mut buf = [0u8; HEADER_LEN];
+        buf[5] = 4; // length field < 8
+        assert_eq!(
+            UdpPacket::new_checked(&buf[..]).unwrap_err(),
+            Error::Malformed
+        );
+        let mut buf = [0u8; HEADER_LEN];
+        buf[5] = 200; // length field > buffer
+        assert_eq!(
+            UdpPacket::new_checked(&buf[..]).unwrap_err(),
+            Error::Truncated
+        );
+    }
+
+    #[test]
+    fn wire_layout_is_big_endian() {
+        let repr = UdpRepr {
+            src_port: 0x1234,
+            dst_port: 0x5678,
+            payload_len: 0,
+        };
+        let mut buf = [0u8; HEADER_LEN];
+        let mut p = UdpPacket::new_unchecked(&mut buf[..]);
+        repr.emit(&mut p);
+        assert_eq!(&buf[..6], &[0x12, 0x34, 0x56, 0x78, 0x00, 0x08]);
+    }
+}

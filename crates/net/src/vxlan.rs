@@ -1,0 +1,228 @@
+//! VXLAN encapsulation (RFC 7348).
+//!
+//! Elmo gives every tenant address-space isolation by carrying tenant
+//! packets inside VXLAN, with the tenant's virtual network identifier (VNI)
+//! in the outer header; the Elmo p-rule header sits right after VXLAN (paper
+//! §2 and Figure 1). The `next_header` convention: we repurpose one of the
+//! VXLAN reserved bytes as a tiny protocol tag so switches know whether an
+//! Elmo header follows — mirroring how the paper's P4 parser branches on an
+//! Elmo-specific flag when parsing the encapsulation.
+
+use crate::{Error, Result};
+
+/// A 24-bit VXLAN network identifier (tenant virtual network).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
+pub struct Vni(pub u32);
+
+impl Vni {
+    /// Construct, checking the 24-bit range.
+    pub fn new(v: u32) -> Result<Vni> {
+        if v > 0x00ff_ffff {
+            return Err(Error::Malformed);
+        }
+        Ok(Vni(v))
+    }
+}
+
+impl std::fmt::Display for Vni {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "vni:{}", self.0)
+    }
+}
+
+/// Values of the next-protocol tag (stored in a reserved byte).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum NextHeader {
+    /// The inner Ethernet frame follows directly (standard VXLAN).
+    Ethernet,
+    /// An Elmo p-rule header follows, then the inner Ethernet frame.
+    Elmo,
+}
+
+mod field {
+    pub const FLAGS: usize = 0;
+    /// Reserved byte we use as the next-protocol tag.
+    pub const NEXT: usize = 1;
+    pub const VNI: core::ops::Range<usize> = 4..7;
+}
+
+/// Length of the VXLAN header.
+pub const HEADER_LEN: usize = 8;
+
+/// The `I` flag: VNI field is valid.
+const FLAG_I: u8 = 0x08;
+/// Tag value marking an Elmo header after VXLAN.
+const NEXT_ELMO: u8 = 0x45; // 'E'
+
+/// A zero-copy view of a VXLAN header.
+#[derive(Clone, Debug)]
+pub struct VxlanPacket<T: AsRef<[u8]>> {
+    buffer: T,
+}
+
+impl<T: AsRef<[u8]>> VxlanPacket<T> {
+    /// Wrap a buffer without checks.
+    pub fn new_unchecked(buffer: T) -> VxlanPacket<T> {
+        VxlanPacket { buffer }
+    }
+
+    /// Wrap a buffer, verifying the header fits and the `I` flag is set.
+    pub fn new_checked(buffer: T) -> Result<VxlanPacket<T>> {
+        if buffer.as_ref().len() < HEADER_LEN {
+            return Err(Error::Truncated);
+        }
+        let packet = VxlanPacket { buffer };
+        if packet.buffer.as_ref()[field::FLAGS] & FLAG_I == 0 {
+            return Err(Error::Malformed);
+        }
+        Ok(packet)
+    }
+
+    /// Consume the view, returning the underlying buffer.
+    pub fn into_inner(self) -> T {
+        self.buffer
+    }
+
+    /// The VNI.
+    pub fn vni(&self) -> Vni {
+        let d = self.buffer.as_ref();
+        Vni(u32::from_be_bytes([0, d[4], d[5], d[6]]))
+    }
+
+    /// The next-protocol tag.
+    pub fn next_header(&self) -> NextHeader {
+        if self.buffer.as_ref()[field::NEXT] == NEXT_ELMO {
+            NextHeader::Elmo
+        } else {
+            NextHeader::Ethernet
+        }
+    }
+
+    /// Bytes following the VXLAN header.
+    pub fn payload(&self) -> &[u8] {
+        &self.buffer.as_ref()[HEADER_LEN..]
+    }
+}
+
+impl<T: AsRef<[u8]> + AsMut<[u8]>> VxlanPacket<T> {
+    /// Set the VNI (and the `I` flag).
+    pub fn set_vni(&mut self, vni: Vni) {
+        let d = self.buffer.as_mut();
+        d[field::FLAGS] = FLAG_I;
+        let b = vni.0.to_be_bytes();
+        d[field::VNI].copy_from_slice(&b[1..4]);
+        d[7] = 0;
+    }
+
+    /// Set the next-protocol tag.
+    pub fn set_next_header(&mut self, n: NextHeader) {
+        self.buffer.as_mut()[field::NEXT] = match n {
+            NextHeader::Ethernet => 0,
+            NextHeader::Elmo => NEXT_ELMO,
+        };
+    }
+
+    /// Mutable payload.
+    pub fn payload_mut(&mut self) -> &mut [u8] {
+        &mut self.buffer.as_mut()[HEADER_LEN..]
+    }
+}
+
+/// High-level representation of a VXLAN header.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct VxlanRepr {
+    pub vni: Vni,
+    pub next_header: NextHeader,
+}
+
+impl VxlanRepr {
+    /// Parse a header view.
+    pub fn parse<T: AsRef<[u8]>>(packet: &VxlanPacket<T>) -> Result<VxlanRepr> {
+        Ok(VxlanRepr {
+            vni: packet.vni(),
+            next_header: packet.next_header(),
+        })
+    }
+
+    /// The encoded header length.
+    pub fn header_len(&self) -> usize {
+        HEADER_LEN
+    }
+
+    /// Emit this representation into a header view.
+    pub fn emit<T: AsRef<[u8]> + AsMut<[u8]>>(&self, packet: &mut VxlanPacket<T>) {
+        packet.set_vni(self.vni);
+        packet.set_next_header(self.next_header);
+        let d = packet.buffer.as_mut();
+        d[2] = 0;
+        d[3] = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let repr = VxlanRepr {
+            vni: Vni::new(0x123456).unwrap(),
+            next_header: NextHeader::Elmo,
+        };
+        let mut buf = [0u8; HEADER_LEN + 3];
+        let mut p = VxlanPacket::new_unchecked(&mut buf[..]);
+        repr.emit(&mut p);
+        p.payload_mut().copy_from_slice(b"xyz");
+        let p = VxlanPacket::new_checked(&buf[..]).unwrap();
+        assert_eq!(VxlanRepr::parse(&p).unwrap(), repr);
+        assert_eq!(p.payload(), b"xyz");
+    }
+
+    #[test]
+    fn standard_vxlan_next_header() {
+        let repr = VxlanRepr {
+            vni: Vni::new(7).unwrap(),
+            next_header: NextHeader::Ethernet,
+        };
+        let mut buf = [0u8; HEADER_LEN];
+        let mut p = VxlanPacket::new_unchecked(&mut buf[..]);
+        repr.emit(&mut p);
+        let p = VxlanPacket::new_checked(&buf[..]).unwrap();
+        assert_eq!(p.next_header(), NextHeader::Ethernet);
+    }
+
+    #[test]
+    fn vni_range_check() {
+        assert!(Vni::new(0x00ff_ffff).is_ok());
+        assert_eq!(Vni::new(0x0100_0000).unwrap_err(), Error::Malformed);
+    }
+
+    #[test]
+    fn missing_i_flag_is_malformed() {
+        let buf = [0u8; HEADER_LEN];
+        assert_eq!(
+            VxlanPacket::new_checked(&buf[..]).unwrap_err(),
+            Error::Malformed
+        );
+    }
+
+    #[test]
+    fn too_short_is_truncated() {
+        assert_eq!(
+            VxlanPacket::new_checked(&[0u8; 7][..]).unwrap_err(),
+            Error::Truncated
+        );
+    }
+
+    #[test]
+    fn wire_layout() {
+        let repr = VxlanRepr {
+            vni: Vni(0xabcdef),
+            next_header: NextHeader::Elmo,
+        };
+        let mut buf = vec![0u8; HEADER_LEN];
+        let mut p = VxlanPacket::new_unchecked(&mut buf[..]);
+        repr.emit(&mut p);
+        assert_eq!(buf, [0x08, 0x45, 0, 0, 0xab, 0xcd, 0xef, 0]);
+    }
+}

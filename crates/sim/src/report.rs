@@ -1,0 +1,95 @@
+//! Plain-text table rendering for the `elmo-eval` CLI — aligned columns in
+//! the style of the paper's tables, no external dependencies.
+
+/// Render an aligned table: one header row plus data rows.
+pub fn table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let cols = headers.len();
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        debug_assert_eq!(row.len(), cols, "ragged table row");
+        for (i, cell) in row.iter().enumerate() {
+            widths[i] = widths[i].max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+        let mut line = String::new();
+        for (i, cell) in cells.iter().enumerate() {
+            if i > 0 {
+                line.push_str("  ");
+            }
+            line.push_str(&format!("{:<width$}", cell, width = widths[i]));
+        }
+        line.trim_end().to_string()
+    };
+    let header_cells: Vec<String> = headers.iter().map(|h| h.to_string()).collect();
+    out.push_str(&fmt_row(&header_cells, &widths));
+    out.push('\n');
+    out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (cols - 1)));
+    out.push('\n');
+    for row in rows {
+        out.push_str(&fmt_row(row, &widths));
+        out.push('\n');
+    }
+    out
+}
+
+/// `12.3%`-style percentage.
+pub fn pct(v: f64) -> String {
+    format!("{:.1}%", v * 100.0)
+}
+
+/// `1.05x`-style ratio.
+pub fn ratio(v: f64) -> String {
+    format!("{v:.2}x")
+}
+
+/// `avg (max)` pair, the paper's Table 2 style.
+pub fn avg_max(avg: f64, max: f64) -> String {
+    format!("{avg:.1} ({max:.0})")
+}
+
+/// Thousands separators for counts.
+pub fn count(v: u64) -> String {
+    let s = v.to_string();
+    let mut out = String::new();
+    for (i, c) in s.chars().enumerate() {
+        if i > 0 && (s.len() - i).is_multiple_of(3) {
+            out.push(',');
+        }
+        out.push(c);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_alignment() {
+        let rows = vec![
+            vec!["a".into(), "1234".into()],
+            vec!["bbbb".into(), "1".into()],
+        ];
+        let t = table(&["col", "value"], &rows);
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("col"));
+        assert!(lines[1].chars().all(|c| c == '-'));
+        // Columns align: "value" column starts at the same offset everywhere.
+        let off = lines[0].find("value").unwrap();
+        assert_eq!(lines[2].find("1234").unwrap(), off);
+        assert_eq!(lines[3].find('1').unwrap(), off);
+    }
+
+    #[test]
+    fn formatters() {
+        assert_eq!(pct(0.123), "12.3%");
+        assert_eq!(ratio(1.049), "1.05x");
+        assert_eq!(avg_max(20.96, 46.0), "21.0 (46)");
+        assert_eq!(count(1_000_000), "1,000,000");
+        assert_eq!(count(114), "114");
+        assert_eq!(count(27_648), "27,648");
+    }
+}

@@ -1,0 +1,300 @@
+//! The core scalability sweep behind Figures 4 and 5 (and the §5.1.2
+//! variants: Uniform sizes, limited s-rule capacity, reduced headers).
+//!
+//! For each redundancy limit `R`, every group in the workload is encoded
+//! with Algorithm 1 against a fresh fabric-wide s-rule budget, and three
+//! families of metrics are collected:
+//!
+//! * **coverage** — groups represented purely by non-default p-rules
+//!   (left panels);
+//! * **s-rule occupancy** — per-leaf and per-spine group-table entries,
+//!   with the Li et al. baseline for the dashed line (center panels);
+//! * **traffic overhead** — total bytes over ideal multicast, with unicast
+//!   and overlay baselines (right panels), for each payload size.
+
+use elmo_controller::srules::{SRuleSpace, UsageStats};
+use elmo_core::EncoderConfig;
+use elmo_core::HeaderLayout;
+use elmo_topology::{Clos, GroupTree, LeafId, PodId};
+use elmo_workloads::{Workload, WorkloadConfig};
+
+use crate::baselines;
+use crate::metrics::{self, Summary};
+
+/// Sweep parameters.
+#[derive(Clone, Debug)]
+pub struct SweepConfig {
+    pub topo: Clos,
+    pub workload: WorkloadConfig,
+    /// Redundancy limits to evaluate (the x-axis).
+    pub r_values: Vec<usize>,
+    /// Per-leaf group-table capacity.
+    pub leaf_fmax: usize,
+    /// Per-spine group-table capacity.
+    pub spine_fmax: usize,
+    /// Header budget in bytes.
+    pub header_budget: usize,
+    /// Payload sizes to report traffic overhead for.
+    pub payloads: Vec<u64>,
+}
+
+impl SweepConfig {
+    /// The Figure 4/5 configuration on a given fabric: WVE sizes, unlimited
+    /// group tables, 325-byte headers, 1,500-byte and 64-byte payloads.
+    pub fn paper(topo: Clos, workload: WorkloadConfig) -> Self {
+        SweepConfig {
+            topo,
+            workload,
+            r_values: vec![0, 2, 4, 6, 8, 10, 12],
+            leaf_fmax: usize::MAX,
+            spine_fmax: usize::MAX,
+            header_budget: 325,
+            payloads: vec![1500, 64],
+        }
+    }
+}
+
+/// Traffic overhead aggregates for one payload size.
+#[derive(Clone, Copy, Debug)]
+pub struct TrafficRow {
+    pub payload: u64,
+    /// Total-bytes ratios against ideal multicast.
+    pub elmo_ratio: f64,
+    pub unicast_ratio: f64,
+    pub overlay_ratio: f64,
+}
+
+/// Results for one redundancy limit.
+#[derive(Clone, Debug)]
+pub struct SweepRow {
+    pub r: usize,
+    pub total_groups: usize,
+    /// Groups encoded without s-rules or default p-rules.
+    pub covered: usize,
+    /// Groups that needed a default p-rule somewhere.
+    pub defaulted: usize,
+    /// s-rule occupancy per leaf switch.
+    pub leaf_srules: UsageStats,
+    /// s-rule occupancy per spine switch.
+    pub spine_srules: UsageStats,
+    /// Per-sender header bytes across groups.
+    pub header_bytes: Summary,
+    /// Traffic ratios per payload size.
+    pub traffic: Vec<TrafficRow>,
+}
+
+/// Results of the whole sweep plus the Li et al. baseline (R-independent).
+#[derive(Clone, Debug)]
+pub struct SweepResult {
+    pub rows: Vec<SweepRow>,
+    pub li_leaf: UsageStats,
+    pub li_spine: UsageStats,
+    pub li_core: UsageStats,
+}
+
+/// Run the sweep.
+pub fn run(cfg: &SweepConfig) -> SweepResult {
+    let topo = cfg.topo;
+    let layout = HeaderLayout::for_clos(&topo);
+    let workload = Workload::generate(topo, cfg.workload);
+
+    // Li et al. baseline over the same workload (independent of R),
+    // accumulated streamingly so trees are never all resident at once.
+    let mut li_usage = baselines::LiUsage {
+        leaf: vec![0; topo.num_leaves()],
+        spine: vec![0; topo.num_spines()],
+        core: vec![0; topo.num_cores()],
+    };
+    for (i, g) in workload.groups.iter().enumerate() {
+        let tree = GroupTree::new(&topo, workload.member_hosts(g));
+        let lt = baselines::li_tree(&topo, &tree, i as u64);
+        for l in lt.leaves {
+            li_usage.leaf[l as usize] += 1;
+        }
+        for s in lt.spines {
+            li_usage.spine[s as usize] += 1;
+        }
+        if let Some(c) = lt.core {
+            li_usage.core[c as usize] += 1;
+        }
+    }
+
+    let mut rows = Vec::with_capacity(cfg.r_values.len());
+    for &r in &cfg.r_values {
+        let encoder = {
+            let mut e = EncoderConfig::with_budget(&layout, cfg.header_budget, r);
+            e.mode = elmo_core::RedundancyMode::Sum;
+            e
+        };
+        let mut srules = SRuleSpace::new(&topo, cfg.leaf_fmax, cfg.spine_fmax);
+        let mut covered = 0usize;
+        let mut defaulted = 0usize;
+        let mut header_bytes = Summary::new();
+        let mut elmo_sum = vec![0u64; cfg.payloads.len()];
+        let mut ideal_sum = vec![0u64; cfg.payloads.len()];
+        let mut unicast_sum = vec![0u64; cfg.payloads.len()];
+        let mut overlay_sum = vec![0u64; cfg.payloads.len()];
+
+        for g in &workload.groups {
+            let hosts = workload.member_hosts(g);
+            let tree = GroupTree::new(&topo, hosts.iter().copied());
+            if tree.is_empty() {
+                continue;
+            }
+            let enc = {
+                let cell = std::cell::RefCell::new(&mut srules);
+                let mut sa = |p: PodId| cell.borrow_mut().alloc_pod(p);
+                let mut la = |l: LeafId| cell.borrow_mut().alloc_leaf(l);
+                elmo_core::encode_group(&topo, &tree, &encoder, &mut sa, &mut la)
+            };
+            if enc.leaf_covered_by_p_rules() {
+                covered += 1;
+            }
+            if enc.d_leaf.default_rule.is_some() || enc.d_spine.default_rule.is_some() {
+                defaulted += 1;
+            }
+            let sender = hosts[0];
+            header_bytes.push(metrics::header_bytes(&topo, &layout, &tree, &enc, sender) as f64);
+            for (pi, &payload) in cfg.payloads.iter().enumerate() {
+                let t = metrics::group_traffic(&topo, &layout, &tree, &enc, sender, payload);
+                elmo_sum[pi] += t.elmo;
+                ideal_sum[pi] += t.ideal;
+                unicast_sum[pi] += t.unicast;
+                overlay_sum[pi] += t.overlay;
+            }
+        }
+
+        let traffic = cfg
+            .payloads
+            .iter()
+            .enumerate()
+            .map(|(pi, &payload)| TrafficRow {
+                payload,
+                elmo_ratio: elmo_sum[pi] as f64 / ideal_sum[pi] as f64,
+                unicast_ratio: unicast_sum[pi] as f64 / ideal_sum[pi] as f64,
+                overlay_ratio: overlay_sum[pi] as f64 / ideal_sum[pi] as f64,
+            })
+            .collect();
+
+        // Spine occupancy is per physical spine: every spine of a pod holds
+        // the pod's s-rules.
+        let spine_usage: Vec<usize> = topo
+            .spines()
+            .map(|s| srules.pod_usage(topo.pod_of_spine(s)))
+            .collect();
+        rows.push(SweepRow {
+            r,
+            total_groups: workload.groups.len(),
+            covered,
+            defaulted,
+            leaf_srules: UsageStats::of(srules.leaf_usages()),
+            spine_srules: UsageStats::of(&spine_usage),
+            header_bytes,
+            traffic,
+        });
+    }
+
+    SweepResult {
+        rows,
+        li_leaf: UsageStats::of(&li_usage.leaf),
+        li_spine: UsageStats::of(&li_usage.spine),
+        li_core: UsageStats::of(&li_usage.core),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use elmo_workloads::GroupSizeDist;
+
+    fn small_sweep(p: usize, dist: GroupSizeDist) -> SweepResult {
+        let topo = Clos::scaled_fabric(4, 8, 8); // 256 hosts
+        let workload = WorkloadConfig {
+            tenants: 30,
+            total_groups: 400,
+            host_vm_cap: 20,
+            placement_p: p,
+            min_group_size: 5,
+            dist,
+            seed: 21,
+        };
+        let mut cfg = SweepConfig::paper(topo, workload);
+        cfg.r_values = vec![0, 6, 12];
+        run(&cfg)
+    }
+
+    #[test]
+    fn coverage_increases_with_r() {
+        let result = small_sweep(12, GroupSizeDist::Wve);
+        let covered: Vec<usize> = result.rows.iter().map(|r| r.covered).collect();
+        assert!(
+            covered[0] <= covered[1] && covered[1] <= covered[2],
+            "{covered:?}"
+        );
+        assert!(covered[2] > 0);
+    }
+
+    #[test]
+    fn srule_usage_decreases_with_r() {
+        let result = small_sweep(12, GroupSizeDist::Wve);
+        let means: Vec<f64> = result.rows.iter().map(|r| r.leaf_srules.mean).collect();
+        assert!(means[0] >= means[2], "{means:?}");
+    }
+
+    #[test]
+    fn traffic_overhead_grows_with_r_but_stays_below_baselines() {
+        let result = small_sweep(12, GroupSizeDist::Wve);
+        for row in &result.rows {
+            let t1500 = row.traffic.iter().find(|t| t.payload == 1500).unwrap();
+            assert!(t1500.elmo_ratio >= 1.0);
+            assert!(t1500.elmo_ratio < t1500.overlay_ratio, "r={}", row.r);
+            assert!(t1500.overlay_ratio < t1500.unicast_ratio);
+            let t64 = row.traffic.iter().find(|t| t.payload == 64).unwrap();
+            assert!(t64.elmo_ratio > t1500.elmo_ratio, "small packets hurt more");
+        }
+    }
+
+    #[test]
+    fn li_baseline_exceeds_elmo_srule_usage() {
+        let result = small_sweep(12, GroupSizeDist::Wve);
+        // Elmo at R=12 should use far less leaf group-table state than the
+        // Li et al. baseline (Figures 4/5 center).
+        let elmo = result.rows.last().unwrap().leaf_srules.mean;
+        assert!(
+            result.li_leaf.mean > elmo.max(0.5),
+            "li {} vs elmo {}",
+            result.li_leaf.mean,
+            elmo
+        );
+    }
+
+    #[test]
+    fn dispersed_placement_spreads_state_wider() {
+        let p12 = small_sweep(12, GroupSizeDist::Wve);
+        let p1 = small_sweep(1, GroupSizeDist::Wve);
+        // Dispersed placement puts groups on more leaves, so any scheme
+        // paying per-member-leaf state (Li et al.: one group-table entry per
+        // member leaf per group) needs substantially more of it — the
+        // effect behind Figure 5 vs Figure 4.
+        assert!(
+            p1.li_leaf.mean > p12.li_leaf.mean,
+            "p1 {} <= p12 {}",
+            p1.li_leaf.mean,
+            p12.li_leaf.mean
+        );
+    }
+
+    #[test]
+    fn headers_respect_the_budget() {
+        let result = small_sweep(1, GroupSizeDist::Uniform);
+        for row in &result.rows {
+            assert!(
+                row.header_bytes.max <= 325.0,
+                "r={} max={}",
+                row.r,
+                row.header_bytes.max
+            );
+            assert!(row.header_bytes.min >= 1.0);
+        }
+    }
+}

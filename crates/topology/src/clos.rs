@@ -1,0 +1,470 @@
+//! Three-tier multi-rooted Clos fabric.
+//!
+//! The fabric is parameterized by the number of pods, spines and leaves per
+//! pod, hosts per leaf, and core switches. Spine–core wiring follows the
+//! usual plane structure: with `k = spines_per_pod` spine planes, core `c`
+//! attaches to local spine `c / cores_per_spine` in **every** pod, so each
+//! core reaches each pod through exactly one link and all cores together
+//! behave as one logical core switch (paper §3.1, D2).
+//!
+//! Port numbering (used by the p-rule bitmaps and the data-plane model):
+//!
+//! * **leaf**: ports `0..hosts_per_leaf` go down to hosts (port = local host
+//!   index), ports `hosts_per_leaf..` go up to the pod's spines (port =
+//!   `hosts_per_leaf + local_spine`).
+//! * **spine**: ports `0..leaves_per_pod` go down to the pod's leaves,
+//!   ports `leaves_per_pod..` go up to the spine's cores.
+//! * **core**: port `p` goes down to pod `p`.
+
+use crate::ids::{CoreId, HostId, LeafId, PodId, SpineId};
+
+/// Sizing parameters of a [`Clos`] fabric.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct ClosParams {
+    /// Number of pods.
+    pub pods: usize,
+    /// Spine switches per pod.
+    pub spines_per_pod: usize,
+    /// Leaf switches per pod.
+    pub leaves_per_pod: usize,
+    /// Hosts attached to each leaf.
+    pub hosts_per_leaf: usize,
+    /// Total core switches. Must be a multiple of `spines_per_pod`.
+    pub cores: usize,
+}
+
+impl ClosParams {
+    /// Validate the parameters, returning a description of the first problem.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.pods == 0
+            || self.spines_per_pod == 0
+            || self.leaves_per_pod == 0
+            || self.hosts_per_leaf == 0
+            || self.cores == 0
+        {
+            return Err("all Clos dimensions must be non-zero".into());
+        }
+        if !self.cores.is_multiple_of(self.spines_per_pod) {
+            return Err(format!(
+                "cores ({}) must be a multiple of spines_per_pod ({})",
+                self.cores, self.spines_per_pod
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// A three-tier multi-rooted Clos fabric.
+///
+/// The struct is cheap to copy around: all structure is derived arithmetically
+/// from [`ClosParams`], so no adjacency lists are materialized.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Clos {
+    params: ClosParams,
+}
+
+impl Clos {
+    /// Build a fabric from validated parameters.
+    ///
+    /// # Panics
+    /// Panics if the parameters are inconsistent (see [`ClosParams::validate`]).
+    pub fn new(params: ClosParams) -> Self {
+        if let Err(e) = params.validate() {
+            panic!("invalid Clos parameters: {e}");
+        }
+        Clos { params }
+    }
+
+    /// The running-example topology of paper §3 (Figure 3a): four core
+    /// switches and four pods, two spine and two leaf switches per pod, and
+    /// eight hosts per leaf.
+    pub fn paper_example() -> Self {
+        Clos::new(ClosParams {
+            pods: 4,
+            spines_per_pod: 2,
+            leaves_per_pod: 2,
+            hosts_per_leaf: 8,
+            cores: 4,
+        })
+    }
+
+    /// The Facebook-Fabric-style topology used in the paper's evaluation
+    /// (§5.1.1): 12 pods, 48 leaves per pod, 48 hosts per leaf — 27,648
+    /// hosts in total — with four spine planes and one (logical) core switch
+    /// per plane. One core per plane is what reproduces the paper's failure
+    /// blast radii (§5.1.3b): a core failure touches ~1/4 of multi-pod
+    /// groups, a spine failure ~1/4 of the groups present in its pod.
+    pub fn facebook_fabric() -> Self {
+        Clos::new(ClosParams {
+            pods: 12,
+            spines_per_pod: 4,
+            leaves_per_pod: 48,
+            hosts_per_leaf: 48,
+            cores: 4,
+        })
+    }
+
+    /// A two-tier leaf-spine fabric (one pod, no core traversal) like the
+    /// CONGA testbed the paper says gives "qualitatively similar results"
+    /// (§5.1.1). Cores exist structurally but no multicast tree ever uses
+    /// them: every group is single-pod by construction.
+    pub fn two_tier(leaves: usize, hosts_per_leaf: usize) -> Self {
+        Clos::new(ClosParams {
+            pods: 1,
+            spines_per_pod: 4,
+            leaves_per_pod: leaves,
+            hosts_per_leaf,
+            cores: 4,
+        })
+    }
+
+    /// A proportionally scaled-down fabric with the given number of pods,
+    /// preserving the Facebook-Fabric shape. Used by the evaluation harness
+    /// to run quickly at reduced scale.
+    pub fn scaled_fabric(pods: usize, leaves_per_pod: usize, hosts_per_leaf: usize) -> Self {
+        Clos::new(ClosParams {
+            pods,
+            spines_per_pod: 4,
+            leaves_per_pod,
+            hosts_per_leaf,
+            cores: 4,
+        })
+    }
+
+    /// The sizing parameters.
+    pub fn params(&self) -> ClosParams {
+        self.params
+    }
+
+    // ----- counts ---------------------------------------------------------
+
+    /// Total number of pods.
+    pub fn num_pods(&self) -> usize {
+        self.params.pods
+    }
+
+    /// Total number of hosts in the fabric.
+    pub fn num_hosts(&self) -> usize {
+        self.params.pods * self.params.leaves_per_pod * self.params.hosts_per_leaf
+    }
+
+    /// Total number of leaf switches.
+    pub fn num_leaves(&self) -> usize {
+        self.params.pods * self.params.leaves_per_pod
+    }
+
+    /// Total number of spine switches.
+    pub fn num_spines(&self) -> usize {
+        self.params.pods * self.params.spines_per_pod
+    }
+
+    /// Total number of core switches.
+    pub fn num_cores(&self) -> usize {
+        self.params.cores
+    }
+
+    /// Total physical switches (leaves + spines + cores).
+    pub fn num_switches(&self) -> usize {
+        self.num_leaves() + self.num_spines() + self.num_cores()
+    }
+
+    /// Cores attached to each spine (`cores / spines_per_pod`).
+    pub fn cores_per_spine(&self) -> usize {
+        self.params.cores / self.params.spines_per_pod
+    }
+
+    // ----- membership / locality ------------------------------------------
+
+    /// The leaf switch a host hangs off.
+    pub fn leaf_of_host(&self, h: HostId) -> LeafId {
+        LeafId(h.0 / self.params.hosts_per_leaf as u32)
+    }
+
+    /// The pod containing a leaf.
+    pub fn pod_of_leaf(&self, l: LeafId) -> PodId {
+        PodId(l.0 / self.params.leaves_per_pod as u32)
+    }
+
+    /// The pod containing a spine.
+    pub fn pod_of_spine(&self, s: SpineId) -> PodId {
+        PodId(s.0 / self.params.spines_per_pod as u32)
+    }
+
+    /// The pod containing a host.
+    pub fn pod_of_host(&self, h: HostId) -> PodId {
+        self.pod_of_leaf(self.leaf_of_host(h))
+    }
+
+    /// Local index of a host under its leaf (this is also the leaf's
+    /// downstream port number for the host).
+    pub fn host_port_on_leaf(&self, h: HostId) -> usize {
+        (h.0 as usize) % self.params.hosts_per_leaf
+    }
+
+    /// Local index of a leaf within its pod (this is also every pod spine's
+    /// downstream port number for the leaf).
+    pub fn leaf_index_in_pod(&self, l: LeafId) -> usize {
+        (l.0 as usize) % self.params.leaves_per_pod
+    }
+
+    /// Local index of a spine within its pod.
+    pub fn spine_index_in_pod(&self, s: SpineId) -> usize {
+        (s.0 as usize) % self.params.spines_per_pod
+    }
+
+    /// The `i`-th host under a leaf.
+    pub fn host_under_leaf(&self, l: LeafId, i: usize) -> HostId {
+        debug_assert!(i < self.params.hosts_per_leaf);
+        HostId(l.0 * self.params.hosts_per_leaf as u32 + i as u32)
+    }
+
+    /// The `i`-th leaf of a pod.
+    pub fn leaf_in_pod(&self, p: PodId, i: usize) -> LeafId {
+        debug_assert!(i < self.params.leaves_per_pod);
+        LeafId(p.0 * self.params.leaves_per_pod as u32 + i as u32)
+    }
+
+    /// The `i`-th spine of a pod.
+    pub fn spine_in_pod(&self, p: PodId, i: usize) -> SpineId {
+        debug_assert!(i < self.params.spines_per_pod);
+        SpineId(p.0 * self.params.spines_per_pod as u32 + i as u32)
+    }
+
+    /// All hosts under a leaf.
+    pub fn hosts_under_leaf(&self, l: LeafId) -> impl Iterator<Item = HostId> + '_ {
+        let base = l.0 * self.params.hosts_per_leaf as u32;
+        (0..self.params.hosts_per_leaf as u32).map(move |i| HostId(base + i))
+    }
+
+    /// All leaves in a pod.
+    pub fn leaves_in_pod(&self, p: PodId) -> impl Iterator<Item = LeafId> + '_ {
+        let base = p.0 * self.params.leaves_per_pod as u32;
+        (0..self.params.leaves_per_pod as u32).map(move |i| LeafId(base + i))
+    }
+
+    /// All spines in a pod.
+    pub fn spines_in_pod(&self, p: PodId) -> impl Iterator<Item = SpineId> + '_ {
+        let base = p.0 * self.params.spines_per_pod as u32;
+        (0..self.params.spines_per_pod as u32).map(move |i| SpineId(base + i))
+    }
+
+    // ----- spine/core wiring -----------------------------------------------
+
+    /// The local spine index a core attaches to (in every pod).
+    pub fn spine_plane_of_core(&self, c: CoreId) -> usize {
+        (c.0 as usize) / self.cores_per_spine()
+    }
+
+    /// The cores attached to a spine.
+    pub fn cores_of_spine(&self, s: SpineId) -> impl Iterator<Item = CoreId> + '_ {
+        let plane = self.spine_index_in_pod(s);
+        let cps = self.cores_per_spine();
+        (0..cps).map(move |i| CoreId((plane * cps + i) as u32))
+    }
+
+    /// The spine that core `c` uses to reach pod `p`.
+    pub fn spine_under_core(&self, c: CoreId, p: PodId) -> SpineId {
+        self.spine_in_pod(p, self.spine_plane_of_core(c))
+    }
+
+    /// Whether spine `s` and core `c` are directly connected.
+    pub fn spine_core_connected(&self, s: SpineId, c: CoreId) -> bool {
+        self.spine_plane_of_core(c) == self.spine_index_in_pod(s)
+    }
+
+    // ----- ports -----------------------------------------------------------
+
+    /// Number of ports on a leaf switch (hosts + spine uplinks).
+    pub fn leaf_ports(&self) -> usize {
+        self.params.hosts_per_leaf + self.params.spines_per_pod
+    }
+
+    /// Number of downstream ports on a leaf switch.
+    pub fn leaf_down_ports(&self) -> usize {
+        self.params.hosts_per_leaf
+    }
+
+    /// Number of upstream ports on a leaf switch.
+    pub fn leaf_up_ports(&self) -> usize {
+        self.params.spines_per_pod
+    }
+
+    /// Number of ports on a spine switch (leaves + core uplinks).
+    pub fn spine_ports(&self) -> usize {
+        self.params.leaves_per_pod + self.cores_per_spine()
+    }
+
+    /// Number of downstream ports on a spine switch.
+    pub fn spine_down_ports(&self) -> usize {
+        self.params.leaves_per_pod
+    }
+
+    /// Number of upstream ports on a spine switch.
+    pub fn spine_up_ports(&self) -> usize {
+        self.cores_per_spine()
+    }
+
+    /// Number of ports on a core switch (one per pod).
+    pub fn core_ports(&self) -> usize {
+        self.params.pods
+    }
+
+    /// Leaf uplink port leading to the pod's `local_spine`-th spine.
+    pub fn leaf_up_port(&self, local_spine: usize) -> usize {
+        debug_assert!(local_spine < self.params.spines_per_pod);
+        self.params.hosts_per_leaf + local_spine
+    }
+
+    /// Spine uplink port leading to the spine's `i`-th core.
+    pub fn spine_up_port(&self, i: usize) -> usize {
+        debug_assert!(i < self.cores_per_spine());
+        self.params.leaves_per_pod + i
+    }
+
+    // ----- iteration ---------------------------------------------------------
+
+    /// All hosts in the fabric.
+    pub fn hosts(&self) -> impl Iterator<Item = HostId> {
+        (0..self.num_hosts() as u32).map(HostId)
+    }
+
+    /// All leaves in the fabric.
+    pub fn leaves(&self) -> impl Iterator<Item = LeafId> {
+        (0..self.num_leaves() as u32).map(LeafId)
+    }
+
+    /// All spines in the fabric.
+    pub fn spines(&self) -> impl Iterator<Item = SpineId> {
+        (0..self.num_spines() as u32).map(SpineId)
+    }
+
+    /// All cores in the fabric.
+    pub fn cores(&self) -> impl Iterator<Item = CoreId> {
+        (0..self.num_cores() as u32).map(CoreId)
+    }
+
+    /// All pods in the fabric.
+    pub fn pods(&self) -> impl Iterator<Item = PodId> {
+        (0..self.num_pods() as u32).map(PodId)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_example_dimensions() {
+        let t = Clos::paper_example();
+        assert_eq!(t.num_pods(), 4);
+        assert_eq!(t.num_leaves(), 8);
+        assert_eq!(t.num_spines(), 8);
+        assert_eq!(t.num_cores(), 4);
+        assert_eq!(t.num_hosts(), 64);
+        assert_eq!(t.cores_per_spine(), 2);
+    }
+
+    #[test]
+    fn facebook_fabric_dimensions() {
+        let t = Clos::facebook_fabric();
+        assert_eq!(t.num_hosts(), 27_648);
+        assert_eq!(t.num_leaves(), 576);
+        assert_eq!(t.num_spines(), 48);
+        // 576 + 48 + 4 switches
+        assert_eq!(t.num_switches(), 628);
+    }
+
+    #[test]
+    fn host_leaf_pod_mapping_roundtrips() {
+        let t = Clos::paper_example();
+        for h in t.hosts() {
+            let l = t.leaf_of_host(h);
+            let port = t.host_port_on_leaf(h);
+            assert_eq!(t.host_under_leaf(l, port), h);
+            let p = t.pod_of_leaf(l);
+            let li = t.leaf_index_in_pod(l);
+            assert_eq!(t.leaf_in_pod(p, li), l);
+        }
+    }
+
+    #[test]
+    fn figure3_host_placement() {
+        // Figure 3a names hosts Ha..Hp left to right over leaves L0..L7; the
+        // text gives 8 hosts per leaf, so Ha,Hb are the first two hosts of L0,
+        // Hk the third host of L5 in the figure's 2-per-leaf rendering. We
+        // only check the leaf boundaries here.
+        let t = Clos::paper_example();
+        assert_eq!(t.leaf_of_host(HostId(0)), LeafId(0));
+        assert_eq!(t.leaf_of_host(HostId(7)), LeafId(0));
+        assert_eq!(t.leaf_of_host(HostId(8)), LeafId(1));
+        assert_eq!(t.pod_of_leaf(LeafId(5)), PodId(2));
+        assert_eq!(t.pod_of_leaf(LeafId(7)), PodId(3));
+    }
+
+    #[test]
+    fn spine_core_wiring_is_a_plane_structure() {
+        let t = Clos::paper_example(); // 4 cores, 2 spines/pod -> 2 cores/spine
+                                       // Cores 0,1 belong to plane 0 (first spine of each pod); cores 2,3 to
+                                       // plane 1.
+        assert_eq!(t.spine_plane_of_core(CoreId(0)), 0);
+        assert_eq!(t.spine_plane_of_core(CoreId(1)), 0);
+        assert_eq!(t.spine_plane_of_core(CoreId(2)), 1);
+        assert_eq!(t.spine_plane_of_core(CoreId(3)), 1);
+        // Every core reaches every pod through exactly one spine.
+        for c in t.cores() {
+            for p in t.pods() {
+                let s = t.spine_under_core(c, p);
+                assert_eq!(t.pod_of_spine(s), p);
+                assert!(t.spine_core_connected(s, c));
+            }
+        }
+        // Spine S0 (pod 0, plane 0) connects to cores 0 and 1.
+        let cores: Vec<_> = t.cores_of_spine(SpineId(0)).collect();
+        assert_eq!(cores, vec![CoreId(0), CoreId(1)]);
+    }
+
+    #[test]
+    fn port_counts() {
+        let t = Clos::paper_example();
+        assert_eq!(t.leaf_ports(), 10); // 8 hosts + 2 spines
+        assert_eq!(t.spine_ports(), 4); // 2 leaves + 2 cores
+        assert_eq!(t.core_ports(), 4); // one per pod
+        assert_eq!(t.leaf_up_port(0), 8);
+        assert_eq!(t.spine_up_port(1), 3);
+    }
+
+    #[test]
+    fn two_tier_has_single_pod() {
+        let t = Clos::two_tier(48, 48);
+        assert_eq!(t.num_pods(), 1);
+        assert_eq!(t.num_hosts(), 2304);
+        assert_eq!(t.num_leaves(), 48);
+        // Every host is in pod 0: no multicast tree ever crosses the core.
+        for h in [0u32, 1000, 2303] {
+            assert_eq!(t.pod_of_host(HostId(h)), PodId(0));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid Clos parameters")]
+    fn rejects_inconsistent_core_count() {
+        Clos::new(ClosParams {
+            pods: 2,
+            spines_per_pod: 3,
+            leaves_per_pod: 2,
+            hosts_per_leaf: 2,
+            cores: 4, // not a multiple of 3
+        });
+    }
+
+    #[test]
+    fn every_spine_cores_relation_is_symmetric() {
+        let t = Clos::facebook_fabric();
+        for s in t.spines() {
+            for c in t.cores_of_spine(s) {
+                assert!(t.spine_core_connected(s, c));
+                assert_eq!(t.spine_under_core(c, t.pod_of_spine(s)), s);
+            }
+        }
+    }
+}

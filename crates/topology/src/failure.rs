@@ -1,0 +1,353 @@
+//! Network failures and reachability via explicit upstream ports.
+//!
+//! Under normal operation Elmo packets travel upstream by multipathing (the
+//! `M` flag in upstream p-rule bitmaps). When a spine or core fails, some
+//! multipath choices no longer reach every group member, so the controller
+//! disables the flag and sets explicit upstream ports instead, chosen with a
+//! greedy set cover so that the union of hosts reachable through the chosen
+//! spines (and cores) covers all receivers — the same technique as PortLand
+//! (paper §3.3).
+//!
+//! Leaf failures disconnect the leaf's hosts entirely (paper §5.1.3b), so
+//! only spine and core failures are modeled as routable-around events.
+
+use std::collections::BTreeSet;
+
+use crate::clos::Clos;
+use crate::ids::{CoreId, PodId, SpineId};
+use crate::tree::GroupTree;
+
+/// The set of currently failed spine and core switches.
+#[derive(Clone, Default, PartialEq, Eq, Debug)]
+pub struct FailureState {
+    failed_spines: BTreeSet<SpineId>,
+    failed_cores: BTreeSet<CoreId>,
+}
+
+impl FailureState {
+    /// No failures.
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// Mark a spine as failed. Returns `true` if it was previously alive.
+    pub fn fail_spine(&mut self, s: SpineId) -> bool {
+        self.failed_spines.insert(s)
+    }
+
+    /// Mark a core as failed. Returns `true` if it was previously alive.
+    pub fn fail_core(&mut self, c: CoreId) -> bool {
+        self.failed_cores.insert(c)
+    }
+
+    /// Restore a failed spine.
+    pub fn restore_spine(&mut self, s: SpineId) -> bool {
+        self.failed_spines.remove(&s)
+    }
+
+    /// Restore a failed core.
+    pub fn restore_core(&mut self, c: CoreId) -> bool {
+        self.failed_cores.remove(&c)
+    }
+
+    /// Whether the spine is alive.
+    pub fn spine_alive(&self, s: SpineId) -> bool {
+        !self.failed_spines.contains(&s)
+    }
+
+    /// Whether the core is alive.
+    pub fn core_alive(&self, c: CoreId) -> bool {
+        !self.failed_cores.contains(&c)
+    }
+
+    /// Whether any switch is failed.
+    pub fn any_failed(&self) -> bool {
+        !self.failed_spines.is_empty() || !self.failed_cores.is_empty()
+    }
+
+    /// Currently failed spines.
+    pub fn failed_spines(&self) -> impl Iterator<Item = SpineId> + '_ {
+        self.failed_spines.iter().copied()
+    }
+
+    /// Currently failed cores.
+    pub fn failed_cores(&self) -> impl Iterator<Item = CoreId> + '_ {
+        self.failed_cores.iter().copied()
+    }
+
+    /// Whether core `c` can deliver a packet down into pod `p` (its attach
+    /// spine in that pod must be alive).
+    pub fn core_reaches_pod(&self, topo: &Clos, c: CoreId, p: PodId) -> bool {
+        self.core_alive(c) && self.spine_alive(topo.spine_under_core(c, p))
+    }
+
+    /// Whether pod `p` is reachable from spine `s` (in another pod) through
+    /// at least one alive core.
+    pub fn spine_reaches_pod(&self, topo: &Clos, s: SpineId, p: PodId) -> bool {
+        self.spine_alive(s)
+            && topo
+                .cores_of_spine(s)
+                .any(|c| self.core_reaches_pod(topo, c, p))
+    }
+}
+
+/// Explicit upstream forwarding decisions replacing multipath for one
+/// (group, sender-pod) pair under failures.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct UpstreamCover {
+    /// Local spine indices (0..spines_per_pod) the sender's leaf forwards to.
+    pub leaf_up_ports: Vec<usize>,
+    /// Local core-port indices (0..cores_per_spine) the chosen spines forward
+    /// to. The u-spine p-rule is shared by all spines of the pod, so one port
+    /// set must work for every chosen spine.
+    pub spine_up_ports: Vec<usize>,
+    /// Whether every required pod and local leaf is reachable with these
+    /// choices. When `false` the hypervisor must degrade to unicast for the
+    /// unreachable members (paper §3.3).
+    pub complete: bool,
+}
+
+impl UpstreamCover {
+    /// Multipath-equivalent cover used when there are no failures: one spine,
+    /// one core port (the data plane hashes instead).
+    pub fn multipath() -> Self {
+        UpstreamCover {
+            leaf_up_ports: vec![],
+            spine_up_ports: vec![],
+            complete: true,
+        }
+    }
+
+    /// Compute explicit upstream ports for `tree` as seen from a sender in
+    /// `sender_pod`, avoiding failed switches.
+    ///
+    /// Targets are (a) every member leaf in the sender's pod other than the
+    /// sender's own leaf — any alive local spine covers all of those at once —
+    /// and (b) every remote member pod, which a (spine, core-port) pair covers
+    /// when the core and the remote pod's attach spine are alive. The greedy
+    /// pass picks the pair covering the most uncovered pods each step.
+    pub fn compute(
+        topo: &Clos,
+        failures: &FailureState,
+        tree: &GroupTree,
+        sender_pod: PodId,
+        sender_leaf_needed: bool,
+    ) -> Self {
+        let remote_pods: Vec<PodId> = tree.pods().filter(|&p| p != sender_pod).collect();
+        let local_spines: Vec<SpineId> = topo
+            .spines_in_pod(sender_pod)
+            .filter(|&s| failures.spine_alive(s))
+            .collect();
+
+        // Does the packet need to go up at all?
+        let local_leaf_targets = sender_leaf_needed;
+        if remote_pods.is_empty() && !local_leaf_targets {
+            return UpstreamCover {
+                leaf_up_ports: vec![],
+                spine_up_ports: vec![],
+                complete: true,
+            };
+        }
+        if local_spines.is_empty() {
+            return UpstreamCover {
+                leaf_up_ports: vec![],
+                spine_up_ports: vec![],
+                complete: false,
+            };
+        }
+
+        let mut chosen_spines: BTreeSet<usize> = BTreeSet::new();
+        let mut chosen_ports: BTreeSet<usize> = BTreeSet::new();
+        let mut uncovered: BTreeSet<PodId> = remote_pods.iter().copied().collect();
+
+        // Any alive local spine covers the local leaves; seed with the one
+        // that also covers the most remote pods.
+        while !uncovered.is_empty() {
+            let mut best: Option<(usize, usize, usize)> = None; // (gain, spine_local, port_local)
+            for &s in &local_spines {
+                let s_local = topo.spine_index_in_pod(s);
+                for (port_local, c) in topo.cores_of_spine(s).enumerate() {
+                    if !failures.core_alive(c) {
+                        continue;
+                    }
+                    let gain = uncovered
+                        .iter()
+                        .filter(|&&p| failures.core_reaches_pod(topo, c, p))
+                        .count();
+                    if gain > 0 && best.is_none_or(|(g, ..)| gain > g) {
+                        best = Some((gain, s_local, port_local));
+                    }
+                }
+            }
+            match best {
+                Some((_, s_local, port_local)) => {
+                    chosen_spines.insert(s_local);
+                    chosen_ports.insert(port_local);
+                    // Remove everything now covered by the chosen sets (ports
+                    // apply to every chosen spine, so recompute the union).
+                    uncovered.retain(|&p| {
+                        !chosen_spines.iter().any(|&sl| {
+                            let s = topo.spine_in_pod(sender_pod, sl);
+                            if !failures.spine_alive(s) {
+                                return false;
+                            }
+                            chosen_ports.iter().any(|&pl| {
+                                let cores: Vec<CoreId> = topo.cores_of_spine(s).collect();
+                                failures.core_reaches_pod(topo, cores[pl], p)
+                            })
+                        })
+                    });
+                }
+                None => break, // some pods are unreachable
+            }
+        }
+
+        if local_leaf_targets && chosen_spines.is_empty() {
+            // No remote pods (or none coverable) but local leaves still need
+            // a spine: pick the lowest alive one.
+            chosen_spines.insert(topo.spine_index_in_pod(local_spines[0]));
+        }
+
+        UpstreamCover {
+            leaf_up_ports: chosen_spines.into_iter().collect(),
+            spine_up_ports: chosen_ports.into_iter().collect(),
+            complete: uncovered.is_empty(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::HostId;
+
+    fn example_tree(topo: &Clos) -> GroupTree {
+        // Figure 3a group: pods 0, 2 and 3.
+        GroupTree::new(
+            topo,
+            [
+                HostId(0),
+                HostId(1),
+                HostId(42),
+                HostId(48),
+                HostId(49),
+                HostId(57),
+            ],
+        )
+    }
+
+    #[test]
+    fn no_failures_single_pair_covers_everything() {
+        let topo = Clos::paper_example();
+        let tree = example_tree(&topo);
+        let cover = UpstreamCover::compute(&topo, &FailureState::none(), &tree, PodId(0), false);
+        assert!(cover.complete);
+        assert_eq!(cover.leaf_up_ports.len(), 1);
+        assert_eq!(cover.spine_up_ports.len(), 1);
+    }
+
+    #[test]
+    fn local_only_group_needs_one_spine_no_cores() {
+        let topo = Clos::paper_example();
+        // Sender pod 0, members only under other leaves of pod 0.
+        let tree = GroupTree::new(&topo, [HostId(0), HostId(8)]);
+        let cover = UpstreamCover::compute(&topo, &FailureState::none(), &tree, PodId(0), true);
+        assert!(cover.complete);
+        assert_eq!(cover.leaf_up_ports.len(), 1);
+        assert!(cover.spine_up_ports.is_empty());
+    }
+
+    #[test]
+    fn leaf_local_group_needs_nothing() {
+        let topo = Clos::paper_example();
+        let tree = GroupTree::new(&topo, [HostId(0), HostId(1)]);
+        let cover = UpstreamCover::compute(&topo, &FailureState::none(), &tree, PodId(0), false);
+        assert!(cover.complete);
+        assert!(cover.leaf_up_ports.is_empty());
+        assert!(cover.spine_up_ports.is_empty());
+    }
+
+    #[test]
+    fn failed_core_forces_alternate_plane() {
+        let topo = Clos::paper_example();
+        let tree = example_tree(&topo);
+        let mut failures = FailureState::none();
+        // Kill both cores of plane 0 (cores 0 and 1): plane-0 spines can no
+        // longer reach remote pods, so the cover must use a plane-1 spine.
+        failures.fail_core(CoreId(0));
+        failures.fail_core(CoreId(1));
+        let cover = UpstreamCover::compute(&topo, &failures, &tree, PodId(0), false);
+        assert!(cover.complete);
+        assert_eq!(cover.leaf_up_ports, vec![1]); // local spine index 1 = plane 1
+    }
+
+    #[test]
+    fn failed_remote_attach_spine_reroutes_through_other_plane() {
+        let topo = Clos::paper_example();
+        let tree = example_tree(&topo);
+        let mut failures = FailureState::none();
+        // Pod 2's plane-0 spine is S4; killing it makes pods reachable only
+        // through plane-1 cores (2,3) for pod 2.
+        failures.fail_spine(SpineId(4));
+        let cover = UpstreamCover::compute(&topo, &failures, &tree, PodId(0), false);
+        assert!(cover.complete);
+        // The cover must include a plane-1 spine/port combination.
+        let reaches_pod2 = cover.leaf_up_ports.iter().any(|&sl| {
+            let s = topo.spine_in_pod(PodId(0), sl);
+            cover.spine_up_ports.iter().any(|&pl| {
+                let cores: Vec<CoreId> = topo.cores_of_spine(s).collect();
+                failures.core_reaches_pod(&topo, cores[pl], PodId(2))
+            })
+        });
+        assert!(reaches_pod2);
+    }
+
+    #[test]
+    fn totally_partitioned_pod_reports_incomplete() {
+        let topo = Clos::paper_example();
+        let tree = example_tree(&topo);
+        let mut failures = FailureState::none();
+        // Kill every spine in pod 2: no core can deliver there.
+        failures.fail_spine(SpineId(4));
+        failures.fail_spine(SpineId(5));
+        let cover = UpstreamCover::compute(&topo, &failures, &tree, PodId(0), false);
+        assert!(!cover.complete);
+    }
+
+    #[test]
+    fn all_local_spines_failed_reports_incomplete() {
+        let topo = Clos::paper_example();
+        let tree = example_tree(&topo);
+        let mut failures = FailureState::none();
+        failures.fail_spine(SpineId(0));
+        failures.fail_spine(SpineId(1));
+        let cover = UpstreamCover::compute(&topo, &failures, &tree, PodId(0), false);
+        assert!(!cover.complete);
+        assert!(cover.leaf_up_ports.is_empty());
+    }
+
+    #[test]
+    fn failure_state_bookkeeping() {
+        let mut f = FailureState::none();
+        assert!(!f.any_failed());
+        assert!(f.fail_spine(SpineId(3)));
+        assert!(!f.fail_spine(SpineId(3))); // already failed
+        assert!(!f.spine_alive(SpineId(3)));
+        assert!(f.restore_spine(SpineId(3)));
+        assert!(f.spine_alive(SpineId(3)));
+        assert!(f.fail_core(CoreId(1)));
+        assert!(f.any_failed());
+        assert_eq!(f.failed_cores().collect::<Vec<_>>(), vec![CoreId(1)]);
+    }
+
+    #[test]
+    fn core_reaches_pod_depends_on_attach_spine() {
+        let topo = Clos::paper_example();
+        let mut f = FailureState::none();
+        assert!(f.core_reaches_pod(&topo, CoreId(0), PodId(1)));
+        // Core 0 attaches to each pod's plane-0 spine; kill pod 1's (S2).
+        f.fail_spine(SpineId(2));
+        assert!(!f.core_reaches_pod(&topo, CoreId(0), PodId(1)));
+        assert!(f.core_reaches_pod(&topo, CoreId(2), PodId(1))); // plane 1 fine
+    }
+}

@@ -1,0 +1,125 @@
+//! Strongly typed identifiers for hosts, switches, pods and layers.
+//!
+//! All identifiers are plain indexes into their layer (`LeafId(5)` is the
+//! sixth leaf switch in the fabric, counted across pods). Using newtypes
+//! instead of bare integers prevents the classic bug of indexing a spine
+//! table with a leaf id, which matters in a codebase that juggles four
+//! different switch namespaces.
+
+use std::fmt;
+
+/// A physical end host (equivalently, its hypervisor switch).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct HostId(pub u32);
+
+/// A leaf (top-of-rack) switch, indexed fabric-wide.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct LeafId(pub u32);
+
+/// A physical spine switch, indexed fabric-wide.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct SpineId(pub u32);
+
+/// A core switch.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct CoreId(pub u32);
+
+/// A pod. In the logical topology a pod *is* the logical spine switch, so
+/// `PodId` doubles as the identifier carried by downstream spine p-rules.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct PodId(pub u32);
+
+/// Switch layer in the three-tier fabric.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum Layer {
+    Leaf,
+    Spine,
+    Core,
+}
+
+/// A reference to any physical switch in the fabric.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum SwitchRef {
+    Leaf(LeafId),
+    Spine(SpineId),
+    Core(CoreId),
+}
+
+impl SwitchRef {
+    /// The layer this switch belongs to.
+    pub fn layer(self) -> Layer {
+        match self {
+            SwitchRef::Leaf(_) => Layer::Leaf,
+            SwitchRef::Spine(_) => Layer::Spine,
+            SwitchRef::Core(_) => Layer::Core,
+        }
+    }
+}
+
+impl fmt::Display for HostId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "H{}", self.0)
+    }
+}
+
+impl fmt::Display for LeafId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "L{}", self.0)
+    }
+}
+
+impl fmt::Display for SpineId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "S{}", self.0)
+    }
+}
+
+impl fmt::Display for CoreId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "C{}", self.0)
+    }
+}
+
+impl fmt::Display for PodId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "P{}", self.0)
+    }
+}
+
+impl fmt::Display for SwitchRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SwitchRef::Leaf(l) => write!(f, "{l}"),
+            SwitchRef::Spine(s) => write!(f, "{s}"),
+            SwitchRef::Core(c) => write!(f, "{c}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(HostId(3).to_string(), "H3");
+        assert_eq!(LeafId(0).to_string(), "L0");
+        assert_eq!(SpineId(7).to_string(), "S7");
+        assert_eq!(CoreId(2).to_string(), "C2");
+        assert_eq!(PodId(1).to_string(), "P1");
+        assert_eq!(SwitchRef::Leaf(LeafId(4)).to_string(), "L4");
+    }
+
+    #[test]
+    fn switch_ref_layer() {
+        assert_eq!(SwitchRef::Leaf(LeafId(0)).layer(), Layer::Leaf);
+        assert_eq!(SwitchRef::Spine(SpineId(0)).layer(), Layer::Spine);
+        assert_eq!(SwitchRef::Core(CoreId(0)).layer(), Layer::Core);
+    }
+
+    #[test]
+    fn ordering_is_by_index() {
+        assert!(LeafId(1) < LeafId(2));
+        assert!(HostId(0) < HostId(10));
+    }
+}

@@ -1,0 +1,221 @@
+//! Membership churn event streams (paper §5.1.3a).
+//!
+//! Members are senders, receivers, or both, assigned uniformly at random.
+//! Join and leave events are generated randomly with per-group event counts
+//! proportional to group size: "all VMs of a tenant who are not a member of
+//! a group have equal probability to join; similarly, all existing members
+//! of the group have an equal probability of leaving."
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::BTreeMap;
+
+use crate::workload::Workload;
+
+/// Role of a member VM (mirrors `elmo_controller::MemberRole`, kept separate
+/// so the workload crate has no controller dependency).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Role {
+    Sender,
+    Receiver,
+    Both,
+}
+
+impl Role {
+    fn random(rng: &mut impl Rng) -> Role {
+        match rng.gen_range(0..3) {
+            0 => Role::Sender,
+            1 => Role::Receiver,
+            _ => Role::Both,
+        }
+    }
+}
+
+/// One membership event.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct ChurnEvent {
+    /// Index into `Workload::groups`.
+    pub group: u32,
+    /// VM index within the group's tenant.
+    pub vm: u32,
+    /// `true` = join, `false` = leave.
+    pub join: bool,
+    /// The joining/leaving VM's role.
+    pub role: Role,
+}
+
+/// Assign a random role to every initial member of every group (the churn
+/// experiment distinguishes senders from receivers).
+pub fn initial_roles(workload: &Workload, seed: u64) -> Vec<Vec<Role>> {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x0e11);
+    workload
+        .groups
+        .iter()
+        .map(|g| g.members.iter().map(|_| Role::random(&mut rng)).collect())
+        .collect()
+}
+
+/// Generate `n` join/leave events. Group selection is proportional to group
+/// size; membership is tracked so joins pick non-members and leaves pick
+/// members. Returns the events together with the evolving per-group
+/// membership maps (VM -> role) so callers can replay them consistently.
+pub fn churn_events(workload: &Workload, n: usize, seed: u64) -> Vec<ChurnEvent> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    if workload.groups.is_empty() {
+        return Vec::new();
+    }
+    // Cumulative weights for proportional group selection.
+    let mut cum: Vec<u64> = Vec::with_capacity(workload.groups.len());
+    let mut acc = 0u64;
+    for g in &workload.groups {
+        acc += g.members.len() as u64;
+        cum.push(acc);
+    }
+    // Lazily materialized per-group membership: vm -> role.
+    let mut membership: BTreeMap<u32, BTreeMap<u32, Role>> = BTreeMap::new();
+    let mut role_rng = StdRng::seed_from_u64(seed ^ 0x0e11);
+
+    let mut events = Vec::with_capacity(n);
+    while events.len() < n {
+        let pick = rng.gen_range(0..acc);
+        let gi = cum.partition_point(|&c| c <= pick);
+        let tenant_size = workload.tenants[workload.groups[gi].tenant as usize]
+            .vms
+            .len() as u32;
+        let members = membership.entry(gi as u32).or_insert_with(|| {
+            workload.groups[gi]
+                .members
+                .iter()
+                .map(|&m| (m, Role::random(&mut role_rng)))
+                .collect()
+        });
+        let join = if members.len() as u32 >= tenant_size {
+            false // group saturated: must leave
+        } else if members.len() <= 1 {
+            true // keep groups alive
+        } else {
+            rng.gen_bool(0.5)
+        };
+        if join {
+            // Rejection-sample a non-member VM of the tenant.
+            let vm = loop {
+                let v = rng.gen_range(0..tenant_size);
+                if !members.contains_key(&v) {
+                    break v;
+                }
+            };
+            let role = Role::random(&mut rng);
+            members.insert(vm, role);
+            events.push(ChurnEvent {
+                group: gi as u32,
+                vm,
+                join: true,
+                role,
+            });
+        } else {
+            // Uniform member pick.
+            let idx = rng.gen_range(0..members.len());
+            let (&vm, &role) = members.iter().nth(idx).expect("non-empty");
+            members.remove(&vm);
+            events.push(ChurnEvent {
+                group: gi as u32,
+                vm,
+                join: false,
+                role,
+            });
+        }
+    }
+    events
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dist::GroupSizeDist;
+    use crate::workload::WorkloadConfig;
+    use elmo_topology::Clos;
+
+    fn workload() -> Workload {
+        let topo = Clos::paper_example();
+        Workload::generate(
+            topo,
+            WorkloadConfig {
+                tenants: 10,
+                total_groups: 40,
+                host_vm_cap: 20,
+                placement_p: 1,
+                min_group_size: 5,
+                dist: GroupSizeDist::Wve,
+                seed: 3,
+            },
+        )
+    }
+
+    #[test]
+    fn events_are_consistent_joins_and_leaves() {
+        let w = workload();
+        let events = churn_events(&w, 2000, 77);
+        assert_eq!(events.len(), 2000);
+        // Replay: a leave must always remove a present member, a join must
+        // add an absent one.
+        let mut membership: BTreeMap<u32, std::collections::BTreeSet<u32>> = BTreeMap::new();
+        for e in &events {
+            let g = &w.groups[e.group as usize];
+            let m = membership
+                .entry(e.group)
+                .or_insert_with(|| g.members.iter().copied().collect());
+            if e.join {
+                assert!(m.insert(e.vm), "join of existing member");
+            } else {
+                assert!(m.remove(&e.vm), "leave of non-member");
+            }
+        }
+    }
+
+    #[test]
+    fn both_event_kinds_and_all_roles_occur() {
+        let w = workload();
+        let events = churn_events(&w, 3000, 5);
+        assert!(events.iter().any(|e| e.join));
+        assert!(events.iter().any(|e| !e.join));
+        for r in [Role::Sender, Role::Receiver, Role::Both] {
+            assert!(events.iter().any(|e| e.role == r), "role {r:?} missing");
+        }
+    }
+
+    #[test]
+    fn larger_groups_get_more_events() {
+        let w = workload();
+        let events = churn_events(&w, 20_000, 9);
+        let mut counts = vec![0usize; w.groups.len()];
+        for e in &events {
+            counts[e.group as usize] += 1;
+        }
+        let biggest = (0..w.groups.len())
+            .max_by_key(|&i| w.groups[i].members.len())
+            .unwrap();
+        let smallest = (0..w.groups.len())
+            .min_by_key(|&i| w.groups[i].members.len())
+            .unwrap();
+        if w.groups[biggest].members.len() > 2 * w.groups[smallest].members.len() {
+            assert!(counts[biggest] > counts[smallest]);
+        }
+    }
+
+    #[test]
+    fn churn_is_deterministic() {
+        let w = workload();
+        assert_eq!(churn_events(&w, 500, 1), churn_events(&w, 500, 1));
+        assert_ne!(churn_events(&w, 500, 1), churn_events(&w, 500, 2));
+    }
+
+    #[test]
+    fn initial_roles_cover_all_groups() {
+        let w = workload();
+        let roles = initial_roles(&w, 4);
+        assert_eq!(roles.len(), w.groups.len());
+        for (g, r) in w.groups.iter().zip(&roles) {
+            assert_eq!(g.members.len(), r.len());
+        }
+    }
+}

@@ -1,0 +1,16 @@
+//! # elmo-workloads — evaluation workload generation
+//!
+//! Everything stochastic about the paper's evaluation (§5.1.1), behind a
+//! single seed: tenant sizes (exponential, min 10 / mean ≈ 178.77 / max
+//! 5,000), `P`-clustered VM placement over the fabric, group-size
+//! distributions (WVE-calibrated and Uniform), proportional group-to-tenant
+//! assignment, and join/leave churn streams with sender/receiver/both roles
+//! (§5.1.3a).
+
+pub mod churn;
+pub mod dist;
+pub mod workload;
+
+pub use churn::{churn_events, initial_roles, ChurnEvent, Role};
+pub use dist::{group_size, tenant_size, GroupSizeDist};
+pub use workload::{GroupSpec, Tenant, Workload, WorkloadConfig};

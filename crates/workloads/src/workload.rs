@@ -1,0 +1,405 @@
+//! Tenant generation, VM placement, and group membership (paper §5.1.1).
+//!
+//! The simulated datacenter hosts `tenants` tenants whose sizes follow the
+//! exponential distribution of [`crate::dist::tenant_size`]; each host
+//! accommodates at most `host_vm_cap` VMs and a tenant's VMs never share a
+//! host. Placement follows the paper's sensitivity-analysis strategy: pick a
+//! pod uniformly at random, then a leaf within it, and pack up to `P` VMs of
+//! the tenant under that leaf — `P = 1` disperses tenants maximally,
+//! `P = 12` clusters them.
+//!
+//! Groups are assigned to tenants proportionally to tenant size, with sizes
+//! drawn from the WVE or Uniform distribution and members drawn uniformly
+//! from the tenant's VMs (minimum group size 5).
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+use elmo_topology::{Clos, HostId};
+
+use crate::dist::{group_size, tenant_size, GroupSizeDist};
+
+/// Workload generation parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct WorkloadConfig {
+    /// Number of tenants (paper: 3,000).
+    pub tenants: usize,
+    /// Total multicast groups across all tenants (paper: 1,000,000).
+    pub total_groups: usize,
+    /// VM slots per host (paper: 20).
+    pub host_vm_cap: usize,
+    /// Placement clustering degree `P` (paper: 1 or 12).
+    pub placement_p: usize,
+    /// Minimum group size (paper: 5).
+    pub min_group_size: usize,
+    /// Group-size distribution.
+    pub dist: GroupSizeDist,
+    /// RNG seed; everything downstream is deterministic in it.
+    pub seed: u64,
+}
+
+impl WorkloadConfig {
+    /// The paper's full-scale configuration.
+    pub fn paper(placement_p: usize, dist: GroupSizeDist) -> Self {
+        WorkloadConfig {
+            tenants: 3000,
+            total_groups: 1_000_000,
+            host_vm_cap: 20,
+            placement_p,
+            min_group_size: 5,
+            dist,
+            seed: 0xe1_40,
+        }
+    }
+
+    /// A configuration scaled to a smaller fabric: tenant count and group
+    /// count shrink with the host count so densities stay paper-like.
+    pub fn scaled(topo: &Clos, placement_p: usize, dist: GroupSizeDist) -> Self {
+        let scale = topo.num_hosts() as f64 / 27_648.0;
+        WorkloadConfig {
+            tenants: ((3000.0 * scale).round() as usize).max(10),
+            total_groups: ((1_000_000.0 * scale).round() as usize).max(100),
+            host_vm_cap: 20,
+            placement_p,
+            min_group_size: 5,
+            dist,
+            seed: 0xe1_40,
+        }
+    }
+}
+
+/// One tenant's VMs: `vms[i]` is the host running the tenant's `i`-th VM.
+#[derive(Clone, Debug)]
+pub struct Tenant {
+    pub vms: Vec<HostId>,
+}
+
+/// One multicast group: a tenant and the member VM indices.
+#[derive(Clone, Debug)]
+pub struct GroupSpec {
+    pub tenant: u32,
+    /// Member VM indices into the tenant's VM list, sorted.
+    pub members: Vec<u32>,
+}
+
+/// A fully generated workload.
+#[derive(Clone, Debug)]
+pub struct Workload {
+    pub topo: Clos,
+    pub config: WorkloadConfig,
+    pub tenants: Vec<Tenant>,
+    pub groups: Vec<GroupSpec>,
+}
+
+impl Workload {
+    /// Generate tenants, placement, and groups for a fabric.
+    pub fn generate(topo: Clos, config: WorkloadConfig) -> Workload {
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let tenants = place_tenants(&topo, &config, &mut rng);
+        let groups = assign_groups(&tenants, &config, &mut rng);
+        Workload {
+            topo,
+            config,
+            tenants,
+            groups,
+        }
+    }
+
+    /// The hosts of a group's members (deduplicated, sorted).
+    pub fn member_hosts(&self, g: &GroupSpec) -> Vec<HostId> {
+        let tenant = &self.tenants[g.tenant as usize];
+        let mut hosts: Vec<HostId> = g.members.iter().map(|&v| tenant.vms[v as usize]).collect();
+        hosts.sort_unstable();
+        hosts.dedup();
+        hosts
+    }
+
+    /// Total VMs placed.
+    pub fn total_vms(&self) -> usize {
+        self.tenants.iter().map(|t| t.vms.len()).sum()
+    }
+}
+
+/// Place every tenant's VMs per the `P`-clustering strategy.
+fn place_tenants(topo: &Clos, config: &WorkloadConfig, rng: &mut StdRng) -> Vec<Tenant> {
+    let num_hosts = topo.num_hosts();
+    let capacity = num_hosts * config.host_vm_cap;
+    let mut host_load = vec![0u32; num_hosts];
+    let mut placed_total = 0usize;
+
+    // Draw tenant sizes first, shrinking if the fabric cannot hold them.
+    let mut sizes: Vec<usize> = (0..config.tenants).map(|_| tenant_size(rng)).collect();
+    let budget = capacity * 9 / 10; // leave headroom so placement terminates fast
+    let total: usize = sizes.iter().sum();
+    if total > budget {
+        let scale = budget as f64 / total as f64;
+        for s in &mut sizes {
+            *s = ((*s as f64 * scale).round() as usize).max(1);
+        }
+    }
+
+    let mut tenants = Vec::with_capacity(config.tenants);
+    for size in sizes {
+        // A tenant cannot exceed one VM per host.
+        let size = size.min(num_hosts);
+        let mut vms: Vec<HostId> = Vec::with_capacity(size);
+        let mut used = vec![false; num_hosts];
+        let mut remaining = size;
+        // Paper §5.1.1: "select a pod uniformly at random, then pick a
+        // random leaf within that pod and pack up to P VMs of that tenant
+        // under that leaf. If the chosen leaf (or pod) does not have any
+        // spare capacity ... the algorithm selects another leaf (or pod)."
+        // The placement is pod-sticky: the tenant exhausts the pod, leaf by
+        // leaf (never more than P of its VMs per rack), before moving on —
+        // this is what makes most groups span one or two pods under P = 12.
+        let mut pod_order: Vec<usize> = (0..topo.num_pods()).collect();
+        pod_order.shuffle(&mut *rng);
+        'pods: for &pod in &pod_order {
+            let pod = elmo_topology::PodId(pod as u32);
+            let mut leaf_order: Vec<usize> = (0..topo.params().leaves_per_pod).collect();
+            leaf_order.shuffle(&mut *rng);
+            for &li in &leaf_order {
+                if remaining == 0 {
+                    break 'pods;
+                }
+                let leaf = topo.leaf_in_pod(pod, li);
+                remaining -= place_under_leaf(
+                    topo,
+                    leaf,
+                    config.placement_p.min(remaining),
+                    config.host_vm_cap as u32,
+                    &mut host_load,
+                    &mut used,
+                    &mut vms,
+                );
+            }
+        }
+        placed_total += vms.len();
+        tenants.push(Tenant { vms });
+    }
+    debug_assert!(placed_total <= capacity);
+    tenants
+}
+
+/// Place up to `want` VMs (the per-rack limit `P` already applied by the
+/// caller) on distinct, non-full hosts under `leaf`.
+fn place_under_leaf(
+    topo: &Clos,
+    leaf: elmo_topology::LeafId,
+    want: usize,
+    cap: u32,
+    host_load: &mut [u32],
+    used: &mut [bool],
+    vms: &mut Vec<HostId>,
+) -> usize {
+    let mut placed = 0;
+    for h in topo.hosts_under_leaf(leaf) {
+        if placed == want {
+            break;
+        }
+        let idx = h.0 as usize;
+        if host_load[idx] < cap && !used[idx] {
+            host_load[idx] += 1;
+            used[idx] = true;
+            vms.push(h);
+            placed += 1;
+        }
+    }
+    placed
+}
+
+/// Assign `total_groups` groups to tenants proportionally to tenant size and
+/// draw each group's members.
+fn assign_groups(tenants: &[Tenant], config: &WorkloadConfig, rng: &mut StdRng) -> Vec<GroupSpec> {
+    let total_vms: usize = tenants.iter().map(|t| t.vms.len()).sum();
+    if total_vms == 0 {
+        return Vec::new();
+    }
+    let mut groups = Vec::with_capacity(config.total_groups);
+    // Proportional allocation with remainder going to the largest tenants.
+    let mut quota: Vec<(usize, usize)> = tenants
+        .iter()
+        .enumerate()
+        .map(|(i, t)| (i, config.total_groups * t.vms.len() / total_vms))
+        .collect();
+    let assigned: usize = quota.iter().map(|(_, q)| q).sum();
+    let mut leftover = config.total_groups - assigned;
+    quota.sort_by_key(|&(i, _)| std::cmp::Reverse(tenants[i].vms.len()));
+    for q in quota.iter_mut() {
+        if leftover == 0 {
+            break;
+        }
+        q.1 += 1;
+        leftover -= 1;
+    }
+    for (ti, n) in quota {
+        let tenant = &tenants[ti];
+        if tenant.vms.is_empty() {
+            continue;
+        }
+        for _ in 0..n {
+            let size = group_size(rng, config.dist, config.min_group_size, tenant.vms.len());
+            let members = sample_members(rng, tenant.vms.len(), size);
+            groups.push(GroupSpec {
+                tenant: ti as u32,
+                members,
+            });
+        }
+    }
+    // Restore a deterministic (tenant-major) order independent of the quota
+    // sort above.
+    groups.sort_by_key(|g| g.tenant);
+    groups
+}
+
+/// Sample `k` distinct VM indices out of `n` (partial Fisher–Yates).
+fn sample_members(rng: &mut StdRng, n: usize, k: usize) -> Vec<u32> {
+    let k = k.min(n);
+    let mut pool: Vec<u32> = (0..n as u32).collect();
+    let (chosen, _) = pool.partial_shuffle(rng, k);
+    let mut members = chosen.to_vec();
+    members.sort_unstable();
+    members
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_config(p: usize) -> WorkloadConfig {
+        WorkloadConfig {
+            tenants: 20,
+            total_groups: 200,
+            host_vm_cap: 20,
+            placement_p: p,
+            min_group_size: 5,
+            dist: GroupSizeDist::Wve,
+            seed: 11,
+        }
+    }
+
+    #[test]
+    fn placement_respects_host_capacity_and_tenant_exclusivity() {
+        let topo = Clos::paper_example(); // 64 hosts
+        let w = Workload::generate(topo, small_config(12));
+        let mut load = vec![0usize; topo.num_hosts()];
+        for t in &w.tenants {
+            let mut seen = std::collections::BTreeSet::new();
+            for &h in &t.vms {
+                assert!(seen.insert(h), "tenant reuses host {h}");
+                load[h.0 as usize] += 1;
+            }
+        }
+        assert!(load.iter().all(|&l| l <= 20));
+        assert!(w.total_vms() > 0);
+    }
+
+    #[test]
+    fn p1_disperses_more_than_p12() {
+        let topo = Clos::facebook_fabric();
+        let mut cfg = small_config(1);
+        cfg.tenants = 5;
+        cfg.total_groups = 50;
+        let w1 = Workload::generate(topo, cfg);
+        let mut cfg12 = cfg;
+        cfg12.placement_p = 12;
+        let w12 = Workload::generate(topo, cfg12);
+        // Average leaves spanned per group must be higher under P = 1.
+        let spread = |w: &Workload| {
+            let mut total = 0usize;
+            for g in &w.groups {
+                let hosts = w.member_hosts(g);
+                let leaves: std::collections::BTreeSet<_> =
+                    hosts.iter().map(|&h| w.topo.leaf_of_host(h)).collect();
+                total += leaves.len();
+            }
+            total as f64 / w.groups.len() as f64
+        };
+        assert!(
+            spread(&w1) > spread(&w12),
+            "P=1 {} <= P=12 {}",
+            spread(&w1),
+            spread(&w12)
+        );
+    }
+
+    #[test]
+    fn groups_have_valid_members() {
+        let topo = Clos::paper_example();
+        let w = Workload::generate(topo, small_config(1));
+        assert_eq!(w.groups.len(), 200);
+        for g in &w.groups {
+            let tenant = &w.tenants[g.tenant as usize];
+            assert!(g.members.len() >= 5.min(tenant.vms.len()));
+            // Members are distinct, sorted, in range.
+            for pair in g.members.windows(2) {
+                assert!(pair[0] < pair[1]);
+            }
+            assert!(g.members.iter().all(|&m| (m as usize) < tenant.vms.len()));
+        }
+    }
+
+    #[test]
+    fn group_count_is_proportional_to_tenant_size() {
+        let topo = Clos::facebook_fabric();
+        let mut cfg = small_config(12);
+        cfg.tenants = 50;
+        cfg.total_groups = 5000;
+        let w = Workload::generate(topo, cfg);
+        let mut per_tenant = vec![0usize; w.tenants.len()];
+        for g in &w.groups {
+            per_tenant[g.tenant as usize] += 1;
+        }
+        // The biggest tenant gets more groups than the smallest.
+        let (big, _) = w
+            .tenants
+            .iter()
+            .enumerate()
+            .max_by_key(|(_, t)| t.vms.len())
+            .unwrap();
+        let (small, _) = w
+            .tenants
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, t)| t.vms.len())
+            .unwrap();
+        assert!(per_tenant[big] > per_tenant[small]);
+        assert_eq!(per_tenant.iter().sum::<usize>(), 5000);
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let topo = Clos::paper_example();
+        let a = Workload::generate(topo, small_config(1));
+        let b = Workload::generate(topo, small_config(1));
+        assert_eq!(a.groups.len(), b.groups.len());
+        for (ga, gb) in a.groups.iter().zip(&b.groups) {
+            assert_eq!(ga.tenant, gb.tenant);
+            assert_eq!(ga.members, gb.members);
+        }
+    }
+
+    #[test]
+    fn scaled_config_shrinks_with_fabric() {
+        let small = Clos::scaled_fabric(4, 8, 8);
+        let cfg = WorkloadConfig::scaled(&small, 1, GroupSizeDist::Wve);
+        assert!(cfg.tenants < 3000);
+        assert!(cfg.total_groups < 1_000_000);
+        let full = WorkloadConfig::scaled(&Clos::facebook_fabric(), 1, GroupSizeDist::Wve);
+        assert_eq!(full.tenants, 3000);
+        assert_eq!(full.total_groups, 1_000_000);
+    }
+
+    #[test]
+    fn member_hosts_dedup_across_vms() {
+        let topo = Clos::paper_example();
+        let w = Workload::generate(topo, small_config(12));
+        for g in &w.groups {
+            let hosts = w.member_hosts(g);
+            for pair in hosts.windows(2) {
+                assert!(pair[0] < pair[1], "hosts sorted+deduped");
+            }
+        }
+    }
+}

@@ -1,0 +1,52 @@
+//! Host telemetry (sFlow) over Elmo vs unicast — the paper's §5.2.2
+//! scenario: one agent exporting metric datagrams to N collectors.
+//!
+//! All datagrams really cross the simulated fabric; the egress figure is
+//! measured on the agent host's access link, encapsulation included.
+//!
+//! Run with: `cargo run --example telemetry [max_collectors]`
+
+use elmo::apps::pubsub::Transport;
+use elmo::apps::telemetry::{run, TelemetryConfig};
+use elmo::topology::Clos;
+
+fn main() {
+    let max: usize = std::env::args()
+        .nth(1)
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(64);
+    let topo = Clos::scaled_fabric(4, 8, 12); // 384 hosts
+    let cfg = TelemetryConfig::default();
+
+    println!(
+        "sFlow-style export: {} datagrams/s of {} payload bytes, up to {max} collectors\n",
+        cfg.datagrams_per_sec, cfg.datagram_bytes
+    );
+    println!(
+        "{:>10}  {:>14} {:>16}",
+        "collectors", "elmo egress", "unicast egress"
+    );
+    let mut n = 1;
+    while n <= max && n + 1 < topo.num_hosts() {
+        let elmo = run(topo, n, cfg, Transport::Elmo);
+        let uni = run(topo, n, cfg, Transport::Unicast);
+        assert_eq!(
+            elmo.received_total, elmo.expected_total,
+            "elmo lost datagrams"
+        );
+        assert_eq!(
+            uni.received_total, uni.expected_total,
+            "unicast lost datagrams"
+        );
+        println!(
+            "{:>10}  {:>9.1} Kbps {:>11.1} Kbps",
+            n, elmo.egress_kbps, uni.egress_kbps
+        );
+        n *= 2;
+    }
+    println!(
+        "\nthe paper reports 370.4 Kbps at 64 unicast collectors vs a constant \
+         ~5.8 Kbps with Elmo;\nthe shape here is the same: unicast egress grows \
+         linearly, Elmo's stays at the single-collector cost."
+    );
+}

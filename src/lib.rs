@@ -1,0 +1,26 @@
+//! # Elmo — source-routed multicast for public clouds
+//!
+//! A from-scratch Rust reproduction of *Elmo: Source Routed Multicast for
+//! Public Clouds* (SIGCOMM 2019). This facade crate re-exports the public
+//! API of every subsystem:
+//!
+//! * [`core`] — the paper's contribution: p-rule/s-rule encoding of
+//!   multicast trees (bitmaps, bit-level header format, Algorithm 1).
+//! * [`topology`] — multi-rooted Clos fabrics, logical topology, failures.
+//! * [`net`] — the substrate packet stack (Ethernet/IPv4/UDP/VXLAN).
+//! * [`dataplane`] — PISA-style network switches and hypervisor switches.
+//! * [`controller`] — the logically-centralized controller.
+//! * [`workloads`] — tenants, placement, group-size distributions, churn.
+//! * [`sim`] — the evaluation harness regenerating every paper table/figure.
+//! * [`apps`] — pub-sub and telemetry applications over the fabric.
+//!
+//! See `examples/quickstart.rs` for an end-to-end tour.
+
+pub use elmo_apps as apps;
+pub use elmo_controller as controller;
+pub use elmo_core as core;
+pub use elmo_dataplane as dataplane;
+pub use elmo_net as net;
+pub use elmo_sim as sim;
+pub use elmo_topology as topology;
+pub use elmo_workloads as workloads;

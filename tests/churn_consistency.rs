@@ -1,0 +1,140 @@
+//! Churn integration: replay a generated join/leave stream through the
+//! controller and verify its state stays consistent with ground truth —
+//! trees match the membership, s-rule accounting never leaks, headers stay
+//! within budget throughout.
+
+use std::collections::BTreeMap;
+use std::net::Ipv4Addr;
+
+use elmo::controller::{Controller, ControllerConfig, GroupId, MemberRole};
+use elmo::net::vxlan::Vni;
+use elmo::topology::{Clos, GroupTree};
+use elmo::workloads::{churn_events, initial_roles, GroupSizeDist, Role, Workload, WorkloadConfig};
+
+fn to_role(r: Role) -> MemberRole {
+    match r {
+        Role::Sender => MemberRole::Sender,
+        Role::Receiver => MemberRole::Receiver,
+        Role::Both => MemberRole::Both,
+    }
+}
+
+fn build_workload() -> (Clos, Workload, Vec<Vec<Role>>) {
+    let topo = Clos::scaled_fabric(4, 6, 8); // 192 hosts
+    let cfg = WorkloadConfig {
+        tenants: 12,
+        total_groups: 60,
+        host_vm_cap: 20,
+        placement_p: 1,
+        min_group_size: 5,
+        dist: GroupSizeDist::Wve,
+        seed: 0xc0ffee,
+    };
+    let workload = Workload::generate(topo, cfg);
+    let roles = initial_roles(&workload, cfg.seed);
+    (topo, workload, roles)
+}
+
+#[test]
+fn controller_tracks_ground_truth_through_churn() {
+    let (topo, workload, roles) = build_workload();
+    let layout = elmo::core::HeaderLayout::for_clos(&topo);
+    let mut ctl = Controller::new(topo, ControllerConfig::paper_default(12));
+
+    // Ground truth: per group, per VM, the role (receivers matter for trees).
+    let mut truth: Vec<BTreeMap<u32, Role>> = Vec::new();
+    for (gi, g) in workload.groups.iter().enumerate() {
+        let tenant = &workload.tenants[g.tenant as usize];
+        ctl.create_group(
+            GroupId(gi as u64),
+            Vni(g.tenant),
+            Ipv4Addr::new(225, 1, (gi >> 8) as u8, gi as u8),
+            g.members
+                .iter()
+                .zip(&roles[gi])
+                .map(|(&vm, &r)| (tenant.vms[vm as usize], to_role(r))),
+        );
+        truth.push(
+            g.members
+                .iter()
+                .zip(&roles[gi])
+                .map(|(&vm, &r)| (vm, r))
+                .collect(),
+        );
+    }
+
+    let events = churn_events(&workload, 3_000, 0xc0ffee ^ 0xc4);
+    for (step, e) in events.iter().enumerate() {
+        let g = &workload.groups[e.group as usize];
+        let tenant = &workload.tenants[g.tenant as usize];
+        let host = tenant.vms[e.vm as usize];
+        if e.join {
+            ctl.join(GroupId(e.group as u64), host, to_role(e.role));
+            truth[e.group as usize].insert(e.vm, e.role);
+        } else {
+            let old_role = truth[e.group as usize]
+                .remove(&e.vm)
+                .expect("member leaves");
+            ctl.leave(GroupId(e.group as u64), host, to_role(old_role));
+        }
+
+        // Spot-check a rotating window of groups for full consistency (all
+        // groups every step would be quadratic).
+        if step % 97 == 0 {
+            for gi in [e.group as usize, (e.group as usize + 7) % truth.len()] {
+                let tenant = &workload.tenants[workload.groups[gi].tenant as usize];
+                let expect_tree = GroupTree::new(
+                    &topo,
+                    truth[gi]
+                        .iter()
+                        .filter(|(_, r)| r.receives())
+                        .map(|(&vm, _)| tenant.vms[vm as usize]),
+                );
+                let state = ctl.group(GroupId(gi as u64)).expect("group exists");
+                assert_eq!(
+                    state.tree, expect_tree,
+                    "group {gi} tree diverged at step {step}"
+                );
+                // Headers for a sampled sender stay within budget and decode.
+                if let Some(sender) = state.sender_hosts().next() {
+                    let header = ctl.header_for(GroupId(gi as u64), sender).expect("header");
+                    let bytes = header.encode(&layout);
+                    assert!(bytes.len() <= 325, "header {} > budget", bytes.len());
+                    let (decoded, _) =
+                        elmo::core::ElmoHeader::decode(&bytes, &layout).expect("decodes");
+                    assert_eq!(decoded, header);
+                }
+            }
+        }
+    }
+
+    // Final global check: every group's tree matches truth and the s-rule
+    // tracker equals the sum of installed encodings (no leaks).
+    let mut expected_srules = 0usize;
+    for (gi, members) in truth.iter().enumerate() {
+        let tenant = &workload.tenants[workload.groups[gi].tenant as usize];
+        let expect_tree = GroupTree::new(
+            &topo,
+            members
+                .iter()
+                .filter(|(_, r)| r.receives())
+                .map(|(&vm, _)| tenant.vms[vm as usize]),
+        );
+        let state = ctl.group(GroupId(gi as u64)).expect("group exists");
+        assert_eq!(state.tree, expect_tree, "group {gi} final tree");
+        expected_srules += state.enc.d_leaf.s_rules.len() + state.enc.d_spine.s_rules.len();
+    }
+    let tracked: usize = ctl.srules().leaf_usages().iter().sum::<usize>()
+        + ctl.srules().pod_usages().iter().sum::<usize>();
+    assert_eq!(tracked, expected_srules, "s-rule accounting leaked");
+}
+
+trait Receives {
+    fn receives(&self) -> bool;
+}
+
+impl Receives for Role {
+    fn receives(&self) -> bool {
+        matches!(self, Role::Receiver | Role::Both)
+    }
+}
