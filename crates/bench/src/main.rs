@@ -1,0 +1,209 @@
+//! `elmo-bench` — std-only benchmark harness (no criterion; the workspace
+//! builds fully offline).
+//!
+//! ```text
+//! cargo run --release -p elmo-bench [-- flags]
+//!
+//! flags:
+//!   --groups N        workload size (default: scaled to the fabric, capped at 20,000)
+//!   --threads LIST    comma-separated thread counts (default 1,2,8)
+//!   --r LIST          redundancy limits per sweep (default 0,6,12)
+//!   --out PATH        output file (default BENCH_encode.json)
+//! ```
+//!
+//! Times the Figure 4/5 encode sweep (`elmo_sim::sweep::run`) at each thread
+//! count and the MIN-K-UNION clustering kernel, then writes the results as
+//! JSON. Thread counts above the machine's core count cannot speed anything
+//! up — `cpus_available` is recorded so readers can judge the scaling
+//! numbers in context. The sweep results themselves are asserted identical
+//! across thread counts before timings are reported.
+
+use std::time::Instant;
+
+use elmo_core::{approx_min_k_union_with, MinKUnionScratch, PortBitmap, SplitMix64};
+use elmo_sim::{sweep, SweepConfig};
+use elmo_topology::Clos;
+use elmo_workloads::{GroupSizeDist, WorkloadConfig};
+
+struct Args {
+    groups: Option<usize>,
+    threads: Vec<usize>,
+    r_values: Vec<usize>,
+    out: String,
+}
+
+fn parse_args() -> Args {
+    let mut out = Args {
+        groups: None,
+        threads: vec![1, 2, 8],
+        r_values: vec![0, 6, 12],
+        out: "BENCH_encode.json".into(),
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        let mut num_list = |flag: &str| -> Vec<usize> {
+            args.next()
+                .and_then(|v| {
+                    v.split(',')
+                        .map(|s| s.trim().parse().ok())
+                        .collect::<Option<Vec<usize>>>()
+                })
+                .unwrap_or_else(|| {
+                    eprintln!("error: {flag} needs a comma-separated number list");
+                    std::process::exit(2);
+                })
+        };
+        match a.as_str() {
+            "--groups" => out.groups = num_list("--groups").first().copied(),
+            "--threads" => out.threads = num_list("--threads"),
+            "--r" => out.r_values = num_list("--r"),
+            "--out" => {
+                out.out = args.next().unwrap_or_else(|| {
+                    eprintln!("error: --out needs a path");
+                    std::process::exit(2);
+                })
+            }
+            other => {
+                eprintln!("error: unknown argument {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+    out
+}
+
+struct SweepRun {
+    threads: usize,
+    wall_ms: f64,
+    groups_per_sec: f64,
+}
+
+fn bench_sweep(args: &Args) -> (Clos, WorkloadConfig, Vec<SweepRun>) {
+    let topo = Clos::scaled_fabric(6, 24, 16); // 2,304 hosts
+    let mut wl = WorkloadConfig::scaled(&topo, 12, GroupSizeDist::Wve);
+    wl.total_groups = args.groups.unwrap_or(wl.total_groups.min(20_000));
+    let mut cfg = SweepConfig::paper(topo, wl);
+    cfg.r_values = args.r_values.clone();
+
+    let mut runs = Vec::new();
+    let mut reference = None;
+    for &threads in &args.threads {
+        cfg.threads = threads;
+        let start = Instant::now();
+        let result = sweep::run(&cfg);
+        let secs = start.elapsed().as_secs_f64();
+        // Encodes = groups x r-values; the Li baseline pass is shared
+        // overhead and deliberately counted against every run equally.
+        let encodes = (wl.total_groups * cfg.r_values.len()) as f64;
+        eprintln!(
+            "sweep: threads={threads:2}  wall={:8.1} ms  {:9.0} groups/s",
+            secs * 1e3,
+            encodes / secs
+        );
+        match &reference {
+            None => reference = Some(result),
+            Some(r) => assert_eq!(
+                r.rows, result.rows,
+                "parallel sweep diverged from reference at {threads} threads"
+            ),
+        }
+        runs.push(SweepRun {
+            threads,
+            wall_ms: secs * 1e3,
+            groups_per_sec: encodes / secs,
+        });
+    }
+    (topo, wl, runs)
+}
+
+/// Time the clustering kernel on synthetic layer inputs shaped like a busy
+/// spine layer: many wide bitmaps with clustered ports.
+fn bench_min_k_union() -> (usize, f64, f64) {
+    let mut rng = SplitMix64::new(0xB17);
+    let width = 96;
+    let sets: Vec<Vec<PortBitmap>> = (0..64)
+        .map(|_| {
+            let n = rng.range_inclusive(8, 48);
+            (0..n)
+                .map(|_| {
+                    let ones = rng.range_inclusive(1, 12);
+                    PortBitmap::from_ports(
+                        width,
+                        (0..ones).map(|_| rng.index(width)).collect::<Vec<_>>(),
+                    )
+                })
+                .collect()
+        })
+        .collect();
+    let mut scratch = MinKUnionScratch::default();
+    // Warm up once so buffer growth is not on the clock.
+    for set in &sets {
+        let refs: Vec<&PortBitmap> = set.iter().collect();
+        let _ = approx_min_k_union_with(refs.len().min(8), &refs, &mut scratch);
+    }
+    let iters = 200;
+    let start = Instant::now();
+    let mut sink = 0usize;
+    for _ in 0..iters {
+        for set in &sets {
+            let refs: Vec<&PortBitmap> = set.iter().collect();
+            let picked = approx_min_k_union_with(refs.len().min(8), &refs, &mut scratch);
+            sink = sink.wrapping_add(picked.len());
+        }
+    }
+    let secs = start.elapsed().as_secs_f64();
+    let calls = (iters * sets.len()) as f64;
+    std::hint::black_box(sink);
+    eprintln!(
+        "min_k_union: {calls:6.0} calls  wall={:8.1} ms  {:9.0} calls/s",
+        secs * 1e3,
+        calls / secs
+    );
+    (iters * sets.len(), secs * 1e3, calls / secs)
+}
+
+fn json_f(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:.2}")
+    } else {
+        "null".into()
+    }
+}
+
+fn main() {
+    let args = parse_args();
+    let cpus = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let (topo, wl, runs) = bench_sweep(&args);
+    let (mku_calls, mku_ms, mku_rate) = bench_min_k_union();
+
+    let one_thread = runs.iter().find(|r| r.threads == 1).map(|r| r.wall_ms);
+    let speedups: Vec<String> = runs
+        .iter()
+        .map(|r| {
+            let s = one_thread.map_or(f64::NAN, |t1| t1 / r.wall_ms);
+            format!(
+                "    {{\"threads\": {}, \"wall_ms\": {}, \"groups_per_sec\": {}, \"speedup_vs_1\": {}}}",
+                r.threads,
+                json_f(r.wall_ms),
+                json_f(r.groups_per_sec),
+                json_f(s)
+            )
+        })
+        .collect();
+    let r_list: Vec<String> = args.r_values.iter().map(|r| r.to_string()).collect();
+    let json = format!(
+        "{{\n  \"bench\": \"elmo encode sweep\",\n  \"fabric_hosts\": {},\n  \"groups\": {},\n  \"r_values\": [{}],\n  \"cpus_available\": {},\n  \"runs\": [\n{}\n  ],\n  \"min_k_union\": {{\"calls\": {}, \"wall_ms\": {}, \"calls_per_sec\": {}}}\n}}\n",
+        topo.num_hosts(),
+        wl.total_groups,
+        r_list.join(", "),
+        cpus,
+        speedups.join(",\n"),
+        mku_calls,
+        json_f(mku_ms),
+        json_f(mku_rate),
+    );
+    std::fs::write(&args.out, &json).expect("write bench output");
+    eprintln!("wrote {}", args.out);
+}

@@ -1,0 +1,256 @@
+//! Two-phase deterministic batch encoding (the parallel encode pipeline).
+//!
+//! Per-group encoding is embarrassingly parallel except for one shared
+//! resource: the fabric-wide s-rule budget ([`SRuleSpace`], per-switch
+//! `Fmax`). Running Algorithm 1 for many groups concurrently against a
+//! shared tracker would make results depend on thread interleaving, so the
+//! pipeline splits the work:
+//!
+//! * **Phase 1 (parallel)** — encode every group *optimistically*, assuming
+//!   every s-rule allocation succeeds, while recording the exact sequence of
+//!   capacity requests Algorithm 1 issued ([`encode_group_optimistic`]).
+//! * **Phase 2 (sequential, group order)** — replay each group's requests
+//!   into the real [`SRuleSpace`] in group order ([`try_admit`]). If every
+//!   request is granted — always true with unlimited `Fmax`, the paper's
+//!   main configuration — the optimistic encoding *is* the serial encoding,
+//!   because Algorithm 1's control flow only observes allocation results.
+//!   If any request is refused, the group's trial reservations are rolled
+//!   back and the group is re-encoded serially against the live tracker
+//!   ([`encode_group_admitted`]), reproducing the serial path exactly —
+//!   including the subtle coupling where a refused *spine* allocation grows
+//!   the spine default rule and thereby shrinks the leaf layer's bit budget.
+//!
+//! The result is byte-identical to a serial group-by-group encode at any
+//! thread count; the determinism test in `tests/parallel_determinism.rs`
+//! checks this on both unlimited and capacity-limited configurations.
+
+use std::cell::RefCell;
+
+use elmo_core::{encode_group_with, EncodeScratch, EncoderConfig, GroupEncoding};
+use elmo_topology::{Clos, GroupTree, LeafId, PodId};
+
+use crate::srules::SRuleSpace;
+
+/// One s-rule capacity request recorded during an optimistic encode, in the
+/// order Algorithm 1 issues it against a live tracker.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum SRuleReq {
+    /// One group-table entry on every spine of the pod.
+    Pod(PodId),
+    /// One group-table entry on the leaf.
+    Leaf(LeafId),
+}
+
+/// Phase 1: encode one group assuming unlimited s-rule capacity, recording
+/// every allocation Algorithm 1 would have made into `reqs` (cleared first).
+pub fn encode_group_optimistic(
+    topo: &Clos,
+    tree: &GroupTree,
+    cfg: &EncoderConfig,
+    scratch: &mut EncodeScratch,
+    reqs: &mut Vec<SRuleReq>,
+) -> GroupEncoding {
+    reqs.clear();
+    let cell = RefCell::new(reqs);
+    let mut spine_alloc = |p: PodId| {
+        cell.borrow_mut().push(SRuleReq::Pod(p));
+        true
+    };
+    let mut leaf_alloc = |l: LeafId| {
+        cell.borrow_mut().push(SRuleReq::Leaf(l));
+        true
+    };
+    encode_group_with(topo, tree, cfg, &mut spine_alloc, &mut leaf_alloc, scratch)
+}
+
+/// Phase 2 admission: try to reserve every recorded request, in order.
+/// All-or-nothing — on the first refusal every reservation made for this
+/// group is rolled back and `false` is returned, leaving `srules` exactly
+/// as it was so the caller can re-encode against the pre-group state.
+pub fn try_admit(srules: &mut SRuleSpace, reqs: &[SRuleReq]) -> bool {
+    for (i, req) in reqs.iter().enumerate() {
+        let granted = match *req {
+            SRuleReq::Pod(p) => srules.alloc_pod(p),
+            SRuleReq::Leaf(l) => srules.alloc_leaf(l),
+        };
+        if !granted {
+            for r in &reqs[..i] {
+                match *r {
+                    SRuleReq::Pod(p) => srules.free_pod(p),
+                    SRuleReq::Leaf(l) => srules.free_leaf(l),
+                }
+            }
+            return false;
+        }
+    }
+    true
+}
+
+/// Serial-path encode against the live tracker, used when admission fails.
+/// Partial allocations stick even when later ones are refused — exactly the
+/// semantics of encoding this group serially at this point in the order.
+pub fn encode_group_admitted(
+    topo: &Clos,
+    tree: &GroupTree,
+    cfg: &EncoderConfig,
+    srules: &mut SRuleSpace,
+    scratch: &mut EncodeScratch,
+) -> GroupEncoding {
+    let cell = RefCell::new(srules);
+    let mut spine_alloc = |p: PodId| cell.borrow_mut().alloc_pod(p);
+    let mut leaf_alloc = |l: LeafId| cell.borrow_mut().alloc_leaf(l);
+    encode_group_with(topo, tree, cfg, &mut spine_alloc, &mut leaf_alloc, scratch)
+}
+
+/// Outcome of [`encode_batch`].
+#[derive(Debug)]
+pub struct BatchOutcome {
+    /// One encoding per input tree, in input order.
+    pub encodings: Vec<GroupEncoding>,
+    /// How many groups failed optimistic admission and were re-encoded
+    /// serially (0 whenever `Fmax` is unlimited).
+    pub reencoded: usize,
+}
+
+/// Encode a batch of group trees with the two-phase pipeline. The final
+/// `srules` occupancy and every returned encoding are byte-identical to
+/// encoding the trees one by one in slice order on a single thread.
+pub fn encode_batch(
+    topo: &Clos,
+    cfg: &EncoderConfig,
+    srules: &mut SRuleSpace,
+    trees: &[GroupTree],
+    threads: usize,
+) -> BatchOutcome {
+    let phase1 = elmo_core::parallel_map_with(
+        trees.len(),
+        threads,
+        || (EncodeScratch::new(), Vec::new()),
+        |(scratch, reqs), i| {
+            let enc = encode_group_optimistic(topo, &trees[i], cfg, scratch, reqs);
+            (enc, std::mem::take(reqs))
+        },
+    );
+
+    let mut reencoded = 0usize;
+    let mut scratch = EncodeScratch::new();
+    let encodings = phase1
+        .into_iter()
+        .enumerate()
+        .map(|(i, (enc, reqs))| {
+            if try_admit(srules, &reqs) {
+                enc
+            } else {
+                reencoded += 1;
+                encode_group_admitted(topo, &trees[i], cfg, srules, &mut scratch)
+            }
+        })
+        .collect();
+    BatchOutcome {
+        encodings,
+        reencoded,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use elmo_core::{HeaderLayout, SplitMix64};
+    use elmo_topology::HostId;
+
+    fn random_trees(topo: &Clos, n: usize, seed: u64) -> Vec<GroupTree> {
+        let mut rng = SplitMix64::new(seed);
+        (0..n)
+            .map(|_| {
+                let size = rng.range_inclusive(2, 24);
+                let members: Vec<HostId> = (0..size)
+                    .map(|_| HostId(rng.below(topo.num_hosts() as u64) as u32))
+                    .collect();
+                GroupTree::new(topo, members)
+            })
+            .collect()
+    }
+
+    fn serial_reference(
+        topo: &Clos,
+        cfg: &EncoderConfig,
+        srules: &mut SRuleSpace,
+        trees: &[GroupTree],
+    ) -> Vec<GroupEncoding> {
+        let mut scratch = EncodeScratch::new();
+        trees
+            .iter()
+            .map(|t| encode_group_admitted(topo, t, cfg, srules, &mut scratch))
+            .collect()
+    }
+
+    #[test]
+    fn optimistic_matches_serial_when_capacity_is_unlimited() {
+        let topo = Clos::paper_example();
+        let layout = HeaderLayout::for_clos(&topo);
+        let cfg = EncoderConfig::with_budget(&layout, 48, 0);
+        let trees = random_trees(&topo, 60, 0xA11C);
+        for threads in [1, 2, 8] {
+            let mut srules = SRuleSpace::unlimited(&topo);
+            let out = encode_batch(&topo, &cfg, &mut srules, &trees, threads);
+            assert_eq!(out.reencoded, 0, "unlimited capacity never re-encodes");
+            let mut ref_srules = SRuleSpace::unlimited(&topo);
+            let reference = serial_reference(&topo, &cfg, &mut ref_srules, &trees);
+            assert_eq!(out.encodings, reference);
+            assert_eq!(srules.leaf_usages(), ref_srules.leaf_usages());
+            assert_eq!(srules.pod_usages(), ref_srules.pod_usages());
+        }
+    }
+
+    #[test]
+    fn capacity_pressure_reencodes_but_stays_identical_to_serial() {
+        let topo = Clos::paper_example();
+        let layout = HeaderLayout::for_clos(&topo);
+        // Tiny header budget spills aggressively into s-rules; tiny Fmax
+        // then forces admission failures and the re-encode path.
+        let cfg = EncoderConfig::with_budget(&layout, 16, 0);
+        let trees = random_trees(&topo, 80, 0xBEE);
+        let mut any_reencoded = false;
+        for threads in [1, 2, 8] {
+            let mut srules = SRuleSpace::new(&topo, 3, 2);
+            let out = encode_batch(&topo, &cfg, &mut srules, &trees, threads);
+            any_reencoded |= out.reencoded > 0;
+            let mut ref_srules = SRuleSpace::new(&topo, 3, 2);
+            let reference = serial_reference(&topo, &cfg, &mut ref_srules, &trees);
+            assert_eq!(out.encodings, reference, "threads={threads}");
+            assert_eq!(srules.leaf_usages(), ref_srules.leaf_usages());
+            assert_eq!(srules.pod_usages(), ref_srules.pod_usages());
+        }
+        assert!(
+            any_reencoded,
+            "test must actually exercise the re-encode path"
+        );
+    }
+
+    #[test]
+    fn try_admit_rolls_back_on_refusal() {
+        let topo = Clos::paper_example();
+        let mut srules = SRuleSpace::new(&topo, 1, 1);
+        assert!(srules.alloc_leaf(LeafId(0))); // pre-fill leaf 0
+        let reqs = [
+            SRuleReq::Leaf(LeafId(1)),
+            SRuleReq::Pod(PodId(0)),
+            SRuleReq::Leaf(LeafId(0)), // refused: at capacity
+        ];
+        assert!(!try_admit(&mut srules, &reqs));
+        assert_eq!(srules.leaf_usage(LeafId(1)), 0, "rolled back");
+        assert_eq!(srules.pod_usage(PodId(0)), 0, "rolled back");
+        assert_eq!(srules.leaf_usage(LeafId(0)), 1, "pre-existing kept");
+    }
+
+    #[test]
+    fn empty_batch() {
+        let topo = Clos::paper_example();
+        let layout = HeaderLayout::for_clos(&topo);
+        let cfg = EncoderConfig::paper_default(&layout, 12);
+        let mut srules = SRuleSpace::unlimited(&topo);
+        let out = encode_batch(&topo, &cfg, &mut srules, &[], 8);
+        assert!(out.encodings.is_empty());
+        assert_eq!(out.reencoded, 0);
+    }
+}

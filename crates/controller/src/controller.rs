@@ -25,6 +25,10 @@ use crate::srules::SRuleSpace;
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 pub struct GroupId(pub u64);
 
+/// One group-creation request for [`Controller::create_groups_batch`]: the
+/// same arguments [`Controller::create_group`] takes, as a tuple.
+pub type GroupSpec = (GroupId, Vni, Ipv4Addr, Vec<(HostId, MemberRole)>);
+
 /// What a member VM does in the group.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub enum MemberRole {
@@ -286,6 +290,70 @@ impl Controller {
         let prev = self.groups.insert(id, state);
         debug_assert!(prev.is_none(), "group id reused");
         updates
+    }
+
+    /// Create many groups at once through the two-phase parallel encode
+    /// pipeline (see [`crate::batch`]): groups are encoded concurrently on
+    /// `threads` workers, then admitted into the s-rule space sequentially
+    /// in slice order. The resulting controller state — encodings, s-rule
+    /// occupancy, address index — is identical to calling
+    /// [`Self::create_group`] once per spec in the same order; only
+    /// wall-clock time differs. Per-group [`UpdateSet`]s are not collected
+    /// (bulk installation reprograms every touched device anyway).
+    pub fn create_groups_batch(&mut self, specs: &[GroupSpec], threads: usize) {
+        // Phase 1 (parallel): member counts, receiver tree, optimistic encode.
+        let topo = &self.topo;
+        let encoder = &self.encoder;
+        let prepared = elmo_core::parallel_map_with(
+            specs.len(),
+            threads,
+            || (elmo_core::EncodeScratch::new(), Vec::new()),
+            |(scratch, reqs), i| {
+                let mut counts: BTreeMap<HostId, MemberCounts> = BTreeMap::new();
+                for &(h, role) in &specs[i].3 {
+                    let c = counts.entry(h).or_default();
+                    if role.sends() {
+                        c.senders += 1;
+                    }
+                    if role.receives() {
+                        c.receivers += 1;
+                    }
+                }
+                let tree = Self::receiver_tree(topo, &counts);
+                let enc =
+                    crate::batch::encode_group_optimistic(topo, &tree, encoder, scratch, reqs);
+                (counts, tree, enc, std::mem::take(reqs))
+            },
+        );
+        // Phase 2 (sequential, slice order): admission + state install.
+        let mut scratch = elmo_core::EncodeScratch::new();
+        for (spec, (counts, tree, mut enc, reqs)) in specs.iter().zip(prepared) {
+            let (id, vni, tenant_addr, _) = spec;
+            if !crate::batch::try_admit(&mut self.srules, &reqs) {
+                enc = crate::batch::encode_group_admitted(
+                    &self.topo,
+                    &tree,
+                    &self.encoder,
+                    &mut self.srules,
+                    &mut scratch,
+                );
+            }
+            let state = GroupState {
+                id: *id,
+                vni: *vni,
+                tenant_addr: *tenant_addr,
+                outer_addr: Self::outer_addr(*id),
+                members: counts,
+                tree,
+                enc,
+                covers: BTreeMap::new(),
+                unicast_fallback: false,
+            };
+            self.by_addr.insert((*vni, *tenant_addr), *id);
+            self.next_group_id = self.next_group_id.max(id.0 + 1);
+            let prev = self.groups.insert(*id, state);
+            debug_assert!(prev.is_none(), "group id reused");
+        }
     }
 
     /// Remove a group entirely, freeing its s-rule reservations.
@@ -739,6 +807,69 @@ mod tests {
             updates.spine_switch_updates(ctl.topo()),
             updates.spine_pods.len() * 2
         );
+    }
+
+    #[test]
+    fn batch_create_matches_sequential_create() {
+        use elmo_core::SplitMix64;
+        let topo = Clos::paper_example();
+        // Constrained config so s-rules (and hence admission order) matter.
+        let config = ControllerConfig {
+            header_budget_bytes: 16,
+            r: 0,
+            leaf_fmax: 4,
+            spine_fmax: 4,
+            mode: RedundancyMode::Sum,
+        };
+        let mut rng = SplitMix64::new(0xBA7C);
+        let specs: Vec<_> = (0..40u64)
+            .map(|i| {
+                let size = rng.range_inclusive(2, 16);
+                let members: Vec<(HostId, MemberRole)> = (0..size)
+                    .map(|j| {
+                        let h = HostId(rng.below(topo.num_hosts() as u64) as u32);
+                        let role = if j == 0 {
+                            MemberRole::Both
+                        } else {
+                            MemberRole::Receiver
+                        };
+                        (h, role)
+                    })
+                    .collect();
+                let addr = Ipv4Addr::new(225, 0, (i >> 8) as u8, i as u8);
+                (GroupId(i), Vni(1), addr, members)
+            })
+            .collect();
+
+        let mut serial = Controller::new(topo.clone(), config);
+        for (id, vni, addr, members) in &specs {
+            serial.create_group(*id, *vni, *addr, members.iter().copied());
+        }
+        for threads in [1, 2, 8] {
+            let mut batch = Controller::new(topo.clone(), config);
+            batch.create_groups_batch(&specs, threads);
+            assert_eq!(batch.group_count(), serial.group_count());
+            assert_eq!(
+                batch.srules().leaf_usages(),
+                serial.srules().leaf_usages(),
+                "threads={threads}"
+            );
+            assert_eq!(batch.srules().pod_usages(), serial.srules().pod_usages());
+            for (id, ..) in &specs {
+                let b = batch.group(*id).unwrap();
+                let s = serial.group(*id).unwrap();
+                assert_eq!(b.enc, s.enc, "group {id:?}, threads={threads}");
+                assert_eq!(b.members, s.members);
+                assert_eq!(b.tree, s.tree);
+                assert_eq!(b.outer_addr, s.outer_addr);
+            }
+            // Tenant-facing index works the same way.
+            let (_, vni, addr, _) = &specs[7];
+            assert_eq!(
+                batch.group_id_for(*vni, *addr),
+                serial.group_id_for(*vni, *addr)
+            );
+        }
     }
 
     #[test]

@@ -15,12 +15,15 @@
 //! * [`Controller::header_for`] — the per-sender packet header hypervisors
 //!   encapsulate with.
 
+pub mod batch;
 pub mod controller;
 pub mod failures;
 pub mod srules;
 
+pub use batch::{encode_batch, BatchOutcome, SRuleReq};
 pub use controller::{
-    Controller, ControllerConfig, GroupId, GroupState, MemberCounts, MemberRole, UpdateSet,
+    Controller, ControllerConfig, GroupId, GroupSpec, GroupState, MemberCounts, MemberRole,
+    UpdateSet,
 };
 pub use failures::FailureImpact;
 pub use srules::{SRuleSpace, UsageStats};

@@ -42,6 +42,23 @@ impl PortBitmap {
         self.width
     }
 
+    /// Reset to an empty bitmap of `width` ports, reusing the existing word
+    /// buffer. The buffer never shrinks, so a scratch bitmap reset in a loop
+    /// stops allocating once it has seen the widest layer.
+    pub fn reset(&mut self, width: usize) {
+        self.width = width;
+        let words = width.div_ceil(64);
+        self.words.clear();
+        self.words.resize(words, 0);
+    }
+
+    /// Become a copy of `other`, reusing the existing word buffer.
+    pub fn copy_from(&mut self, other: &PortBitmap) {
+        self.width = other.width;
+        self.words.clear();
+        self.words.extend_from_slice(&other.words);
+    }
+
     /// Set a port.
     pub fn set(&mut self, port: usize) {
         assert!(
@@ -169,6 +186,14 @@ impl PortBitmap {
     }
 }
 
+impl Default for PortBitmap {
+    /// A zero-width bitmap — useful as the initial value of a scratch
+    /// buffer that will be [`reset`](PortBitmap::reset) before use.
+    fn default() -> Self {
+        PortBitmap::new(0)
+    }
+}
+
 impl std::fmt::Display for PortBitmap {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(f, "{}", self.to_binary_string())
@@ -252,6 +277,24 @@ mod tests {
         let a = PortBitmap::new(4);
         let b = PortBitmap::new(5);
         let _ = a.union_count(&b);
+    }
+
+    #[test]
+    fn reset_and_copy_from_reuse_storage() {
+        let mut bm = PortBitmap::from_ports(130, [0, 64, 129]);
+        bm.reset(10);
+        assert_eq!(bm.width(), 10);
+        assert!(bm.is_empty());
+        bm.set(3);
+        let src = PortBitmap::from_ports(70, [1, 69]);
+        bm.copy_from(&src);
+        assert_eq!(bm, src);
+        // Growing again after shrinking works too.
+        bm.reset(200);
+        assert_eq!(bm.width(), 200);
+        assert!(bm.is_empty());
+        bm.set(199);
+        assert_eq!(bm.count_ones(), 1);
     }
 
     #[test]

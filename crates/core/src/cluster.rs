@@ -10,7 +10,7 @@
 
 use crate::bitmap::PortBitmap;
 use crate::header::DownstreamRule;
-use crate::min_k_union::approx_min_k_union;
+use crate::min_k_union::{approx_min_k_union_with, MinKUnionScratch};
 
 /// How the redundancy limit `R` bounds a shared p-rule.
 ///
@@ -111,16 +111,45 @@ impl LayerEncoding {
     }
 }
 
+/// Reusable buffers for [`cluster_layer_with`]. One instance per worker
+/// thread amortizes all interior allocation across groups.
+#[derive(Default, Debug)]
+pub struct ClusterScratch {
+    mku: MinKUnionScratch,
+    unassigned: Vec<usize>,
+    union: PortBitmap,
+}
+
+impl ClusterScratch {
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
 /// Run Algorithm 1 over one layer.
 ///
 /// `inputs` maps each participating switch (layer-local identifier) to its
 /// exact output bitmap. `srule_alloc` is called when a switch cannot get a
 /// p-rule; it must return `true` — and count the entry — if the switch still
 /// has s-rule capacity (`Fmax` check), or `false` to default the switch.
+///
+/// Convenience wrapper over [`cluster_layer_with`] that allocates its own
+/// scratch; hot loops should hold a [`ClusterScratch`] instead.
 pub fn cluster_layer(
     inputs: &[(u32, PortBitmap)],
     cfg: &ClusterConfig,
     srule_alloc: &mut dyn FnMut(u32) -> bool,
+) -> LayerEncoding {
+    let mut scratch = ClusterScratch::new();
+    cluster_layer_with(inputs, cfg, srule_alloc, &mut scratch)
+}
+
+/// [`cluster_layer`] with caller-provided scratch buffers.
+pub fn cluster_layer_with(
+    inputs: &[(u32, PortBitmap)],
+    cfg: &ClusterConfig,
+    srule_alloc: &mut dyn FnMut(u32) -> bool,
+    scratch: &mut ClusterScratch,
 ) -> LayerEncoding {
     let mut enc = LayerEncoding::empty();
     if inputs.is_empty() {
@@ -177,7 +206,14 @@ pub fn cluster_layer(
     // Header-pressed: run Algorithm 1's greedy sharing over the whole layer.
     // The pair-seeded MIN-K-UNION still picks identical bitmaps first (their
     // union is minimal and costs nothing), so this subsumes the fast path.
-    let mut unassigned: Vec<usize> = (0..inputs.len()).collect();
+    let ClusterScratch {
+        mku,
+        unassigned,
+        union,
+    } = scratch;
+    unassigned.clear();
+    unassigned.extend(0..inputs.len());
+    let mut candidates: Vec<&PortBitmap> = Vec::with_capacity(inputs.len());
     let mut k = k_max;
     let mut bits_left = cfg.bit_budget;
 
@@ -190,22 +226,25 @@ pub fn cluster_layer(
         let Some(k_fit) = k_fit else {
             break; // not even a single-switch rule fits any more
         };
-        let candidates: Vec<&PortBitmap> = unassigned.iter().map(|&i| &inputs[i].1).collect();
-        let picked = approx_min_k_union(k_fit, &candidates);
-        let output = picked
-            .iter()
-            .fold(PortBitmap::new(width), |acc, &ci| acc.or(candidates[ci]));
+        candidates.clear();
+        candidates.extend(unassigned.iter().map(|&i| &inputs[i].1));
+        let mut picked = approx_min_k_union_with(k_fit, &candidates, mku);
+        union.reset(width);
+        for &ci in &picked {
+            union.or_assign(candidates[ci]);
+        }
+        let output = &*union;
         let within_budget = match cfg.mode {
             RedundancyMode::Sum => {
                 picked
                     .iter()
-                    .map(|&ci| candidates[ci].hamming(&output))
+                    .map(|&ci| candidates[ci].hamming(output))
                     .sum::<usize>()
                     <= cfg.r
             }
             RedundancyMode::PerSwitch => picked
                 .iter()
-                .all(|&ci| candidates[ci].hamming(&output) <= cfg.r),
+                .all(|&ci| candidates[ci].hamming(output) <= cfg.r),
         };
         if within_budget {
             let mut switches: Vec<u32> =
@@ -213,13 +252,12 @@ pub fn cluster_layer(
             switches.sort_unstable();
             bits_left = bits_left.saturating_sub(cfg.rule_bits(width, switches.len()));
             enc.p_rules.push(DownstreamRule {
-                bitmap: output,
+                bitmap: output.clone(),
                 switches,
             });
             // Remove the picked candidate positions from `unassigned`.
-            let mut remove: Vec<usize> = picked.clone();
-            remove.sort_unstable_by(|a, b| b.cmp(a));
-            for ci in remove {
+            picked.sort_unstable_by(|a, b| b.cmp(a));
+            for ci in picked {
                 unassigned.swap_remove(ci);
             }
             // Keep `unassigned` deterministic after swap_remove.
@@ -234,7 +272,7 @@ pub fn cluster_layer(
 
     // Hmax exhausted (or the layer fit entirely): remaining switches get
     // s-rules while capacity lasts, then the default p-rule.
-    for &i in &unassigned {
+    for &i in unassigned.iter() {
         let (switch, ref bitmap) = inputs[i];
         if srule_alloc(switch) {
             enc.s_rules.push((switch, bitmap.clone()));

@@ -27,11 +27,19 @@ pub mod cluster;
 pub mod header;
 pub mod layout;
 pub mod min_k_union;
+pub mod par;
 pub mod plan;
+pub mod rng;
 
 pub use bitmap::PortBitmap;
-pub use cluster::{cluster_layer, ClusterConfig, LayerEncoding, RedundancyMode};
+pub use cluster::{
+    cluster_layer, cluster_layer_with, ClusterConfig, ClusterScratch, LayerEncoding, RedundancyMode,
+};
 pub use header::{DownstreamRule, ElmoHeader, HeaderError, UpstreamRule};
 pub use layout::HeaderLayout;
-pub use min_k_union::approx_min_k_union;
-pub use plan::{encode_group, header_for_sender, EncoderConfig, GroupEncoding};
+pub use min_k_union::{approx_min_k_union, approx_min_k_union_with, MinKUnionScratch};
+pub use par::{parallel_map, parallel_map_with, resolve_threads};
+pub use plan::{
+    encode_group, encode_group_with, header_for_sender, EncodeScratch, EncoderConfig, GroupEncoding,
+};
+pub use rng::SplitMix64;

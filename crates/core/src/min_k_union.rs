@@ -15,38 +15,92 @@
 //!
 //! For very large candidate sets the quadratic pair search is skipped in
 //! favor of lightest-first seeding, bounding each call at `O(k · n)`.
+//!
+//! This sits on the encode hot path (called once per emitted p-rule, per
+//! group, per layer), so the implementation precomputes each candidate's
+//! popcount once — the pair search then does one word-wise `union_count`
+//! per pair instead of three popcount passes — and reuses caller-provided
+//! scratch buffers instead of allocating per call.
 
 use crate::bitmap::PortBitmap;
 
 /// Above this many candidates, fall back to linear seeding.
 const PAIR_SEED_LIMIT: usize = 128;
 
+/// Reusable buffers for [`approx_min_k_union_with`]. One instance per
+/// worker thread amortizes all interior allocation across groups.
+#[derive(Default, Debug)]
+pub struct MinKUnionScratch {
+    /// Per-candidate popcounts, computed once per call.
+    counts: Vec<usize>,
+    /// Membership flags for the growing set.
+    in_set: Vec<bool>,
+    /// The growing union.
+    union: PortBitmap,
+}
+
+impl MinKUnionScratch {
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
 /// Return the indices (into `bitmaps`) of an approximately minimum-union
 /// group of `k` bitmaps. If fewer than `k` bitmaps are available, all of
 /// them are returned.
+///
+/// Convenience wrapper over [`approx_min_k_union_with`] that allocates its
+/// own scratch; hot loops should hold a [`MinKUnionScratch`] instead.
 pub fn approx_min_k_union(k: usize, bitmaps: &[&PortBitmap]) -> Vec<usize> {
+    let mut scratch = MinKUnionScratch::new();
+    approx_min_k_union_with(k, bitmaps, &mut scratch)
+}
+
+/// [`approx_min_k_union`] with caller-provided scratch buffers.
+pub fn approx_min_k_union_with(
+    k: usize,
+    bitmaps: &[&PortBitmap],
+    scratch: &mut MinKUnionScratch,
+) -> Vec<usize> {
     assert!(k >= 1, "k must be at least 1");
     if bitmaps.is_empty() {
         return Vec::new();
     }
 
-    let lightest = bitmaps
+    scratch.counts.clear();
+    scratch
+        .counts
+        .extend(bitmaps.iter().map(|b| b.count_ones()));
+    let counts = &scratch.counts;
+
+    let lightest = counts
         .iter()
         .enumerate()
-        .min_by_key(|(i, b)| (b.count_ones(), *i))
+        .min_by_key(|&(i, c)| (*c, i))
         .map(|(i, _)| i)
         .expect("non-empty");
 
-    let (mut chosen, mut union) = if k >= 2 && bitmaps.len() >= 2 {
-        match best_pair(bitmaps) {
-            Some((i, j)) => (vec![i, j], bitmaps[i].or(bitmaps[j])),
-            None => (vec![lightest], bitmaps[lightest].clone()),
+    let union = &mut scratch.union;
+    let mut chosen = if k >= 2 && bitmaps.len() >= 2 {
+        match best_pair(bitmaps, counts) {
+            Some((i, j)) => {
+                union.copy_from(bitmaps[i]);
+                union.or_assign(bitmaps[j]);
+                vec![i, j]
+            }
+            None => {
+                union.copy_from(bitmaps[lightest]);
+                vec![lightest]
+            }
         }
     } else {
-        (vec![lightest], bitmaps[lightest].clone())
+        union.copy_from(bitmaps[lightest]);
+        vec![lightest]
     };
 
-    let mut in_set = vec![false; bitmaps.len()];
+    scratch.in_set.clear();
+    scratch.in_set.resize(bitmaps.len(), false);
+    let in_set = &mut scratch.in_set;
     for &i in &chosen {
         in_set[i] = true;
     }
@@ -73,7 +127,8 @@ pub fn approx_min_k_union(k: usize, bitmaps: &[&PortBitmap]) -> Vec<usize> {
 
 /// The pair `(i, j)` with the smallest `(union size, summed Hamming distance
 /// to the union)`, or `None` when the quadratic search would be too costly.
-fn best_pair(bitmaps: &[&PortBitmap]) -> Option<(usize, usize)> {
+/// `counts[i]` must be `bitmaps[i].count_ones()`.
+fn best_pair(bitmaps: &[&PortBitmap], counts: &[usize]) -> Option<(usize, usize)> {
     if bitmaps.len() > PAIR_SEED_LIMIT {
         return None;
     }
@@ -83,7 +138,7 @@ fn best_pair(bitmaps: &[&PortBitmap]) -> Option<(usize, usize)> {
             let union_size = bitmaps[i].union_count(bitmaps[j]);
             // Summed distance to the union = spurious ports if these two
             // share a rule: (union - |b_i|) + (union - |b_j|).
-            let hd_sum = 2 * union_size - bitmaps[i].count_ones() - bitmaps[j].count_ones();
+            let hd_sum = 2 * union_size - counts[i] - counts[j];
             let score = (union_size, hd_sum);
             if best.is_none_or(|(s, _)| score < s) {
                 best = Some((score, (i, j)));
@@ -96,9 +151,79 @@ fn best_pair(bitmaps: &[&PortBitmap]) -> Option<(usize, usize)> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::rng::SplitMix64;
 
     fn bm(width: usize, ports: &[usize]) -> PortBitmap {
         PortBitmap::from_ports(width, ports.iter().copied())
+    }
+
+    /// The pre-optimization implementation, kept verbatim as a reference
+    /// oracle: no popcount cache, clone-per-union.
+    mod seed_reference {
+        use super::PortBitmap;
+
+        const PAIR_SEED_LIMIT: usize = 128;
+
+        pub fn approx_min_k_union(k: usize, bitmaps: &[&PortBitmap]) -> Vec<usize> {
+            assert!(k >= 1);
+            if bitmaps.is_empty() {
+                return Vec::new();
+            }
+            let lightest = bitmaps
+                .iter()
+                .enumerate()
+                .min_by_key(|(i, b)| (b.count_ones(), *i))
+                .map(|(i, _)| i)
+                .expect("non-empty");
+            let (mut chosen, mut union) = if k >= 2 && bitmaps.len() >= 2 {
+                match best_pair(bitmaps) {
+                    Some((i, j)) => (vec![i, j], bitmaps[i].or(bitmaps[j])),
+                    None => (vec![lightest], bitmaps[lightest].clone()),
+                }
+            } else {
+                (vec![lightest], bitmaps[lightest].clone())
+            };
+            let mut in_set = vec![false; bitmaps.len()];
+            for &i in &chosen {
+                in_set[i] = true;
+            }
+            while chosen.len() < k.min(bitmaps.len()) {
+                let mut best: Option<(usize, usize)> = None;
+                for (i, b) in bitmaps.iter().enumerate() {
+                    if in_set[i] {
+                        continue;
+                    }
+                    let size = union.union_count(b);
+                    if best.is_none_or(|(s, _)| size < s) {
+                        best = Some((size, i));
+                    }
+                }
+                let (_, i) = best.expect("candidates remain");
+                union.or_assign(bitmaps[i]);
+                chosen.push(i);
+                in_set[i] = true;
+            }
+            chosen.sort_unstable();
+            chosen
+        }
+
+        fn best_pair(bitmaps: &[&PortBitmap]) -> Option<(usize, usize)> {
+            if bitmaps.len() > PAIR_SEED_LIMIT {
+                return None;
+            }
+            let mut best: Option<((usize, usize), (usize, usize))> = None;
+            for i in 0..bitmaps.len() {
+                for j in (i + 1)..bitmaps.len() {
+                    let union_size = bitmaps[i].union_count(bitmaps[j]);
+                    let hd_sum = 2 * union_size - bitmaps[i].count_ones() - bitmaps[j].count_ones();
+                    let score = (union_size, hd_sum);
+                    if best.is_none_or(|(s, _)| score < s) {
+                        best = Some((score, (i, j)));
+                    }
+                }
+            }
+            best.map(|(_, pair)| pair)
+        }
     }
 
     #[test]
@@ -187,5 +312,40 @@ mod tests {
         let got = approx_min_k_union(2, &refs);
         assert_eq!(got.len(), 2);
         assert_eq!(got, approx_min_k_union(2, &refs));
+    }
+
+    #[test]
+    fn matches_quadratic_seed_on_random_inputs() {
+        // Regression for the popcount fast path: the optimized routine must
+        // agree with the pre-optimization reference on random candidate
+        // sets, on both sides of the pair-seed limit, with shared scratch.
+        let mut rng = SplitMix64::new(0xB17_5E7);
+        let mut scratch = MinKUnionScratch::new();
+        for case in 0..200 {
+            let n = 1 + rng.index(20);
+            let width = 1 + rng.index(100);
+            let density = rng.next_f64();
+            let bitmaps: Vec<PortBitmap> = (0..n)
+                .map(|_| PortBitmap::from_ports(width, (0..width).filter(|_| rng.chance(density))))
+                .collect();
+            let refs: Vec<&PortBitmap> = bitmaps.iter().collect();
+            let k = 1 + rng.index(n + 2);
+            assert_eq!(
+                approx_min_k_union_with(k, &refs, &mut scratch),
+                seed_reference::approx_min_k_union(k, &refs),
+                "case {case}: n={n} width={width} k={k}"
+            );
+        }
+        // Above the pair-seed limit (linear seeding path).
+        let big: Vec<PortBitmap> = (0..200)
+            .map(|_| PortBitmap::from_ports(64, (0..64).filter(|_| rng.chance(0.2))))
+            .collect();
+        let refs: Vec<&PortBitmap> = big.iter().collect();
+        for k in [1, 2, 5, 16] {
+            assert_eq!(
+                approx_min_k_union_with(k, &refs, &mut scratch),
+                seed_reference::approx_min_k_union(k, &refs),
+            );
+        }
     }
 }

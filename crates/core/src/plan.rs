@@ -11,7 +11,9 @@
 use elmo_topology::{Clos, GroupTree, HostId, LeafId, PodId, UpstreamCover};
 
 use crate::bitmap::PortBitmap;
-use crate::cluster::{cluster_layer, ClusterConfig, LayerEncoding, RedundancyMode};
+use crate::cluster::{
+    cluster_layer_with, ClusterConfig, ClusterScratch, LayerEncoding, RedundancyMode,
+};
 use crate::header::{ElmoHeader, UpstreamRule};
 use crate::layout::HeaderLayout;
 
@@ -99,11 +101,55 @@ impl GroupEncoding {
     }
 }
 
+/// Reusable buffers for [`encode_group_with`]. One instance per worker
+/// thread amortizes the per-group input-bitmap and clustering allocations
+/// across an entire sweep.
+#[derive(Default, Debug)]
+pub struct EncodeScratch {
+    /// Layer input slots, reused by the spine and then the leaf layer. Only
+    /// the first `n` slots filled by the current layer are live; stale slots
+    /// beyond that keep their buffers for later groups.
+    inputs: Vec<(u32, PortBitmap)>,
+    cluster: ClusterScratch,
+}
+
+impl EncodeScratch {
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+/// Fill `buf`'s leading slots from `items`, reusing existing bitmap buffers,
+/// and return the number of live slots.
+fn fill_inputs<I, P>(buf: &mut Vec<(u32, PortBitmap)>, width: usize, items: I) -> usize
+where
+    I: Iterator<Item = (u32, P)>,
+    P: IntoIterator<Item = usize>,
+{
+    let mut n = 0;
+    for (id, ports) in items {
+        if n == buf.len() {
+            buf.push((id, PortBitmap::new(width)));
+        }
+        let slot = &mut buf[n];
+        slot.0 = id;
+        slot.1.reset(width);
+        for p in ports {
+            slot.1.set(p);
+        }
+        n += 1;
+    }
+    n
+}
+
 /// Compute the shared downstream encoding of a group's tree.
 ///
 /// `spine_srule_alloc(pod)` and `leaf_srule_alloc(leaf)` are the `Fmax`
 /// capacity checks: they must return `true` — and account for the entry — if
 /// the pod's spines (respectively the leaf) can still take an s-rule.
+///
+/// Convenience wrapper over [`encode_group_with`] that allocates its own
+/// scratch; hot loops should hold an [`EncodeScratch`] instead.
 pub fn encode_group(
     topo: &Clos,
     tree: &GroupTree,
@@ -111,20 +157,36 @@ pub fn encode_group(
     spine_srule_alloc: &mut dyn FnMut(PodId) -> bool,
     leaf_srule_alloc: &mut dyn FnMut(LeafId) -> bool,
 ) -> GroupEncoding {
+    let mut scratch = EncodeScratch::new();
+    encode_group_with(
+        topo,
+        tree,
+        cfg,
+        spine_srule_alloc,
+        leaf_srule_alloc,
+        &mut scratch,
+    )
+}
+
+/// [`encode_group`] with caller-provided scratch buffers.
+pub fn encode_group_with(
+    topo: &Clos,
+    tree: &GroupTree,
+    cfg: &EncoderConfig,
+    spine_srule_alloc: &mut dyn FnMut(PodId) -> bool,
+    leaf_srule_alloc: &mut dyn FnMut(LeafId) -> bool,
+    scratch: &mut EncodeScratch,
+) -> GroupEncoding {
+    let EncodeScratch { inputs, cluster } = scratch;
     // Downstream spine layer: one input bitmap per participating pod; needed
     // only when the tree spans more than one pod (otherwise no packet ever
     // travels core -> spine).
     let d_spine = if tree.num_pods() > 1 {
-        let inputs: Vec<(u32, PortBitmap)> = tree
-            .pods()
-            .map(|p| {
-                let bm = PortBitmap::from_ports(
-                    topo.spine_down_ports(),
-                    tree.leaf_ports_in_pod(topo, p),
-                );
-                (p.0, bm)
-            })
-            .collect();
+        let n = fill_inputs(
+            inputs,
+            topo.spine_down_ports(),
+            tree.pods().map(|p| (p.0, tree.leaf_ports_in_pod(topo, p))),
+        );
         let layout = HeaderLayout::for_clos(topo);
         let cluster_cfg = ClusterConfig {
             r: cfg.r,
@@ -134,9 +196,12 @@ pub fn encode_group(
             k_max: cfg.k_max,
             mode: cfg.mode,
         };
-        cluster_layer(&inputs, &cluster_cfg, &mut |pod| {
-            spine_srule_alloc(PodId(pod))
-        })
+        cluster_layer_with(
+            &inputs[..n],
+            &cluster_cfg,
+            &mut |pod| spine_srule_alloc(PodId(pod)),
+            cluster,
+        )
     } else {
         LayerEncoding::empty()
     };
@@ -168,16 +233,12 @@ pub fn encode_group(
     // when the tree spans more than one leaf (a single-leaf group is fully
     // handled by the sender's upstream leaf rule).
     let d_leaf = if tree.num_leaves() > 1 {
-        let inputs: Vec<(u32, PortBitmap)> = tree
-            .leaves()
-            .map(|l| {
-                let bm = PortBitmap::from_ports(
-                    topo.leaf_down_ports(),
-                    tree.host_ports_on_leaf(topo, l),
-                );
-                (l.0, bm)
-            })
-            .collect();
+        let n = fill_inputs(
+            inputs,
+            topo.leaf_down_ports(),
+            tree.leaves()
+                .map(|l| (l.0, tree.host_ports_on_leaf(topo, l))),
+        );
         let cluster_cfg = ClusterConfig {
             r: cfg.r,
             h_max: cfg.h_leaf_max,
@@ -186,9 +247,12 @@ pub fn encode_group(
             k_max: cfg.k_max,
             mode: cfg.mode,
         };
-        cluster_layer(&inputs, &cluster_cfg, &mut |leaf| {
-            leaf_srule_alloc(LeafId(leaf))
-        })
+        cluster_layer_with(
+            &inputs[..n],
+            &cluster_cfg,
+            &mut |leaf| leaf_srule_alloc(LeafId(leaf)),
+            cluster,
+        )
     } else {
         LayerEncoding::empty()
     };

@@ -30,6 +30,8 @@
 //!   --pkt N         extra payload size for the traffic columns
 //!   --r LIST        comma-separated redundancy limits (default 0,2,4,6,8,10,12)
 //!   --seed N        workload seed
+//!   --threads N     encode worker threads (0 = all cores; results are
+//!                   identical at any thread count, only wall-clock changes)
 //! ```
 //!
 //! Without `--full` a proportionally scaled fabric is used so every
@@ -51,6 +53,7 @@ struct Opts {
     extra_payload: Option<u64>,
     r_values: Vec<usize>,
     seed: u64,
+    threads: usize,
 }
 
 fn parse_args() -> Opts {
@@ -64,6 +67,7 @@ fn parse_args() -> Opts {
         extra_payload: None,
         r_values: vec![0, 2, 4, 6, 8, 10, 12],
         seed: 0xe1_40,
+        threads: 0,
     };
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -73,6 +77,7 @@ fn parse_args() -> Opts {
             "--events" => opts.events = expect_num(&mut args, "--events") as usize,
             "--pkt" => opts.extra_payload = Some(expect_num(&mut args, "--pkt")),
             "--seed" => opts.seed = expect_num(&mut args, "--seed"),
+            "--threads" => opts.threads = expect_num(&mut args, "--threads") as usize,
             "--r" => {
                 let list = args.next().unwrap_or_else(|| usage("--r needs a list"));
                 opts.r_values = list
@@ -106,7 +111,7 @@ fn usage(msg: &str) -> ! {
     eprintln!(
         "usage: elmo-eval <fig4|fig5|uniform|limited-srules|small-header|table1|table2|table3|\
          fig6|fig7|telemetry|failures|latency|xpander|all> [--full] [--groups N] [--tenants N] \
-         [--events N] [--pkt N] [--r 0,6,12] [--seed N]"
+         [--events N] [--pkt N] [--r 0,6,12] [--seed N] [--threads N]"
     );
     std::process::exit(2);
 }
@@ -272,6 +277,7 @@ fn run_sweep(
     cfg.leaf_fmax = fmax;
     cfg.spine_fmax = fmax;
     cfg.header_budget = budget;
+    cfg.threads = opts.threads;
     if let Some(extra) = opts.extra_payload {
         if !cfg.payloads.contains(&extra) {
             cfg.payloads.push(extra);
@@ -353,7 +359,7 @@ fn run_sweep(
 fn run_table2(opts: &Opts) {
     let topo = fabric(opts);
     let wl = workload_cfg(opts, &topo, 1, GroupSizeDist::Wve);
-    let t = elmo_sim::table2::run(topo, wl, opts.events, 1000.0);
+    let t = elmo_sim::table2::run(topo, wl, opts.events, 1000.0, opts.threads);
     println!(
         "Table 2: {} churn events at 1,000 events/s, P=1, WVE ({} hosts, {} groups)",
         count(t.events as u64),
@@ -646,6 +652,7 @@ fn run_two_tier(opts: &Opts) {
     let mut cfg = SweepConfig::paper(topo, wl);
     cfg.r_values = opts.r_values.clone();
     cfg.header_budget = budget;
+    cfg.threads = opts.threads;
     let result = sweep::run(&cfg);
     println!(
         "Two-tier leaf-spine ({} leaves x {} hosts): coverage and traffic vs R",
@@ -735,6 +742,7 @@ fn run_table1(opts: &Opts) {
     let wl = workload_cfg(opts, &topo, 12, GroupSizeDist::Wve);
     let mut cfg = SweepConfig::paper(topo, wl);
     cfg.r_values = vec![0, 12];
+    cfg.threads = opts.threads;
     let result = sweep::run(&cfg);
     let r0 = &result.rows[0];
     let r12 = result.rows.last().expect("rows");

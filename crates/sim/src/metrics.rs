@@ -224,7 +224,7 @@ pub fn header_bytes(
 }
 
 /// Streaming summary over per-group scalar metrics.
-#[derive(Clone, Copy, Debug, Default)]
+#[derive(Clone, Copy, PartialEq, Debug, Default)]
 pub struct Summary {
     pub count: u64,
     pub sum: f64,

@@ -12,14 +12,20 @@
 //! * **traffic overhead** — total bytes over ideal multicast, with unicast
 //!   and overlay baselines (right panels), for each payload size.
 
+use elmo_controller::batch::{self, SRuleReq};
 use elmo_controller::srules::{SRuleSpace, UsageStats};
-use elmo_core::EncoderConfig;
 use elmo_core::HeaderLayout;
-use elmo_topology::{Clos, GroupTree, LeafId, PodId};
+use elmo_core::{EncodeScratch, EncoderConfig, GroupEncoding};
+use elmo_topology::{Clos, GroupTree, HostId};
 use elmo_workloads::{Workload, WorkloadConfig};
 
 use crate::baselines;
-use crate::metrics::{self, Summary};
+use crate::metrics::{self, GroupTraffic, Summary};
+
+/// Groups evaluated per two-phase round. Bounds how many trees, encodings,
+/// and recorded s-rule requests are resident at once, so million-group
+/// workloads stream through the parallel pipeline in constant memory.
+const CHUNK: usize = 4096;
 
 /// Sweep parameters.
 #[derive(Clone, Debug)]
@@ -36,6 +42,9 @@ pub struct SweepConfig {
     pub header_budget: usize,
     /// Payload sizes to report traffic overhead for.
     pub payloads: Vec<u64>,
+    /// Worker threads for group encoding (0 = all available cores). Results
+    /// are identical at any thread count; see `elmo_controller::batch`.
+    pub threads: usize,
 }
 
 impl SweepConfig {
@@ -50,12 +59,13 @@ impl SweepConfig {
             spine_fmax: usize::MAX,
             header_budget: 325,
             payloads: vec![1500, 64],
+            threads: 1,
         }
     }
 }
 
 /// Traffic overhead aggregates for one payload size.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, PartialEq, Debug)]
 pub struct TrafficRow {
     pub payload: u64,
     /// Total-bytes ratios against ideal multicast.
@@ -65,7 +75,7 @@ pub struct TrafficRow {
 }
 
 /// Results for one redundancy limit.
-#[derive(Clone, Debug)]
+#[derive(Clone, PartialEq, Debug)]
 pub struct SweepRow {
     pub r: usize,
     pub total_groups: usize,
@@ -84,7 +94,7 @@ pub struct SweepRow {
 }
 
 /// Results of the whole sweep plus the Li et al. baseline (R-independent).
-#[derive(Clone, Debug)]
+#[derive(Clone, PartialEq, Debug)]
 pub struct SweepResult {
     pub rows: Vec<SweepRow>,
     pub li_leaf: UsageStats,
@@ -92,30 +102,181 @@ pub struct SweepResult {
     pub li_core: UsageStats,
 }
 
-/// Run the sweep.
+/// Phase-1 output for one group: everything the sequential fold needs,
+/// computed on a worker thread under the optimistic-capacity assumption.
+struct GroupEval {
+    tree: GroupTree,
+    sender: HostId,
+    enc: GroupEncoding,
+    reqs: Vec<SRuleReq>,
+    header_bytes: f64,
+    /// One entry per configured payload size.
+    traffic: Vec<GroupTraffic>,
+}
+
+fn eval_group(
+    topo: &Clos,
+    layout: &HeaderLayout,
+    encoder: &EncoderConfig,
+    payloads: &[u64],
+    tree: GroupTree,
+    sender: HostId,
+    ws: &mut (EncodeScratch, Vec<SRuleReq>),
+) -> GroupEval {
+    let (scratch, reqs) = ws;
+    let enc = batch::encode_group_optimistic(topo, &tree, encoder, scratch, reqs);
+    let header_bytes = metrics::header_bytes(topo, layout, &tree, &enc, sender) as f64;
+    let traffic = payloads
+        .iter()
+        .map(|&p| metrics::group_traffic(topo, layout, &tree, &enc, sender, p))
+        .collect();
+    GroupEval {
+        tree,
+        sender,
+        enc,
+        reqs: std::mem::take(reqs),
+        header_bytes,
+        traffic,
+    }
+}
+
+/// Per-R accumulators folded strictly in group order, so float summaries are
+/// bit-identical at every thread count.
+struct RowAccum {
+    srules: SRuleSpace,
+    covered: usize,
+    defaulted: usize,
+    header_bytes: Summary,
+    elmo_sum: Vec<u64>,
+    ideal_sum: Vec<u64>,
+    unicast_sum: Vec<u64>,
+    overlay_sum: Vec<u64>,
+    scratch: EncodeScratch,
+}
+
+impl RowAccum {
+    fn new(topo: &Clos, cfg: &SweepConfig) -> Self {
+        RowAccum {
+            srules: SRuleSpace::new(topo, cfg.leaf_fmax, cfg.spine_fmax),
+            covered: 0,
+            defaulted: 0,
+            header_bytes: Summary::new(),
+            elmo_sum: vec![0; cfg.payloads.len()],
+            ideal_sum: vec![0; cfg.payloads.len()],
+            unicast_sum: vec![0; cfg.payloads.len()],
+            overlay_sum: vec![0; cfg.payloads.len()],
+            scratch: EncodeScratch::new(),
+        }
+    }
+
+    /// Phase 2 for one group: admit its optimistic reservations, or
+    /// re-encode it serially against the live tracker (serial semantics:
+    /// allocations that succeed before a refusal stick).
+    fn fold(
+        &mut self,
+        topo: &Clos,
+        layout: &HeaderLayout,
+        encoder: &EncoderConfig,
+        payloads: &[u64],
+        mut ev: GroupEval,
+    ) {
+        if !batch::try_admit(&mut self.srules, &ev.reqs) {
+            ev.enc = batch::encode_group_admitted(
+                topo,
+                &ev.tree,
+                encoder,
+                &mut self.srules,
+                &mut self.scratch,
+            );
+            ev.header_bytes =
+                metrics::header_bytes(topo, layout, &ev.tree, &ev.enc, ev.sender) as f64;
+            ev.traffic = payloads
+                .iter()
+                .map(|&p| metrics::group_traffic(topo, layout, &ev.tree, &ev.enc, ev.sender, p))
+                .collect();
+        }
+        if ev.enc.leaf_covered_by_p_rules() {
+            self.covered += 1;
+        }
+        if ev.enc.d_leaf.default_rule.is_some() || ev.enc.d_spine.default_rule.is_some() {
+            self.defaulted += 1;
+        }
+        self.header_bytes.push(ev.header_bytes);
+        for (pi, t) in ev.traffic.iter().enumerate() {
+            self.elmo_sum[pi] += t.elmo;
+            self.ideal_sum[pi] += t.ideal;
+            self.unicast_sum[pi] += t.unicast;
+            self.overlay_sum[pi] += t.overlay;
+        }
+    }
+
+    fn into_row(self, topo: &Clos, cfg: &SweepConfig, r: usize, total_groups: usize) -> SweepRow {
+        let traffic = cfg
+            .payloads
+            .iter()
+            .enumerate()
+            .map(|(pi, &payload)| TrafficRow {
+                payload,
+                elmo_ratio: self.elmo_sum[pi] as f64 / self.ideal_sum[pi] as f64,
+                unicast_ratio: self.unicast_sum[pi] as f64 / self.ideal_sum[pi] as f64,
+                overlay_ratio: self.overlay_sum[pi] as f64 / self.ideal_sum[pi] as f64,
+            })
+            .collect();
+        // Spine occupancy is per physical spine: every spine of a pod holds
+        // the pod's s-rules.
+        let spine_usage: Vec<usize> = topo
+            .spines()
+            .map(|s| self.srules.pod_usage(topo.pod_of_spine(s)))
+            .collect();
+        SweepRow {
+            r,
+            total_groups,
+            covered: self.covered,
+            defaulted: self.defaulted,
+            leaf_srules: UsageStats::of(self.srules.leaf_usages()),
+            spine_srules: UsageStats::of(&spine_usage),
+            header_bytes: self.header_bytes,
+            traffic,
+        }
+    }
+}
+
+/// Run the sweep. Group encoding fans out over `cfg.threads` workers via the
+/// two-phase pipeline in [`elmo_controller::batch`]; every result — s-rule
+/// occupancy, coverage counts, float traffic summaries — is bit-identical to
+/// the single-threaded run because admission and metric folding happen
+/// sequentially in group order.
 pub fn run(cfg: &SweepConfig) -> SweepResult {
     let topo = cfg.topo;
     let layout = HeaderLayout::for_clos(&topo);
+    let threads = elmo_core::resolve_threads(cfg.threads);
     let workload = Workload::generate(topo, cfg.workload);
 
-    // Li et al. baseline over the same workload (independent of R),
-    // accumulated streamingly so trees are never all resident at once.
+    // Li et al. baseline over the same workload (independent of R). Tree
+    // construction and tree hashing parallelize per chunk; the usage counts
+    // are folded in group order (they are integer counters, so order does
+    // not matter for the result, only for reproducible iteration).
     let mut li_usage = baselines::LiUsage {
         leaf: vec![0; topo.num_leaves()],
         spine: vec![0; topo.num_spines()],
         core: vec![0; topo.num_cores()],
     };
-    for (i, g) in workload.groups.iter().enumerate() {
-        let tree = GroupTree::new(&topo, workload.member_hosts(g));
-        let lt = baselines::li_tree(&topo, &tree, i as u64);
-        for l in lt.leaves {
-            li_usage.leaf[l as usize] += 1;
-        }
-        for s in lt.spines {
-            li_usage.spine[s as usize] += 1;
-        }
-        if let Some(c) = lt.core {
-            li_usage.core[c as usize] += 1;
+    for (chunk_idx, chunk) in workload.groups.chunks(CHUNK).enumerate() {
+        let base = chunk_idx * CHUNK;
+        let trees = elmo_core::parallel_map(chunk.len(), threads, |i| {
+            let tree = GroupTree::new(&topo, workload.member_hosts(&chunk[i]));
+            baselines::li_tree(&topo, &tree, (base + i) as u64)
+        });
+        for lt in trees {
+            for l in lt.leaves {
+                li_usage.leaf[l as usize] += 1;
+            }
+            for s in lt.spines {
+                li_usage.spine[s as usize] += 1;
+            }
+            if let Some(c) = lt.core {
+                li_usage.core[c as usize] += 1;
+            }
         }
     }
 
@@ -126,72 +287,37 @@ pub fn run(cfg: &SweepConfig) -> SweepResult {
             e.mode = elmo_core::RedundancyMode::Sum;
             e
         };
-        let mut srules = SRuleSpace::new(&topo, cfg.leaf_fmax, cfg.spine_fmax);
-        let mut covered = 0usize;
-        let mut defaulted = 0usize;
-        let mut header_bytes = Summary::new();
-        let mut elmo_sum = vec![0u64; cfg.payloads.len()];
-        let mut ideal_sum = vec![0u64; cfg.payloads.len()];
-        let mut unicast_sum = vec![0u64; cfg.payloads.len()];
-        let mut overlay_sum = vec![0u64; cfg.payloads.len()];
-
-        for g in &workload.groups {
-            let hosts = workload.member_hosts(g);
-            let tree = GroupTree::new(&topo, hosts.iter().copied());
-            if tree.is_empty() {
-                continue;
-            }
-            let enc = {
-                let cell = std::cell::RefCell::new(&mut srules);
-                let mut sa = |p: PodId| cell.borrow_mut().alloc_pod(p);
-                let mut la = |l: LeafId| cell.borrow_mut().alloc_leaf(l);
-                elmo_core::encode_group(&topo, &tree, &encoder, &mut sa, &mut la)
-            };
-            if enc.leaf_covered_by_p_rules() {
-                covered += 1;
-            }
-            if enc.d_leaf.default_rule.is_some() || enc.d_spine.default_rule.is_some() {
-                defaulted += 1;
-            }
-            let sender = hosts[0];
-            header_bytes.push(metrics::header_bytes(&topo, &layout, &tree, &enc, sender) as f64);
-            for (pi, &payload) in cfg.payloads.iter().enumerate() {
-                let t = metrics::group_traffic(&topo, &layout, &tree, &enc, sender, payload);
-                elmo_sum[pi] += t.elmo;
-                ideal_sum[pi] += t.ideal;
-                unicast_sum[pi] += t.unicast;
-                overlay_sum[pi] += t.overlay;
+        let mut acc = RowAccum::new(&topo, cfg);
+        for chunk in workload.groups.chunks(CHUNK) {
+            // Phase 1 (parallel): tree + optimistic encode + metrics.
+            let evals = elmo_core::parallel_map_with(
+                chunk.len(),
+                threads,
+                || (EncodeScratch::new(), Vec::new()),
+                |ws, i| {
+                    let hosts = workload.member_hosts(&chunk[i]);
+                    let tree = GroupTree::new(&topo, hosts.iter().copied());
+                    if tree.is_empty() {
+                        return None;
+                    }
+                    let sender = hosts[0];
+                    Some(eval_group(
+                        &topo,
+                        &layout,
+                        &encoder,
+                        &cfg.payloads,
+                        tree,
+                        sender,
+                        ws,
+                    ))
+                },
+            );
+            // Phase 2 (sequential, group order): admission + metric fold.
+            for ev in evals.into_iter().flatten() {
+                acc.fold(&topo, &layout, &encoder, &cfg.payloads, ev);
             }
         }
-
-        let traffic = cfg
-            .payloads
-            .iter()
-            .enumerate()
-            .map(|(pi, &payload)| TrafficRow {
-                payload,
-                elmo_ratio: elmo_sum[pi] as f64 / ideal_sum[pi] as f64,
-                unicast_ratio: unicast_sum[pi] as f64 / ideal_sum[pi] as f64,
-                overlay_ratio: overlay_sum[pi] as f64 / ideal_sum[pi] as f64,
-            })
-            .collect();
-
-        // Spine occupancy is per physical spine: every spine of a pod holds
-        // the pod's s-rules.
-        let spine_usage: Vec<usize> = topo
-            .spines()
-            .map(|s| srules.pod_usage(topo.pod_of_spine(s)))
-            .collect();
-        rows.push(SweepRow {
-            r,
-            total_groups: workload.groups.len(),
-            covered,
-            defaulted,
-            leaf_srules: UsageStats::of(srules.leaf_usages()),
-            spine_srules: UsageStats::of(&spine_usage),
-            header_bytes,
-            traffic,
-        });
+        rows.push(acc.into_row(&topo, cfg, r, workload.groups.len()));
     }
 
     SweepResult {

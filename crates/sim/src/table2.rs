@@ -74,27 +74,43 @@ fn to_role(r: Role) -> MemberRole {
 }
 
 /// Run the churn experiment: `events` membership changes at
-/// `events_per_sec`.
-pub fn run(topo: Clos, workload_cfg: WorkloadConfig, events: usize, events_per_sec: f64) -> Table2 {
+/// `events_per_sec`. Group installation fans out over `threads` encode
+/// workers (0 = all cores) through `Controller::create_groups_batch`; the
+/// churn replay itself is inherently sequential (each event's update set
+/// depends on all prior state).
+pub fn run(
+    topo: Clos,
+    workload_cfg: WorkloadConfig,
+    events: usize,
+    events_per_sec: f64,
+    threads: usize,
+) -> Table2 {
     let workload = Workload::generate(topo, workload_cfg);
     let roles = initial_roles(&workload, workload_cfg.seed);
     let mut ctl = Controller::new(topo, ControllerConfig::paper_default(12));
 
     // Install every group with its initial membership and roles.
-    for (gi, g) in workload.groups.iter().enumerate() {
-        let tenant = &workload.tenants[g.tenant as usize];
-        let members = g
-            .members
-            .iter()
-            .zip(&roles[gi])
-            .map(|(&vm, &r)| (tenant.vms[vm as usize], to_role(r)));
-        ctl.create_group(
-            GroupId(gi as u64),
-            Vni(g.tenant),
-            std::net::Ipv4Addr::new(225, (gi >> 16) as u8, (gi >> 8) as u8, gi as u8),
-            members,
-        );
-    }
+    let specs: Vec<_> = workload
+        .groups
+        .iter()
+        .enumerate()
+        .map(|(gi, g)| {
+            let tenant = &workload.tenants[g.tenant as usize];
+            let members: Vec<(HostId, MemberRole)> = g
+                .members
+                .iter()
+                .zip(&roles[gi])
+                .map(|(&vm, &r)| (tenant.vms[vm as usize], to_role(r)))
+                .collect();
+            (
+                GroupId(gi as u64),
+                Vni(g.tenant),
+                std::net::Ipv4Addr::new(225, (gi >> 16) as u8, (gi >> 8) as u8, gi as u8),
+                members,
+            )
+        })
+        .collect();
+    ctl.create_groups_batch(&specs, threads);
 
     // Replay churn, accumulating per-device update counts.
     let stream = churn_events(&workload, events, workload_cfg.seed ^ 0xc4u64);
@@ -183,7 +199,7 @@ mod tests {
             dist: GroupSizeDist::Wve,
             seed: 5,
         };
-        run(topo, cfg, 2_000, 1000.0)
+        run(topo, cfg, 2_000, 1000.0, 1)
     }
 
     #[test]

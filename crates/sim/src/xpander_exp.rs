@@ -8,11 +8,8 @@
 //! measures the header-size distribution and the fraction of groups that
 //! fit.
 
-use rand::rngs::StdRng;
-use rand::seq::SliceRandom;
-use rand::SeedableRng;
-
 use elmo_core::layout::id_bits;
+use elmo_core::rng::SplitMix64;
 use elmo_topology::xpander::Xpander;
 use elmo_topology::HostId;
 use elmo_workloads::{group_size, GroupSizeDist};
@@ -32,7 +29,7 @@ pub struct XpanderResult {
 
 /// Encode `groups` WVE-sized groups on the Xpander and measure header sizes.
 pub fn run(x: &Xpander, groups: usize, budget_bytes: usize, seed: u64) -> XpanderResult {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = SplitMix64::new(seed);
     let ports = x.ports_per_switch();
     let idb = id_bits(x.num_switches());
     let mut header_bytes = Summary::new();
@@ -40,7 +37,7 @@ pub fn run(x: &Xpander, groups: usize, budget_bytes: usize, seed: u64) -> Xpande
     let mut hosts: Vec<u32> = (0..x.num_hosts() as u32).collect();
     for _ in 0..groups {
         let size = group_size(&mut rng, GroupSizeDist::Wve, 5, 2_000);
-        let (members, _) = hosts.partial_shuffle(&mut rng, size);
+        let (members, _) = rng.partial_shuffle(&mut hosts, size);
         let sender = HostId(members[0]);
         let root = x.switch_of_host(sender);
         let mut targets: Vec<usize> = members

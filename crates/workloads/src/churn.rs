@@ -6,8 +6,7 @@
 //! a group have equal probability to join; similarly, all existing members
 //! of the group have an equal probability of leaving."
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use elmo_core::rng::SplitMix64;
 use std::collections::BTreeMap;
 
 use crate::workload::Workload;
@@ -22,8 +21,8 @@ pub enum Role {
 }
 
 impl Role {
-    fn random(rng: &mut impl Rng) -> Role {
-        match rng.gen_range(0..3) {
+    fn random(rng: &mut SplitMix64) -> Role {
+        match rng.below(3) {
             0 => Role::Sender,
             1 => Role::Receiver,
             _ => Role::Both,
@@ -47,7 +46,7 @@ pub struct ChurnEvent {
 /// Assign a random role to every initial member of every group (the churn
 /// experiment distinguishes senders from receivers).
 pub fn initial_roles(workload: &Workload, seed: u64) -> Vec<Vec<Role>> {
-    let mut rng = StdRng::seed_from_u64(seed ^ 0x0e11);
+    let mut rng = SplitMix64::new(seed ^ 0x0e11);
     workload
         .groups
         .iter()
@@ -60,7 +59,7 @@ pub fn initial_roles(workload: &Workload, seed: u64) -> Vec<Vec<Role>> {
 /// members. Returns the events together with the evolving per-group
 /// membership maps (VM -> role) so callers can replay them consistently.
 pub fn churn_events(workload: &Workload, n: usize, seed: u64) -> Vec<ChurnEvent> {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = SplitMix64::new(seed);
     if workload.groups.is_empty() {
         return Vec::new();
     }
@@ -73,11 +72,11 @@ pub fn churn_events(workload: &Workload, n: usize, seed: u64) -> Vec<ChurnEvent>
     }
     // Lazily materialized per-group membership: vm -> role.
     let mut membership: BTreeMap<u32, BTreeMap<u32, Role>> = BTreeMap::new();
-    let mut role_rng = StdRng::seed_from_u64(seed ^ 0x0e11);
+    let mut role_rng = SplitMix64::new(seed ^ 0x0e11);
 
     let mut events = Vec::with_capacity(n);
     while events.len() < n {
-        let pick = rng.gen_range(0..acc);
+        let pick = rng.below(acc);
         let gi = cum.partition_point(|&c| c <= pick);
         let tenant_size = workload.tenants[workload.groups[gi].tenant as usize]
             .vms
@@ -94,12 +93,12 @@ pub fn churn_events(workload: &Workload, n: usize, seed: u64) -> Vec<ChurnEvent>
         } else if members.len() <= 1 {
             true // keep groups alive
         } else {
-            rng.gen_bool(0.5)
+            rng.chance(0.5)
         };
         if join {
             // Rejection-sample a non-member VM of the tenant.
             let vm = loop {
-                let v = rng.gen_range(0..tenant_size);
+                let v = rng.below(u64::from(tenant_size)) as u32;
                 if !members.contains_key(&v) {
                     break v;
                 }
@@ -114,7 +113,7 @@ pub fn churn_events(workload: &Workload, n: usize, seed: u64) -> Vec<ChurnEvent>
             });
         } else {
             // Uniform member pick.
-            let idx = rng.gen_range(0..members.len());
+            let idx = rng.index(members.len());
             let (&vm, &role) = members.iter().nth(idx).expect("non-empty");
             members.remove(&vm);
             events.push(ChurnEvent {

@@ -10,25 +10,26 @@
 //! * **Uniform group sizes** are uniform between the minimum size and the
 //!   tenant's size.
 //!
-//! All samplers use inverse-CDF transforms over a caller-provided RNG, so
-//! every experiment is reproducible from a seed.
+//! All samplers use inverse-CDF transforms over a caller-provided
+//! [`SplitMix64`], so every experiment is reproducible from a seed on any
+//! platform.
 
-use rand::Rng;
+use elmo_core::rng::SplitMix64;
 
 /// Sample `min + Exp(mean_excess)`, truncated at `max` by resampling-free
 /// clamping of the exponential tail (inverse CDF of the truncated law).
-pub fn truncated_shifted_exp(rng: &mut impl Rng, min: f64, mean_excess: f64, max: f64) -> f64 {
+pub fn truncated_shifted_exp(rng: &mut SplitMix64, min: f64, mean_excess: f64, max: f64) -> f64 {
     debug_assert!(max > min && mean_excess > 0.0);
     // CDF of Exp truncated at (max - min): F(x) = (1 - e^(-x/mu)) / (1 - e^(-T/mu)).
     let t = max - min;
     let cap = 1.0 - (-t / mean_excess).exp();
-    let u: f64 = rng.gen_range(0.0..1.0);
+    let u: f64 = rng.next_f64();
     let x = -mean_excess * (1.0 - u * cap).ln();
     min + x.min(t)
 }
 
 /// Tenant size sampler: exponential with min 10, mean ≈ 178.77, max 5,000.
-pub fn tenant_size(rng: &mut impl Rng) -> usize {
+pub fn tenant_size(rng: &mut SplitMix64) -> usize {
     truncated_shifted_exp(rng, 10.0, 168.77, 5000.0).round() as usize
 }
 
@@ -44,22 +45,22 @@ pub enum GroupSizeDist {
 /// Sample a group size for a tenant of `tenant_size` VMs; always at least
 /// `min_size` and at most `tenant_size`.
 pub fn group_size(
-    rng: &mut impl Rng,
+    rng: &mut SplitMix64,
     dist: GroupSizeDist,
     min_size: usize,
     tenant_size: usize,
 ) -> usize {
     let raw = match dist {
         GroupSizeDist::Wve => wve_size(rng, min_size),
-        GroupSizeDist::Uniform => rng.gen_range(min_size..=tenant_size.max(min_size)),
+        GroupSizeDist::Uniform => rng.range_inclusive(min_size, tenant_size.max(min_size)),
     };
     raw.clamp(min_size, tenant_size.max(min_size))
 }
 
 /// The WVE mixture: 80% small (5..61), 19.4% medium (61..700), 0.6% large
 /// (700+). Component means are calibrated so the overall mean is ≈ 60.
-fn wve_size(rng: &mut impl Rng, min_size: usize) -> usize {
-    let u: f64 = rng.gen_range(0.0..1.0);
+fn wve_size(rng: &mut SplitMix64, min_size: usize) -> usize {
+    let u: f64 = rng.next_f64();
     let v = if u < 0.80 {
         truncated_shifted_exp(rng, min_size as f64, 17.0, 60.0)
     } else if u < 0.994 {
@@ -73,12 +74,10 @@ fn wve_size(rng: &mut impl Rng, min_size: usize) -> usize {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
 
     #[test]
     fn truncated_exp_stays_in_range() {
-        let mut rng = StdRng::seed_from_u64(1);
+        let mut rng = SplitMix64::new(1);
         for _ in 0..10_000 {
             let v = truncated_shifted_exp(&mut rng, 10.0, 100.0, 500.0);
             assert!((10.0..=500.0).contains(&v));
@@ -87,7 +86,7 @@ mod tests {
 
     #[test]
     fn tenant_sizes_match_paper_statistics() {
-        let mut rng = StdRng::seed_from_u64(42);
+        let mut rng = SplitMix64::new(42);
         let samples: Vec<usize> = (0..30_000).map(|_| tenant_size(&mut rng)).collect();
         let min = *samples.iter().min().unwrap();
         let max = *samples.iter().max().unwrap();
@@ -100,7 +99,7 @@ mod tests {
 
     #[test]
     fn wve_group_sizes_match_trace_statistics() {
-        let mut rng = StdRng::seed_from_u64(7);
+        let mut rng = SplitMix64::new(7);
         let n = 100_000;
         let samples: Vec<usize> = (0..n)
             .map(|_| group_size(&mut rng, GroupSizeDist::Wve, 5, 5000))
@@ -125,7 +124,7 @@ mod tests {
 
     #[test]
     fn group_size_respects_tenant_cap() {
-        let mut rng = StdRng::seed_from_u64(9);
+        let mut rng = SplitMix64::new(9);
         for _ in 0..5_000 {
             let s = group_size(&mut rng, GroupSizeDist::Wve, 5, 30);
             assert!((5..=30).contains(&s));
@@ -136,7 +135,7 @@ mod tests {
 
     #[test]
     fn uniform_spans_the_range() {
-        let mut rng = StdRng::seed_from_u64(5);
+        let mut rng = SplitMix64::new(5);
         let samples: Vec<usize> = (0..20_000)
             .map(|_| group_size(&mut rng, GroupSizeDist::Uniform, 5, 100))
             .collect();
@@ -149,11 +148,11 @@ mod tests {
     #[test]
     fn sampling_is_deterministic_per_seed() {
         let a: Vec<usize> = {
-            let mut rng = StdRng::seed_from_u64(3);
+            let mut rng = SplitMix64::new(3);
             (0..100).map(|_| tenant_size(&mut rng)).collect()
         };
         let b: Vec<usize> = {
-            let mut rng = StdRng::seed_from_u64(3);
+            let mut rng = SplitMix64::new(3);
             (0..100).map(|_| tenant_size(&mut rng)).collect()
         };
         assert_eq!(a, b);

@@ -12,10 +12,7 @@
 //! drawn from the WVE or Uniform distribution and members drawn uniformly
 //! from the tenant's VMs (minimum group size 5).
 
-use rand::rngs::StdRng;
-use rand::seq::SliceRandom;
-use rand::SeedableRng;
-
+use elmo_core::rng::SplitMix64;
 use elmo_topology::{Clos, HostId};
 
 use crate::dist::{group_size, tenant_size, GroupSizeDist};
@@ -95,7 +92,7 @@ pub struct Workload {
 impl Workload {
     /// Generate tenants, placement, and groups for a fabric.
     pub fn generate(topo: Clos, config: WorkloadConfig) -> Workload {
-        let mut rng = StdRng::seed_from_u64(config.seed);
+        let mut rng = SplitMix64::new(config.seed);
         let tenants = place_tenants(&topo, &config, &mut rng);
         let groups = assign_groups(&tenants, &config, &mut rng);
         Workload {
@@ -122,7 +119,7 @@ impl Workload {
 }
 
 /// Place every tenant's VMs per the `P`-clustering strategy.
-fn place_tenants(topo: &Clos, config: &WorkloadConfig, rng: &mut StdRng) -> Vec<Tenant> {
+fn place_tenants(topo: &Clos, config: &WorkloadConfig, rng: &mut SplitMix64) -> Vec<Tenant> {
     let num_hosts = topo.num_hosts();
     let capacity = num_hosts * config.host_vm_cap;
     let mut host_load = vec![0u32; num_hosts];
@@ -154,11 +151,11 @@ fn place_tenants(topo: &Clos, config: &WorkloadConfig, rng: &mut StdRng) -> Vec<
         // leaf (never more than P of its VMs per rack), before moving on —
         // this is what makes most groups span one or two pods under P = 12.
         let mut pod_order: Vec<usize> = (0..topo.num_pods()).collect();
-        pod_order.shuffle(&mut *rng);
+        rng.shuffle(&mut pod_order);
         'pods: for &pod in &pod_order {
             let pod = elmo_topology::PodId(pod as u32);
             let mut leaf_order: Vec<usize> = (0..topo.params().leaves_per_pod).collect();
-            leaf_order.shuffle(&mut *rng);
+            rng.shuffle(&mut leaf_order);
             for &li in &leaf_order {
                 if remaining == 0 {
                     break 'pods;
@@ -211,7 +208,11 @@ fn place_under_leaf(
 
 /// Assign `total_groups` groups to tenants proportionally to tenant size and
 /// draw each group's members.
-fn assign_groups(tenants: &[Tenant], config: &WorkloadConfig, rng: &mut StdRng) -> Vec<GroupSpec> {
+fn assign_groups(
+    tenants: &[Tenant],
+    config: &WorkloadConfig,
+    rng: &mut SplitMix64,
+) -> Vec<GroupSpec> {
     let total_vms: usize = tenants.iter().map(|t| t.vms.len()).sum();
     if total_vms == 0 {
         return Vec::new();
@@ -254,10 +255,10 @@ fn assign_groups(tenants: &[Tenant], config: &WorkloadConfig, rng: &mut StdRng) 
 }
 
 /// Sample `k` distinct VM indices out of `n` (partial Fisher–Yates).
-fn sample_members(rng: &mut StdRng, n: usize, k: usize) -> Vec<u32> {
+fn sample_members(rng: &mut SplitMix64, n: usize, k: usize) -> Vec<u32> {
     let k = k.min(n);
     let mut pool: Vec<u32> = (0..n as u32).collect();
-    let (chosen, _) = pool.partial_shuffle(rng, k);
+    let (chosen, _) = rng.partial_shuffle(&mut pool, k);
     let mut members = chosen.to_vec();
     members.sort_unstable();
     members

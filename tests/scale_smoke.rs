@@ -64,7 +64,11 @@ fn thousands_of_groups_share_one_fabric() {
         let header = ctl.header_for(gid, sender).expect("header");
         let (vni, taddr, outer) = (state.vni, state.tenant_addr, state.outer_addr);
         let mut hv = HypervisorSwitch::new(sender);
-        hv.install_flow(vni, taddr, SenderFlow::new(outer, vni, &header, ctl.layout(), vec![]));
+        hv.install_flow(
+            vni,
+            taddr,
+            SenderFlow::new(outer, vni, &header, ctl.layout(), vec![]),
+        );
         let pkt = hv.send(vni, taddr, b"scale smoke", ctl.layout()).remove(0);
         let got: BTreeSet<HostId> = fabric
             .inject(sender, pkt)
@@ -75,8 +79,7 @@ fn thousands_of_groups_share_one_fabric() {
                 (!rx.receive(&bytes, ctl.layout()).is_empty()).then_some(h)
             })
             .collect();
-        let expected: BTreeSet<HostId> =
-            members.iter().copied().filter(|&h| h != sender).collect();
+        let expected: BTreeSet<HostId> = members.iter().copied().filter(|&h| h != sender).collect();
         assert_eq!(got, expected, "group {gi} mis-delivered");
         verified += 1;
     }
