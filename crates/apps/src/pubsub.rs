@@ -53,6 +53,8 @@ pub fn run(
         subscribers < topo.num_hosts(),
         "need a host per subscriber plus the publisher"
     );
+    let _span = elmo_obs::span!("pubsub_run");
+    elmo_obs::counter("apps.pubsub.runs").inc();
     let publisher = HostId(0);
     // Subscribers on distinct hosts, spread round-robin across the fabric to
     // exercise all tiers (like the paper's 9-server, 2-leaf testbed).

@@ -59,6 +59,8 @@ pub fn run(
     transport: Transport,
 ) -> TelemetryResult {
     assert!(collectors >= 1 && collectors < topo.num_hosts());
+    let _span = elmo_obs::span!("telemetry_run");
+    elmo_obs::counter("apps.telemetry.runs").inc();
     let agent = HostId(0);
     let collector_hosts: Vec<HostId> = (1..=collectors as u32).map(HostId).collect();
 

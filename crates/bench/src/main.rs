@@ -9,6 +9,9 @@
 //!   --threads LIST    comma-separated thread counts (default 1,2,8)
 //!   --r LIST          redundancy limits per sweep (default 0,6,12)
 //!   --out PATH        output file (default BENCH_encode.json)
+//!   --metrics-out P   also write the full elmo-obs metrics snapshot to P
+//!   -v / --quiet      debug / warn-only logging on stderr
+//!   --log-json        JSONL structured events on stderr
 //! ```
 //!
 //! Times the Figure 4/5 encode sweep (`elmo_sim::sweep::run`) at each thread
@@ -30,6 +33,7 @@ struct Args {
     threads: Vec<usize>,
     r_values: Vec<usize>,
     out: String,
+    metrics_out: Option<String>,
 }
 
 fn parse_args() -> Args {
@@ -38,6 +42,7 @@ fn parse_args() -> Args {
         threads: vec![1, 2, 8],
         r_values: vec![0, 6, 12],
         out: "BENCH_encode.json".into(),
+        metrics_out: None,
     };
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -49,7 +54,10 @@ fn parse_args() -> Args {
                         .collect::<Option<Vec<usize>>>()
                 })
                 .unwrap_or_else(|| {
-                    eprintln!("error: {flag} needs a comma-separated number list");
+                    elmo_obs::error!(
+                        "usage",
+                        msg = format!("{flag} needs a comma-separated number list")
+                    );
                     std::process::exit(2);
                 })
         };
@@ -59,12 +67,22 @@ fn parse_args() -> Args {
             "--r" => out.r_values = num_list("--r"),
             "--out" => {
                 out.out = args.next().unwrap_or_else(|| {
-                    eprintln!("error: --out needs a path");
+                    elmo_obs::error!("usage", msg = "--out needs a path");
                     std::process::exit(2);
                 })
             }
+            "--metrics-out" => {
+                out.metrics_out = Some(args.next().unwrap_or_else(|| {
+                    elmo_obs::error!("usage", msg = "--metrics-out needs a path");
+                    std::process::exit(2);
+                }))
+            }
+            "-v" => elmo_obs::set_level(elmo_obs::Level::Debug),
+            "-vv" => elmo_obs::set_level(elmo_obs::Level::Trace),
+            "--quiet" | "-q" => elmo_obs::set_level(elmo_obs::Level::Warn),
+            "--log-json" => elmo_obs::set_format(elmo_obs::Format::Jsonl),
             other => {
-                eprintln!("error: unknown argument {other}");
+                elmo_obs::error!("usage", msg = format!("unknown argument {other}"));
                 std::process::exit(2);
             }
         }
@@ -95,10 +113,11 @@ fn bench_sweep(args: &Args) -> (Clos, WorkloadConfig, Vec<SweepRun>) {
         // Encodes = groups x r-values; the Li baseline pass is shared
         // overhead and deliberately counted against every run equally.
         let encodes = (wl.total_groups * cfg.r_values.len()) as f64;
-        eprintln!(
-            "sweep: threads={threads:2}  wall={:8.1} ms  {:9.0} groups/s",
-            secs * 1e3,
-            encodes / secs
+        elmo_obs::info!(
+            "bench.sweep",
+            threads = threads,
+            wall_ms = secs * 1e3,
+            groups_per_sec = encodes / secs
         );
         match &reference {
             None => reference = Some(result),
@@ -154,10 +173,11 @@ fn bench_min_k_union() -> (usize, f64, f64) {
     let secs = start.elapsed().as_secs_f64();
     let calls = (iters * sets.len()) as f64;
     std::hint::black_box(sink);
-    eprintln!(
-        "min_k_union: {calls:6.0} calls  wall={:8.1} ms  {:9.0} calls/s",
-        secs * 1e3,
-        calls / secs
+    elmo_obs::info!(
+        "bench.min_k_union",
+        calls = calls,
+        wall_ms = secs * 1e3,
+        calls_per_sec = calls / secs
     );
     (iters * sets.len(), secs * 1e3, calls / secs)
 }
@@ -168,6 +188,36 @@ fn json_f(v: f64) -> String {
     } else {
         "null".into()
     }
+}
+
+/// Per-phase wall-clock profile from the `span.*_ns` histograms the sweep
+/// records while running. Each entry: calls, total ms, mean µs, p95 µs.
+fn phase_entries(snap: &elmo_obs::Snapshot) -> Vec<String> {
+    const PHASES: &[&str] = &[
+        "span.sweep_row_ns",
+        "span.sweep_phase1_ns",
+        "span.sweep_fold_ns",
+        "span.batch_optimistic_ns",
+        "span.batch_admission_ns",
+    ];
+    let mut entries = Vec::new();
+    for name in PHASES {
+        let Some(h) = snap.histogram(name) else {
+            continue;
+        };
+        if h.count == 0 {
+            continue;
+        }
+        let phase = name.trim_start_matches("span.").trim_end_matches("_ns");
+        entries.push(format!(
+            "    {{\"phase\": \"{phase}\", \"calls\": {}, \"total_ms\": {}, \"mean_us\": {}, \"p95_us\": {}}}",
+            h.count,
+            json_f(h.sum as f64 / 1e6),
+            json_f(h.mean() / 1e3),
+            json_f(h.quantile(0.95) as f64 / 1e3),
+        ));
+    }
+    entries
 }
 
 fn main() {
@@ -193,17 +243,31 @@ fn main() {
         })
         .collect();
     let r_list: Vec<String> = args.r_values.iter().map(|r| r.to_string()).collect();
+    let snap = elmo_obs::snapshot();
+    let phases = phase_entries(&snap);
     let json = format!(
-        "{{\n  \"bench\": \"elmo encode sweep\",\n  \"fabric_hosts\": {},\n  \"groups\": {},\n  \"r_values\": [{}],\n  \"cpus_available\": {},\n  \"runs\": [\n{}\n  ],\n  \"min_k_union\": {{\"calls\": {}, \"wall_ms\": {}, \"calls_per_sec\": {}}}\n}}\n",
+        "{{\n  \"bench\": \"elmo encode sweep\",\n  \"fabric_hosts\": {},\n  \"groups\": {},\n  \"r_values\": [{}],\n  \"cpus_available\": {},\n  \"runs\": [\n{}\n  ],\n  \"phases\": [\n{}\n  ],\n  \"min_k_union\": {{\"calls\": {}, \"wall_ms\": {}, \"calls_per_sec\": {}}}\n}}\n",
         topo.num_hosts(),
         wl.total_groups,
         r_list.join(", "),
         cpus,
         speedups.join(",\n"),
+        phases.join(",\n"),
         mku_calls,
         json_f(mku_ms),
         json_f(mku_rate),
     );
     std::fs::write(&args.out, &json).expect("write bench output");
-    eprintln!("wrote {}", args.out);
+    if let Some(path) = &args.metrics_out {
+        if let Err(e) = elmo_sim::obs::write_snapshot(path) {
+            elmo_obs::error!(
+                "metrics.write_failed",
+                path = path.as_str(),
+                error = e.to_string()
+            );
+            std::process::exit(1);
+        }
+        elmo_obs::info!("metrics.written", path = path.as_str());
+    }
+    elmo_obs::info!("bench.wrote", path = args.out.as_str());
 }

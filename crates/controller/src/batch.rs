@@ -25,11 +25,33 @@
 //! checks this on both unlimited and capacity-limited configurations.
 
 use std::cell::RefCell;
+use std::sync::OnceLock;
 
 use elmo_core::{encode_group_with, EncodeScratch, EncoderConfig, GroupEncoding};
 use elmo_topology::{Clos, GroupTree, LeafId, PodId};
 
 use crate::srules::SRuleSpace;
+
+/// Batch-pipeline metrics. Counters are recorded from both parallel
+/// (phase 1) and sequential (phase 2) code — commutative sums, so totals
+/// are identical at any thread count. The wall-clock spans live under the
+/// nondeterministic `span.` namespace.
+pub(crate) struct BatchMetrics {
+    pub(crate) groups: elmo_obs::Counter,
+    pub(crate) optimistic_encodes: elmo_obs::Counter,
+    pub(crate) admitted: elmo_obs::Counter,
+    pub(crate) reencoded: elmo_obs::Counter,
+}
+
+pub(crate) fn metrics() -> &'static BatchMetrics {
+    static M: OnceLock<BatchMetrics> = OnceLock::new();
+    M.get_or_init(|| BatchMetrics {
+        groups: elmo_obs::counter("controller.batch.groups"),
+        optimistic_encodes: elmo_obs::counter("controller.batch.optimistic_encodes"),
+        admitted: elmo_obs::counter("controller.batch.admitted"),
+        reencoded: elmo_obs::counter("controller.batch.reencoded"),
+    })
+}
 
 /// One s-rule capacity request recorded during an optimistic encode, in the
 /// order Algorithm 1 issues it against a live tracker.
@@ -122,16 +144,24 @@ pub fn encode_batch(
     trees: &[GroupTree],
     threads: usize,
 ) -> BatchOutcome {
-    let phase1 = elmo_core::parallel_map_with(
-        trees.len(),
-        threads,
-        || (EncodeScratch::new(), Vec::new()),
-        |(scratch, reqs), i| {
-            let enc = encode_group_optimistic(topo, &trees[i], cfg, scratch, reqs);
-            (enc, std::mem::take(reqs))
-        },
-    );
+    let m = metrics();
+    m.groups.add(trees.len() as u64);
 
+    let phase1 = {
+        let _span = elmo_obs::span!("batch_optimistic");
+        elmo_core::parallel_map_with(
+            trees.len(),
+            threads,
+            || (EncodeScratch::new(), Vec::new()),
+            |(scratch, reqs), i| {
+                let enc = encode_group_optimistic(topo, &trees[i], cfg, scratch, reqs);
+                metrics().optimistic_encodes.inc();
+                (enc, std::mem::take(reqs))
+            },
+        )
+    };
+
+    let _span = elmo_obs::span!("batch_admission");
     let mut reencoded = 0usize;
     let mut scratch = EncodeScratch::new();
     let encodings = phase1
@@ -139,13 +169,22 @@ pub fn encode_batch(
         .enumerate()
         .map(|(i, (enc, reqs))| {
             if try_admit(srules, &reqs) {
+                m.admitted.inc();
                 enc
             } else {
                 reencoded += 1;
+                m.reencoded.inc();
                 encode_group_admitted(topo, &trees[i], cfg, srules, &mut scratch)
             }
         })
         .collect();
+    if reencoded > 0 {
+        elmo_obs::debug!(
+            "batch.reencoded",
+            groups = trees.len(),
+            reencoded = reencoded
+        );
+    }
     BatchOutcome {
         encodings,
         reencoded,

@@ -21,6 +21,23 @@ use elmo_topology::{Clos, FailureState, GroupTree, HostId, LeafId, PodId, Upstre
 
 use crate::srules::SRuleSpace;
 
+/// Group-lifecycle counters. All mutation entry points are `&mut self`
+/// (sequential), so these are deterministic across thread counts.
+struct CtlMetrics {
+    groups_created: elmo_obs::Counter,
+    groups_deleted: elmo_obs::Counter,
+    membership_changes: elmo_obs::Counter,
+}
+
+fn metrics() -> &'static CtlMetrics {
+    static M: std::sync::OnceLock<CtlMetrics> = std::sync::OnceLock::new();
+    M.get_or_init(|| CtlMetrics {
+        groups_created: elmo_obs::counter("controller.groups_created"),
+        groups_deleted: elmo_obs::counter("controller.groups_deleted"),
+        membership_changes: elmo_obs::counter("controller.membership_changes"),
+    })
+}
+
 /// A fabric-wide multicast group identifier.
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 pub struct GroupId(pub u64);
@@ -252,6 +269,7 @@ impl Controller {
         tenant_addr: Ipv4Addr,
         members: impl IntoIterator<Item = (HostId, MemberRole)>,
     ) -> UpdateSet {
+        let _span = elmo_obs::span!("create_group");
         let mut counts: BTreeMap<HostId, MemberCounts> = BTreeMap::new();
         for (h, role) in members {
             let c = counts.entry(h).or_default();
@@ -289,6 +307,7 @@ impl Controller {
         self.next_group_id = self.next_group_id.max(id.0 + 1);
         let prev = self.groups.insert(id, state);
         debug_assert!(prev.is_none(), "group id reused");
+        metrics().groups_created.inc();
         updates
     }
 
@@ -301,35 +320,45 @@ impl Controller {
     /// wall-clock time differs. Per-group [`UpdateSet`]s are not collected
     /// (bulk installation reprograms every touched device anyway).
     pub fn create_groups_batch(&mut self, specs: &[GroupSpec], threads: usize) {
+        let bm = crate::batch::metrics();
+        bm.groups.add(specs.len() as u64);
         // Phase 1 (parallel): member counts, receiver tree, optimistic encode.
         let topo = &self.topo;
         let encoder = &self.encoder;
-        let prepared = elmo_core::parallel_map_with(
-            specs.len(),
-            threads,
-            || (elmo_core::EncodeScratch::new(), Vec::new()),
-            |(scratch, reqs), i| {
-                let mut counts: BTreeMap<HostId, MemberCounts> = BTreeMap::new();
-                for &(h, role) in &specs[i].3 {
-                    let c = counts.entry(h).or_default();
-                    if role.sends() {
-                        c.senders += 1;
+        let prepared = {
+            let _span = elmo_obs::span!("batch_optimistic");
+            elmo_core::parallel_map_with(
+                specs.len(),
+                threads,
+                || (elmo_core::EncodeScratch::new(), Vec::new()),
+                |(scratch, reqs), i| {
+                    let mut counts: BTreeMap<HostId, MemberCounts> = BTreeMap::new();
+                    for &(h, role) in &specs[i].3 {
+                        let c = counts.entry(h).or_default();
+                        if role.sends() {
+                            c.senders += 1;
+                        }
+                        if role.receives() {
+                            c.receivers += 1;
+                        }
                     }
-                    if role.receives() {
-                        c.receivers += 1;
-                    }
-                }
-                let tree = Self::receiver_tree(topo, &counts);
-                let enc =
-                    crate::batch::encode_group_optimistic(topo, &tree, encoder, scratch, reqs);
-                (counts, tree, enc, std::mem::take(reqs))
-            },
-        );
+                    let tree = Self::receiver_tree(topo, &counts);
+                    let enc =
+                        crate::batch::encode_group_optimistic(topo, &tree, encoder, scratch, reqs);
+                    crate::batch::metrics().optimistic_encodes.inc();
+                    (counts, tree, enc, std::mem::take(reqs))
+                },
+            )
+        };
         // Phase 2 (sequential, slice order): admission + state install.
+        let _span = elmo_obs::span!("batch_admission");
         let mut scratch = elmo_core::EncodeScratch::new();
         for (spec, (counts, tree, mut enc, reqs)) in specs.iter().zip(prepared) {
             let (id, vni, tenant_addr, _) = spec;
-            if !crate::batch::try_admit(&mut self.srules, &reqs) {
+            if crate::batch::try_admit(&mut self.srules, &reqs) {
+                bm.admitted.inc();
+            } else {
+                bm.reencoded.inc();
                 enc = crate::batch::encode_group_admitted(
                     &self.topo,
                     &tree,
@@ -353,12 +382,14 @@ impl Controller {
             self.next_group_id = self.next_group_id.max(id.0 + 1);
             let prev = self.groups.insert(*id, state);
             debug_assert!(prev.is_none(), "group id reused");
+            metrics().groups_created.inc();
         }
     }
 
     /// Remove a group entirely, freeing its s-rule reservations.
     pub fn delete_group(&mut self, id: GroupId) -> Option<UpdateSet> {
         let state = self.groups.remove(&id)?;
+        metrics().groups_deleted.inc();
         self.by_addr.remove(&(state.vni, state.tenant_addr));
         Self::free_srules(&mut self.srules, &state.enc);
         let mut updates = UpdateSet::default();
@@ -424,6 +455,7 @@ impl Controller {
         let Some(state) = groups.get_mut(&id) else {
             return updates;
         };
+        metrics().membership_changes.inc();
         // Adjust per-host counts.
         let before_receiving = state.members.get(&host).is_some_and(|c| c.receivers > 0);
         {

@@ -19,6 +19,26 @@ use elmo_topology::{CoreId, HostId, PodId, SpineId, UpstreamCover};
 
 use crate::controller::{Controller, GroupId, GroupState};
 
+/// Failure-handling counters (all recorded from sequential recompute).
+struct FailMetrics {
+    spine_failures: elmo_obs::Counter,
+    core_failures: elmo_obs::Counter,
+    groups_rerouted: elmo_obs::Counter,
+    degraded_to_unicast: elmo_obs::Counter,
+    hypervisor_updates: elmo_obs::Counter,
+}
+
+fn metrics() -> &'static FailMetrics {
+    static M: std::sync::OnceLock<FailMetrics> = std::sync::OnceLock::new();
+    M.get_or_init(|| FailMetrics {
+        spine_failures: elmo_obs::counter("controller.failures.spine"),
+        core_failures: elmo_obs::counter("controller.failures.core"),
+        groups_rerouted: elmo_obs::counter("controller.failures.groups_rerouted"),
+        degraded_to_unicast: elmo_obs::counter("controller.failures.degraded_to_unicast"),
+        hypervisor_updates: elmo_obs::counter("controller.failures.hypervisor_updates"),
+    })
+}
+
 /// Outcome of processing one switch failure.
 #[derive(Clone, Debug, Default)]
 pub struct FailureImpact {
@@ -174,14 +194,32 @@ impl Controller {
     /// groups, mark unreachable ones for unicast fallback, and report the
     /// per-hypervisor update load.
     pub fn handle_spine_failure(&mut self, failed: SpineId) -> FailureImpact {
+        metrics().spine_failures.inc();
         self.failures_mut().fail_spine(failed);
-        self.recompute_after_failure(|ctl, state| ctl.group_uses_spine(state, failed))
+        let impact = self.recompute_after_failure(|ctl, state| ctl.group_uses_spine(state, failed));
+        elmo_obs::debug!(
+            "failure.spine",
+            spine = failed.0,
+            affected = impact.affected_groups,
+            total = impact.total_groups,
+            degraded = impact.degraded_to_unicast,
+        );
+        impact
     }
 
     /// Process a core failure (same flow as [`Self::handle_spine_failure`]).
     pub fn handle_core_failure(&mut self, failed: CoreId) -> FailureImpact {
+        metrics().core_failures.inc();
         self.failures_mut().fail_core(failed);
-        self.recompute_after_failure(|ctl, state| ctl.group_uses_core(state, failed))
+        let impact = self.recompute_after_failure(|ctl, state| ctl.group_uses_core(state, failed));
+        elmo_obs::debug!(
+            "failure.core",
+            core = failed.0,
+            affected = impact.affected_groups,
+            total = impact.total_groups,
+            degraded = impact.degraded_to_unicast,
+        );
+        impact
     }
 
     fn recompute_after_failure(
@@ -199,6 +237,7 @@ impl Controller {
                 continue;
             }
             impact.affected_groups += 1;
+            metrics().groups_rerouted.inc();
             // Compute a new explicit cover per sender pod.
             let topo = *self.topo();
             let failures = self.failures().clone();
@@ -227,11 +266,13 @@ impl Controller {
             state.unicast_fallback = degraded;
             if degraded {
                 impact.degraded_to_unicast += 1;
+                metrics().degraded_to_unicast.inc();
             }
             // Every sender hypervisor re-encapsulates with the new upstream
             // rules.
             for h in sender_hosts {
                 *impact.hypervisor_updates.entry(h).or_insert(0) += 1;
+                metrics().hypervisor_updates.inc();
             }
         }
         impact

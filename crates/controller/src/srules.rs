@@ -7,7 +7,30 @@
 //! physical spine — the tracker accounts pods but reports physical-switch
 //! occupancy.
 
+use std::sync::OnceLock;
+
 use elmo_topology::{Clos, LeafId, PodId};
+
+/// Admission counters. A refused allocation is exactly the paper's
+/// "spill": Algorithm 1 falls back to the default p-rule (spine) or a
+/// wider p-rule set (leaf) when the group table is full. All callers are
+/// sequential (phase 2 / serial path), so counts are deterministic.
+struct SRuleMetrics {
+    leaf_allocs: elmo_obs::Counter,
+    leaf_refused: elmo_obs::Counter,
+    pod_allocs: elmo_obs::Counter,
+    pod_refused: elmo_obs::Counter,
+}
+
+fn metrics() -> &'static SRuleMetrics {
+    static M: OnceLock<SRuleMetrics> = OnceLock::new();
+    M.get_or_init(|| SRuleMetrics {
+        leaf_allocs: elmo_obs::counter("controller.srules.leaf_allocs"),
+        leaf_refused: elmo_obs::counter("controller.srules.leaf_refused"),
+        pod_allocs: elmo_obs::counter("controller.srules.pod_allocs"),
+        pod_refused: elmo_obs::counter("controller.srules.pod_refused"),
+    })
+}
 
 /// Tracks group-table occupancy across every leaf and spine in the fabric.
 #[derive(Clone, Debug)]
@@ -41,8 +64,10 @@ impl SRuleSpace {
         let used = &mut self.leaf_used[l.0 as usize];
         if *used < self.leaf_cap {
             *used += 1;
+            metrics().leaf_allocs.inc();
             true
         } else {
+            metrics().leaf_refused.inc();
             false
         }
     }
@@ -59,8 +84,10 @@ impl SRuleSpace {
         let used = &mut self.pod_used[p.0 as usize];
         if *used < self.spine_cap {
             *used += 1;
+            metrics().pod_allocs.inc();
             true
         } else {
+            metrics().pod_refused.inc();
             false
         }
     }

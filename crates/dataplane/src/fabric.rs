@@ -36,6 +36,32 @@ impl FabricStats {
     }
 }
 
+/// Fabric-wide mirrors of the per-`Fabric` link counters. These measure
+/// *actual* bytes moved by the packet model, so a snapshot can be
+/// cross-checked against `sim::metrics`' analytic traffic accounting.
+struct FabricMetrics {
+    host_to_leaf_bytes: elmo_obs::Counter,
+    leaf_to_host_bytes: elmo_obs::Counter,
+    leaf_to_spine_bytes: elmo_obs::Counter,
+    spine_to_leaf_bytes: elmo_obs::Counter,
+    spine_to_core_bytes: elmo_obs::Counter,
+    core_to_spine_bytes: elmo_obs::Counter,
+    packets_on_links: elmo_obs::Counter,
+}
+
+fn metrics() -> &'static FabricMetrics {
+    static M: std::sync::OnceLock<FabricMetrics> = std::sync::OnceLock::new();
+    M.get_or_init(|| FabricMetrics {
+        host_to_leaf_bytes: elmo_obs::counter("fabric.host_to_leaf_bytes"),
+        leaf_to_host_bytes: elmo_obs::counter("fabric.leaf_to_host_bytes"),
+        leaf_to_spine_bytes: elmo_obs::counter("fabric.leaf_to_spine_bytes"),
+        spine_to_leaf_bytes: elmo_obs::counter("fabric.spine_to_leaf_bytes"),
+        spine_to_core_bytes: elmo_obs::counter("fabric.spine_to_core_bytes"),
+        core_to_spine_bytes: elmo_obs::counter("fabric.core_to_spine_bytes"),
+        packets_on_links: elmo_obs::counter("fabric.packets_on_links"),
+    })
+}
+
 /// A fully instantiated Clos fabric of [`NetworkSwitch`]es.
 #[derive(Clone, Debug)]
 pub struct Fabric {
@@ -48,6 +74,10 @@ pub struct Fabric {
     down: std::collections::BTreeSet<SwitchRef>,
     /// When tracing, the per-hop records of the in-flight injection.
     trace: Option<Vec<HopRecord>>,
+    /// When capturing, `(remaining budget, captured packets)`: every copy
+    /// put on a wire (injected or forwarded) is recorded until the budget
+    /// runs out. Powers `elmo-eval --trace-pcap`.
+    capture: Option<(usize, Vec<Vec<u8>>)>,
     /// Link counters.
     pub stats: FabricStats,
 }
@@ -88,7 +118,29 @@ impl Fabric {
                 .collect(),
             down: std::collections::BTreeSet::new(),
             trace: None,
+            capture: None,
             stats: FabricStats::default(),
+        }
+    }
+
+    /// Start capturing on-the-wire packet copies, keeping at most `limit`.
+    pub fn start_capture(&mut self, limit: usize) {
+        self.capture = Some((limit, Vec::new()));
+    }
+
+    /// Stop capturing and take what was recorded (empty if never started).
+    pub fn take_capture(&mut self) -> Vec<Vec<u8>> {
+        self.capture
+            .take()
+            .map(|(_, pkts)| pkts)
+            .unwrap_or_default()
+    }
+
+    fn capture_copy(&mut self, pkt: &[u8]) {
+        if let Some((budget, pkts)) = &mut self.capture {
+            if pkts.len() < *budget {
+                pkts.push(pkt.to_vec());
+            }
         }
     }
 
@@ -180,6 +232,10 @@ impl Fabric {
         let ingress = self.topo.host_port_on_leaf(from);
         self.stats.host_to_leaf_bytes += bytes.len() as u64;
         self.stats.packets_on_links += 1;
+        let m = metrics();
+        m.host_to_leaf_bytes.add(bytes.len() as u64);
+        m.packets_on_links.inc();
+        self.capture_copy(&bytes);
         let mut deliveries = Vec::new();
         let mut queue: Vec<(SwitchRef, usize, Vec<u8>)> =
             vec![(SwitchRef::Leaf(leaf), ingress, bytes)];
@@ -208,24 +264,32 @@ impl Fabric {
             }
             for (port_out, out_pkt) in outputs {
                 self.stats.packets_on_links += 1;
+                m.packets_on_links.inc();
+                self.capture_copy(&out_pkt);
                 match self.next_hop(sw, port_out) {
                     Hop::Host(h) => {
                         self.stats.leaf_to_host_bytes += out_pkt.len() as u64;
+                        m.leaf_to_host_bytes.add(out_pkt.len() as u64);
                         deliveries.push((h, out_pkt));
                     }
                     Hop::Switch(next, next_port, tier) => {
+                        let n = out_pkt.len() as u64;
                         match tier {
                             LinkTier::LeafSpine => {
-                                self.stats.leaf_to_spine_bytes += out_pkt.len() as u64
+                                self.stats.leaf_to_spine_bytes += n;
+                                m.leaf_to_spine_bytes.add(n);
                             }
                             LinkTier::SpineLeaf => {
-                                self.stats.spine_to_leaf_bytes += out_pkt.len() as u64
+                                self.stats.spine_to_leaf_bytes += n;
+                                m.spine_to_leaf_bytes.add(n);
                             }
                             LinkTier::SpineCore => {
-                                self.stats.spine_to_core_bytes += out_pkt.len() as u64
+                                self.stats.spine_to_core_bytes += n;
+                                m.spine_to_core_bytes.add(n);
                             }
                             LinkTier::CoreSpine => {
-                                self.stats.core_to_spine_bytes += out_pkt.len() as u64
+                                self.stats.core_to_spine_bytes += n;
+                                m.core_to_spine_bytes.add(n);
                             }
                         }
                         queue.push((next, next_port, out_pkt));

@@ -108,6 +108,53 @@ pub struct HypervisorStats {
     pub no_flow: u64,
 }
 
+/// Fabric-wide mirrors of the per-hypervisor counters.
+struct HvMetrics {
+    sent_multicast: elmo_obs::Counter,
+    sent_unicast: elmo_obs::Counter,
+    delivered: elmo_obs::Counter,
+    discarded: elmo_obs::Counter,
+    no_flow: elmo_obs::Counter,
+}
+
+fn metrics() -> &'static HvMetrics {
+    static M: std::sync::OnceLock<HvMetrics> = std::sync::OnceLock::new();
+    M.get_or_init(|| HvMetrics {
+        sent_multicast: elmo_obs::counter("dataplane.hv.sent_multicast"),
+        sent_unicast: elmo_obs::counter("dataplane.hv.sent_unicast"),
+        delivered: elmo_obs::counter("dataplane.hv.delivered"),
+        discarded: elmo_obs::counter("dataplane.hv.discarded"),
+        no_flow: elmo_obs::counter("dataplane.hv.no_flow"),
+    })
+}
+
+impl HypervisorStats {
+    fn sent_multicast(&mut self) {
+        self.sent_multicast += 1;
+        metrics().sent_multicast.inc();
+    }
+
+    fn sent_unicast(&mut self) {
+        self.sent_unicast += 1;
+        metrics().sent_unicast.inc();
+    }
+
+    fn delivered(&mut self, n: u64) {
+        self.delivered += n;
+        metrics().delivered.add(n);
+    }
+
+    fn discarded(&mut self) {
+        self.discarded += 1;
+        metrics().discarded.inc();
+    }
+
+    fn no_flow(&mut self) {
+        self.no_flow += 1;
+        metrics().no_flow.inc();
+    }
+}
+
 /// The software switch running in each host's hypervisor.
 #[derive(Clone, Debug)]
 pub struct HypervisorSwitch {
@@ -204,7 +251,7 @@ impl HypervisorSwitch {
         self.entropy = self.entropy.wrapping_add(1);
         let entropy = self.entropy;
         let Some(flow) = self.flows.get(&(vni, tenant_group)) else {
-            self.stats.no_flow += 1;
+            self.stats.no_flow();
             return Vec::new();
         };
         if flow.unicast_fallback {
@@ -226,7 +273,7 @@ impl HypervisorSwitch {
             inner_frame,
             &mut buf,
         );
-        self.stats.sent_multicast += 1;
+        self.stats.sent_multicast();
         vec![buf]
     }
 
@@ -255,7 +302,7 @@ impl HypervisorSwitch {
                 &mut buf,
             );
             out.push(buf);
-            self.stats.sent_unicast += 1;
+            self.stats.sent_unicast();
         }
         out
     }
@@ -274,20 +321,20 @@ impl HypervisorSwitch {
         }
         let ip = Ipv4Packet::new_checked(eth.payload()).ok()?;
         if ip.protocol() != Protocol::Igmp || !ip.verify_checksum() {
-            self.stats.discarded += 1;
+            self.stats.discarded();
             return None;
         }
         let igmp = match elmo_net::igmp::IgmpPacket::new_checked(ip.payload()) {
             Ok(p) => p,
             Err(_) => {
-                self.stats.discarded += 1;
+                self.stats.discarded();
                 return None;
             }
         };
         let repr = match elmo_net::igmp::IgmpRepr::parse(&igmp) {
             Ok(r) => r,
             Err(_) => {
-                self.stats.discarded += 1;
+                self.stats.discarded();
                 return None;
             }
         };
@@ -297,12 +344,12 @@ impl HypervisorSwitch {
             elmo_net::igmp::IgmpType::LeaveGroup => false,
             // Queries originate from routers; a VM sending one is noise.
             elmo_net::igmp::IgmpType::MembershipQuery => {
-                self.stats.discarded += 1;
+                self.stats.discarded();
                 return None;
             }
         };
         if !ipv4::is_multicast(repr.group) {
-            self.stats.discarded += 1;
+            self.stats.discarded();
             return None;
         }
         Some(MembershipSignal {
@@ -322,18 +369,18 @@ impl HypervisorSwitch {
         layout: &HeaderLayout,
     ) -> Vec<(VmSlot, &'p [u8])> {
         let Ok((repr, inner_off)) = ElmoPacketRepr::parse(bytes, layout) else {
-            self.stats.discarded += 1;
+            self.stats.discarded();
             return Vec::new();
         };
         let inner = &bytes[inner_off..];
         if ipv4::is_multicast(repr.group_ip) {
             match self.subscriptions.get(&repr.group_ip) {
                 Some(vms) if !vms.is_empty() => {
-                    self.stats.delivered += vms.len() as u64;
+                    self.stats.delivered(vms.len() as u64);
                     vms.iter().map(|&vm| (vm, inner)).collect()
                 }
                 _ => {
-                    self.stats.discarded += 1;
+                    self.stats.discarded();
                     Vec::new()
                 }
             }
@@ -342,10 +389,10 @@ impl HypervisorSwitch {
             // group on this VNI is not knowable from the packet alone, so
             // unicast fallback carries the tenant frame straight through to
             // slot 0's vswitch port; the application demultiplexes.
-            self.stats.delivered += 1;
+            self.stats.delivered(1);
             vec![(VmSlot(0), inner)]
         } else {
-            self.stats.discarded += 1;
+            self.stats.discarded();
             Vec::new()
         }
     }

@@ -64,6 +64,77 @@ pub struct SwitchStats {
     pub dropped_header_vector: u64,
 }
 
+/// Fabric-wide mirrors of the per-switch counters, plus the header-pop
+/// count the per-switch stats don't track. Packet processing is
+/// sequential per switch and counters are commutative, so totals stay
+/// deterministic wherever switches are driven from.
+struct DpMetrics {
+    prule_hits: elmo_obs::Counter,
+    srule_hits: elmo_obs::Counter,
+    default_sprays: elmo_obs::Counter,
+    unicast_forwarded: elmo_obs::Counter,
+    dropped_no_rule: elmo_obs::Counter,
+    dropped_parse: elmo_obs::Counter,
+    dropped_header_vector: elmo_obs::Counter,
+    header_pops: elmo_obs::Counter,
+}
+
+fn metrics() -> &'static DpMetrics {
+    static M: std::sync::OnceLock<DpMetrics> = std::sync::OnceLock::new();
+    M.get_or_init(|| DpMetrics {
+        prule_hits: elmo_obs::counter("dataplane.prule_hits"),
+        srule_hits: elmo_obs::counter("dataplane.srule_hits"),
+        default_sprays: elmo_obs::counter("dataplane.default_prule_sprays"),
+        unicast_forwarded: elmo_obs::counter("dataplane.unicast_forwarded"),
+        dropped_no_rule: elmo_obs::counter("dataplane.dropped_no_rule"),
+        dropped_parse: elmo_obs::counter("dataplane.dropped_parse"),
+        dropped_header_vector: elmo_obs::counter("dataplane.dropped_header_vector"),
+        header_pops: elmo_obs::counter("dataplane.header_pops"),
+    })
+}
+
+impl SwitchStats {
+    fn hit_prule(&mut self) {
+        self.prule_hits += 1;
+        metrics().prule_hits.inc();
+    }
+
+    fn hit_srule(&mut self) {
+        self.srule_hits += 1;
+        metrics().srule_hits.inc();
+    }
+
+    fn hit_default(&mut self) {
+        self.default_hits += 1;
+        metrics().default_sprays.inc();
+    }
+
+    fn hit_unicast(&mut self) {
+        self.unicast_forwarded += 1;
+        metrics().unicast_forwarded.inc();
+    }
+
+    fn drop_no_rule(&mut self) {
+        self.dropped_no_rule += 1;
+        metrics().dropped_no_rule.inc();
+    }
+
+    fn drop_parse(&mut self) {
+        self.dropped_parse += 1;
+        metrics().dropped_parse.inc();
+    }
+
+    fn drop_header_vector(&mut self) {
+        self.dropped_header_vector += 1;
+        metrics().dropped_header_vector.inc();
+    }
+}
+
+/// Record `n` p-rule sections popped from a forwarded copy (D2d egress).
+fn popped(n: u64) {
+    metrics().header_pops.add(n);
+}
+
 /// Error returned when the group table is full.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub struct GroupTableFull;
@@ -170,12 +241,12 @@ impl NetworkSwitch {
         let (repr, inner_off) = match ElmoPacketRepr::parse(bytes, layout) {
             Ok(p) => p,
             Err(_) => {
-                self.stats.dropped_parse += 1;
+                self.stats.drop_parse();
                 return Vec::new();
             }
         };
         if repr.header_vector_len(layout) > self.config.header_vector_limit {
-            self.stats.dropped_header_vector += 1;
+            self.stats.drop_header_vector();
             return Vec::new();
         }
         let inner = &bytes[inner_off..];
@@ -204,20 +275,21 @@ impl NetworkSwitch {
         if from_host {
             // Upstream direction: the u-leaf p-rule drives everything.
             let Some(header) = repr.elmo.take() else {
-                self.stats.dropped_parse += 1;
+                self.stats.drop_parse();
                 return out;
             };
             let Some(rule) = header.u_leaf.clone() else {
-                self.stats.dropped_no_rule += 1;
+                self.stats.drop_no_rule();
                 return out;
             };
-            self.stats.prule_hits += 1;
+            self.stats.hit_prule();
             // Copies to co-located receivers: Elmo header fully stripped.
             self.emit_host_copies(&rule.down, &repr, inner, layout, &mut out);
             // Copy upward, with the u-leaf rule popped.
             if rule.goes_up() {
                 let mut up_header = header;
                 up_header.pop_upstream_leaf();
+                popped(1);
                 repr.elmo = Some(up_header);
                 if rule.multipath {
                     let spine = (ecmp_hash(&repr, leaf.0 as u64) % self.topo.leaf_up_ports() as u64)
@@ -241,20 +313,20 @@ impl NetworkSwitch {
         // Downstream direction: match own identifier among d-leaf p-rules,
         // then the group table, then the default p-rule.
         let Some(header) = repr.elmo.take() else {
-            self.stats.dropped_parse += 1;
+            self.stats.drop_parse();
             return out;
         };
         let ports: Option<PortBitmap> = if let Some(rule) = header.find_d_leaf(leaf.0) {
-            self.stats.prule_hits += 1;
+            self.stats.hit_prule();
             Some(rule.bitmap.clone())
         } else if let Some(bm) = self.group_table.get(&repr.group_ip) {
-            self.stats.srule_hits += 1;
+            self.stats.hit_srule();
             Some(bm.clone())
         } else if let Some(bm) = &header.d_leaf_default {
-            self.stats.default_hits += 1;
+            self.stats.hit_default();
             Some(bm.clone())
         } else {
-            self.stats.dropped_no_rule += 1;
+            self.stats.drop_no_rule();
             None
         };
         if let Some(ports) = ports {
@@ -274,16 +346,16 @@ impl NetworkSwitch {
         let from_leaf = ingress_port < self.topo.spine_down_ports();
         let mut out = Vec::new();
         let Some(header) = repr.elmo.take() else {
-            self.stats.dropped_parse += 1;
+            self.stats.drop_parse();
             return out;
         };
         if from_leaf {
             // Upstream: the u-spine p-rule.
             let Some(rule) = header.u_spine.clone() else {
-                self.stats.dropped_no_rule += 1;
+                self.stats.drop_no_rule();
                 return out;
             };
-            self.stats.prule_hits += 1;
+            self.stats.hit_prule();
             // Copies down to local member leaves: next hop is a leaf, so pop
             // everything except the d-leaf section.
             if !rule.down.is_empty() {
@@ -291,6 +363,7 @@ impl NetworkSwitch {
                 down_header.pop_upstream_spine();
                 down_header.pop_core();
                 down_header.pop_d_spine();
+                popped(3);
                 let mut down_repr = repr.clone();
                 down_repr.elmo = Some(down_header);
                 for port in rule.down.iter_ones() {
@@ -301,6 +374,7 @@ impl NetworkSwitch {
             if rule.goes_up() {
                 let mut up_header = header;
                 up_header.pop_upstream_spine();
+                popped(1);
                 repr.elmo = Some(up_header);
                 if rule.multipath {
                     let core = (ecmp_hash(&repr, 0x51de ^ spine.0 as u64)
@@ -326,22 +400,23 @@ impl NetworkSwitch {
         // table, then the default p-rule.
         let pod = self.topo.pod_of_spine(spine);
         let ports: Option<PortBitmap> = if let Some(rule) = header.find_d_spine(pod.0) {
-            self.stats.prule_hits += 1;
+            self.stats.hit_prule();
             Some(rule.bitmap.clone())
         } else if let Some(bm) = self.group_table.get(&repr.group_ip) {
-            self.stats.srule_hits += 1;
+            self.stats.hit_srule();
             Some(bm.clone())
         } else if let Some(bm) = &header.d_spine_default {
-            self.stats.default_hits += 1;
+            self.stats.hit_default();
             Some(bm.clone())
         } else {
-            self.stats.dropped_no_rule += 1;
+            self.stats.drop_no_rule();
             None
         };
         if let Some(ports) = ports {
             // Next hop is a leaf: pop the spine section.
             let mut down_header = header;
             down_header.pop_d_spine();
+            popped(1);
             repr.elmo = Some(down_header);
             for port in ports.iter_ones() {
                 out.push((port, self.encode(&repr, inner, layout)));
@@ -359,16 +434,17 @@ impl NetworkSwitch {
     ) -> Vec<(usize, Vec<u8>)> {
         let mut out = Vec::new();
         let Some(header) = repr.elmo.take() else {
-            self.stats.dropped_parse += 1;
+            self.stats.drop_parse();
             return out;
         };
         let Some(pods) = header.core.clone() else {
-            self.stats.dropped_no_rule += 1;
+            self.stats.drop_no_rule();
             return out;
         };
-        self.stats.prule_hits += 1;
+        self.stats.hit_prule();
         let mut down_header = header;
         down_header.pop_core();
+        popped(1);
         repr.elmo = Some(down_header);
         for pod in pods.iter_ones() {
             out.push((pod, self.encode(&repr, inner, layout)));
@@ -387,11 +463,11 @@ impl NetworkSwitch {
         layout: &HeaderLayout,
     ) -> Vec<(usize, Vec<u8>)> {
         let Some(dst_host) = crate::hypervisor::host_of_ip(repr.group_ip) else {
-            self.stats.dropped_parse += 1;
+            self.stats.drop_parse();
             return Vec::new();
         };
         if dst_host.0 as usize >= self.topo.num_hosts() {
-            self.stats.dropped_parse += 1;
+            self.stats.drop_parse();
             return Vec::new();
         }
         let dst_leaf = self.topo.leaf_of_host(dst_host);
@@ -417,7 +493,7 @@ impl NetworkSwitch {
             }
             SwitchRef::Core(_) => dst_pod.0 as usize,
         };
-        self.stats.unicast_forwarded += 1;
+        self.stats.hit_unicast();
         vec![(port, self.encode(&repr, inner, layout))]
     }
 

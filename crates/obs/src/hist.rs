@@ -1,0 +1,104 @@
+//! Log-linear histogram bucket math.
+//!
+//! Values 0..=3 get exact buckets; every larger octave `[2^o, 2^(o+1))` is
+//! split into 4 linear sub-buckets, bounding relative quantile error at
+//! 12.5% (half a sub-bucket) while covering the full `u64` range in
+//! [`N_BUCKETS`] slots. The scheme is the HDR-histogram idea stripped to
+//! what phase timings and byte counts need.
+
+/// Sub-buckets per octave.
+const SUB: usize = 4;
+
+/// Total bucket count: 4 exact small-value buckets + 62 octaves × 4.
+pub const N_BUCKETS: usize = SUB + (64 - 2) * SUB;
+
+/// The bucket a value lands in.
+pub fn bucket_index(v: u64) -> usize {
+    if v < SUB as u64 {
+        v as usize
+    } else {
+        let o = 63 - v.leading_zeros() as usize; // >= 2
+        let sub = ((v >> (o - 2)) & 3) as usize;
+        SUB + (o - 2) * SUB + sub
+    }
+}
+
+/// Smallest value in bucket `idx`.
+pub fn bucket_lo(idx: usize) -> u64 {
+    if idx < SUB {
+        idx as u64
+    } else {
+        let o = 2 + (idx - SUB) / SUB;
+        let sub = ((idx - SUB) % SUB) as u64;
+        (1u64 << o) + (sub << (o - 2))
+    }
+}
+
+/// Largest value in bucket `idx`.
+pub fn bucket_hi(idx: usize) -> u64 {
+    if idx < SUB {
+        idx as u64
+    } else {
+        let o = 2 + (idx - SUB) / SUB;
+        bucket_lo(idx) + ((1u64 << (o - 2)) - 1)
+    }
+}
+
+/// Representative (midpoint) value reported for bucket `idx`.
+pub fn bucket_value(idx: usize) -> u64 {
+    let lo = bucket_lo(idx);
+    lo + (bucket_hi(idx) - lo) / 2
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_values_are_exact() {
+        // Buckets 0..=7 hold exactly one value each (the exact range plus
+        // octave 2, whose sub-bucket width is 1).
+        for v in 0..=7u64 {
+            let b = bucket_index(v);
+            assert_eq!(bucket_lo(b), v, "lo of bucket for {v}");
+            assert_eq!(bucket_hi(b), v, "hi of bucket for {v}");
+            assert_eq!(bucket_value(b), v);
+        }
+        // Octave 3 is the first with width-2 buckets: 8 and 9 share one.
+        assert_eq!(bucket_index(8), bucket_index(9));
+        assert_eq!(bucket_value(bucket_index(8)), 8);
+    }
+
+    #[test]
+    fn octave_boundaries() {
+        // Every power of two starts a fresh sub-bucket.
+        for o in 2..63u32 {
+            let v = 1u64 << o;
+            let b = bucket_index(v);
+            assert_eq!(bucket_lo(b), v, "2^{o}");
+            assert_eq!(bucket_index(v - 1) + 1, b, "2^{o}-1 is one bucket left");
+        }
+    }
+
+    #[test]
+    fn buckets_tile_the_range() {
+        // hi(b) + 1 == lo(b + 1) across the whole table.
+        for b in 0..N_BUCKETS - 1 {
+            assert_eq!(bucket_hi(b) + 1, bucket_lo(b + 1), "bucket {b}");
+        }
+        assert_eq!(bucket_index(u64::MAX), N_BUCKETS - 1);
+        assert_eq!(bucket_hi(N_BUCKETS - 1), u64::MAX);
+    }
+
+    #[test]
+    fn relative_error_is_bounded() {
+        let mut v = 9u64;
+        while v < u64::MAX / 3 {
+            let b = bucket_index(v);
+            let rep = bucket_value(b) as f64;
+            let err = (rep - v as f64).abs() / v as f64;
+            assert!(err <= 0.125, "v={v} rep={rep} err={err}");
+            v = v.wrapping_mul(3) / 2 + 1;
+        }
+    }
+}

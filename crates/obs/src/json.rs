@@ -1,0 +1,443 @@
+//! A minimal JSON value, writer, and recursive-descent parser.
+//!
+//! Just enough for metric snapshots and structured log lines — no serde,
+//! no external deps. Numbers keep three representations (`U64`, `I64`,
+//! `F64`) so `u64` counters round-trip without passing through `f64` and
+//! losing precision above 2^53.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// A parsed or to-be-written JSON value.
+#[derive(Clone, PartialEq, Debug)]
+pub enum JsonValue {
+    Null,
+    Bool(bool),
+    U64(u64),
+    I64(i64),
+    F64(f64),
+    String(String),
+    Array(Vec<JsonValue>),
+    /// `BTreeMap` keeps key order stable, so output is byte-reproducible.
+    Object(BTreeMap<String, JsonValue>),
+}
+
+impl JsonValue {
+    /// Numeric value as `u64` if losslessly representable.
+    pub fn as_u64(&self) -> Option<u64> {
+        match *self {
+            JsonValue::U64(v) => Some(v),
+            JsonValue::I64(v) => u64::try_from(v).ok(),
+            _ => None,
+        }
+    }
+
+    /// Numeric value as `f64` (counters convert; fine for display math).
+    pub fn as_f64(&self) -> Option<f64> {
+        match *self {
+            JsonValue::U64(v) => Some(v as f64),
+            JsonValue::I64(v) => Some(v as f64),
+            JsonValue::F64(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            JsonValue::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    pub fn as_array(&self) -> Option<&[JsonValue]> {
+        match self {
+            JsonValue::Array(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    pub fn as_object(&self) -> Option<&BTreeMap<String, JsonValue>> {
+        match self {
+            JsonValue::Object(o) => Some(o),
+            _ => None,
+        }
+    }
+
+    /// Compact single-line serialization.
+    pub fn to_string_compact(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, None, 0);
+        out
+    }
+
+    /// Pretty serialization (2-space indent), trailing newline.
+    pub fn pretty(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, Some(2), 0);
+        out.push('\n');
+        out
+    }
+
+    fn write(&self, out: &mut String, indent: Option<usize>, depth: usize) {
+        match self {
+            JsonValue::Null => out.push_str("null"),
+            JsonValue::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            JsonValue::U64(v) => {
+                let _ = write!(out, "{v}");
+            }
+            JsonValue::I64(v) => {
+                let _ = write!(out, "{v}");
+            }
+            JsonValue::F64(v) => {
+                if v.is_finite() {
+                    let _ = write!(out, "{v}");
+                } else {
+                    out.push_str("null"); // JSON has no NaN/Inf
+                }
+            }
+            JsonValue::String(s) => write_escaped(out, s),
+            JsonValue::Array(items) => {
+                if items.is_empty() {
+                    out.push_str("[]");
+                    return;
+                }
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    newline_indent(out, indent, depth + 1);
+                    item.write(out, indent, depth + 1);
+                }
+                newline_indent(out, indent, depth);
+                out.push(']');
+            }
+            JsonValue::Object(map) => {
+                if map.is_empty() {
+                    out.push_str("{}");
+                    return;
+                }
+                out.push('{');
+                for (i, (k, v)) in map.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    newline_indent(out, indent, depth + 1);
+                    write_escaped(out, k);
+                    out.push(':');
+                    if indent.is_some() {
+                        out.push(' ');
+                    }
+                    v.write(out, indent, depth + 1);
+                }
+                newline_indent(out, indent, depth);
+                out.push('}');
+            }
+        }
+    }
+
+    /// Parse a complete JSON document (trailing whitespace allowed).
+    pub fn parse(text: &str) -> Result<JsonValue, String> {
+        let mut p = Parser {
+            bytes: text.as_bytes(),
+            pos: 0,
+        };
+        p.skip_ws();
+        let v = p.value()?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return Err(format!("trailing data at byte {}", p.pos));
+        }
+        Ok(v)
+    }
+}
+
+fn newline_indent(out: &mut String, indent: Option<usize>, depth: usize) {
+    if let Some(w) = indent {
+        out.push('\n');
+        for _ in 0..w * depth {
+            out.push(' ');
+        }
+    }
+}
+
+/// JSON string escaping (quotes, backslash, control chars).
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if b == b' ' || b == b'\t' || b == b'\n' || b == b'\r' {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!("expected '{}' at byte {}", b as char, self.pos))
+        }
+    }
+
+    fn eat_lit(&mut self, lit: &str, v: JsonValue) -> Result<JsonValue, String> {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            Ok(v)
+        } else {
+            Err(format!("invalid literal at byte {}", self.pos))
+        }
+    }
+
+    fn value(&mut self) -> Result<JsonValue, String> {
+        match self.peek() {
+            Some(b'n') => self.eat_lit("null", JsonValue::Null),
+            Some(b't') => self.eat_lit("true", JsonValue::Bool(true)),
+            Some(b'f') => self.eat_lit("false", JsonValue::Bool(false)),
+            Some(b'"') => Ok(JsonValue::String(self.string()?)),
+            Some(b'[') => self.array(),
+            Some(b'{') => self.object(),
+            Some(b) if b == b'-' || b.is_ascii_digit() => self.number(),
+            Some(b) => Err(format!("unexpected byte '{}' at {}", b as char, self.pos)),
+            None => Err("unexpected end of input".into()),
+        }
+    }
+
+    fn array(&mut self) -> Result<JsonValue, String> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(JsonValue::Array(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(JsonValue::Array(items));
+                }
+                _ => return Err(format!("expected ',' or ']' at byte {}", self.pos)),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<JsonValue, String> {
+        self.expect(b'{')?;
+        let mut map = BTreeMap::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(JsonValue::Object(map));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            map.insert(key, self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(JsonValue::Object(map));
+                }
+                _ => return Err(format!("expected ',' or '}}' at byte {}", self.pos)),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut s = String::new();
+        loop {
+            match self.peek() {
+                None => return Err("unterminated string".into()),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(s);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => s.push('"'),
+                        Some(b'\\') => s.push('\\'),
+                        Some(b'/') => s.push('/'),
+                        Some(b'n') => s.push('\n'),
+                        Some(b'r') => s.push('\r'),
+                        Some(b't') => s.push('\t'),
+                        Some(b'b') => s.push('\u{8}'),
+                        Some(b'f') => s.push('\u{c}'),
+                        Some(b'u') => {
+                            self.pos += 1;
+                            let cp = self.hex4()?;
+                            // Surrogate pairs: combine; lone surrogates
+                            // become the replacement char.
+                            if (0xD800..0xDC00).contains(&cp) {
+                                if self.bytes[self.pos..].starts_with(b"\\u") {
+                                    self.pos += 2;
+                                    let lo = self.hex4()?;
+                                    let combined = 0x10000
+                                        + ((cp - 0xD800) << 10)
+                                        + (lo.wrapping_sub(0xDC00) & 0x3FF);
+                                    s.push(char::from_u32(combined).unwrap_or('\u{FFFD}'));
+                                } else {
+                                    s.push('\u{FFFD}');
+                                }
+                            } else {
+                                s.push(char::from_u32(cp).unwrap_or('\u{FFFD}'));
+                            }
+                            continue;
+                        }
+                        _ => return Err(format!("bad escape at byte {}", self.pos)),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Consume one UTF-8 scalar (input is a &str, so slicing
+                    // at char boundaries is safe).
+                    let rest = &self.bytes[self.pos..];
+                    let len = match rest[0] {
+                        b if b < 0x80 => 1,
+                        b if b >= 0xF0 => 4,
+                        b if b >= 0xE0 => 3,
+                        _ => 2,
+                    };
+                    let chunk = std::str::from_utf8(&rest[..len.min(rest.len())])
+                        .map_err(|_| format!("invalid utf8 at byte {}", self.pos))?;
+                    s.push_str(chunk);
+                    self.pos += chunk.len();
+                }
+            }
+        }
+    }
+
+    fn hex4(&mut self) -> Result<u32, String> {
+        if self.pos + 4 > self.bytes.len() {
+            return Err("truncated \\u escape".into());
+        }
+        let hex = std::str::from_utf8(&self.bytes[self.pos..self.pos + 4])
+            .map_err(|_| "bad \\u escape")?;
+        let cp = u32::from_str_radix(hex, 16).map_err(|_| "bad \\u escape")?;
+        self.pos += 4;
+        Ok(cp)
+    }
+
+    fn number(&mut self) -> Result<JsonValue, String> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        while let Some(b) = self.peek() {
+            match b {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    is_float = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap();
+        if !is_float {
+            // Integers stay integers: u64 first (counters), then i64.
+            if let Ok(v) = text.parse::<u64>() {
+                return Ok(JsonValue::U64(v));
+            }
+            if let Ok(v) = text.parse::<i64>() {
+                return Ok(JsonValue::I64(v));
+            }
+        }
+        text.parse::<f64>()
+            .map(JsonValue::F64)
+            .map_err(|_| format!("invalid number at byte {start}"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn u64_counters_roundtrip_losslessly() {
+        // Above 2^53, f64 would silently round — we must not.
+        for v in [0u64, 1, 2u64.pow(53) + 1, u64::MAX] {
+            let text = JsonValue::U64(v).to_string_compact();
+            assert_eq!(JsonValue::parse(&text).unwrap(), JsonValue::U64(v));
+        }
+    }
+
+    #[test]
+    fn parse_mixed_document() {
+        let v =
+            JsonValue::parse(r#"{"a": [1, -2, 3.5, true, false, null], "s": "hi\nthere \"q\" é"}"#)
+                .unwrap();
+        let obj = v.as_object().unwrap();
+        let a = obj["a"].as_array().unwrap();
+        assert_eq!(a[0], JsonValue::U64(1));
+        assert_eq!(a[1], JsonValue::I64(-2));
+        assert_eq!(a[2], JsonValue::F64(3.5));
+        assert_eq!(obj["s"].as_str().unwrap(), "hi\nthere \"q\" é");
+    }
+
+    #[test]
+    fn write_then_parse_is_identity() {
+        let mut obj = BTreeMap::new();
+        obj.insert("n".into(), JsonValue::Null);
+        obj.insert("big".into(), JsonValue::U64(u64::MAX));
+        obj.insert("neg".into(), JsonValue::I64(-7));
+        obj.insert(
+            "arr".into(),
+            JsonValue::Array(vec![
+                JsonValue::Bool(true),
+                JsonValue::String("x\ty".into()),
+            ]),
+        );
+        let v = JsonValue::Object(obj);
+        assert_eq!(JsonValue::parse(&v.pretty()).unwrap(), v);
+        assert_eq!(JsonValue::parse(&v.to_string_compact()).unwrap(), v);
+    }
+
+    #[test]
+    fn rejects_malformed() {
+        for bad in ["{", "[1,", "\"open", "{\"a\" 1}", "tru", "1 2", ""] {
+            assert!(JsonValue::parse(bad).is_err(), "should reject: {bad:?}");
+        }
+    }
+}

@@ -1,0 +1,325 @@
+//! Structured, leveled event logging.
+//!
+//! Events carry a name plus key=value fields and render to stderr either
+//! human-readable (default) or as JSONL. The global level filter makes
+//! `--quiet`/`-v` flags one-line wiring: [`set_level`] with
+//! [`Level::Warn`] or [`Level::Debug`]. Emission is a single formatted
+//! write under stderr's own lock; disabled levels cost one relaxed load.
+
+use std::io::Write as _;
+use std::sync::atomic::{AtomicU8, Ordering};
+
+use crate::json::JsonValue;
+
+/// Event severity, ordered most to least severe.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Debug)]
+pub enum Level {
+    Error = 0,
+    Warn = 1,
+    Info = 2,
+    Debug = 3,
+    Trace = 4,
+}
+
+impl Level {
+    fn name(self) -> &'static str {
+        match self {
+            Level::Error => "error",
+            Level::Warn => "warn",
+            Level::Info => "info",
+            Level::Debug => "debug",
+            Level::Trace => "trace",
+        }
+    }
+}
+
+/// Output format for events.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Format {
+    /// `level event_name key=value ...` — the default.
+    Human,
+    /// One JSON object per line: `{"level":...,"event":...,fields...}`.
+    Jsonl,
+}
+
+static LEVEL: AtomicU8 = AtomicU8::new(Level::Info as u8);
+static FORMAT: AtomicU8 = AtomicU8::new(0); // 0 = Human, 1 = Jsonl
+
+/// Set the maximum level that gets emitted (default [`Level::Info`]).
+pub fn set_level(level: Level) {
+    LEVEL.store(level as u8, Ordering::Relaxed);
+}
+
+/// Current level filter.
+pub fn level() -> Level {
+    match LEVEL.load(Ordering::Relaxed) {
+        0 => Level::Error,
+        1 => Level::Warn,
+        2 => Level::Info,
+        3 => Level::Debug,
+        _ => Level::Trace,
+    }
+}
+
+/// Set the output format (default [`Format::Human`]).
+pub fn set_format(format: Format) {
+    FORMAT.store(matches!(format, Format::Jsonl) as u8, Ordering::Relaxed);
+}
+
+/// Would an event at `level` be emitted?
+#[inline]
+pub fn enabled(level: Level) -> bool {
+    (level as u8) <= LEVEL.load(Ordering::Relaxed)
+}
+
+/// A field value attached to an event.
+#[derive(Clone, Debug)]
+pub enum FieldValue {
+    U64(u64),
+    I64(i64),
+    F64(f64),
+    Bool(bool),
+    Str(String),
+}
+
+impl From<u64> for FieldValue {
+    fn from(v: u64) -> Self {
+        FieldValue::U64(v)
+    }
+}
+impl From<usize> for FieldValue {
+    fn from(v: usize) -> Self {
+        FieldValue::U64(v as u64)
+    }
+}
+impl From<u32> for FieldValue {
+    fn from(v: u32) -> Self {
+        FieldValue::U64(v as u64)
+    }
+}
+impl From<u16> for FieldValue {
+    fn from(v: u16) -> Self {
+        FieldValue::U64(v as u64)
+    }
+}
+impl From<u8> for FieldValue {
+    fn from(v: u8) -> Self {
+        FieldValue::U64(v as u64)
+    }
+}
+impl From<i64> for FieldValue {
+    fn from(v: i64) -> Self {
+        FieldValue::I64(v)
+    }
+}
+impl From<i32> for FieldValue {
+    fn from(v: i32) -> Self {
+        FieldValue::I64(v as i64)
+    }
+}
+impl From<f64> for FieldValue {
+    fn from(v: f64) -> Self {
+        FieldValue::F64(v)
+    }
+}
+impl From<bool> for FieldValue {
+    fn from(v: bool) -> Self {
+        FieldValue::Bool(v)
+    }
+}
+impl From<&str> for FieldValue {
+    fn from(v: &str) -> Self {
+        FieldValue::Str(v.to_string())
+    }
+}
+impl From<String> for FieldValue {
+    fn from(v: String) -> Self {
+        FieldValue::Str(v)
+    }
+}
+impl From<&String> for FieldValue {
+    fn from(v: &String) -> Self {
+        FieldValue::Str(v.clone())
+    }
+}
+
+impl FieldValue {
+    fn to_json(&self) -> JsonValue {
+        match self {
+            FieldValue::U64(v) => JsonValue::U64(*v),
+            FieldValue::I64(v) => JsonValue::I64(*v),
+            FieldValue::F64(v) => JsonValue::F64(*v),
+            FieldValue::Bool(v) => JsonValue::Bool(*v),
+            FieldValue::Str(v) => JsonValue::String(v.clone()),
+        }
+    }
+
+    fn write_human(&self, out: &mut String) {
+        use std::fmt::Write as _;
+        match self {
+            FieldValue::U64(v) => {
+                let _ = write!(out, "{v}");
+            }
+            FieldValue::I64(v) => {
+                let _ = write!(out, "{v}");
+            }
+            FieldValue::F64(v) => {
+                let _ = write!(out, "{v:.4}");
+            }
+            FieldValue::Bool(v) => {
+                let _ = write!(out, "{v}");
+            }
+            FieldValue::Str(v) => {
+                if v.contains(' ') || v.is_empty() {
+                    let _ = write!(out, "{v:?}");
+                } else {
+                    out.push_str(v);
+                }
+            }
+        }
+    }
+}
+
+/// Format an event line without emitting it (exposed for tests).
+pub fn format_event(level: Level, event: &str, fields: &[(&str, FieldValue)]) -> String {
+    if FORMAT.load(Ordering::Relaxed) == 1 {
+        let mut obj = std::collections::BTreeMap::new();
+        obj.insert("level".to_string(), JsonValue::String(level.name().into()));
+        obj.insert("event".to_string(), JsonValue::String(event.into()));
+        for (k, v) in fields {
+            obj.insert((*k).to_string(), v.to_json());
+        }
+        JsonValue::Object(obj).to_string_compact()
+    } else {
+        let mut line = String::with_capacity(64);
+        line.push_str(match level {
+            Level::Error => "ERROR ",
+            Level::Warn => "WARN  ",
+            Level::Info => "INFO  ",
+            Level::Debug => "DEBUG ",
+            Level::Trace => "TRACE ",
+        });
+        line.push_str(event);
+        for (k, v) in fields {
+            line.push(' ');
+            line.push_str(k);
+            line.push('=');
+            v.write_human(&mut line);
+        }
+        line
+    }
+}
+
+/// Emit an event (after the level filter). Used by the macros; call
+/// directly when fields are built dynamically.
+pub fn emit(level: Level, event: &str, fields: &[(&str, FieldValue)]) {
+    if !enabled(level) {
+        return;
+    }
+    let line = format_event(level, event, fields);
+    let stderr = std::io::stderr();
+    let mut lock = stderr.lock();
+    let _ = writeln!(lock, "{line}");
+}
+
+/// Emit a structured event: `event!(Level::Info, "batch.done", groups = n)`.
+#[macro_export]
+macro_rules! event {
+    ($level:expr, $name:expr $(, $k:ident = $v:expr)* $(,)?) => {
+        if $crate::log::enabled($level) {
+            $crate::log::emit(
+                $level,
+                $name,
+                &[$((stringify!($k), $crate::log::FieldValue::from($v))),*],
+            );
+        }
+    };
+}
+
+/// `error!("event", k = v, ...)` — always-relevant failures.
+#[macro_export]
+macro_rules! error {
+    ($name:expr $(, $k:ident = $v:expr)* $(,)?) => {
+        $crate::event!($crate::log::Level::Error, $name $(, $k = $v)*)
+    };
+}
+
+/// `warn!("event", k = v, ...)` — degraded but continuing.
+#[macro_export]
+macro_rules! warn {
+    ($name:expr $(, $k:ident = $v:expr)* $(,)?) => {
+        $crate::event!($crate::log::Level::Warn, $name $(, $k = $v)*)
+    };
+}
+
+/// `info!("event", k = v, ...)` — default-visible progress.
+#[macro_export]
+macro_rules! info {
+    ($name:expr $(, $k:ident = $v:expr)* $(,)?) => {
+        $crate::event!($crate::log::Level::Info, $name $(, $k = $v)*)
+    };
+}
+
+/// `debug!("event", k = v, ...)` — shown with `-v`.
+#[macro_export]
+macro_rules! debug {
+    ($name:expr $(, $k:ident = $v:expr)* $(,)?) => {
+        $crate::event!($crate::log::Level::Debug, $name $(, $k = $v)*)
+    };
+}
+
+/// `trace!("event", k = v, ...)` — shown with `-vv`.
+#[macro_export]
+macro_rules! trace {
+    ($name:expr $(, $k:ident = $v:expr)* $(,)?) => {
+        $crate::event!($crate::log::Level::Trace, $name $(, $k = $v)*)
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn levels_order_and_filter() {
+        assert!(Level::Error < Level::Trace);
+        // Default filter is Info.
+        assert!(enabled(Level::Warn));
+    }
+
+    #[test]
+    fn human_format_renders_fields() {
+        let line = format_event(
+            Level::Info,
+            "test.event",
+            &[
+                ("count", FieldValue::U64(42)),
+                ("name", FieldValue::Str("spine-3".into())),
+                ("msg", FieldValue::Str("two words".into())),
+            ],
+        );
+        assert_eq!(
+            line,
+            "INFO  test.event count=42 name=spine-3 msg=\"two words\""
+        );
+    }
+
+    #[test]
+    fn jsonl_lines_parse_back() {
+        // format_event reads the global format; build the JSONL form
+        // directly to avoid flipping global state under other tests.
+        let mut obj = std::collections::BTreeMap::new();
+        obj.insert("level".to_string(), JsonValue::String("warn".into()));
+        obj.insert("event".to_string(), JsonValue::String("x".into()));
+        obj.insert("n".to_string(), FieldValue::U64(7).to_json());
+        let line = JsonValue::Object(obj.clone()).to_string_compact();
+        assert_eq!(JsonValue::parse(&line).unwrap(), JsonValue::Object(obj));
+    }
+
+    #[test]
+    fn event_macro_compiles_with_mixed_fields() {
+        // Trace is filtered by default, so this emits nothing.
+        crate::trace!("test.macro", a = 1u64, b = "s", c = 2.5f64, d = true);
+        crate::event!(Level::Trace, "test.macro2");
+    }
+}

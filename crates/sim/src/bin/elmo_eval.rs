@@ -32,7 +32,16 @@
 //!   --seed N        workload seed
 //!   --threads N     encode worker threads (0 = all cores; results are
 //!                   identical at any thread count, only wall-clock changes)
+//!   --metrics-out P write an elmo-obs metrics snapshot (JSON) to P on exit
+//!   --trace-pcap P  dump a bounded sample of simulated packets to P (pcap)
+//!   -v / -vv        debug / trace logging on stderr
+//!   --quiet         warnings and errors only
+//!   --log-json      JSONL structured events on stderr instead of human text
 //! ```
+//!
+//! `elmo-eval check-metrics <file>` validates a snapshot written with
+//! `--metrics-out` against the declared-metric contract
+//! ([`elmo_sim::obs::REQUIRED_METRICS`]); exit 1 if invalid.
 //!
 //! Without `--full` a proportionally scaled fabric is used so every
 //! experiment completes in seconds; shapes (who wins, where the knees are)
@@ -54,6 +63,9 @@ struct Opts {
     r_values: Vec<usize>,
     seed: u64,
     threads: usize,
+    metrics_out: Option<String>,
+    trace_pcap: Option<String>,
+    check_file: Option<String>,
 }
 
 fn parse_args() -> Opts {
@@ -68,10 +80,29 @@ fn parse_args() -> Opts {
         r_values: vec![0, 2, 4, 6, 8, 10, 12],
         seed: 0xe1_40,
         threads: 0,
+        metrics_out: None,
+        trace_pcap: None,
+        check_file: None,
     };
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--full" => opts.full = true,
+            "--metrics-out" => {
+                opts.metrics_out = Some(
+                    args.next()
+                        .unwrap_or_else(|| usage("--metrics-out needs a path")),
+                );
+            }
+            "--trace-pcap" => {
+                opts.trace_pcap = Some(
+                    args.next()
+                        .unwrap_or_else(|| usage("--trace-pcap needs a path")),
+                );
+            }
+            "-v" => elmo_obs::set_level(elmo_obs::Level::Debug),
+            "-vv" => elmo_obs::set_level(elmo_obs::Level::Trace),
+            "--quiet" | "-q" => elmo_obs::set_level(elmo_obs::Level::Warn),
+            "--log-json" => elmo_obs::set_format(elmo_obs::Format::Jsonl),
             "--groups" => opts.groups = Some(expect_num(&mut args, "--groups") as usize),
             "--tenants" => opts.tenants = Some(expect_num(&mut args, "--tenants") as usize),
             "--events" => opts.events = expect_num(&mut args, "--events") as usize,
@@ -88,6 +119,13 @@ fn parse_args() -> Opts {
             "--help" | "-h" => usage(""),
             other if opts.experiment.is_empty() && !other.starts_with('-') => {
                 opts.experiment = other.to_string();
+            }
+            other
+                if opts.experiment == "check-metrics"
+                    && opts.check_file.is_none()
+                    && !other.starts_with('-') =>
+            {
+                opts.check_file = Some(other.to_string());
             }
             other => usage(&format!("unknown argument: {other}")),
         }
@@ -106,12 +144,14 @@ fn expect_num(args: &mut impl Iterator<Item = String>, flag: &str) -> u64 {
 
 fn usage(msg: &str) -> ! {
     if !msg.is_empty() {
-        eprintln!("error: {msg}\n");
+        elmo_obs::error!("usage", msg = msg);
     }
     eprintln!(
         "usage: elmo-eval <fig4|fig5|uniform|limited-srules|small-header|table1|table2|table3|\
          fig6|fig7|telemetry|failures|latency|xpander|all> [--full] [--groups N] [--tenants N] \
-         [--events N] [--pkt N] [--r 0,6,12] [--seed N] [--threads N]"
+         [--events N] [--pkt N] [--r 0,6,12] [--seed N] [--threads N] [--metrics-out PATH] \
+         [--trace-pcap PATH] [-v|-vv|--quiet] [--log-json]\n\
+         \n       elmo-eval check-metrics <snapshot.json>"
     );
     std::process::exit(2);
 }
@@ -145,6 +185,10 @@ fn workload_cfg(opts: &Opts, topo: &Clos, p: usize, dist: GroupSizeDist) -> Work
 
 fn main() {
     let opts = parse_args();
+    if opts.experiment == "check-metrics" {
+        run_check_metrics(&opts);
+        return;
+    }
     if opts.experiment == "all" {
         for exp in [
             "fig4",
@@ -171,6 +215,59 @@ fn main() {
         }
     } else {
         run_one(&opts);
+    }
+    if let Some(path) = &opts.trace_pcap {
+        match elmo_sim::obs::write_trace_pcap(path, 256) {
+            Ok(n) => elmo_obs::info!("trace_pcap.written", path = path.as_str(), packets = n),
+            Err(e) => {
+                elmo_obs::error!(
+                    "trace_pcap.failed",
+                    path = path.as_str(),
+                    error = e.to_string()
+                );
+                std::process::exit(1);
+            }
+        }
+    }
+    if let Some(path) = &opts.metrics_out {
+        match elmo_sim::obs::write_snapshot(path) {
+            Ok(()) => elmo_obs::info!("metrics.written", path = path.as_str()),
+            Err(e) => {
+                elmo_obs::error!(
+                    "metrics.write_failed",
+                    path = path.as_str(),
+                    error = e.to_string()
+                );
+                std::process::exit(1);
+            }
+        }
+    }
+}
+
+/// `elmo-eval check-metrics <file>` — validate a `--metrics-out` snapshot
+/// against the declared-metric contract. Exit 0 if valid, 1 if not.
+fn run_check_metrics(opts: &Opts) {
+    let path = opts
+        .check_file
+        .as_deref()
+        .unwrap_or_else(|| usage("check-metrics needs a snapshot file"));
+    let json = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        elmo_obs::error!(
+            "check_metrics.unreadable",
+            path = path,
+            error = e.to_string()
+        );
+        std::process::exit(1);
+    });
+    let problems = elmo_sim::obs::check_snapshot(&json);
+    if problems.is_empty() {
+        elmo_obs::info!("check_metrics.ok", path = path);
+        println!("ok: {path} contains every declared metric");
+    } else {
+        for p in &problems {
+            elmo_obs::error!("check_metrics.problem", path = path, problem = p.as_str());
+        }
+        std::process::exit(1);
     }
 }
 

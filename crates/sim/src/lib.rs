@@ -20,6 +20,7 @@ pub mod ablation;
 pub mod baselines;
 pub mod failure_exp;
 pub mod metrics;
+pub mod obs;
 pub mod perf;
 pub mod report;
 pub mod sweep;

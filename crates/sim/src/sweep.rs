@@ -22,6 +22,25 @@ use elmo_workloads::{Workload, WorkloadConfig};
 use crate::baselines;
 use crate::metrics::{self, GroupTraffic, Summary};
 
+/// Sweep metrics. `groups_encoded` is recorded inside parallel workers
+/// (commutative); everything else from the sequential fold. The
+/// `header_bytes` histogram is the per-sender header-size distribution of
+/// Figures 4/5 (left panels) as a live metric.
+struct SweepMetrics {
+    groups_encoded: elmo_obs::Counter,
+    reencoded: elmo_obs::Counter,
+    header_bytes: elmo_obs::Histogram,
+}
+
+fn ometrics() -> &'static SweepMetrics {
+    static M: std::sync::OnceLock<SweepMetrics> = std::sync::OnceLock::new();
+    M.get_or_init(|| SweepMetrics {
+        groups_encoded: elmo_obs::counter("sim.sweep.groups_encoded"),
+        reencoded: elmo_obs::counter("sim.sweep.reencoded"),
+        header_bytes: elmo_obs::histogram("sim.sweep.header_bytes"),
+    })
+}
+
 /// Groups evaluated per two-phase round. Bounds how many trees, encodings,
 /// and recorded s-rule requests are resident at once, so million-group
 /// workloads stream through the parallel pipeline in constant memory.
@@ -181,6 +200,7 @@ impl RowAccum {
         mut ev: GroupEval,
     ) {
         if !batch::try_admit(&mut self.srules, &ev.reqs) {
+            ometrics().reencoded.inc();
             ev.enc = batch::encode_group_admitted(
                 topo,
                 &ev.tree,
@@ -202,6 +222,7 @@ impl RowAccum {
             self.defaulted += 1;
         }
         self.header_bytes.push(ev.header_bytes);
+        ometrics().header_bytes.record(ev.header_bytes as u64);
         for (pi, t) in ev.traffic.iter().enumerate() {
             self.elmo_sum[pi] += t.elmo;
             self.ideal_sum[pi] += t.ideal;
@@ -282,6 +303,7 @@ pub fn run(cfg: &SweepConfig) -> SweepResult {
 
     let mut rows = Vec::with_capacity(cfg.r_values.len());
     for &r in &cfg.r_values {
+        let _row_span = elmo_obs::span!("sweep_row");
         let encoder = {
             let mut e = EncoderConfig::with_budget(&layout, cfg.header_budget, r);
             e.mode = elmo_core::RedundancyMode::Sum;
@@ -290,34 +312,47 @@ pub fn run(cfg: &SweepConfig) -> SweepResult {
         let mut acc = RowAccum::new(&topo, cfg);
         for chunk in workload.groups.chunks(CHUNK) {
             // Phase 1 (parallel): tree + optimistic encode + metrics.
-            let evals = elmo_core::parallel_map_with(
-                chunk.len(),
-                threads,
-                || (EncodeScratch::new(), Vec::new()),
-                |ws, i| {
-                    let hosts = workload.member_hosts(&chunk[i]);
-                    let tree = GroupTree::new(&topo, hosts.iter().copied());
-                    if tree.is_empty() {
-                        return None;
-                    }
-                    let sender = hosts[0];
-                    Some(eval_group(
-                        &topo,
-                        &layout,
-                        &encoder,
-                        &cfg.payloads,
-                        tree,
-                        sender,
-                        ws,
-                    ))
-                },
-            );
+            let evals = {
+                let _span = elmo_obs::span!("sweep_phase1");
+                elmo_core::parallel_map_with(
+                    chunk.len(),
+                    threads,
+                    || (EncodeScratch::new(), Vec::new()),
+                    |ws, i| {
+                        let hosts = workload.member_hosts(&chunk[i]);
+                        let tree = GroupTree::new(&topo, hosts.iter().copied());
+                        if tree.is_empty() {
+                            return None;
+                        }
+                        ometrics().groups_encoded.inc();
+                        let sender = hosts[0];
+                        Some(eval_group(
+                            &topo,
+                            &layout,
+                            &encoder,
+                            &cfg.payloads,
+                            tree,
+                            sender,
+                            ws,
+                        ))
+                    },
+                )
+            };
             // Phase 2 (sequential, group order): admission + metric fold.
+            let _span = elmo_obs::span!("sweep_fold");
             for ev in evals.into_iter().flatten() {
                 acc.fold(&topo, &layout, &encoder, &cfg.payloads, ev);
             }
         }
-        rows.push(acc.into_row(&topo, cfg, r, workload.groups.len()));
+        let row = acc.into_row(&topo, cfg, r, workload.groups.len());
+        elmo_obs::debug!(
+            "sweep.row",
+            r = row.r,
+            covered = row.covered,
+            defaulted = row.defaulted,
+            groups = row.total_groups,
+        );
+        rows.push(row);
     }
 
     SweepResult {

@@ -85,6 +85,9 @@ pub fn run(
     events_per_sec: f64,
     threads: usize,
 ) -> Table2 {
+    let _span = elmo_obs::span!("table2_run");
+    let churn_updates = elmo_obs::counter("sim.table2.device_updates");
+    let churn_events_ctr = elmo_obs::counter("sim.table2.events");
     let workload = Workload::generate(topo, workload_cfg);
     let roles = initial_roles(&workload, workload_cfg.seed);
     let mut ctl = Controller::new(topo, ControllerConfig::paper_default(12));
@@ -126,11 +129,15 @@ pub fn run(
         let g = &workload.groups[e.group as usize];
         let host = workload.tenants[g.tenant as usize].vms[e.vm as usize];
         let role = to_role(e.role);
+        churn_events_ctr.inc();
         let updates = if e.join {
             ctl.join(GroupId(e.group as u64), host, role)
         } else {
             ctl.leave(GroupId(e.group as u64), host, role)
         };
+        churn_updates.add(
+            (updates.hypervisors.len() + updates.leaves.len() + updates.spine_pods.len()) as u64,
+        );
         for h in &updates.hypervisors {
             *hv_counts.entry(*h).or_insert(0) += 1;
         }

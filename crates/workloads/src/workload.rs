@@ -92,9 +92,15 @@ pub struct Workload {
 impl Workload {
     /// Generate tenants, placement, and groups for a fabric.
     pub fn generate(topo: Clos, config: WorkloadConfig) -> Workload {
+        let _span = elmo_obs::span!("workload_generate");
         let mut rng = SplitMix64::new(config.seed);
         let tenants = place_tenants(&topo, &config, &mut rng);
         let groups = assign_groups(&tenants, &config, &mut rng);
+        let size_hist = elmo_obs::histogram("workloads.group_size");
+        for g in &groups {
+            size_hist.record(g.members.len() as u64);
+        }
+        elmo_obs::counter("workloads.groups_generated").add(groups.len() as u64);
         Workload {
             topo,
             config,

@@ -13,6 +13,7 @@
 //! * [`workloads`] — tenants, placement, group-size distributions, churn.
 //! * [`sim`] — the evaluation harness regenerating every paper table/figure.
 //! * [`apps`] — pub-sub and telemetry applications over the fabric.
+//! * [`obs`] — zero-dependency metrics, spans, and structured events.
 //!
 //! See `examples/quickstart.rs` for an end-to-end tour.
 
@@ -21,6 +22,7 @@ pub use elmo_controller as controller;
 pub use elmo_core as core;
 pub use elmo_dataplane as dataplane;
 pub use elmo_net as net;
+pub use elmo_obs as obs;
 pub use elmo_sim as sim;
 pub use elmo_topology as topology;
 pub use elmo_workloads as workloads;
