@@ -12,8 +12,8 @@ use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::net::Ipv4Addr;
 
 use elmo_core::{
-    encode_group, header_for_sender, ElmoHeader, EncoderConfig, GroupEncoding, HeaderLayout,
-    RedundancyMode,
+    encode_group, header_for_sender, ElmoHeader, EncodeCache, EncoderConfig, GroupEncoding,
+    HeaderLayout, RedundancyMode,
 };
 use elmo_dataplane::MembershipSignal;
 use elmo_net::vxlan::Vni;
@@ -175,6 +175,9 @@ pub struct Controller {
     layout: HeaderLayout,
     encoder: EncoderConfig,
     srules: SRuleSpace,
+    /// Structural encoding cache for the batch pipeline's optimistic
+    /// phase, warm across batches (see `elmo_core::sig`).
+    cache: EncodeCache,
     groups: HashMap<GroupId, GroupState>,
     /// Tenant-facing index: (VNI, tenant group address) -> group.
     by_addr: HashMap<(Vni, Ipv4Addr), GroupId>,
@@ -193,6 +196,7 @@ impl Controller {
             layout,
             encoder,
             srules: SRuleSpace::new(&topo, config.leaf_fmax, config.spine_fmax),
+            cache: EncodeCache::new(),
             groups: HashMap::new(),
             by_addr: HashMap::new(),
             next_group_id: 0,
@@ -322,16 +326,25 @@ impl Controller {
     pub fn create_groups_batch(&mut self, specs: &[GroupSpec], threads: usize) {
         let bm = crate::batch::metrics();
         bm.groups.add(specs.len() as u64);
-        // Phase 1 (parallel): member counts, receiver tree, optimistic encode.
+        // Phase 1 (parallel): member counts, receiver tree, optimistic encode
+        // through the (frozen) structural cache.
         let topo = &self.topo;
         let encoder = &self.encoder;
+        let base = &self.cache;
         let prepared = {
             let _span = elmo_obs::span!("batch_optimistic");
             elmo_core::parallel_map_with(
                 specs.len(),
                 threads,
-                || (elmo_core::EncodeScratch::new(), Vec::new()),
-                |(scratch, reqs), i| {
+                || {
+                    (
+                        elmo_core::EncodeScratch::new(),
+                        Vec::new(),
+                        elmo_core::CacheShard::new(),
+                        Vec::new(),
+                    )
+                },
+                |(scratch, reqs, shard, outcomes), i| {
                     let mut counts: BTreeMap<HostId, MemberCounts> = BTreeMap::new();
                     for &(h, role) in &specs[i].3 {
                         let c = counts.entry(h).or_default();
@@ -343,18 +356,29 @@ impl Controller {
                         }
                     }
                     let tree = Self::receiver_tree(topo, &counts);
-                    let enc =
-                        crate::batch::encode_group_optimistic(topo, &tree, encoder, scratch, reqs);
+                    let enc = crate::batch::encode_group_optimistic_cached(
+                        topo, &tree, encoder, scratch, base, shard, outcomes, reqs,
+                    );
                     crate::batch::metrics().optimistic_encodes.inc();
-                    (counts, tree, enc, std::mem::take(reqs))
+                    (
+                        counts,
+                        tree,
+                        enc,
+                        std::mem::take(reqs),
+                        std::mem::take(outcomes),
+                    )
                 },
             )
         };
-        // Phase 2 (sequential, slice order): admission + state install.
+        // Phase 2 (sequential, slice order): cache merge + admission + state
+        // install.
         let _span = elmo_obs::span!("batch_admission");
         let mut scratch = elmo_core::EncodeScratch::new();
-        for (spec, (counts, tree, mut enc, reqs)) in specs.iter().zip(prepared) {
+        for (spec, (counts, tree, mut enc, reqs, outcomes)) in specs.iter().zip(prepared) {
             let (id, vni, tenant_addr, _) = spec;
+            let (hits, misses) = self.cache.absorb(outcomes);
+            bm.cache_hit.add(hits);
+            bm.cache_miss.add(misses);
             if crate::batch::try_admit(&mut self.srules, &reqs) {
                 bm.admitted.inc();
             } else {

@@ -20,7 +20,7 @@ pub mod controller;
 pub mod failures;
 pub mod srules;
 
-pub use batch::{encode_batch, BatchOutcome, SRuleReq};
+pub use batch::{encode_batch, encode_batch_cached, optimistic_reqs, BatchOutcome, SRuleReq};
 pub use controller::{
     Controller, ControllerConfig, GroupId, GroupSpec, GroupState, MemberCounts, MemberRole,
     UpdateSet,

@@ -94,6 +94,12 @@ impl PortBitmap {
         self.words.iter().all(|&w| w == 0)
     }
 
+    /// Raw storage words (low port in bit 0 of word 0), for fast
+    /// fingerprinting.
+    pub(crate) fn words(&self) -> &[u64] {
+        &self.words
+    }
+
     /// Number of set ports.
     pub fn count_ones(&self) -> usize {
         self.words.iter().map(|w| w.count_ones() as usize).sum()

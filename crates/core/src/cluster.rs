@@ -21,7 +21,7 @@ use crate::min_k_union::{approx_min_k_union_with, MinKUnionScratch};
 ///
 /// [`Sum`]: RedundancyMode::Sum
 /// [`PerSwitch`]: RedundancyMode::PerSwitch
-#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default)]
 pub enum RedundancyMode {
     /// The *sum* of Hamming distances from each member bitmap to the shared
     /// output bitmap must not exceed `R`.
@@ -33,7 +33,7 @@ pub enum RedundancyMode {
 }
 
 /// Per-layer clustering constraints (the constants of Algorithm 1).
-#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 pub struct ClusterConfig {
     /// Redundancy limit `R`: spurious-transmission budget per shared p-rule.
     pub r: usize,
@@ -118,6 +118,8 @@ pub struct ClusterScratch {
     mku: MinKUnionScratch,
     unassigned: Vec<usize>,
     union: PortBitmap,
+    /// Input positions sorted by bitmap content (fast-path class grouping).
+    pub(crate) order: Vec<u32>,
 }
 
 impl ClusterScratch {
@@ -151,65 +153,112 @@ pub fn cluster_layer_with(
     srule_alloc: &mut dyn FnMut(u32) -> bool,
     scratch: &mut ClusterScratch,
 ) -> LayerEncoding {
-    let mut enc = LayerEncoding::empty();
     if inputs.is_empty() {
+        return LayerEncoding::empty();
+    }
+    if let Some(enc) = fast_path(inputs, cfg, &mut scratch.order) {
         return enc;
     }
+    cluster_pressed(inputs, cfg, srule_alloc, scratch)
+}
 
+/// Parsimonious fast path: group identical bitmaps (free — zero
+/// redundancy, exactly what MIN-K-UNION would pick first) and check
+/// whether the layer then fits the header without any lossy sharing. If
+/// it does, emit exactly that. Sharing non-identical bitmaps — paying up
+/// to R spurious transmissions per rule — is only worthwhile when the
+/// layer would otherwise overflow and spill into s-rules; this is what
+/// keeps Figure 4's traffic overhead within a few percent of ideal at
+/// R = 12, since only header-pressed groups ever pay redundancy.
+///
+/// Whether the fast path applies — and what it emits, up to relabeling —
+/// depends only on the layer's canonical signature, so the encoding cache
+/// (`crate::sig`) uses this check to skip caching layers that were cheap
+/// to encode in the first place.
+///
+/// Classes are found by sorting input positions by bitmap content into
+/// `order` (caller scratch, no per-call allocation) and chunking the
+/// equal-bitmap runs; members stay in ascending input order via the
+/// position tie-break. Every emitted rule has a distinct minimum switch id
+/// (rules partition the layer's switches), so the final sort fixes one
+/// output order regardless of how the classes were enumerated.
+pub(crate) fn fast_path(
+    inputs: &[(u32, PortBitmap)],
+    cfg: &ClusterConfig,
+    order: &mut Vec<u32>,
+) -> Option<LayerEncoding> {
     let width = inputs[0].1.width();
     let k_max = cfg.k_max.max(1);
-
-    // Parsimonious fast path: group identical bitmaps (free — zero
-    // redundancy, exactly what MIN-K-UNION would pick first) and check
-    // whether the layer then fits the header without any lossy sharing. If
-    // it does, emit exactly that. Sharing non-identical bitmaps — paying up
-    // to R spurious transmissions per rule — is only worthwhile when the
-    // layer would otherwise overflow and spill into s-rules; this is what
-    // keeps Figure 4's traffic overhead within a few percent of ideal at
-    // R = 12, since only header-pressed groups ever pay redundancy.
-    {
-        let mut classes: Vec<Vec<usize>> = Vec::new();
-        let mut class_of: std::collections::HashMap<&PortBitmap, usize> =
-            std::collections::HashMap::new();
-        for (i, (_, bm)) in inputs.iter().enumerate() {
-            let next = classes.len();
-            let c = *class_of.entry(bm).or_insert(next);
-            if c == classes.len() {
-                classes.push(Vec::new());
-            }
-            classes[c].push(i);
+    order.clear();
+    order.extend(0..inputs.len() as u32);
+    order.sort_unstable_by(|&a, &b| {
+        inputs[a as usize]
+            .1
+            .words()
+            .cmp(inputs[b as usize].1.words())
+            .then(a.cmp(&b))
+    });
+    let run_end = |start: usize| {
+        let mut end = start + 1;
+        while end < order.len()
+            && inputs[order[end] as usize].1.words() == inputs[order[start] as usize].1.words()
+        {
+            end += 1;
         }
-        let mut rules = 0usize;
-        let mut bits = 0usize;
-        for class in &classes {
-            for chunk in class.chunks(k_max) {
-                rules += 1;
-                bits = bits.saturating_add(cfg.rule_bits(width, chunk.len()));
-            }
+        end
+    };
+    let mut rules = 0usize;
+    let mut bits = 0usize;
+    let mut start = 0;
+    while start < order.len() {
+        let end = run_end(start);
+        let len = end - start;
+        let (full, rem) = (len / k_max, len % k_max);
+        rules += full + (rem > 0) as usize;
+        bits = bits.saturating_add(full.saturating_mul(cfg.rule_bits(width, k_max)));
+        if rem > 0 {
+            bits = bits.saturating_add(cfg.rule_bits(width, rem));
         }
-        if rules <= cfg.h_max && bits <= cfg.bit_budget {
-            for class in classes {
-                for chunk in class.chunks(k_max) {
-                    let mut switches: Vec<u32> = chunk.iter().map(|&i| inputs[i].0).collect();
-                    switches.sort_unstable();
-                    enc.p_rules.push(DownstreamRule {
-                        bitmap: inputs[chunk[0]].1.clone(),
-                        switches,
-                    });
-                }
-            }
-            enc.p_rules.sort_by_key(|r| r.switches[0]);
-            return enc;
-        }
+        start = end;
     }
+    if rules > cfg.h_max || bits > cfg.bit_budget {
+        return None;
+    }
+    let mut enc = LayerEncoding::empty();
+    let mut start = 0;
+    while start < order.len() {
+        let end = run_end(start);
+        for chunk in order[start..end].chunks(k_max) {
+            let mut switches: Vec<u32> = chunk.iter().map(|&i| inputs[i as usize].0).collect();
+            switches.sort_unstable();
+            enc.p_rules.push(DownstreamRule {
+                bitmap: inputs[chunk[0] as usize].1.clone(),
+                switches,
+            });
+        }
+        start = end;
+    }
+    enc.p_rules.sort_by_key(|r| r.switches[0]);
+    Some(enc)
+}
 
-    // Header-pressed: run Algorithm 1's greedy sharing over the whole layer.
-    // The pair-seeded MIN-K-UNION still picks identical bitmaps first (their
-    // union is minimal and costs nothing), so this subsumes the fast path.
+/// Header-pressed: run Algorithm 1's greedy sharing over the whole layer.
+/// The pair-seeded MIN-K-UNION still picks identical bitmaps first (their
+/// union is minimal and costs nothing), so this subsumes the fast path.
+pub(crate) fn cluster_pressed(
+    inputs: &[(u32, PortBitmap)],
+    cfg: &ClusterConfig,
+    srule_alloc: &mut dyn FnMut(u32) -> bool,
+    scratch: &mut ClusterScratch,
+) -> LayerEncoding {
+    let mut enc = LayerEncoding::empty();
+    let width = inputs[0].1.width();
+    let k_max = cfg.k_max.max(1);
     let ClusterScratch {
         mku,
         unassigned,
         union,
+        ..
     } = scratch;
     unassigned.clear();
     unassigned.extend(0..inputs.len());

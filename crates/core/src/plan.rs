@@ -16,6 +16,7 @@ use crate::cluster::{
 };
 use crate::header::{ElmoHeader, UpstreamRule};
 use crate::layout::HeaderLayout;
+use crate::sig::{cluster_layer_cached, CacheOutcome, CacheShard, EncodeCache};
 
 /// Tunable parameters of the group encoder.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -168,48 +169,23 @@ pub fn encode_group(
     )
 }
 
-/// [`encode_group`] with caller-provided scratch buffers.
-pub fn encode_group_with(
-    topo: &Clos,
-    tree: &GroupTree,
-    cfg: &EncoderConfig,
-    spine_srule_alloc: &mut dyn FnMut(PodId) -> bool,
-    leaf_srule_alloc: &mut dyn FnMut(LeafId) -> bool,
-    scratch: &mut EncodeScratch,
-) -> GroupEncoding {
-    let EncodeScratch { inputs, cluster } = scratch;
-    // Downstream spine layer: one input bitmap per participating pod; needed
-    // only when the tree spans more than one pod (otherwise no packet ever
-    // travels core -> spine).
-    let d_spine = if tree.num_pods() > 1 {
-        let n = fill_inputs(
-            inputs,
-            topo.spine_down_ports(),
-            tree.pods().map(|p| (p.0, tree.leaf_ports_in_pod(topo, p))),
-        );
-        let layout = HeaderLayout::for_clos(topo);
-        let cluster_cfg = ClusterConfig {
-            r: cfg.r,
-            h_max: cfg.h_spine_max,
-            bit_budget: usize::MAX, // the spine section is rule-count bound
-            id_bits: layout.pod_id_bits,
-            k_max: cfg.k_max,
-            mode: cfg.mode,
-        };
-        cluster_layer_with(
-            &inputs[..n],
-            &cluster_cfg,
-            &mut |pod| spine_srule_alloc(PodId(pod)),
-            cluster,
-        )
-    } else {
-        LayerEncoding::empty()
-    };
+/// Clustering constants for the downstream spine layer.
+fn spine_cluster_cfg(layout: &HeaderLayout, cfg: &EncoderConfig) -> ClusterConfig {
+    ClusterConfig {
+        r: cfg.r,
+        h_max: cfg.h_spine_max,
+        bit_budget: usize::MAX, // the spine section is rule-count bound
+        id_bits: layout.pod_id_bits,
+        k_max: cfg.k_max,
+        mode: cfg.mode,
+    }
+}
 
-    // The spine section's actual size determines how many bytes remain for
-    // leaf rules: the byte budget is fungible between the two downstream
-    // layers, but the total is a hard cap (parser header-vector limit).
-    let layout = HeaderLayout::for_clos(topo);
+/// Header bits left for the leaf layer once this group's actual spine
+/// section is accounted for. The byte budget is fungible between the two
+/// downstream layers, but the total is a hard cap (parser header-vector
+/// limit).
+fn leaf_bit_budget(layout: &HeaderLayout, cfg: &EncoderConfig, d_spine: &LayerEncoding) -> usize {
     let spine_bits: usize = d_spine
         .p_rules
         .iter()
@@ -227,7 +203,52 @@ pub fn encode_group_with(
         + spine_bits
         + layout.d_leaf_default_bits();
     let budget_bits = cfg.budget_bytes.saturating_mul(8);
-    let leaf_bits = budget_bits.saturating_sub(fixed_bits);
+    budget_bits.saturating_sub(fixed_bits)
+}
+
+/// Clustering constants for the downstream leaf layer given its bit budget.
+fn leaf_cluster_cfg(layout: &HeaderLayout, cfg: &EncoderConfig, leaf_bits: usize) -> ClusterConfig {
+    ClusterConfig {
+        r: cfg.r,
+        h_max: cfg.h_leaf_max,
+        bit_budget: leaf_bits,
+        id_bits: layout.leaf_id_bits,
+        k_max: cfg.k_max,
+        mode: cfg.mode,
+    }
+}
+
+/// [`encode_group`] with caller-provided scratch buffers.
+pub fn encode_group_with(
+    topo: &Clos,
+    tree: &GroupTree,
+    cfg: &EncoderConfig,
+    spine_srule_alloc: &mut dyn FnMut(PodId) -> bool,
+    leaf_srule_alloc: &mut dyn FnMut(LeafId) -> bool,
+    scratch: &mut EncodeScratch,
+) -> GroupEncoding {
+    let EncodeScratch { inputs, cluster } = scratch;
+    let layout = HeaderLayout::for_clos(topo);
+    // Downstream spine layer: one input bitmap per participating pod; needed
+    // only when the tree spans more than one pod (otherwise no packet ever
+    // travels core -> spine).
+    let d_spine = if tree.num_pods() > 1 {
+        let n = fill_inputs(
+            inputs,
+            topo.spine_down_ports(),
+            tree.pods().map(|p| (p.0, tree.leaf_ports_in_pod(topo, p))),
+        );
+        cluster_layer_with(
+            &inputs[..n],
+            &spine_cluster_cfg(&layout, cfg),
+            &mut |pod| spine_srule_alloc(PodId(pod)),
+            cluster,
+        )
+    } else {
+        LayerEncoding::empty()
+    };
+
+    let leaf_bits = leaf_bit_budget(&layout, cfg, &d_spine);
 
     // Downstream leaf layer: one input bitmap per participating leaf; needed
     // when the tree spans more than one leaf (a single-leaf group is fully
@@ -239,18 +260,72 @@ pub fn encode_group_with(
             tree.leaves()
                 .map(|l| (l.0, tree.host_ports_on_leaf(topo, l))),
         );
-        let cluster_cfg = ClusterConfig {
-            r: cfg.r,
-            h_max: cfg.h_leaf_max,
-            bit_budget: leaf_bits,
-            id_bits: layout.leaf_id_bits,
-            k_max: cfg.k_max,
-            mode: cfg.mode,
-        };
         cluster_layer_with(
             &inputs[..n],
-            &cluster_cfg,
+            &leaf_cluster_cfg(&layout, cfg, leaf_bits),
             &mut |leaf| leaf_srule_alloc(LeafId(leaf)),
+            cluster,
+        )
+    } else {
+        LayerEncoding::empty()
+    };
+
+    GroupEncoding { d_spine, d_leaf }
+}
+
+/// Optimistic (capacity-unconstrained) group encode through the structural
+/// encoding cache — the phase-1 fast path of the batch pipeline.
+///
+/// Equivalent to [`encode_group_with`] with allocators that always grant,
+/// but each layer's clustering is served from `base`/`shard` when a group
+/// with the same canonical placement signature has been encoded before
+/// (see [`crate::sig`]). One [`CacheOutcome`] per clustered layer is pushed
+/// onto `outcomes` for the caller's sequential phase-2 accounting.
+#[allow(clippy::too_many_arguments)]
+pub fn encode_group_optimistic_cached(
+    topo: &Clos,
+    tree: &GroupTree,
+    cfg: &EncoderConfig,
+    scratch: &mut EncodeScratch,
+    base: &EncodeCache,
+    shard: &mut CacheShard,
+    outcomes: &mut Vec<CacheOutcome>,
+) -> GroupEncoding {
+    let EncodeScratch { inputs, cluster } = scratch;
+    let layout = HeaderLayout::for_clos(topo);
+    let d_spine = if tree.num_pods() > 1 {
+        let n = fill_inputs(
+            inputs,
+            topo.spine_down_ports(),
+            tree.pods().map(|p| (p.0, tree.leaf_ports_in_pod(topo, p))),
+        );
+        cluster_layer_cached(
+            &inputs[..n],
+            &spine_cluster_cfg(&layout, cfg),
+            base,
+            shard,
+            outcomes,
+            cluster,
+        )
+    } else {
+        LayerEncoding::empty()
+    };
+
+    let leaf_bits = leaf_bit_budget(&layout, cfg, &d_spine);
+
+    let d_leaf = if tree.num_leaves() > 1 {
+        let n = fill_inputs(
+            inputs,
+            topo.leaf_down_ports(),
+            tree.leaves()
+                .map(|l| (l.0, tree.host_ports_on_leaf(topo, l))),
+        );
+        cluster_layer_cached(
+            &inputs[..n],
+            &leaf_cluster_cfg(&layout, cfg, leaf_bits),
+            base,
+            shard,
+            outcomes,
             cluster,
         )
     } else {

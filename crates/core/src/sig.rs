@@ -1,0 +1,718 @@
+//! Canonical placement signatures and the structural encoding cache.
+//!
+//! Tenant placement makes group encoding massively redundant: groups drawn
+//! from the same tenant induce the same per-layer *shape* — the same
+//! sequence of member port-bitmaps up to a relabeling of switches and
+//! ports — over and over. Algorithm 1 only ever observes that shape: the
+//! clustering in [`cluster_layer_with`] decides through popcounts, union
+//! sizes, Hamming distances, bitmap equality, and candidate-*index*
+//! tie-breaks, all of which are invariant under (a) any permutation of the
+//! port space applied to every input bitmap at once and (b) any
+//! order-preserving relabeling of the switch ids (ids are only carried
+//! through and sorted, never compared to constants). Two layers with equal
+//! canonical signatures therefore receive structurally identical encodings,
+//! and the concrete encoding can be *rehydrated* from the structure plus the
+//! group's actual inputs.
+//!
+//! The cache key ([`LayerSig`]) is the layer's clustering constants plus the
+//! member bitmaps in ascending switch-id order (the canonical encoding of
+//! the sorted input multiset — callers always present inputs id-sorted),
+//! with ports renamed by sorting their incidence columns (see
+//! [`CacheShard::build_key`]). The cached value ([`CanonicalLayer`]) stores
+//! only *positions*: which input indices share each p-rule, which fall to
+//! s-rules, which are swept into the default. Every output bitmap of
+//! Algorithm 1 is the union of its member input bitmaps, so rehydration
+//! rebuilds bit-identical [`DownstreamRule`]s by OR-ing the group's actual
+//! inputs — no reverse port mapping needed.
+//!
+//! Only *header-pressed* layers of at least [`CACHE_MIN_ROWS`] members are
+//! cached. When the parsimonious fast path applies — identical-bitmap
+//! classes fit the header as-is — direct encoding costs about as much as a
+//! cache probe, so those layers bypass the cache entirely; the same goes
+//! for small pressed layers, where the greedy MIN-K-UNION sharing is over
+//! in a microsecond or two. The greedy pass is quadratic-ish in the member
+//! count, so only once a layer has enough rows does memoizing it win —
+//! below the threshold the cache costs more than it can ever save (key
+//! build + probe + the cache's own memory footprint evicting the encoder's
+//! working set). Both bypass conditions — fast-path feasibility and the
+//! row count — are functions of the signature alone, so the bypass
+//! decision is canonical and the hit/miss stream stays deterministic.
+//!
+//! Only the *optimistic* (capacity-unconstrained) phase-1 path is cached:
+//! with every s-rule allocation granted, the clustering decision is a pure
+//! function of the signature. The capacity-constrained re-encode path
+//! depends on live group-table occupancy and stays uncached.
+//!
+//! Concurrency model: during a parallel phase 1 the shared cache is a
+//! frozen read-only base; each worker keeps a private [`CacheShard`] for
+//! keys it computes itself. Workers report a [`CacheOutcome`] per cached
+//! layer — `Hit` when the key was in the frozen base, `Fresh` (carrying the
+//! key and value) otherwise — and the sequential phase 2 replays outcomes
+//! in group order through [`EncodeCache::absorb`]. That reproduces the
+//! exact hit/miss sequence of a serial single-threaded run at any thread
+//! count, so the `encode.cache_hit` / `encode.cache_miss` counters are
+//! deterministic.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use crate::bitmap::PortBitmap;
+use crate::cluster::{
+    cluster_pressed, fast_path, ClusterConfig, ClusterScratch, LayerEncoding, RedundancyMode,
+};
+use crate::header::DownstreamRule;
+
+/// Minimum member count for a pressed layer to go through the cache.
+///
+/// The greedy MIN-K-UNION pass costs roughly quadratic time in the member
+/// count while a signature build-plus-probe is linear, so small pressed
+/// layers are cheaper to just encode: at 8 members the direct pass runs in
+/// ~2µs — about the cost of the probe it would replace — while at 96+
+/// members it runs in hundreds of µs against a ~3µs probe. Row count is
+/// part of the signature, so this gate keeps the bypass canonical.
+pub const CACHE_MIN_ROWS: usize = 32;
+
+/// Cache key: the clustering constants plus the canonical form of the
+/// layer's member bitmaps (id-ordered, ports renamed by sorted incidence
+/// column), flattened into one contiguous word buffer — row `i` occupies
+/// `width.div_ceil(64)` words starting at `i * width.div_ceil(64)`.
+///
+/// Keys can be long (one bitmap row per member switch), so the
+/// representation is tuned for lookup: a 64-bit fingerprint of the contents
+/// is precomputed at build time and is the only thing `Hash` feeds (map
+/// lookups stay O(1) in the layer size), equality compares the fingerprint
+/// first for a fast reject, and the flat buffer makes the full comparison
+/// a single `memcmp` instead of a pointer chase per row.
+/// [`CacheShard::build_key`] is the sole constructor, so equal contents
+/// always carry equal fingerprints.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct LayerSig {
+    hash: u64,
+    cfg: ClusterConfig,
+    width: u32,
+    rows: u32,
+    words: Vec<u64>,
+}
+
+impl std::hash::Hash for LayerSig {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        state.write_u64(self.hash);
+    }
+}
+
+impl Default for LayerSig {
+    fn default() -> Self {
+        LayerSig {
+            hash: 0,
+            cfg: ClusterConfig {
+                r: 0,
+                h_max: 0,
+                bit_budget: 0,
+                id_bits: 0,
+                k_max: 0,
+                mode: RedundancyMode::Sum,
+            },
+            width: 0,
+            rows: 0,
+            words: Vec::new(),
+        }
+    }
+}
+
+/// FxHash-style combining step for the key fingerprint: cheap, sequence
+/// sensitive, and well mixed enough to feed the hash maps directly.
+#[inline]
+fn fold(h: u64, v: u64) -> u64 {
+    (h.rotate_left(5) ^ v).wrapping_mul(0x517c_c1b7_2722_0a95)
+}
+
+/// Pass-through hasher for [`LayerSig`] maps: the key's precomputed
+/// fingerprint is already mixed, so hashing is a single `write_u64`.
+#[derive(Clone, Default)]
+pub struct SigHasher(u64);
+
+impl std::hash::Hasher for SigHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+    fn write_u64(&mut self, v: u64) {
+        self.0 = fold(self.0, v);
+    }
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 = fold(self.0, b as u64);
+        }
+    }
+}
+
+type SigMap = HashMap<LayerSig, Arc<CanonicalLayer>, std::hash::BuildHasherDefault<SigHasher>>;
+
+/// The structural clustering decision for one canonical layer: membership
+/// by input *position* (index into the id-ordered input sequence). Output
+/// bitmaps are not stored — each one is the union of its members' input
+/// bitmaps, recomputed against the concrete group on rehydration.
+#[derive(PartialEq, Eq, Debug)]
+pub struct CanonicalLayer {
+    /// Member positions of each p-rule, in assignment order (ascending
+    /// within a rule, mirroring the sorted switch-id lists).
+    p_rules: Vec<Vec<u32>>,
+    /// Positions that fall back to s-rules, ascending.
+    s_rules: Vec<u32>,
+    /// Positions swept into the default p-rule, ascending. Always empty on
+    /// the optimistic path (every allocation succeeds), kept for layers
+    /// cached from other capacity regimes.
+    defaults: Vec<u32>,
+}
+
+/// What happened for one cached layer during phase 1, replayed serially in
+/// phase 2 by [`EncodeCache::absorb`].
+#[derive(Clone, Debug)]
+pub enum CacheOutcome {
+    /// The key was present in the frozen base cache.
+    Hit,
+    /// The key was absent from the base; the worker computed the structure
+    /// (or found it in its private shard). Phase 2 decides hit-vs-miss in
+    /// serial group order and merges the value into the base.
+    Fresh(LayerSig, Arc<CanonicalLayer>),
+}
+
+/// Per-worker private cache state: a local shard of freshly computed
+/// entries (so a worker does not recompute a key it already saw this
+/// round) plus reusable key-building buffers.
+#[derive(Debug, Default)]
+pub struct CacheShard {
+    local: SigMap,
+    /// Per-port incidence column: the input rows containing the port.
+    /// Entries of used ports are cleared after each key build.
+    cols: Vec<Vec<u32>>,
+    /// Ports that appear in at least one input, then sorted by column.
+    used: Vec<u32>,
+    /// Original port -> canonical port for the used ports.
+    fwd: Vec<u32>,
+    /// Reusable lookup key (buffers survive hits; misses donate them to
+    /// the map).
+    key: LayerSig,
+}
+
+impl CacheShard {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Build the canonical signature of `inputs` under `cfg` into the
+    /// reusable key.
+    ///
+    /// Ports are renamed by sorting their incidence columns — for each
+    /// port, the ascending list of input rows whose bitmap contains it —
+    /// lexicographically. With the row order fixed (inputs are id-sorted),
+    /// the sorted column multiset is a complete invariant of the layer
+    /// under port permutation: two layers get equal keys iff some renaming
+    /// of the port space maps one onto the other. Ties only occur between
+    /// identical columns, whose ports are interchangeable, so the
+    /// canonical bitmaps do not depend on how ties are broken.
+    fn build_key(&mut self, inputs: &[(u32, PortBitmap)], cfg: &ClusterConfig) {
+        let width = inputs[0].1.width();
+        if self.cols.len() < width {
+            self.cols.resize_with(width, Vec::new);
+        }
+        self.used.clear();
+        for (i, (_, bm)) in inputs.iter().enumerate() {
+            for p in bm.iter_ones() {
+                if self.cols[p].is_empty() {
+                    self.used.push(p as u32);
+                }
+                self.cols[p].push(i as u32);
+            }
+        }
+        {
+            let cols = &self.cols;
+            self.used
+                .sort_unstable_by(|&a, &b| cols[a as usize].cmp(&cols[b as usize]).then(a.cmp(&b)));
+        }
+        self.fwd.clear();
+        self.fwd.resize(width, u32::MAX);
+        for (rank, &p) in self.used.iter().enumerate() {
+            self.fwd[p as usize] = rank as u32;
+        }
+        self.key.cfg = *cfg;
+        self.key.width = width as u32;
+        self.key.rows = inputs.len() as u32;
+        let wpr = width.div_ceil(64);
+        self.key.words.clear();
+        self.key.words.resize(inputs.len() * wpr, 0);
+        for (i, (_, bm)) in inputs.iter().enumerate() {
+            let row = &mut self.key.words[i * wpr..(i + 1) * wpr];
+            for p in bm.iter_ones() {
+                let c = self.fwd[p] as usize;
+                row[c / 64] |= 1 << (c % 64);
+            }
+        }
+        let mut h = fold(0x51_6e_a7_u64, width as u64);
+        h = fold(h, cfg.r as u64);
+        h = fold(h, cfg.h_max as u64);
+        h = fold(h, cfg.bit_budget as u64);
+        h = fold(h, cfg.id_bits as u64);
+        h = fold(h, cfg.k_max as u64);
+        h = fold(h, cfg.mode as u64);
+        h = fold(h, inputs.len() as u64);
+        for &w in &self.key.words {
+            h = fold(h, w);
+        }
+        self.key.hash = h;
+        for &p in &self.used {
+            self.cols[p as usize].clear();
+        }
+    }
+}
+
+/// The shared structural encoding cache. Clone-able (groups of `Arc`s) so a
+/// controller snapshot keeps its warm cache.
+#[derive(Clone, Debug, Default)]
+pub struct EncodeCache {
+    map: SigMap,
+}
+
+impl EncodeCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of distinct canonical layers cached.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether the cache holds nothing yet.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Phase 2: replay one group's outcomes in serial order, merging fresh
+    /// entries into the base. Returns `(hits, misses)` — exactly the counts
+    /// a single-threaded run updating the cache after every group would
+    /// have seen, at any phase-1 thread count.
+    pub fn absorb(&mut self, outcomes: Vec<CacheOutcome>) -> (u64, u64) {
+        let mut hits = 0;
+        let mut misses = 0;
+        for outcome in outcomes {
+            match outcome {
+                CacheOutcome::Hit => hits += 1,
+                CacheOutcome::Fresh(key, canon) => {
+                    // An earlier group this round may have inserted the key
+                    // already; serially that would have been a hit.
+                    match self.map.entry(key) {
+                        std::collections::hash_map::Entry::Occupied(_) => hits += 1,
+                        std::collections::hash_map::Entry::Vacant(e) => {
+                            misses += 1;
+                            e.insert(canon);
+                        }
+                    }
+                }
+            }
+        }
+        (hits, misses)
+    }
+}
+
+/// Map a computed encoding to its canonical structure (ids -> positions).
+fn canonicalize(enc: &LayerEncoding, inputs: &[(u32, PortBitmap)]) -> CanonicalLayer {
+    let pos = |id: u32| -> u32 {
+        inputs
+            .binary_search_by_key(&id, |x| x.0)
+            .expect("encoded switch id not among layer inputs") as u32
+    };
+    CanonicalLayer {
+        p_rules: enc
+            .p_rules
+            .iter()
+            .map(|r| r.switches.iter().map(|&s| pos(s)).collect())
+            .collect(),
+        s_rules: enc.s_rules.iter().map(|(s, _)| pos(*s)).collect(),
+        defaults: enc.default_switches.iter().map(|&s| pos(s)).collect(),
+    }
+}
+
+/// Instantiate a cached structure against a concrete group's inputs. Every
+/// rule bitmap is the union of its members' input bitmaps, so the result is
+/// bit-identical to running Algorithm 1 on `inputs` directly.
+fn rehydrate(canon: &CanonicalLayer, inputs: &[(u32, PortBitmap)]) -> LayerEncoding {
+    let width = inputs[0].1.width();
+    let p_rules = canon
+        .p_rules
+        .iter()
+        .map(|members| {
+            let mut bitmap = PortBitmap::new(width);
+            let mut switches = Vec::with_capacity(members.len());
+            for &p in members {
+                let (id, ref bm) = inputs[p as usize];
+                bitmap.or_assign(bm);
+                switches.push(id);
+            }
+            DownstreamRule { bitmap, switches }
+        })
+        .collect();
+    let s_rules = canon
+        .s_rules
+        .iter()
+        .map(|&p| {
+            let (id, ref bm) = inputs[p as usize];
+            (id, bm.clone())
+        })
+        .collect();
+    let mut default_rule = None;
+    let mut default_switches = Vec::with_capacity(canon.defaults.len());
+    for &p in &canon.defaults {
+        let (id, ref bm) = inputs[p as usize];
+        match &mut default_rule {
+            Some(d) => PortBitmap::or_assign(d, bm),
+            None => default_rule = Some(bm.clone()),
+        }
+        default_switches.push(id);
+    }
+    LayerEncoding {
+        p_rules,
+        s_rules,
+        default_rule,
+        default_switches,
+    }
+}
+
+/// The cached optimistic clustering path, under the assumption that every
+/// s-rule allocation succeeds.
+///
+/// `inputs` must be in ascending switch-id order (as
+/// `elmo_topology::GroupTree` iteration produces them). Layers the
+/// parsimonious fast path can encode — identical-bitmap classes that fit
+/// the header — are emitted directly and *bypass* the cache entirely:
+/// the fast path is as cheap as a signature lookup, so caching it could
+/// only lose. Fast-path feasibility depends only on the signature, so the
+/// bypass is itself canonical and the hit/miss stream stays deterministic.
+///
+/// Header-pressed layers (where the greedy MIN-K-UNION sharing runs) go
+/// through the cache: on a base or shard hit the encoding is rehydrated
+/// from the cached structure; on a miss it is computed directly on
+/// `inputs` — so the return value is bit-identical to the uncached
+/// optimistic path in every case. One [`CacheOutcome`] is pushed per
+/// pressed layer for phase-2 accounting.
+pub fn cluster_layer_cached(
+    inputs: &[(u32, PortBitmap)],
+    cfg: &ClusterConfig,
+    base: &EncodeCache,
+    shard: &mut CacheShard,
+    outcomes: &mut Vec<CacheOutcome>,
+    cluster: &mut ClusterScratch,
+) -> LayerEncoding {
+    if inputs.is_empty() {
+        return LayerEncoding::empty();
+    }
+    debug_assert!(
+        inputs.windows(2).all(|w| w[0].0 < w[1].0),
+        "layer inputs must be in ascending switch-id order"
+    );
+    if let Some(enc) = fast_path(inputs, cfg, &mut cluster.order) {
+        return enc;
+    }
+    if inputs.len() < CACHE_MIN_ROWS {
+        return cluster_pressed(inputs, cfg, &mut |_| true, cluster);
+    }
+    shard.build_key(inputs, cfg);
+    if let Some(canon) = base.map.get(&shard.key) {
+        outcomes.push(CacheOutcome::Hit);
+        return rehydrate(canon, inputs);
+    }
+    if let Some(canon) = shard.local.get(&shard.key) {
+        let canon = Arc::clone(canon);
+        outcomes.push(CacheOutcome::Fresh(shard.key.clone(), Arc::clone(&canon)));
+        return rehydrate(&canon, inputs);
+    }
+    let enc = cluster_pressed(inputs, cfg, &mut |_| true, cluster);
+    let canon = Arc::new(canonicalize(&enc, inputs));
+    let key = std::mem::take(&mut shard.key);
+    shard.local.insert(key.clone(), Arc::clone(&canon));
+    outcomes.push(CacheOutcome::Fresh(key, canon));
+    enc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cluster::cluster_layer;
+    use crate::rng::SplitMix64;
+
+    fn optimistic(inputs: &[(u32, PortBitmap)], cfg: &ClusterConfig) -> LayerEncoding {
+        let mut alloc = |_s: u32| true;
+        cluster_layer(inputs, cfg, &mut alloc)
+    }
+
+    fn random_inputs(rng: &mut SplitMix64, width: usize, n: usize) -> Vec<(u32, PortBitmap)> {
+        let mut ids: Vec<u32> = Vec::new();
+        let mut next = 0u32;
+        for _ in 0..n {
+            next += rng.range_inclusive(1, 7) as u32;
+            ids.push(next);
+        }
+        ids.iter()
+            .map(|&id| {
+                let ones = rng.range_inclusive(1, width.min(6));
+                let bm = PortBitmap::from_ports(width, (0..ones).map(|_| rng.index(width)));
+                (id, bm)
+            })
+            .collect()
+    }
+
+    /// A random monotone switch relabeling plus a random port permutation
+    /// applied to every bitmap (the symmetry group the signature quotients
+    /// out).
+    fn relabel(
+        rng: &mut SplitMix64,
+        inputs: &[(u32, PortBitmap)],
+        width: usize,
+    ) -> Vec<(u32, PortBitmap)> {
+        let mut perm: Vec<usize> = (0..width).collect();
+        for i in (1..width).rev() {
+            perm.swap(i, rng.index(i + 1));
+        }
+        let mut next = rng.range_inclusive(0, 100) as u32;
+        inputs
+            .iter()
+            .map(|(_, bm)| {
+                let id = next;
+                next += rng.range_inclusive(1, 9) as u32;
+                let mapped = PortBitmap::from_ports(width, bm.iter_ones().map(|p| perm[p]));
+                (id, mapped)
+            })
+            .collect()
+    }
+
+    fn configs(width: usize) -> Vec<ClusterConfig> {
+        vec![
+            // Roomy: fast path (identical-bitmap classes) fits.
+            ClusterConfig {
+                r: 0,
+                h_max: usize::MAX,
+                bit_budget: usize::MAX,
+                id_bits: 8,
+                k_max: 8,
+                mode: RedundancyMode::Sum,
+            },
+            // Pressed: small Hmax forces the greedy MIN-K-UNION path and
+            // spills into s-rules.
+            ClusterConfig {
+                r: 6,
+                h_max: 2,
+                bit_budget: usize::MAX,
+                id_bits: 8,
+                k_max: 4,
+                mode: RedundancyMode::Sum,
+            },
+            // Bit-budget bound, like the leaf layer under a 325-byte header.
+            ClusterConfig {
+                r: 12,
+                h_max: usize::MAX,
+                bit_budget: 3 * (width + 2 * 9 + 1),
+                id_bits: 8,
+                k_max: 8,
+                mode: RedundancyMode::Sum,
+            },
+        ]
+    }
+
+    #[test]
+    fn miss_then_hit_is_bit_identical_to_direct_clustering() {
+        let mut rng = SplitMix64::new(0x516);
+        let width = 16;
+        let mut pressed_seen = 0;
+        for cfg in configs(width) {
+            let mut base = EncodeCache::new();
+            for _ in 0..40 {
+                let n = rng.range_inclusive(2, CACHE_MIN_ROWS + 16);
+                let inputs = random_inputs(&mut rng, width, n);
+                let direct = optimistic(&inputs, &cfg);
+                let mut shard = CacheShard::new();
+                let mut outcomes = Vec::new();
+                let mut cluster = ClusterScratch::new();
+                // First sight: bypass (fast path or below the row gate — no
+                // outcome), or miss.
+                let first = cluster_layer_cached(
+                    &inputs,
+                    &cfg,
+                    &base,
+                    &mut shard,
+                    &mut outcomes,
+                    &mut cluster,
+                );
+                assert_eq!(first, direct);
+                if outcomes.is_empty() {
+                    continue; // fast-path or small layer, never cached
+                }
+                pressed_seen += 1;
+                base.absorb(std::mem::take(&mut outcomes));
+                // Second sight: base hit, rehydrated.
+                let again = cluster_layer_cached(
+                    &inputs,
+                    &cfg,
+                    &base,
+                    &mut shard,
+                    &mut outcomes,
+                    &mut cluster,
+                );
+                assert!(matches!(outcomes[0], CacheOutcome::Hit));
+                assert_eq!(again, direct, "rehydrated encoding diverged");
+            }
+        }
+        assert!(pressed_seen > 0, "no pressed layers exercised");
+    }
+
+    #[test]
+    fn signature_is_invariant_under_switch_and_port_relabeling() {
+        // The core soundness property: warm the cache with layer A, present
+        // relabeled layer B (monotone new switch ids, globally permuted
+        // ports) — B must *hit*, and the rehydrated encoding must equal
+        // clustering B directly.
+        let mut rng = SplitMix64::new(0xCA11);
+        let width = 16;
+        let mut pressed_seen = 0;
+        for cfg in configs(width) {
+            for _ in 0..60 {
+                let n = rng.range_inclusive(2, CACHE_MIN_ROWS + 16);
+                let a = random_inputs(&mut rng, width, n);
+                let b = relabel(&mut rng, &a, width);
+                let mut base = EncodeCache::new();
+                let mut shard = CacheShard::new();
+                let mut outcomes = Vec::new();
+                let mut cluster = ClusterScratch::new();
+                let _ =
+                    cluster_layer_cached(&a, &cfg, &base, &mut shard, &mut outcomes, &mut cluster);
+                if outcomes.is_empty() {
+                    // Bypassed layer (fast path or row gate): the bypass
+                    // decision must be invariant too — the relabeled layer
+                    // also stays uncached.
+                    let direct = cluster_layer_cached(
+                        &b,
+                        &cfg,
+                        &base,
+                        &mut shard,
+                        &mut outcomes,
+                        &mut cluster,
+                    );
+                    assert!(outcomes.is_empty(), "bypass must be signature-invariant");
+                    assert_eq!(direct, optimistic(&b, &cfg));
+                    continue;
+                }
+                pressed_seen += 1;
+                let (hits, misses) = base.absorb(std::mem::take(&mut outcomes));
+                assert_eq!((hits, misses), (0, 1));
+                let cached =
+                    cluster_layer_cached(&b, &cfg, &base, &mut shard, &mut outcomes, &mut cluster);
+                assert!(
+                    matches!(outcomes[0], CacheOutcome::Hit),
+                    "relabeled layer must share the signature"
+                );
+                assert_eq!(
+                    cached,
+                    optimistic(&b, &cfg),
+                    "rehydration must match direct clustering of the relabeled layer"
+                );
+            }
+        }
+        assert!(pressed_seen > 0, "no pressed layers exercised");
+    }
+
+    #[test]
+    fn local_shard_serves_repeats_and_phase2_counts_serially() {
+        let mut rng = SplitMix64::new(0x5EED);
+        let width = 8;
+        // Pressed config (tiny Hmax) and enough rows to clear the row gate,
+        // so the layer actually goes through the cache.
+        let cfg = configs(width).remove(1);
+        let inputs = random_inputs(&mut rng, width, CACHE_MIN_ROWS + 8);
+        let base = EncodeCache::new();
+        let mut shard = CacheShard::new();
+        let mut cluster = ClusterScratch::new();
+        // Same worker sees the same shape twice with an un-refreshed base:
+        // both report Fresh, but phase 2 counts miss-then-hit.
+        let mut o1 = Vec::new();
+        let e1 = cluster_layer_cached(&inputs, &cfg, &base, &mut shard, &mut o1, &mut cluster);
+        assert!(!o1.is_empty(), "layer must be pressed for this test");
+        let mut o2 = Vec::new();
+        let e2 = cluster_layer_cached(&inputs, &cfg, &base, &mut shard, &mut o2, &mut cluster);
+        assert_eq!(e1, e2);
+        assert!(matches!(o2[0], CacheOutcome::Fresh(..)));
+        let mut merged = EncodeCache::new();
+        let (h1, m1) = merged.absorb(o1);
+        let (h2, m2) = merged.absorb(o2);
+        assert_eq!((h1, m1), (0, 1));
+        assert_eq!((h2, m2), (1, 0), "duplicate fresh entries become hits");
+        assert_eq!(merged.len(), 1);
+    }
+
+    #[test]
+    fn distinct_constants_do_not_collide() {
+        let mut rng = SplitMix64::new(7);
+        let width = 8;
+        let inputs = random_inputs(&mut rng, width, CACHE_MIN_ROWS + 8);
+        // Pressed variants (tiny Hmax keeps them off the fast path)
+        // differing only in the redundancy limit: distinct keys.
+        let cfgs: Vec<ClusterConfig> = [0usize, 4, 12]
+            .iter()
+            .map(|&r| ClusterConfig {
+                r,
+                h_max: 2,
+                bit_budget: usize::MAX,
+                id_bits: 8,
+                k_max: 4,
+                mode: RedundancyMode::Sum,
+            })
+            .collect();
+        let mut base = EncodeCache::new();
+        let mut shard = CacheShard::new();
+        let mut cluster = ClusterScratch::new();
+        for cfg in &cfgs {
+            let mut outcomes = Vec::new();
+            let _ =
+                cluster_layer_cached(&inputs, cfg, &base, &mut shard, &mut outcomes, &mut cluster);
+            assert!(!outcomes.is_empty(), "layer must be pressed for this test");
+            let (hits, misses) = base.absorb(outcomes);
+            assert_eq!((hits, misses), (0, 1), "each config is its own key");
+        }
+        assert_eq!(base.len(), cfgs.len());
+    }
+
+    #[test]
+    fn small_pressed_layers_bypass_the_cache() {
+        // A pressed layer below the row gate encodes directly — correct
+        // output, no outcome recorded, nothing inserted.
+        let mut rng = SplitMix64::new(0x60A7);
+        let width = 8;
+        let cfg = configs(width).remove(1);
+        let inputs = random_inputs(&mut rng, width, CACHE_MIN_ROWS - 1);
+        let base = EncodeCache::new();
+        let mut shard = CacheShard::new();
+        let mut outcomes = Vec::new();
+        let mut cluster = ClusterScratch::new();
+        let enc = cluster_layer_cached(
+            &inputs,
+            &cfg,
+            &base,
+            &mut shard,
+            &mut outcomes,
+            &mut cluster,
+        );
+        assert_eq!(enc, optimistic(&inputs, &cfg));
+        assert!(outcomes.is_empty(), "small layers must not be cached");
+        assert!(shard.local.is_empty());
+    }
+
+    #[test]
+    fn empty_layer_bypasses_the_cache() {
+        let cfg = configs(8).remove(0);
+        let base = EncodeCache::new();
+        let mut shard = CacheShard::new();
+        let mut outcomes = Vec::new();
+        let mut cluster = ClusterScratch::new();
+        let enc = cluster_layer_cached(&[], &cfg, &base, &mut shard, &mut outcomes, &mut cluster);
+        assert_eq!(enc, LayerEncoding::empty());
+        assert!(outcomes.is_empty(), "no outcome for empty layers");
+    }
+}

@@ -28,5 +28,5 @@ pub mod table2;
 pub mod table3;
 pub mod xpander_exp;
 
-pub use metrics::{group_traffic, GroupTraffic, Summary};
+pub use metrics::{group_traffic, traffic_model, GroupTraffic, Summary, TrafficModel};
 pub use sweep::{SweepConfig, SweepResult, SweepRow};

@@ -8,7 +8,7 @@
 //! workspace root) checks these numbers byte-for-byte against real packets
 //! pushed through `elmo_dataplane::Fabric`.
 
-use elmo_core::{header_for_sender, ElmoHeader, GroupEncoding, HeaderLayout, PortBitmap};
+use elmo_core::{header_for_sender, GroupEncoding, HeaderLayout, PortBitmap};
 use elmo_dataplane::ElmoPacketRepr;
 use elmo_topology::{Clos, GroupTree, HostId, LeafId, UpstreamCover};
 
@@ -48,6 +48,63 @@ impl GroupTraffic {
     }
 }
 
+/// Payload-independent traffic constants for one (group, sender) pair.
+///
+/// Every scheme's byte count is *affine in the payload*: each copy on a
+/// link costs its fixed encapsulation (outer headers plus whatever Elmo
+/// header survives at that stage) plus the payload once. So one fabric walk
+/// suffices to price every payload size — [`eval`](Self::eval) derives a
+/// [`GroupTraffic`] row arithmetically, bit-identical to walking the fabric
+/// with that payload.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct TrafficModel {
+    /// Copies Elmo puts on links (wire hops + host deliveries).
+    pub elmo_links: u64,
+    /// Elmo's per-transmission fixed bytes: `OUTER` per copy plus the
+    /// residual Elmo header on each wire copy.
+    pub elmo_fixed: u64,
+    /// Links ideal multicast uses (one exact copy per link).
+    pub ideal_links: u64,
+    /// Link crossings for sender-side unicast replication.
+    pub unicast_links: u64,
+    /// Link crossings for overlay multicast.
+    pub overlay_links: u64,
+    /// The representative sender's full Elmo header size in bytes.
+    pub header_len: u64,
+}
+
+impl TrafficModel {
+    /// Price one transmission of `payload` inner bytes.
+    pub fn eval(&self, payload: u64) -> GroupTraffic {
+        GroupTraffic {
+            elmo: self.elmo_fixed + self.elmo_links * payload,
+            ideal: self.ideal_links * (OUTER + payload),
+            unicast: self.unicast_links * (OUTER + payload),
+            overlay: self.overlay_links * (OUTER + payload),
+        }
+    }
+}
+
+/// Compute the traffic constants for one group and sender in a single
+/// fabric walk.
+pub fn traffic_model(
+    topo: &Clos,
+    layout: &HeaderLayout,
+    tree: &GroupTree,
+    enc: &GroupEncoding,
+    sender: HostId,
+) -> TrafficModel {
+    let (elmo_links, elmo_fixed, header_len) = elmo_walk(topo, layout, tree, enc, sender);
+    TrafficModel {
+        elmo_links,
+        elmo_fixed,
+        ideal_links: tree.ideal_link_count(topo, sender) as u64,
+        unicast_links: unicast_link_count(topo, tree, sender),
+        overlay_links: overlay_link_count(topo, tree, sender),
+        header_len,
+    }
+}
+
 /// Compute all traffic numbers for one group, one sender, one packet of
 /// `payload` bytes (the tenant's inner frame size).
 pub fn group_traffic(
@@ -58,48 +115,60 @@ pub fn group_traffic(
     sender: HostId,
     payload: u64,
 ) -> GroupTraffic {
-    GroupTraffic {
-        elmo: elmo_bytes(topo, layout, tree, enc, sender, payload),
-        ideal: tree.ideal_link_count(topo, sender) as u64 * (OUTER + payload),
-        unicast: unicast_bytes(topo, tree, sender, payload),
-        overlay: overlay_bytes(topo, tree, sender, payload),
-    }
+    traffic_model(topo, layout, tree, enc, sender).eval(payload)
 }
 
-/// Bytes on the wire for one Elmo transmission, mirroring the switch
-/// pipeline exactly (see `elmo_dataplane::netswitch`).
-pub fn elmo_bytes(
+/// Walk the fabric once for Elmo, mirroring the switch pipeline exactly
+/// (see `elmo_dataplane::netswitch`), and return `(copies, fixed bytes,
+/// sender header bytes)`: every wire copy contributes `OUTER` plus its
+/// residual header to the fixed bytes, every host-bound copy (Elmo header
+/// removed entirely, VXLAN next-header reverts to Ethernet) contributes
+/// `OUTER`.
+fn elmo_walk(
     topo: &Clos,
     layout: &HeaderLayout,
     tree: &GroupTree,
     enc: &GroupEncoding,
     sender: HostId,
-    payload: u64,
-) -> u64 {
+) -> (u64, u64, u64) {
     let header = header_for_sender(topo, layout, tree, enc, sender, &UpstreamCover::multipath());
+    let header_len = header.byte_len(layout) as u64;
     let sender_leaf = topo.leaf_of_host(sender);
     let sender_pod = topo.pod_of_leaf(sender_leaf);
 
     let mut header = header;
-    let mut bytes = 0u64;
-    let hdr = |h: &ElmoHeader| OUTER + h.byte_len(layout) as u64 + payload;
-    // Host-bound copies have the Elmo header removed entirely (VXLAN
-    // next-header reverts to Ethernet), so they cost OUTER + payload.
-    let host_copy = OUTER + payload;
+    let mut links = 0u64;
+    let mut fixed = 0u64;
+    // One wire copy costs OUTER plus its residual header; one host copy
+    // costs OUTER (Elmo header stripped). Macros rather than closures so
+    // both can fold into the same accumulators.
+    macro_rules! wire {
+        ($h:expr) => {{
+            links += 1;
+            fixed += OUTER + $h.byte_len(layout) as u64;
+        }};
+    }
+    macro_rules! hosts {
+        ($k:expr) => {{
+            let k: u64 = $k;
+            links += k;
+            fixed += k * OUTER;
+        }};
+    }
 
     // Host -> leaf.
-    bytes += hdr(&header);
+    wire!(&header);
     let u_leaf = header.u_leaf.clone().expect("sender header has u-leaf");
     // Leaf -> co-located receivers.
-    bytes += u_leaf.down.count_ones() as u64 * host_copy;
+    hosts!(u_leaf.down.count_ones() as u64);
     if !u_leaf.goes_up() {
-        return bytes;
+        return (links, fixed, header_len);
     }
     // Leaf -> spine (u-leaf popped). Multipath sends one copy; explicit
     // covers would send one per listed port, but this path models the
     // failure-free case.
     header.pop_upstream_leaf();
-    bytes += hdr(&header);
+    wire!(&header);
 
     let u_spine = header
         .u_spine
@@ -115,21 +184,21 @@ pub fn elmo_bytes(
         h
     };
     for leaf_idx in u_spine.down.iter_ones() {
-        bytes += hdr(&leaf_stage);
+        wire!(&leaf_stage);
         let leaf = topo.leaf_in_pod(sender_pod, leaf_idx);
-        bytes += leaf_deliveries(tree, enc, leaf) * host_copy;
+        hosts!(leaf_deliveries(tree, enc, leaf));
     }
     if !u_spine.goes_up() {
-        return bytes;
+        return (links, fixed, header_len);
     }
     // Spine -> core (u-spine popped).
     header.pop_upstream_spine();
-    bytes += hdr(&header);
+    wire!(&header);
     // Core -> remote pods (core rule popped).
     let core = header.core.clone().expect("cross-pod group has core rule");
     header.pop_core();
     for pod_idx in core.iter_ones() {
-        bytes += hdr(&header);
+        wire!(&header);
         let pod = elmo_topology::PodId(pod_idx as u32);
         // Downstream spine rule resolution: p-rule, else s-rule, else the
         // default p-rule. The core bitmap only targets member pods, and
@@ -141,12 +210,25 @@ pub fn elmo_bytes(
             .expect("member pod has a rule")
             .clone();
         for leaf_idx in leaf_ports.iter_ones() {
-            bytes += hdr(&leaf_stage);
+            wire!(&leaf_stage);
             let leaf = topo.leaf_in_pod(pod, leaf_idx);
-            bytes += leaf_deliveries(tree, enc, leaf) * host_copy;
+            hosts!(leaf_deliveries(tree, enc, leaf));
         }
     }
-    bytes
+    (links, fixed, header_len)
+}
+
+/// Bytes on the wire for one Elmo transmission of `payload` inner bytes.
+pub fn elmo_bytes(
+    topo: &Clos,
+    layout: &HeaderLayout,
+    tree: &GroupTree,
+    enc: &GroupEncoding,
+    sender: HostId,
+    payload: u64,
+) -> u64 {
+    let (links, fixed, _) = elmo_walk(topo, layout, tree, enc, sender);
+    fixed + links * payload
 }
 
 /// How many host copies a leaf emits for this group: its exact rule when it
@@ -182,34 +264,45 @@ fn unicast_links(topo: &Clos, a: HostId, b: HostId) -> u64 {
     }
 }
 
-/// Sender-side unicast replication: one copy per receiver, full path each.
-pub fn unicast_bytes(topo: &Clos, tree: &GroupTree, sender: HostId, payload: u64) -> u64 {
+/// Link crossings for sender-side unicast replication: one copy per
+/// receiver, full path each.
+fn unicast_link_count(topo: &Clos, tree: &GroupTree, sender: HostId) -> u64 {
     tree.members()
         .iter()
         .filter(|&&m| m != sender)
-        .map(|&m| unicast_links(topo, sender, m) * (OUTER + payload))
+        .map(|&m| unicast_links(topo, sender, m))
         .sum()
 }
 
-/// Overlay multicast (paper footnote 5): the source hypervisor unicasts one
-/// copy to a proxy host under each participating leaf; the proxy replicates
-/// to the other member hosts under that leaf (each a 2-link unicast).
-pub fn overlay_bytes(topo: &Clos, tree: &GroupTree, sender: HostId, payload: u64) -> u64 {
+/// Sender-side unicast replication bytes for one `payload`-byte packet.
+pub fn unicast_bytes(topo: &Clos, tree: &GroupTree, sender: HostId, payload: u64) -> u64 {
+    unicast_link_count(topo, tree, sender) * (OUTER + payload)
+}
+
+/// Link crossings for overlay multicast (paper footnote 5): the source
+/// hypervisor unicasts one copy to a proxy host under each participating
+/// leaf; the proxy replicates to the other member hosts under that leaf
+/// (each a 2-link unicast).
+fn overlay_link_count(topo: &Clos, tree: &GroupTree, sender: HostId) -> u64 {
     let sender_leaf = topo.leaf_of_host(sender);
-    let pkt = OUTER + payload;
-    let mut bytes = 0u64;
+    let mut links = 0u64;
     for leaf in tree.leaves() {
         let hosts = tree.hosts_on_leaf(leaf);
         if leaf == sender_leaf {
             // The sender itself is the proxy for its own leaf.
-            bytes += hosts.iter().filter(|&&h| h != sender).count() as u64 * 2 * pkt;
+            links += hosts.iter().filter(|&&h| h != sender).count() as u64 * 2;
         } else {
             let proxy = hosts[0];
-            bytes += unicast_links(topo, sender, proxy) * pkt;
-            bytes += (hosts.len() as u64 - 1) * 2 * pkt;
+            links += unicast_links(topo, sender, proxy);
+            links += (hosts.len() as u64 - 1) * 2;
         }
     }
-    bytes
+    links
+}
+
+/// Overlay multicast bytes for one `payload`-byte packet.
+pub fn overlay_bytes(topo: &Clos, tree: &GroupTree, sender: HostId, payload: u64) -> u64 {
+    overlay_link_count(topo, tree, sender) * (OUTER + payload)
 }
 
 /// Header size of the representative sender's packet.
@@ -356,6 +449,36 @@ mod tests {
         assert_eq!(s.min, 1.0);
         assert_eq!(s.max, 3.0);
         assert_eq!(Summary::new().mean(), 0.0);
+    }
+
+    #[test]
+    fn affine_model_matches_per_payload_functions() {
+        for (r, srules) in [(0, true), (2, false), (12, false)] {
+            let (topo, layout, tree, enc) = setup(r, srules);
+            let sender = HostId(0);
+            let model = traffic_model(&topo, &layout, &tree, &enc, sender);
+            assert_eq!(
+                model.header_len as usize,
+                header_bytes(&topo, &layout, &tree, &enc, sender)
+            );
+            for payload in [0u64, 64, 256, 512, 1500] {
+                let t = model.eval(payload);
+                assert_eq!(
+                    t.elmo,
+                    elmo_bytes(&topo, &layout, &tree, &enc, sender, payload)
+                );
+                assert_eq!(t.unicast, unicast_bytes(&topo, &tree, sender, payload));
+                assert_eq!(t.overlay, overlay_bytes(&topo, &tree, sender, payload));
+                assert_eq!(
+                    t.ideal,
+                    tree.ideal_link_count(&topo, sender) as u64 * (OUTER + payload)
+                );
+                assert_eq!(
+                    t,
+                    group_traffic(&topo, &layout, &tree, &enc, sender, payload)
+                );
+            }
+        }
     }
 
     #[test]

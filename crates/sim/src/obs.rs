@@ -42,6 +42,10 @@ pub const REQUIRED_METRICS: &[&str] = &[
     // Fabric link accounting (§5.1.2 traffic overhead, measured bytes).
     "fabric.packets_on_links",
     "fabric.host_to_leaf_bytes",
+    // Encoding memoization (shared by the controller batch path and the
+    // sweep; hit rate is the tenant-reuse signal the bench reports).
+    "encode.cache_hit",
+    "encode.cache_miss",
     // Sweep / workload (§5.1.1-2).
     "sim.sweep.groups_encoded",
     "sim.sweep.reencoded",

@@ -4,7 +4,9 @@
 //! * Algorithm 1 covers every input switch with a superset bitmap, within
 //!   the redundancy budget, never exceeding Hmax/Kmax;
 //! * per-sender headers always fit the byte budget;
-//! * port bitmaps behave like sets.
+//! * port bitmaps behave like sets;
+//! * the placement-signature cache is invariant under switch relabeling
+//!   and port permutation.
 
 // Requires the real `proptest` crate, which is not vendored in this
 // offline workspace. Enable with `cargo test --features proptest` when
@@ -15,8 +17,9 @@ use proptest::prelude::*;
 
 use elmo::controller::srules::SRuleSpace;
 use elmo::core::{
-    cluster_layer, encode_group, header_for_sender, ClusterConfig, DownstreamRule, ElmoHeader,
-    EncoderConfig, HeaderLayout, PortBitmap, RedundancyMode, UpstreamRule,
+    cluster_layer, cluster_layer_cached, encode_group, header_for_sender, CacheOutcome, CacheShard,
+    ClusterConfig, ClusterScratch, DownstreamRule, ElmoHeader, EncodeCache, EncoderConfig,
+    HeaderLayout, PortBitmap, RedundancyMode, UpstreamRule, CACHE_MIN_ROWS,
 };
 use elmo::topology::{Clos, GroupTree, HostId, LeafId, PodId, UpstreamCover};
 
@@ -206,6 +209,75 @@ proptest! {
             // And it still roundtrips.
             let (decoded, _) = ElmoHeader::decode(&bytes, &layout).expect("decodes");
             prop_assert_eq!(decoded, header);
+        }
+    }
+
+    /// The placement-signature cache is invariant under the symmetry it
+    /// quotients out: a monotone switch relabeling plus a global port
+    /// permutation maps a cached layer onto a cache hit, and the
+    /// rehydrated encoding is bit-identical to clustering the relabeled
+    /// layer directly. When the original layer bypasses the cache (fast
+    /// path), the relabeled twin must bypass it too — the decision is a
+    /// function of the signature alone.
+    #[test]
+    fn signature_is_invariant_under_switch_relabeling(
+        shapes in proptest::collection::vec(
+            (0usize..16, arb_bitmap(16), 1u32..8, 1u32..8),
+            CACHE_MIN_ROWS..CACHE_MIN_ROWS + 16,
+        ),
+        perm in Just((0..16usize).collect::<Vec<usize>>()).prop_shuffle(),
+        offset in 0u32..100,
+    ) {
+        let width = 16;
+        // Layer A (ascending ids, at least one port per bitmap) and its
+        // relabeled twin B: fresh monotone ids, every bitmap mapped
+        // through the same port permutation.
+        let mut id_a = 0u32;
+        let mut id_b = offset;
+        let mut a = Vec::new();
+        let mut b = Vec::new();
+        for (must, bm, gap_a, gap_b) in &shapes {
+            id_a += gap_a;
+            id_b += gap_b;
+            let mut bm = bm.clone();
+            bm.set(*must);
+            let mapped = PortBitmap::from_ports(width, bm.iter_ones().map(|p| perm[p]));
+            a.push((id_a, bm));
+            b.push((id_b, mapped));
+        }
+        // Pressed config: with > Hmax distinct bitmaps the greedy
+        // (cacheable) path runs; identical bitmaps may still take the
+        // fast path, which exercises the bypass branch below.
+        let cfg = ClusterConfig {
+            r: 6,
+            h_max: 2,
+            bit_budget: usize::MAX,
+            id_bits: 8,
+            k_max: 4,
+            mode: RedundancyMode::Sum,
+        };
+        let mut alloc = |_s: u32| true;
+        let direct_b = cluster_layer(&b, &cfg, &mut alloc);
+
+        let mut base = EncodeCache::new();
+        let mut shard = CacheShard::new();
+        let mut outcomes = Vec::new();
+        let mut scratch = ClusterScratch::new();
+        let _ = cluster_layer_cached(&a, &cfg, &base, &mut shard, &mut outcomes, &mut scratch);
+        let a_cached = !outcomes.is_empty();
+        base.absorb(std::mem::take(&mut outcomes));
+
+        let from_cache =
+            cluster_layer_cached(&b, &cfg, &base, &mut shard, &mut outcomes, &mut scratch);
+        prop_assert_eq!(&from_cache, &direct_b, "cached result differs from direct clustering");
+        if a_cached {
+            prop_assert_eq!(outcomes.len(), 1);
+            prop_assert!(
+                matches!(outcomes[0], CacheOutcome::Hit),
+                "relabeled twin must hit the warmed cache"
+            );
+        } else {
+            prop_assert!(outcomes.is_empty(), "bypass decision must be signature-invariant");
         }
     }
 
