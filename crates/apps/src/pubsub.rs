@@ -107,14 +107,12 @@ pub fn run(
     };
     let packets_per_message = packets.len();
     let mut received = vec![0usize; subscribers];
-    for pkt in packets {
-        for (host, bytes) in fabric.inject(publisher, pkt) {
-            // Locate the subscriber hypervisor for this host.
-            if let Some(i) = subs.iter().position(|&h| h == host) {
-                for (_, inner) in rx[i].receive(&bytes, ctl.layout()) {
-                    assert_eq!(inner, &message[..]);
-                    received[i] += 1;
-                }
+    for (host, bytes) in fabric.inject_batch(packets.into_iter().map(|p| (publisher, p))) {
+        // Locate the subscriber hypervisor for this host.
+        if let Some(i) = subs.iter().position(|&h| h == host) {
+            for (_, inner) in rx[i].receive(&bytes, ctl.layout()) {
+                assert_eq!(inner, &message[..]);
+                received[i] += 1;
             }
         }
     }

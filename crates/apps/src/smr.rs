@@ -192,13 +192,11 @@ pub fn replicate(
             Transport::Elmo => leader_hv.send(vni, group, &frame, ctl.layout()),
             Transport::Unicast => leader_hv.send_unicast_to(&followers, vni, &frame, ctl.layout()),
         };
-        for pkt in packets {
-            leader_egress += pkt.len() as u64;
-            for (host, bytes) in fabric.inject(leader, pkt) {
-                if let Some((hv, replica)) = machines.get_mut(&host) {
-                    for (_, inner) in hv.receive(&bytes, ctl.layout()) {
-                        replica.apply(inner);
-                    }
+        leader_egress += packets.iter().map(|p| p.len() as u64).sum::<u64>();
+        for (host, bytes) in fabric.inject_batch(packets.into_iter().map(|p| (leader, p))) {
+            if let Some((hv, replica)) = machines.get_mut(&host) {
+                for (_, inner) in hv.receive(&bytes, ctl.layout()) {
+                    replica.apply(inner);
                 }
             }
         }

@@ -116,11 +116,9 @@ pub fn run(
                 agent_hv.send_unicast_to(&collector_hosts, vni, &datagram, ctl.layout())
             }
         };
-        for pkt in packets {
-            for (host, bytes) in fabric.inject(agent, pkt) {
-                if let Some(i) = collector_hosts.iter().position(|&h| h == host) {
-                    received_total += rx[i].receive(&bytes, ctl.layout()).len();
-                }
+        for (host, bytes) in fabric.inject_batch(packets.into_iter().map(|p| (agent, p))) {
+            if let Some(i) = collector_hosts.iter().position(|&h| h == host) {
+                received_total += rx[i].receive(&bytes, ctl.layout()).len();
             }
         }
     }

@@ -11,6 +11,11 @@
 //!   --cache on|off    encoding memoization in the timed sweeps (default on)
 //!   --require-cache-hits  exit nonzero if the workload produces no cache hits
 //!   --out PATH        output file (default BENCH_encode.json)
+//!   --replay-packets N    packets for the data-plane replay bench (default 20,000)
+//!   --replay-payload N    inner-frame bytes per replay packet (default 1,500)
+//!   --replay-out PATH     replay output file (default BENCH_dataplane.json)
+//!   --replay-only     skip the encode sweep; run only the replay bench
+//!   --expect-deliveries N exit nonzero if the replay delivered-copy count differs
 //!   --metrics-out P   also write the full elmo-obs metrics snapshot to P
 //!   -v / --quiet      debug / warn-only logging on stderr
 //!   --log-json        JSONL structured events on stderr
@@ -19,18 +24,30 @@
 //! Times the Figure 4/5 encode sweep (`elmo_sim::sweep::run`) at each thread
 //! count and the MIN-K-UNION clustering kernel, then writes the results as
 //! JSON. Thread counts above the machine's core count cannot speed anything
-//! up — `cpus_available` is recorded and `parallel_speedup_valid` is false
-//! when any requested count oversubscribes the machine, so readers can judge
-//! the scaling numbers in context. The sweep results themselves are asserted
-//! identical across thread counts before timings are reported, and a
-//! dedicated cold-vs-warm cache pass reports the memoization hit rate.
+//! up, so oversubscribed counts are skipped outright (recorded under
+//! `skipped_thread_counts`) and every executed run carries `cpus_available`
+//! and `oversubscribed: false` — the scaling rows never mix in scheduler
+//! contention. The sweep results themselves are asserted identical across
+//! thread counts before timings are reported, and a dedicated cold-vs-warm
+//! cache pass reports the memoization hit rate.
+//!
+//! The replay bench drives a fixed-seed packet workload through the
+//! paper-example [`Fabric`] three ways — the per-hop re-serializing
+//! reference path, the zero-copy fast path from wire bytes, and the
+//! all-flight path from pre-parsed [`FlightPacket`]s — asserting identical
+//! delivery and link counts before reporting packets/s and copies/s,
+//! cold (first 10%, scratch buffers still growing) vs warm.
 
+use std::net::Ipv4Addr;
 use std::time::Instant;
 
+use elmo_controller::{Controller, ControllerConfig, GroupId, MemberRole};
 use elmo_core::{approx_min_k_union_with, EncodeCache, MinKUnionScratch, PortBitmap, SplitMix64};
+use elmo_dataplane::{Fabric, FlightPacket, HypervisorSwitch, SenderFlow, SwitchConfig};
+use elmo_net::vxlan::Vni;
 use elmo_sim::sweep::SweepResult;
 use elmo_sim::{sweep, SweepConfig};
-use elmo_topology::Clos;
+use elmo_topology::{Clos, HostId, LeafId, PodId};
 use elmo_workloads::{GroupSizeDist, WorkloadConfig};
 
 struct Args {
@@ -40,6 +57,11 @@ struct Args {
     cache: bool,
     require_cache_hits: bool,
     out: String,
+    replay_packets: usize,
+    replay_payload: usize,
+    replay_out: String,
+    replay_only: bool,
+    expect_deliveries: Option<u64>,
     metrics_out: Option<String>,
 }
 
@@ -51,6 +73,13 @@ fn parse_args() -> Args {
         cache: true,
         require_cache_hits: false,
         out: "BENCH_encode.json".into(),
+        replay_packets: 20_000,
+        // The paper's traffic figures use 1,500-byte payloads; the replay
+        // paths diverge most where payload bytes dominate the wire copy.
+        replay_payload: 1_500,
+        replay_out: "BENCH_dataplane.json".into(),
+        replay_only: false,
+        expect_deliveries: None,
         metrics_out: None,
     };
     let mut args = std::env::args().skip(1);
@@ -90,6 +119,31 @@ fn parse_args() -> Args {
                     elmo_obs::error!("usage", msg = "--out needs a path");
                     std::process::exit(2);
                 })
+            }
+            "--replay-packets" => {
+                out.replay_packets = num_list("--replay-packets").first().copied().unwrap_or(0);
+                if out.replay_packets == 0 {
+                    elmo_obs::error!("usage", msg = "--replay-packets needs a positive count");
+                    std::process::exit(2);
+                }
+            }
+            "--replay-payload" => {
+                out.replay_payload = num_list("--replay-payload").first().copied().unwrap_or(0);
+            }
+            "--replay-out" => {
+                out.replay_out = args.next().unwrap_or_else(|| {
+                    elmo_obs::error!("usage", msg = "--replay-out needs a path");
+                    std::process::exit(2);
+                })
+            }
+            "--replay-only" => out.replay_only = true,
+            "--expect-deliveries" => {
+                out.expect_deliveries = Some(
+                    num_list("--expect-deliveries")
+                        .first()
+                        .copied()
+                        .unwrap_or(0) as u64,
+                )
             }
             "--metrics-out" => {
                 out.metrics_out = Some(args.next().unwrap_or_else(|| {
@@ -262,6 +316,206 @@ fn bench_min_k_union() -> (usize, f64, f64) {
     (iters * sets.len(), secs * 1e3, calls / secs)
 }
 
+/// One timed replay mode: cold = the first ~10% of packets on a fresh
+/// fabric (scratch buffers still growing), warm = the remainder.
+struct ReplayMode {
+    name: &'static str,
+    cold_wall_ms: f64,
+    warm_wall_ms: f64,
+    cold_pkts_per_sec: f64,
+    warm_pkts_per_sec: f64,
+    warm_copies_per_sec: f64,
+}
+
+struct ReplayBench {
+    packets: usize,
+    payload_bytes: usize,
+    /// Host-delivered copies per full run (identical across modes, asserted).
+    deliveries: u64,
+    /// Wire copies (link hops) per full run (identical across modes, asserted).
+    copies_on_links: u64,
+    modes: Vec<ReplayMode>,
+}
+
+/// Build the fixed replay workload: the paper-example fabric with three
+/// groups installed (same-leaf, same-pod, cross-pod — the `--trace-pcap`
+/// scenario plus one extra cross-pod member so a default p-rule appears),
+/// and `n` pre-encapsulated wire packets round-robining over the groups.
+/// Entropy advances deterministically per hypervisor, so the packet
+/// sequence is identical on every invocation.
+fn replay_workload(n: usize, payload: usize) -> (Fabric, Vec<(HostId, Vec<u8>)>) {
+    let topo = Clos::paper_example();
+    let mut ctl = Controller::new(topo, ControllerConfig::paper_default(12));
+    let vni = Vni(7);
+    let shapes: [&[u32]; 3] = [&[0, 1], &[0, 8, 13], &[0, 1, 42, 48, 49, 57]];
+    let mut fabric = Fabric::new(topo, SwitchConfig::default());
+    let mut senders: Vec<(HostId, HypervisorSwitch, Ipv4Addr)> = Vec::new();
+    for (gi, members) in shapes.iter().enumerate() {
+        let gid = GroupId(gi as u64 + 1);
+        let tenant = Ipv4Addr::new(225, 9, 9, gi as u8 + 1);
+        ctl.create_group(
+            gid,
+            vni,
+            tenant,
+            members.iter().map(|&h| (HostId(h), MemberRole::Both)),
+        );
+        let state = ctl.group(gid).expect("created group");
+        for (leaf, bm) in &state.enc.d_leaf.s_rules {
+            fabric
+                .leaf_mut(LeafId(*leaf))
+                .install_srule(state.outer_addr, bm.clone())
+                .expect("leaf group table");
+        }
+        for (pod, bm) in &state.enc.d_spine.s_rules {
+            fabric
+                .install_pod_srule(PodId(*pod), state.outer_addr, bm.clone())
+                .expect("spine group table");
+        }
+        let sender = HostId(members[0]);
+        let header = ctl.header_for(gid, sender).expect("sender header");
+        let mut hv = HypervisorSwitch::new(sender);
+        hv.install_flow(
+            vni,
+            tenant,
+            SenderFlow::new(state.outer_addr, vni, &header, ctl.layout(), vec![]),
+        );
+        senders.push((sender, hv, tenant));
+    }
+    let inner = vec![0xE1u8; payload];
+    let mut pkts = Vec::with_capacity(n);
+    for i in 0..n {
+        let (sender, hv, tenant) = &mut senders[i % 3];
+        for pkt in hv.send(vni, *tenant, &inner, ctl.layout()) {
+            pkts.push((*sender, pkt));
+        }
+    }
+    assert_eq!(pkts.len(), n, "every send produced exactly one wire packet");
+    (fabric, pkts)
+}
+
+/// The data-plane replay benchmark: reference path vs zero-copy fast path
+/// vs all-flight path on the identical packet stream. Delivery and link
+/// counts are asserted equal across modes — a throughput number from a
+/// path that forwards differently would be meaningless.
+///
+/// Timing discipline for shared/noisy hosts: after one cold pass per mode
+/// (fresh fabric, scratch buffers still growing), the warm segment is
+/// re-run `WARM_REPS` times with the modes *interleaved* — a CPU-stealing
+/// neighbor then hurts every mode's rep, not one mode's whole block — and
+/// each mode reports its fastest pass, the standard noise-robust estimate
+/// of the true cost. Copy counts are asserted identical across passes
+/// (entropy is baked into the packets, so a re-pass forwards identically).
+fn bench_replay(args: &Args) -> ReplayBench {
+    const MODE_NAMES: [&str; 3] = ["reference", "fast", "flight"];
+    const WARM_REPS: usize = 5;
+    let n = args.replay_packets;
+    let (template, pkts) = replay_workload(n, args.replay_payload);
+    // Pre-parse once for the flight mode: this is what a sender using
+    // `send_flight` hands the fabric, so the parse is not on its clock.
+    let flights: Vec<(HostId, FlightPacket)> = pkts
+        .iter()
+        .map(|(h, p)| {
+            (
+                *h,
+                FlightPacket::parse(p, template.layout()).expect("bench packet parses"),
+            )
+        })
+        .collect();
+    let inject_one = |mode: usize, f: &mut Fabric, i: usize| -> usize {
+        match mode {
+            0 => {
+                let (h, p) = &pkts[i];
+                f.inject_reference(*h, p.clone()).len()
+            }
+            1 => {
+                let (h, p) = &pkts[i];
+                f.inject(*h, p.clone()).len()
+            }
+            _ => {
+                let (h, p) = &flights[i];
+                f.inject_flight(*h, p.clone()).len()
+            }
+        }
+    };
+    let cold_n = (n / 10).max(1).min(n);
+    let mut fabrics: Vec<Fabric> = (0..3).map(|_| template.clone()).collect();
+    let mut cold_secs = [0f64; 3];
+    let mut cold_delivered = [0u64; 3];
+    for mode in 0..3 {
+        let start = Instant::now();
+        for i in 0..cold_n {
+            cold_delivered[mode] += inject_one(mode, &mut fabrics[mode], i) as u64;
+        }
+        cold_secs[mode] = start.elapsed().as_secs_f64();
+    }
+    let mut warm_secs = [f64::INFINITY; 3];
+    let mut warm_delivered = [0u64; 3];
+    let mut links_full_run = [0u64; 3];
+    for rep in 0..WARM_REPS {
+        for mode in 0..3 {
+            let mut delivered = 0u64;
+            let start = Instant::now();
+            for i in cold_n..n {
+                delivered += inject_one(mode, &mut fabrics[mode], i) as u64;
+            }
+            warm_secs[mode] = warm_secs[mode].min(start.elapsed().as_secs_f64());
+            if rep == 0 {
+                warm_delivered[mode] = delivered;
+                links_full_run[mode] = fabrics[mode].stats.packets_on_links;
+            } else {
+                assert_eq!(
+                    delivered, warm_delivered[mode],
+                    "{}: replay not repeatable",
+                    MODE_NAMES[mode]
+                );
+            }
+        }
+    }
+    let deliveries = cold_delivered[0] + warm_delivered[0];
+    for mode in 1..3 {
+        assert_eq!(
+            cold_delivered[mode] + warm_delivered[mode],
+            deliveries,
+            "{} changed the delivered-copy count",
+            MODE_NAMES[mode]
+        );
+        assert_eq!(
+            links_full_run[mode], links_full_run[0],
+            "{} changed the on-link copy count",
+            MODE_NAMES[mode]
+        );
+    }
+    let warm_n = (n - cold_n) as f64;
+    let modes = (0..3)
+        .map(|mode| {
+            let row = ReplayMode {
+                name: MODE_NAMES[mode],
+                cold_wall_ms: cold_secs[mode] * 1e3,
+                warm_wall_ms: warm_secs[mode] * 1e3,
+                cold_pkts_per_sec: cold_n as f64 / cold_secs[mode],
+                warm_pkts_per_sec: warm_n / warm_secs[mode],
+                warm_copies_per_sec: warm_delivered[mode] as f64 / warm_secs[mode],
+            };
+            elmo_obs::info!(
+                "bench.replay",
+                mode = row.name,
+                packets = n,
+                cold_pkts_per_sec = row.cold_pkts_per_sec,
+                warm_pkts_per_sec = row.warm_pkts_per_sec,
+                warm_copies_per_sec = row.warm_copies_per_sec
+            );
+            row
+        })
+        .collect();
+    ReplayBench {
+        packets: n,
+        payload_bytes: args.replay_payload,
+        deliveries,
+        copies_on_links: links_full_run[0],
+        modes,
+    }
+}
+
 fn json_f(v: f64) -> String {
     if v.is_finite() {
         format!("{v:.2}")
@@ -300,25 +554,10 @@ fn phase_entries(snap: &elmo_obs::Snapshot) -> Vec<String> {
     entries
 }
 
-fn main() {
-    let args = parse_args();
-    let cpus = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1);
-    // Thread counts above the core count only add scheduler contention, so
-    // speedup-vs-1 figures from such a run are not scaling evidence.
-    // (`0` means "all cores" and is always valid.)
-    let speedup_valid = args.threads.iter().all(|&t| t <= cpus);
-    if !speedup_valid {
-        elmo_obs::warn!(
-            "bench.oversubscribed",
-            cpus = cpus,
-            msg = "requested thread counts exceed available cores; \
-                   speedup_vs_1 figures are not valid scaling evidence"
-        );
-    }
-    let (topo, wl, runs, reference) = bench_sweep(&args);
-    let cache = bench_cache(&args, &reference);
+/// Run the encode sweep + cache + MIN-K-UNION benches and write `args.out`.
+fn run_encode_bench(args: &Args, cpus: usize, skipped: &[usize]) {
+    let (topo, wl, runs, reference) = bench_sweep(args);
+    let cache = bench_cache(args, &reference);
     let (mku_calls, mku_ms, mku_rate) = bench_min_k_union();
 
     let one_thread = runs.iter().find(|r| r.threads == 1).map(|r| r.wall_ms);
@@ -327,7 +566,7 @@ fn main() {
         .map(|r| {
             let s = one_thread.map_or(f64::NAN, |t1| t1 / r.wall_ms);
             format!(
-                "    {{\"threads\": {}, \"wall_ms\": {}, \"groups_per_sec\": {}, \"speedup_vs_1\": {}}}",
+                "    {{\"threads\": {}, \"cpus_available\": {cpus}, \"oversubscribed\": false, \"wall_ms\": {}, \"groups_per_sec\": {}, \"speedup_vs_1\": {}}}",
                 r.threads,
                 json_f(r.wall_ms),
                 json_f(r.groups_per_sec),
@@ -336,6 +575,7 @@ fn main() {
         })
         .collect();
     let r_list: Vec<String> = args.r_values.iter().map(|r| r.to_string()).collect();
+    let skipped_list: Vec<String> = skipped.iter().map(|t| t.to_string()).collect();
     let snap = elmo_obs::snapshot();
     let phases = phase_entries(&snap);
     let hit_rate = if cache.hits + cache.misses > 0 {
@@ -353,12 +593,12 @@ fn main() {
         json_f(cache.warm_wall_ms),
     );
     let json = format!(
-        "{{\n  \"bench\": \"elmo encode sweep\",\n  \"fabric_hosts\": {},\n  \"groups\": {},\n  \"r_values\": [{}],\n  \"cpus_available\": {},\n  \"parallel_speedup_valid\": {},\n  \"runs\": [\n{}\n  ],\n  \"cache\": {},\n  \"phases\": [\n{}\n  ],\n  \"min_k_union\": {{\"calls\": {}, \"wall_ms\": {}, \"calls_per_sec\": {}}}\n}}\n",
+        "{{\n  \"bench\": \"elmo encode sweep\",\n  \"fabric_hosts\": {},\n  \"groups\": {},\n  \"r_values\": [{}],\n  \"cpus_available\": {},\n  \"parallel_speedup_valid\": true,\n  \"skipped_thread_counts\": [{}],\n  \"runs\": [\n{}\n  ],\n  \"cache\": {},\n  \"phases\": [\n{}\n  ],\n  \"min_k_union\": {{\"calls\": {}, \"wall_ms\": {}, \"calls_per_sec\": {}}}\n}}\n",
         topo.num_hosts(),
         wl.total_groups,
         r_list.join(", "),
         cpus,
-        speedup_valid,
+        skipped_list.join(", "),
         speedups.join(",\n"),
         cache_json,
         phases.join(",\n"),
@@ -374,6 +614,89 @@ fn main() {
         );
         std::process::exit(1);
     }
+    elmo_obs::info!("bench.wrote", path = args.out.as_str());
+}
+
+/// Run the data-plane replay bench, write `args.replay_out`, and enforce
+/// `--expect-deliveries` (the CI smoke gate: any change to how many copies
+/// the fixed workload delivers fails the run).
+fn run_replay_bench(args: &Args, cpus: usize) {
+    let replay = bench_replay(args);
+    let warm_ref = replay.modes[0].warm_pkts_per_sec;
+    let mode_rows: Vec<String> = replay
+        .modes
+        .iter()
+        .map(|m| {
+            format!(
+                "    {{\"mode\": \"{}\", \"cold_wall_ms\": {}, \"warm_wall_ms\": {}, \"cold_pkts_per_sec\": {}, \"warm_pkts_per_sec\": {}, \"warm_copies_per_sec\": {}}}",
+                m.name,
+                json_f(m.cold_wall_ms),
+                json_f(m.warm_wall_ms),
+                json_f(m.cold_pkts_per_sec),
+                json_f(m.warm_pkts_per_sec),
+                json_f(m.warm_copies_per_sec),
+            )
+        })
+        .collect();
+    let json = format!(
+        "{{\n  \"bench\": \"elmo dataplane replay\",\n  \"fabric_hosts\": {},\n  \"packets\": {},\n  \"payload_bytes\": {},\n  \"cpus_available\": {},\n  \"deliveries\": {},\n  \"copies_on_links\": {},\n  \"modes\": [\n{}\n  ],\n  \"speedup_fast_vs_reference\": {},\n  \"speedup_flight_vs_reference\": {}\n}}\n",
+        Clos::paper_example().num_hosts(),
+        replay.packets,
+        replay.payload_bytes,
+        cpus,
+        replay.deliveries,
+        replay.copies_on_links,
+        mode_rows.join(",\n"),
+        json_f(replay.modes[1].warm_pkts_per_sec / warm_ref),
+        json_f(replay.modes[2].warm_pkts_per_sec / warm_ref),
+    );
+    std::fs::write(&args.replay_out, &json).expect("write replay bench output");
+    elmo_obs::info!("bench.wrote", path = args.replay_out.as_str());
+    if let Some(expected) = args.expect_deliveries {
+        if replay.deliveries != expected {
+            elmo_obs::error!(
+                "bench.deliveries_changed",
+                expected = expected,
+                actual = replay.deliveries,
+                msg = "--expect-deliveries: the fixed replay workload delivered \
+                       a different number of copies than the pinned count"
+            );
+            std::process::exit(1);
+        }
+    }
+}
+
+fn main() {
+    let mut args = parse_args();
+    let cpus = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    // Thread counts above the core count only add scheduler contention —
+    // their speedup-vs-1 figures would be noise, not scaling evidence — so
+    // they are skipped and recorded rather than run. (`0` means "all
+    // cores" and is always valid.)
+    let skipped: Vec<usize> = args
+        .threads
+        .iter()
+        .copied()
+        .filter(|&t| t != 0 && t > cpus)
+        .collect();
+    if !skipped.is_empty() {
+        args.threads.retain(|&t| t == 0 || t <= cpus);
+        elmo_obs::warn!(
+            "bench.oversubscribed",
+            cpus = cpus,
+            skipped = format!("{skipped:?}"),
+            msg = "skipping thread counts above available cores"
+        );
+        if args.threads.is_empty() {
+            args.threads.push(1);
+        }
+    }
+    if !args.replay_only {
+        run_encode_bench(&args, cpus, &skipped);
+    }
+    run_replay_bench(&args, cpus);
     if let Some(path) = &args.metrics_out {
         if let Err(e) = elmo_sim::obs::write_snapshot(path) {
             elmo_obs::error!(
@@ -385,5 +708,4 @@ fn main() {
         }
         elmo_obs::info!("metrics.written", path = path.as_str());
     }
-    elmo_obs::info!("bench.wrote", path = args.out.as_str());
 }

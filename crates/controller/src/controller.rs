@@ -897,12 +897,12 @@ mod tests {
             })
             .collect();
 
-        let mut serial = Controller::new(topo.clone(), config);
+        let mut serial = Controller::new(topo, config);
         for (id, vni, addr, members) in &specs {
             serial.create_group(*id, *vni, *addr, members.iter().copied());
         }
         for threads in [1, 2, 8] {
-            let mut batch = Controller::new(topo.clone(), config);
+            let mut batch = Controller::new(topo, config);
             batch.create_groups_batch(&specs, threads);
             assert_eq!(batch.group_count(), serial.group_count());
             assert_eq!(

@@ -93,6 +93,27 @@ pub struct ElmoHeader {
     pub d_leaf_default: Option<PortBitmap>,
 }
 
+/// Pop depths for an in-flight header. Sections pop strictly in traversal
+/// order (D2d): the upstream leaf rule first, then the upstream spine
+/// rule, then the core rule, then the downstream spine section (rules +
+/// default). A shared, immutable decoded header plus one depth value
+/// therefore describes every popped state a copy can be in — section `i`
+/// of the order above is logically absent iff `depth >= i`. Encoding a
+/// header at a depth is byte-identical to popping those sections off a
+/// clone and encoding that.
+pub mod pop {
+    /// Nothing popped: the header as the sender emitted it.
+    pub const NONE: u8 = 0;
+    /// The upstream leaf rule is popped (sender's leaf, before going up).
+    pub const U_LEAF: u8 = 1;
+    /// ... and the upstream spine rule (upstream spine, going up).
+    pub const U_SPINE: u8 = 2;
+    /// ... and the core rule (core switch).
+    pub const CORE: u8 = 3;
+    /// ... and the downstream spine rules + default (spine, going down).
+    pub const D_SPINE: u8 = 4;
+}
+
 mod flag {
     pub const U_LEAF: u64 = 1 << 7;
     pub const U_SPINE: u64 = 1 << 6;
@@ -121,21 +142,29 @@ impl ElmoHeader {
 
     /// Exact encoded size in bits (before byte padding).
     pub fn bit_len(&self, layout: &HeaderLayout) -> usize {
+        self.bit_len_popped(layout, pop::NONE)
+    }
+
+    /// [`bit_len`](Self::bit_len) of the header with the first `depth`
+    /// sections (see [`pop`]) treated as popped.
+    pub fn bit_len_popped(&self, layout: &HeaderLayout, depth: u8) -> usize {
         let mut bits = layout.flags_bits();
-        if self.u_leaf.is_some() {
+        if depth < pop::U_LEAF && self.u_leaf.is_some() {
             bits += layout.u_leaf_bits();
         }
-        if self.u_spine.is_some() {
+        if depth < pop::U_SPINE && self.u_spine.is_some() {
             bits += layout.u_spine_bits();
         }
-        if self.core.is_some() {
+        if depth < pop::CORE && self.core.is_some() {
             bits += layout.core_bits();
         }
-        for r in &self.d_spine {
-            bits += layout.d_spine_rule_bits(r.switches.len());
-        }
-        if self.d_spine_default.is_some() {
-            bits += layout.d_spine_default_bits();
+        if depth < pop::D_SPINE {
+            for r in &self.d_spine {
+                bits += layout.d_spine_rule_bits(r.switches.len());
+            }
+            if self.d_spine_default.is_some() {
+                bits += layout.d_spine_default_bits();
+            }
         }
         for r in &self.d_leaf {
             bits += layout.d_leaf_rule_bits(r.switches.len());
@@ -151,23 +180,43 @@ impl ElmoHeader {
         self.bit_len(layout).div_ceil(8)
     }
 
+    /// [`byte_len`](Self::byte_len) at a pop depth.
+    pub fn byte_len_popped(&self, layout: &HeaderLayout, depth: u8) -> usize {
+        self.bit_len_popped(layout, depth).div_ceil(8)
+    }
+
     /// Serialize to bytes (padded to a byte boundary).
     pub fn encode(&self, layout: &HeaderLayout) -> Vec<u8> {
+        self.encode_popped(layout, pop::NONE)
+    }
+
+    /// Serialize with the first `depth` sections (see [`pop`]) omitted, as
+    /// if they had been popped off a clone first — byte-identical to doing
+    /// exactly that, without mutating or copying the header.
+    pub fn encode_popped(&self, layout: &HeaderLayout, depth: u8) -> Vec<u8> {
+        let u_leaf = self.u_leaf.as_ref().filter(|_| depth < pop::U_LEAF);
+        let u_spine = self.u_spine.as_ref().filter(|_| depth < pop::U_SPINE);
+        let core = self.core.as_ref().filter(|_| depth < pop::CORE);
+        let (d_spine, d_spine_default): (&[DownstreamRule], _) = if depth < pop::D_SPINE {
+            (&self.d_spine, self.d_spine_default.as_ref())
+        } else {
+            (&[], None)
+        };
         let mut w = BitWriter::new();
         let mut flags = 0u64;
-        if self.u_leaf.is_some() {
+        if u_leaf.is_some() {
             flags |= flag::U_LEAF;
         }
-        if self.u_spine.is_some() {
+        if u_spine.is_some() {
             flags |= flag::U_SPINE;
         }
-        if self.core.is_some() {
+        if core.is_some() {
             flags |= flag::CORE;
         }
-        if !self.d_spine.is_empty() {
+        if !d_spine.is_empty() {
             flags |= flag::D_SPINE;
         }
-        if self.d_spine_default.is_some() {
+        if d_spine_default.is_some() {
             flags |= flag::D_SPINE_DEFAULT;
         }
         if !self.d_leaf.is_empty() {
@@ -177,26 +226,26 @@ impl ElmoHeader {
             flags |= flag::D_LEAF_DEFAULT;
         }
         w.write_bits(flags, 8);
-        if let Some(r) = &self.u_leaf {
+        if let Some(r) = u_leaf {
             debug_assert_eq!(r.down.width(), layout.leaf_down_ports);
             debug_assert_eq!(r.up.width(), layout.leaf_up_ports);
             r.down.write(&mut w);
             w.write_bit(r.multipath);
             r.up.write(&mut w);
         }
-        if let Some(r) = &self.u_spine {
+        if let Some(r) = u_spine {
             debug_assert_eq!(r.down.width(), layout.spine_down_ports);
             debug_assert_eq!(r.up.width(), layout.spine_up_ports);
             r.down.write(&mut w);
             w.write_bit(r.multipath);
             r.up.write(&mut w);
         }
-        if let Some(bm) = &self.core {
+        if let Some(bm) = core {
             debug_assert_eq!(bm.width(), layout.core_ports);
             bm.write(&mut w);
         }
-        Self::encode_rules(&mut w, &self.d_spine, layout.pod_id_bits);
-        if let Some(bm) = &self.d_spine_default {
+        Self::encode_rules(&mut w, d_spine, layout.pod_id_bits);
+        if let Some(bm) = d_spine_default {
             bm.write(&mut w);
         }
         Self::encode_rules(&mut w, &self.d_leaf, layout.leaf_id_bits);
@@ -443,6 +492,38 @@ mod tests {
         assert_eq!(decoded, header);
         assert!(decoded.u_leaf.is_none());
         assert!(decoded.core.is_some());
+    }
+
+    #[test]
+    fn encode_popped_matches_pop_then_encode_at_every_depth() {
+        let layout = example_layout();
+        let full = figure3b_header(&layout);
+        let mut popped = full.clone();
+        for depth in [
+            pop::NONE,
+            pop::U_LEAF,
+            pop::U_SPINE,
+            pop::CORE,
+            pop::D_SPINE,
+        ] {
+            match depth {
+                pop::U_LEAF => popped.pop_upstream_leaf(),
+                pop::U_SPINE => popped.pop_upstream_spine(),
+                pop::CORE => popped.pop_core(),
+                pop::D_SPINE => popped.pop_d_spine(),
+                _ => {}
+            }
+            assert_eq!(
+                full.encode_popped(&layout, depth),
+                popped.encode(&layout),
+                "depth {depth}"
+            );
+            assert_eq!(
+                full.bit_len_popped(&layout, depth),
+                popped.bit_len(&layout),
+                "depth {depth}"
+            );
+        }
     }
 
     #[test]

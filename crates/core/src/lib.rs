@@ -36,7 +36,7 @@ pub use bitmap::PortBitmap;
 pub use cluster::{
     cluster_layer, cluster_layer_with, ClusterConfig, ClusterScratch, LayerEncoding, RedundancyMode,
 };
-pub use header::{DownstreamRule, ElmoHeader, HeaderError, UpstreamRule};
+pub use header::{pop, DownstreamRule, ElmoHeader, HeaderError, UpstreamRule};
 pub use layout::HeaderLayout;
 pub use min_k_union::{approx_min_k_union, approx_min_k_union_with, MinKUnionScratch};
 pub use par::{parallel_map, parallel_map_with, resolve_threads};
@@ -47,5 +47,5 @@ pub use plan::{
 pub use rng::SplitMix64;
 pub use sig::{
     cluster_layer_cached, CacheOutcome, CacheShard, CanonicalLayer, EncodeCache, LayerSig,
-    CACHE_MIN_ROWS,
+    SigHasher, CACHE_MIN_ROWS,
 };

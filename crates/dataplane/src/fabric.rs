@@ -3,14 +3,26 @@
 //! traffic.
 //!
 //! [`Fabric::inject`] pushes one packet from a host NIC into its leaf and
-//! runs it to completion (breadth-first over switch hops), returning the
-//! copies delivered to host NICs. Byte counters per link tier feed the
-//! traffic-overhead metric (paper Figures 4/5, right panels).
+//! runs it to completion, returning the copies delivered to host NICs. Byte
+//! counters per link tier feed the traffic-overhead metric (paper Figures
+//! 4/5, right panels).
+//!
+//! The replay loop is zero-copy: injected wire bytes are parsed **once**
+//! into a [`FlightPacket`] and every subsequent hop moves structs — the
+//! payload stays behind one shared `Arc` and only the Elmo header is
+//! cloned when a switch pops sections. Bytes are re-materialized solely at
+//! host delivery (and into the capture buffer when capturing). An iterative
+//! work-queue (`flight_queue`) and a per-hop output buffer (`hop_scratch`)
+//! are reused across injections so the steady state allocates nothing but
+//! the delivered copies themselves. [`Fabric::inject_reference`] keeps the
+//! pre-change encode-per-hop path alive for byte-identity golden tests and
+//! A/B benchmarking.
 
 use elmo_core::HeaderLayout;
 use elmo_topology::{Clos, CoreId, HostId, LeafId, PodId, SpineId, SwitchRef};
 
 use crate::netswitch::{NetworkSwitch, SwitchConfig};
+use crate::packet::FlightPacket;
 
 /// Aggregate per-tier traffic counters (bytes and packets on the wire).
 #[derive(Clone, Copy, Default, PartialEq, Eq, Debug)]
@@ -47,6 +59,15 @@ struct FabricMetrics {
     spine_to_core_bytes: elmo_obs::Counter,
     core_to_spine_bytes: elmo_obs::Counter,
     packets_on_links: elmo_obs::Counter,
+    /// Injections whose flight work-queue and hop buffer ran entirely in
+    /// previously allocated capacity (the zero-allocation steady state).
+    replay_buffer_reuse: elmo_obs::Counter,
+    /// Injections that had to grow a scratch buffer (first packets, or a
+    /// fan-out larger than anything seen before).
+    replay_fresh_alloc: elmo_obs::Counter,
+    /// Packet copies serialized back to wire bytes (host deliveries and
+    /// captured copies) — every other copy moved as structs only.
+    replay_materialized: elmo_obs::Counter,
 }
 
 fn metrics() -> &'static FabricMetrics {
@@ -59,6 +80,9 @@ fn metrics() -> &'static FabricMetrics {
         spine_to_core_bytes: elmo_obs::counter("fabric.spine_to_core_bytes"),
         core_to_spine_bytes: elmo_obs::counter("fabric.core_to_spine_bytes"),
         packets_on_links: elmo_obs::counter("fabric.packets_on_links"),
+        replay_buffer_reuse: elmo_obs::counter("fabric.replay.buffer_reuse"),
+        replay_fresh_alloc: elmo_obs::counter("fabric.replay.fresh_alloc"),
+        replay_materialized: elmo_obs::counter("fabric.replay.materialized"),
     })
 }
 
@@ -74,10 +98,18 @@ pub struct Fabric {
     down: std::collections::BTreeSet<SwitchRef>,
     /// When tracing, the per-hop records of the in-flight injection.
     trace: Option<Vec<HopRecord>>,
-    /// When capturing, `(remaining budget, captured packets)`: every copy
-    /// put on a wire (injected or forwarded) is recorded until the budget
-    /// runs out. Powers `elmo-eval --trace-pcap`.
+    /// When capturing, `(capture limit, captured packets)`: every copy
+    /// put on a wire (injected or forwarded) is recorded until the limit
+    /// is reached. Powers `elmo-eval --trace-pcap`. `None` (the default)
+    /// keeps the replay loop free of any capture work beyond one
+    /// predictable `is_some` test per copy.
     capture: Option<(usize, Vec<Vec<u8>>)>,
+    /// Reusable work-queue for the flight replay loop: copies waiting to
+    /// enter their next switch. Drained to empty by every injection, so
+    /// only its capacity survives between packets.
+    flight_queue: Vec<(SwitchRef, usize, FlightPacket)>,
+    /// Reusable per-hop output buffer handed to `process_flight`.
+    hop_scratch: Vec<(usize, FlightPacket)>,
     /// Link counters.
     pub stats: FabricStats,
 }
@@ -119,16 +151,23 @@ impl Fabric {
             down: std::collections::BTreeSet::new(),
             trace: None,
             capture: None,
+            flight_queue: Vec::new(),
+            hop_scratch: Vec::new(),
             stats: FabricStats::default(),
         }
     }
 
     /// Start capturing on-the-wire packet copies, keeping at most `limit`.
+    /// A fresh capture buffer is installed each time, so capture sessions
+    /// can be repeated: `start_capture` / inject / [`take_capture`]
+    /// (Self::take_capture), then again.
     pub fn start_capture(&mut self, limit: usize) {
         self.capture = Some((limit, Vec::new()));
     }
 
     /// Stop capturing and take what was recorded (empty if never started).
+    /// Resets capture state entirely — a subsequent [`start_capture`]
+    /// (Self::start_capture) begins a new, independent session.
     pub fn take_capture(&mut self) -> Vec<Vec<u8>> {
         self.capture
             .take()
@@ -136,10 +175,32 @@ impl Fabric {
             .unwrap_or_default()
     }
 
+    /// Record one wire copy when capturing. The disabled case is a single
+    /// inlined `is_some` test — all real work lives in the `#[cold]` body,
+    /// so the replay hot path pays nothing when capture is off.
+    #[inline(always)]
     fn capture_copy(&mut self, pkt: &[u8]) {
-        if let Some((budget, pkts)) = &mut self.capture {
-            if pkts.len() < *budget {
+        if self.capture.is_some() {
+            self.capture_copy_slow(pkt);
+        }
+    }
+
+    #[cold]
+    fn capture_copy_slow(&mut self, pkt: &[u8]) {
+        if let Some((limit, pkts)) = &mut self.capture {
+            if pkts.len() < *limit {
                 pkts.push(pkt.to_vec());
+            }
+        }
+    }
+
+    /// Capture a flight copy, materializing it only when a slot is free.
+    #[cold]
+    fn capture_flight(&mut self, pkt: &FlightPacket) {
+        if let Some((limit, pkts)) = &mut self.capture {
+            if pkts.len() < *limit {
+                pkts.push(pkt.to_bytes(&self.layout));
+                metrics().replay_materialized.inc();
             }
         }
     }
@@ -195,6 +256,11 @@ impl Fabric {
         &mut self.cores[c.0 as usize]
     }
 
+    /// Immutable access to a core switch.
+    pub fn core(&self, c: CoreId) -> &NetworkSwitch {
+        &self.cores[c.0 as usize]
+    }
+
     /// Install an s-rule on every spine of a pod (a logical-spine s-rule must
     /// be present wherever multipath may land the packet).
     pub fn install_pod_srule(
@@ -227,7 +293,192 @@ impl Fabric {
 
     /// Inject one packet from a host; returns all host deliveries as
     /// `(host, packet bytes)`.
+    ///
+    /// This is the zero-copy replay fast path: the wire bytes are parsed
+    /// once here, the fabric is traversed entirely in [`FlightPacket`]
+    /// form, and bytes are re-materialized only for the returned
+    /// deliveries. Deliveries, per-switch stats, and link-byte counters
+    /// are bit-identical to [`inject_reference`](Self::inject_reference).
     pub fn inject(&mut self, from: HostId, bytes: Vec<u8>) -> Vec<(HostId, Vec<u8>)> {
+        let mut deliveries = Vec::new();
+        self.inject_into(from, &bytes, &mut deliveries);
+        deliveries
+    }
+
+    /// Inject a batch of packets in one call. All scratch buffers are
+    /// reused across the whole batch and deliveries are returned
+    /// concatenated in injection order — equivalent to calling
+    /// [`inject`](Self::inject) per packet and chaining the results, minus
+    /// the per-call allocation churn.
+    pub fn inject_batch<I>(&mut self, packets: I) -> Vec<(HostId, Vec<u8>)>
+    where
+        I: IntoIterator<Item = (HostId, Vec<u8>)>,
+    {
+        let mut deliveries = Vec::new();
+        for (from, bytes) in packets {
+            self.inject_into(from, &bytes, &mut deliveries);
+        }
+        deliveries
+    }
+
+    /// Inject an already-parsed packet, skipping the emit + parse round
+    /// trip entirely (for senders that build [`FlightPacket`]s directly,
+    /// e.g. `HypervisorSwitch::send_flight`). Counters are identical to
+    /// injecting the materialized bytes.
+    pub fn inject_flight(&mut self, from: HostId, pkt: FlightPacket) -> Vec<(HostId, Vec<u8>)> {
+        let leaf = self.topo.leaf_of_host(from);
+        let ingress = self.topo.host_port_on_leaf(from);
+        let wire = pkt.wire_len(&self.layout) as u64;
+        self.stats.host_to_leaf_bytes += wire;
+        self.stats.packets_on_links += 1;
+        let m = metrics();
+        m.host_to_leaf_bytes.add(wire);
+        m.packets_on_links.inc();
+        if self.capture.is_some() {
+            self.capture_flight(&pkt);
+        }
+        let mut deliveries = Vec::new();
+        if !self.down.contains(&SwitchRef::Leaf(leaf)) {
+            self.run_flight(SwitchRef::Leaf(leaf), ingress, pkt, &mut deliveries);
+        }
+        deliveries
+    }
+
+    /// One injection into a shared deliveries buffer (the body of both
+    /// [`inject`](Self::inject) and [`inject_batch`](Self::inject_batch)).
+    fn inject_into(&mut self, from: HostId, bytes: &[u8], deliveries: &mut Vec<(HostId, Vec<u8>)>) {
+        let leaf = self.topo.leaf_of_host(from);
+        let ingress = self.topo.host_port_on_leaf(from);
+        self.stats.host_to_leaf_bytes += bytes.len() as u64;
+        self.stats.packets_on_links += 1;
+        let m = metrics();
+        m.host_to_leaf_bytes.add(bytes.len() as u64);
+        m.packets_on_links.inc();
+        self.capture_copy(bytes);
+        if self.down.contains(&SwitchRef::Leaf(leaf)) {
+            return; // failed ingress leaf: lost before parsing, as before
+        }
+        let pkt = match FlightPacket::parse(bytes, &self.layout) {
+            Ok(p) => p,
+            Err(_) => {
+                // The one parse of the fast path happens here on the
+                // leaf's behalf; the drop lands on the leaf's counters
+                // exactly as when the leaf parsed every packet itself.
+                self.leaves[leaf.0 as usize].note_parse_drop();
+                return;
+            }
+        };
+        self.run_flight(SwitchRef::Leaf(leaf), ingress, pkt, deliveries);
+    }
+
+    /// The iterative flight work-queue. LIFO pop with in-order output
+    /// pushes — the exact traversal order of the pre-change byte loop, so
+    /// delivery order, capture order, and every counter sequence match.
+    fn run_flight(
+        &mut self,
+        sw0: SwitchRef,
+        port0: usize,
+        pkt0: FlightPacket,
+        deliveries: &mut Vec<(HostId, Vec<u8>)>,
+    ) {
+        let m = metrics();
+        // Take the scratch buffers out of `self` so the borrow checker
+        // sees them as locals while switches and counters are borrowed.
+        let mut queue = std::mem::take(&mut self.flight_queue);
+        let mut hop_out = std::mem::take(&mut self.hop_scratch);
+        let start_caps = (queue.capacity(), hop_out.capacity());
+        queue.push((sw0, port0, pkt0));
+        // A packet visits each layer at most twice (up, down); the queue is
+        // bounded by the output fan-out, so plain iteration terminates.
+        while let Some((sw, port_in, pkt)) = queue.pop() {
+            if self.down.contains(&sw) {
+                continue; // failed switch: the packet is lost here
+            }
+            hop_out.clear();
+            match sw {
+                SwitchRef::Leaf(l) => self.leaves[l.0 as usize].process_flight(
+                    port_in,
+                    &pkt,
+                    &self.layout,
+                    &mut hop_out,
+                ),
+                SwitchRef::Spine(s) => self.spines[s.0 as usize].process_flight(
+                    port_in,
+                    &pkt,
+                    &self.layout,
+                    &mut hop_out,
+                ),
+                SwitchRef::Core(c) => self.cores[c.0 as usize].process_flight(
+                    port_in,
+                    &pkt,
+                    &self.layout,
+                    &mut hop_out,
+                ),
+            }
+            if let Some(trace) = &mut self.trace {
+                trace.push(HopRecord {
+                    switch: sw,
+                    ingress_port: port_in,
+                    bytes_in: pkt.wire_len(&self.layout),
+                    egress_ports: hop_out.iter().map(|(p, _)| *p).collect(),
+                });
+            }
+            for (port_out, out_pkt) in hop_out.drain(..) {
+                self.stats.packets_on_links += 1;
+                m.packets_on_links.inc();
+                let n = out_pkt.wire_len(&self.layout) as u64;
+                if self.capture.is_some() {
+                    self.capture_flight(&out_pkt);
+                }
+                match self.next_hop(sw, port_out) {
+                    Hop::Host(h) => {
+                        self.stats.leaf_to_host_bytes += n;
+                        m.leaf_to_host_bytes.add(n);
+                        deliveries.push((h, out_pkt.to_bytes(&self.layout)));
+                        m.replay_materialized.inc();
+                    }
+                    Hop::Switch(next, next_port, tier) => {
+                        match tier {
+                            LinkTier::LeafSpine => {
+                                self.stats.leaf_to_spine_bytes += n;
+                                m.leaf_to_spine_bytes.add(n);
+                            }
+                            LinkTier::SpineLeaf => {
+                                self.stats.spine_to_leaf_bytes += n;
+                                m.spine_to_leaf_bytes.add(n);
+                            }
+                            LinkTier::SpineCore => {
+                                self.stats.spine_to_core_bytes += n;
+                                m.spine_to_core_bytes.add(n);
+                            }
+                            LinkTier::CoreSpine => {
+                                self.stats.core_to_spine_bytes += n;
+                                m.core_to_spine_bytes.add(n);
+                            }
+                        }
+                        queue.push((next, next_port, out_pkt));
+                    }
+                }
+            }
+        }
+        // Give the (now empty) scratch buffers back for the next packet
+        // and record whether this injection ran allocation-free.
+        if queue.capacity() > start_caps.0 || hop_out.capacity() > start_caps.1 {
+            m.replay_fresh_alloc.inc();
+        } else {
+            m.replay_buffer_reuse.inc();
+        }
+        self.flight_queue = queue;
+        self.hop_scratch = hop_out;
+    }
+
+    /// The pre-zero-copy replay path, kept verbatim: every hop parses the
+    /// wire bytes and re-encodes header **and** payload for each copy
+    /// (via [`NetworkSwitch::process_reference`]). Retained as the golden
+    /// reference for byte-identity tests and as the A/B baseline for the
+    /// replay benchmark. Counters and deliveries are bit-identical to
+    /// [`inject`](Self::inject).
+    pub fn inject_reference(&mut self, from: HostId, bytes: Vec<u8>) -> Vec<(HostId, Vec<u8>)> {
         let leaf = self.topo.leaf_of_host(from);
         let ingress = self.topo.host_port_on_leaf(from);
         self.stats.host_to_leaf_bytes += bytes.len() as u64;
@@ -239,20 +490,20 @@ impl Fabric {
         let mut deliveries = Vec::new();
         let mut queue: Vec<(SwitchRef, usize, Vec<u8>)> =
             vec![(SwitchRef::Leaf(leaf), ingress, bytes)];
-        // A packet visits each layer at most twice (up, down); the queue is
-        // bounded by the output fan-out, so plain iteration terminates.
         while let Some((sw, port_in, pkt)) = queue.pop() {
             if self.down.contains(&sw) {
-                continue; // failed switch: the packet is lost here
+                continue;
             }
             let outputs = match sw {
                 SwitchRef::Leaf(l) => {
-                    self.leaves[l.0 as usize].process(port_in, &pkt, &self.layout)
+                    self.leaves[l.0 as usize].process_reference(port_in, &pkt, &self.layout)
                 }
                 SwitchRef::Spine(s) => {
-                    self.spines[s.0 as usize].process(port_in, &pkt, &self.layout)
+                    self.spines[s.0 as usize].process_reference(port_in, &pkt, &self.layout)
                 }
-                SwitchRef::Core(c) => self.cores[c.0 as usize].process(port_in, &pkt, &self.layout),
+                SwitchRef::Core(c) => {
+                    self.cores[c.0 as usize].process_reference(port_in, &pkt, &self.layout)
+                }
             };
             if let Some(trace) = &mut self.trace {
                 trace.push(HopRecord {

@@ -14,6 +14,7 @@
 
 use std::collections::HashMap;
 use std::net::Ipv4Addr;
+use std::sync::Arc;
 
 use elmo_core::{ElmoHeader, HeaderLayout};
 use elmo_net::ethernet::{self, EtherType, Frame, FrameRepr, MacAddr};
@@ -22,7 +23,7 @@ use elmo_net::udp::{self, UdpPacket, UdpRepr, VXLAN_PORT};
 use elmo_net::vxlan::{self, NextHeader, Vni, VxlanPacket, VxlanRepr};
 use elmo_topology::HostId;
 
-use crate::packet::ElmoPacketRepr;
+use crate::packet::{ElmoPacketRepr, FlightPacket};
 
 /// The underlay IPv4 address of a host: `10.h2.h1.h0` from the host index.
 pub fn host_ip(h: HostId) -> Ipv4Addr {
@@ -67,6 +68,9 @@ pub struct SenderFlow {
     pub vni: Vni,
     /// Precomputed, already-serialized Elmo header for this sender.
     pub elmo_bytes: Vec<u8>,
+    /// The same header in struct form, shared by every [`FlightPacket`]
+    /// built from this flow (no decode on the flight send path).
+    pub header: Arc<ElmoHeader>,
     /// Member hosts for unicast fallback (receivers other than this host).
     pub fallback_hosts: Vec<HostId>,
     /// When set, `send` emits unicast copies instead of one Elmo packet
@@ -87,6 +91,7 @@ impl SenderFlow {
             outer_group,
             vni,
             elmo_bytes: header.encode(layout),
+            header: Arc::new(header.clone()),
             fallback_hosts,
             unicast_fallback: false,
         }
@@ -275,6 +280,70 @@ impl HypervisorSwitch {
         );
         self.stats.sent_multicast();
         vec![buf]
+    }
+
+    /// [`send`](Self::send) in flight form: produce [`FlightPacket`]s for
+    /// direct injection via `Fabric::inject_flight`, skipping the outer
+    /// stack serialization entirely (the paper's one-DMA-write point taken
+    /// to its logical end in the model — zero writes). Entropy, counters,
+    /// and fallback behavior advance exactly as in `send`, so materializing
+    /// the returned packets yields byte-identical wire packets.
+    pub fn send_flight(
+        &mut self,
+        vni: Vni,
+        tenant_group: Ipv4Addr,
+        inner_frame: &Arc<[u8]>,
+    ) -> Vec<FlightPacket> {
+        self.entropy = self.entropy.wrapping_add(1);
+        let entropy = self.entropy;
+        let Some(flow) = self.flows.get(&(vni, tenant_group)) else {
+            self.stats.no_flow();
+            return Vec::new();
+        };
+        if flow.unicast_fallback {
+            let targets = flow.fallback_hosts.clone();
+            let f_vni = flow.vni;
+            return self.send_unicast_flight(&targets, f_vni, inner_frame);
+        }
+        let pkt = FlightPacket {
+            src_mac: self.mac,
+            dst_mac: MacAddr::from_ipv4_multicast(flow.outer_group),
+            src_ip: self.ip,
+            group_ip: flow.outer_group,
+            flow_entropy: entropy,
+            vni: flow.vni,
+            elmo: Some(flow.header.clone()),
+            popped: elmo_core::pop::NONE,
+            payload: inner_frame.clone(),
+        };
+        self.stats.sent_multicast();
+        vec![pkt]
+    }
+
+    /// [`send_unicast_to`](Self::send_unicast_to) in flight form.
+    pub fn send_unicast_flight(
+        &mut self,
+        targets: &[HostId],
+        vni: Vni,
+        inner_frame: &Arc<[u8]>,
+    ) -> Vec<FlightPacket> {
+        let mut out = Vec::with_capacity(targets.len());
+        for &t in targets {
+            self.entropy = self.entropy.wrapping_add(1);
+            out.push(FlightPacket {
+                src_mac: self.mac,
+                dst_mac: MacAddr::for_host(t.0),
+                src_ip: self.ip,
+                group_ip: host_ip(t),
+                flow_entropy: self.entropy,
+                vni,
+                elmo: None,
+                popped: elmo_core::pop::NONE,
+                payload: inner_frame.clone(),
+            });
+            self.stats.sent_unicast();
+        }
+        out
     }
 
     /// Send an inner frame as plain VXLAN unicast to each target host (used

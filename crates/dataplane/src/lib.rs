@@ -25,5 +25,5 @@ pub use hypervisor::{
     host_ip, host_of_ip, HypervisorStats, HypervisorSwitch, MembershipSignal, SenderFlow, VmSlot,
 };
 pub use netswitch::{GroupTableFull, NetworkSwitch, SwitchConfig, SwitchStats};
-pub use packet::{ecmp_hash, ElmoPacketRepr, PacketError};
+pub use packet::{ecmp_hash, ecmp_hash_fields, ElmoPacketRepr, FlightPacket, PacketError};
 pub use pcap::PcapWriter;

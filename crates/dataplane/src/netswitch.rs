@@ -19,13 +19,21 @@
 //! unicast/overlay baselines and by Elmo's transient unicast fallback).
 
 use std::collections::HashMap;
+use std::hash::BuildHasherDefault;
 use std::net::Ipv4Addr;
 
-use elmo_core::{HeaderLayout, PortBitmap};
+use elmo_core::{pop, HeaderLayout, PortBitmap, SigHasher};
 use elmo_net::ipv4;
 use elmo_topology::{Clos, CoreId, LeafId, SpineId, SwitchRef};
 
-use crate::packet::{ecmp_hash, ElmoPacketRepr};
+use crate::packet::{ecmp_hash, ElmoPacketRepr, FlightPacket};
+
+/// The group table's hash map type. IPv4 keys are tiny and fully random in
+/// the low octets, so the default SipHash is pure overhead on the lookup
+/// fast path — the pass-through fingerprint hasher from `elmo_core::sig`
+/// (a 5-bit-rotate multiply fold) is an order of magnitude cheaper per
+/// probe and deterministic across runs.
+type GroupTable = HashMap<Ipv4Addr, PortBitmap, BuildHasherDefault<SigHasher>>;
 
 /// Per-switch resource limits.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -135,6 +143,22 @@ fn popped(n: u64) {
     metrics().header_pops.add(n);
 }
 
+/// Push one host-bound copy per set port: the Elmo header is stripped
+/// entirely (egress invalidation) and every copy shares the payload `Arc`.
+fn push_host_copies(ports: &PortBitmap, pkt: &FlightPacket, out: &mut Vec<(usize, FlightPacket)>) {
+    if ports.is_empty() {
+        return;
+    }
+    let host_pkt = FlightPacket {
+        elmo: None,
+        popped: pop::NONE,
+        ..pkt.clone()
+    };
+    for port in ports.iter_ones() {
+        out.push((port, host_pkt.clone()));
+    }
+}
+
 /// Error returned when the group table is full.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub struct GroupTableFull;
@@ -155,7 +179,7 @@ pub struct NetworkSwitch {
     config: SwitchConfig,
     /// s-rules: outer multicast group address -> output ports (downstream
     /// ports only, like downstream p-rule bitmaps).
-    group_table: HashMap<Ipv4Addr, PortBitmap>,
+    group_table: GroupTable,
     /// Counters.
     pub stats: SwitchStats,
 }
@@ -167,7 +191,7 @@ impl NetworkSwitch {
             id: SwitchRef::Leaf(id),
             topo,
             config,
-            group_table: HashMap::new(),
+            group_table: GroupTable::default(),
             stats: SwitchStats::default(),
         }
     }
@@ -178,7 +202,7 @@ impl NetworkSwitch {
             id: SwitchRef::Spine(id),
             topo,
             config,
-            group_table: HashMap::new(),
+            group_table: GroupTable::default(),
             stats: SwitchStats::default(),
         }
     }
@@ -189,7 +213,7 @@ impl NetworkSwitch {
             id: SwitchRef::Core(id),
             topo,
             config,
-            group_table: HashMap::new(),
+            group_table: GroupTable::default(),
             stats: SwitchStats::default(),
         }
     }
@@ -232,7 +256,295 @@ impl NetworkSwitch {
 
     /// Process one packet arriving on `ingress_port`; returns the copies to
     /// emit as `(output port, packet bytes)` pairs.
+    ///
+    /// This is the byte-level convenience wrapper around
+    /// [`process_flight`](Self::process_flight): parse once, forward the
+    /// flight form, materialize every output copy. Counters and bytes are
+    /// identical to [`process_reference`](Self::process_reference), the
+    /// pre-zero-copy encode-per-hop implementation kept for A/B comparison.
     pub fn process(
+        &mut self,
+        ingress_port: usize,
+        bytes: &[u8],
+        layout: &HeaderLayout,
+    ) -> Vec<(usize, Vec<u8>)> {
+        let pkt = match FlightPacket::parse(bytes, layout) {
+            Ok(p) => p,
+            Err(_) => {
+                self.stats.drop_parse();
+                return Vec::new();
+            }
+        };
+        let mut flights = Vec::new();
+        self.process_flight(ingress_port, &pkt, layout, &mut flights);
+        flights
+            .into_iter()
+            .map(|(port, p)| (port, p.to_bytes(layout)))
+            .collect()
+    }
+
+    // ----- zero-copy flight path ---------------------------------------------
+
+    /// Process one already-parsed packet arriving on `ingress_port`,
+    /// appending the copies to emit as `(output port, packet)` pairs.
+    ///
+    /// This is the replay fast path: no byte buffer is read or written and
+    /// nothing is allocated — popping header sections is a bump of the
+    /// copy's [`FlightPacket::popped`] depth (sections pop strictly
+    /// front-to-back), so each emitted copy is a plain struct copy sharing
+    /// the sender's header and payload `Arc`s, mirroring the paper's §4.1
+    /// claim that forwarding touches only the compact header.
+    pub fn process_flight(
+        &mut self,
+        ingress_port: usize,
+        pkt: &FlightPacket,
+        layout: &HeaderLayout,
+        out: &mut Vec<(usize, FlightPacket)>,
+    ) {
+        if pkt.header_vector_len(layout) > self.config.header_vector_limit {
+            self.stats.drop_header_vector();
+            return;
+        }
+        if !ipv4::is_multicast(pkt.group_ip) {
+            self.unicast_flight(pkt, out);
+            return;
+        }
+        match self.id {
+            SwitchRef::Leaf(l) => self.leaf_flight(l, ingress_port, pkt, out),
+            SwitchRef::Spine(s) => self.spine_flight(s, ingress_port, pkt, out),
+            SwitchRef::Core(c) => self.core_flight(c, pkt, out),
+        }
+    }
+
+    /// Count a parse drop against this switch. Used by the fabric, which
+    /// parses injected wire bytes once on behalf of the ingress leaf; the
+    /// drop must still land on the leaf's counters like it did when the
+    /// leaf parsed every packet itself.
+    pub(crate) fn note_parse_drop(&mut self) {
+        self.stats.drop_parse();
+    }
+
+    fn leaf_flight(
+        &mut self,
+        leaf: LeafId,
+        ingress_port: usize,
+        pkt: &FlightPacket,
+        out: &mut Vec<(usize, FlightPacket)>,
+    ) {
+        let from_host = ingress_port < self.topo.leaf_down_ports();
+        if pkt.elmo.is_none() {
+            self.stats.drop_parse();
+            return;
+        }
+        if from_host {
+            // Upstream direction: the u-leaf p-rule drives everything.
+            let Some(rule) = pkt.u_leaf() else {
+                self.stats.drop_no_rule();
+                return;
+            };
+            self.stats.hit_prule();
+            // Copies to co-located receivers: Elmo header fully stripped.
+            push_host_copies(&rule.down, pkt, out);
+            // Copy upward, with the u-leaf rule popped (a depth bump — the
+            // shared header itself is untouched).
+            if rule.goes_up() {
+                popped(1);
+                let up_pkt = FlightPacket {
+                    popped: pop::U_LEAF,
+                    ..pkt.clone()
+                };
+                if rule.multipath {
+                    let spine = (up_pkt.ecmp_hash(leaf.0 as u64) % self.topo.leaf_up_ports() as u64)
+                        as usize;
+                    out.push((self.topo.leaf_up_port(spine), up_pkt));
+                } else {
+                    for spine in rule.up.iter_ones() {
+                        out.push((self.topo.leaf_up_port(spine), up_pkt.clone()));
+                    }
+                }
+            }
+            return;
+        }
+
+        // Downstream direction: match own identifier among d-leaf p-rules,
+        // then the group table, then the default p-rule. Disjoint field
+        // borrows so the bitmap can stay borrowed while counters bump.
+        let NetworkSwitch {
+            stats, group_table, ..
+        } = self;
+        let ports: Option<&PortBitmap> = if let Some(rule) = pkt.find_d_leaf(leaf.0) {
+            stats.hit_prule();
+            Some(&rule.bitmap)
+        } else if let Some(bm) = group_table.get(&pkt.group_ip) {
+            stats.hit_srule();
+            Some(bm)
+        } else if let Some(bm) = pkt.d_leaf_default() {
+            stats.hit_default();
+            Some(bm)
+        } else {
+            stats.drop_no_rule();
+            None
+        };
+        if let Some(ports) = ports {
+            push_host_copies(ports, pkt, out);
+        }
+    }
+
+    fn spine_flight(
+        &mut self,
+        spine: SpineId,
+        ingress_port: usize,
+        pkt: &FlightPacket,
+        out: &mut Vec<(usize, FlightPacket)>,
+    ) {
+        let from_leaf = ingress_port < self.topo.spine_down_ports();
+        if pkt.elmo.is_none() {
+            self.stats.drop_parse();
+            return;
+        }
+        if from_leaf {
+            // Upstream: the u-spine p-rule.
+            let Some(rule) = pkt.u_spine() else {
+                self.stats.drop_no_rule();
+                return;
+            };
+            self.stats.hit_prule();
+            // Copies down to local member leaves: next hop is a leaf, so pop
+            // everything except the d-leaf section (depth jumps straight to
+            // D_SPINE; sections already popped upstream are no-ops).
+            if !rule.down.is_empty() {
+                popped(3);
+                let down_pkt = FlightPacket {
+                    popped: pop::D_SPINE,
+                    ..pkt.clone()
+                };
+                for port in rule.down.iter_ones() {
+                    out.push((port, down_pkt.clone()));
+                }
+            }
+            // Copy upward to the core, u-spine popped.
+            if rule.goes_up() {
+                popped(1);
+                let up_pkt = FlightPacket {
+                    popped: pop::U_SPINE,
+                    ..pkt.clone()
+                };
+                if rule.multipath {
+                    let core = (up_pkt.ecmp_hash(0x51de ^ spine.0 as u64)
+                        % self.topo.spine_up_ports() as u64)
+                        as usize;
+                    out.push((self.topo.spine_up_port(core), up_pkt));
+                } else {
+                    for core in rule.up.iter_ones() {
+                        out.push((self.topo.spine_up_port(core), up_pkt.clone()));
+                    }
+                }
+            }
+            return;
+        }
+
+        // Downstream: match own pod among d-spine p-rules, then the group
+        // table, then the default p-rule.
+        let pod = self.topo.pod_of_spine(spine);
+        let NetworkSwitch {
+            stats, group_table, ..
+        } = self;
+        let ports: Option<&PortBitmap> = if let Some(rule) = pkt.find_d_spine(pod.0) {
+            stats.hit_prule();
+            Some(&rule.bitmap)
+        } else if let Some(bm) = group_table.get(&pkt.group_ip) {
+            stats.hit_srule();
+            Some(bm)
+        } else if let Some(bm) = pkt.d_spine_default() {
+            stats.hit_default();
+            Some(bm)
+        } else {
+            stats.drop_no_rule();
+            None
+        };
+        if let Some(ports) = ports {
+            // Next hop is a leaf: pop the spine section.
+            popped(1);
+            let down_pkt = FlightPacket {
+                popped: pop::D_SPINE,
+                ..pkt.clone()
+            };
+            for port in ports.iter_ones() {
+                out.push((port, down_pkt.clone()));
+            }
+        }
+    }
+
+    fn core_flight(
+        &mut self,
+        _core: CoreId,
+        pkt: &FlightPacket,
+        out: &mut Vec<(usize, FlightPacket)>,
+    ) {
+        if pkt.elmo.is_none() {
+            self.stats.drop_parse();
+            return;
+        }
+        let Some(pods) = pkt.core_pods() else {
+            self.stats.drop_no_rule();
+            return;
+        };
+        self.stats.hit_prule();
+        popped(1);
+        let down_pkt = FlightPacket {
+            popped: pop::CORE,
+            ..pkt.clone()
+        };
+        for pod in pods.iter_ones() {
+            out.push((pod, down_pkt.clone()));
+        }
+    }
+
+    /// Plain underlay unicast on the flight path: route on the destination
+    /// host address; the packet itself is forwarded unmodified.
+    fn unicast_flight(&mut self, pkt: &FlightPacket, out: &mut Vec<(usize, FlightPacket)>) {
+        let Some(dst_host) = crate::hypervisor::host_of_ip(pkt.group_ip) else {
+            self.stats.drop_parse();
+            return;
+        };
+        if dst_host.0 as usize >= self.topo.num_hosts() {
+            self.stats.drop_parse();
+            return;
+        }
+        let dst_leaf = self.topo.leaf_of_host(dst_host);
+        let dst_pod = self.topo.pod_of_leaf(dst_leaf);
+        let port = match self.id {
+            SwitchRef::Leaf(l) => {
+                if dst_leaf == l {
+                    self.topo.host_port_on_leaf(dst_host)
+                } else {
+                    let spine =
+                        (pkt.ecmp_hash(l.0 as u64) % self.topo.leaf_up_ports() as u64) as usize;
+                    self.topo.leaf_up_port(spine)
+                }
+            }
+            SwitchRef::Spine(s) => {
+                if self.topo.pod_of_spine(s) == dst_pod {
+                    self.topo.leaf_index_in_pod(dst_leaf)
+                } else {
+                    let core =
+                        (pkt.ecmp_hash(s.0 as u64) % self.topo.spine_up_ports() as u64) as usize;
+                    self.topo.spine_up_port(core)
+                }
+            }
+            SwitchRef::Core(_) => dst_pod.0 as usize,
+        };
+        self.stats.hit_unicast();
+        out.push((port, pkt.clone()));
+    }
+
+    // ----- reference (pre-zero-copy) byte path -------------------------------
+
+    /// The pre-change encode-per-hop implementation, kept verbatim as the
+    /// reference for byte-identity golden tests and A/B benchmarking
+    /// (`Fabric::inject_reference`). Parses the packet, clones the repr per
+    /// direction, and re-encodes header *and* payload for every copy.
+    pub fn process_reference(
         &mut self,
         ingress_port: usize,
         bytes: &[u8],
@@ -260,7 +572,7 @@ impl NetworkSwitch {
         }
     }
 
-    // ----- multicast paths ---------------------------------------------------
+    // ----- multicast paths (reference implementation) ------------------------
 
     fn process_leaf(
         &mut self,

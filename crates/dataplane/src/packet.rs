@@ -6,10 +6,24 @@
 //! point that all p-rules must be written as *one* header (one DMA write) to
 //! keep the hypervisor switch at line rate. [`ElmoPacketRepr::parse`] is the
 //! network-switch parser path.
+//!
+//! [`FlightPacket`] is the replay fast path's in-fabric form: the outer
+//! fields and the Elmo header live as structs (the decoded header behind
+//! an `Arc` shared by every copy of the packet) and the tenant payload is
+//! an immutable `Arc<[u8]>` that every copy borrows. Header sections pop
+//! strictly front-to-back (D2d), so a copy's popped state is just a depth
+//! counter ([`elmo_core::pop`]): forwarding a copy never clones the header
+//! or touches payload bytes — mirroring the paper's §4.1 point that
+//! forwarding only rewrites the compact header — and bytes are
+//! materialized only where a wire-accurate buffer is needed (host
+//! delivery, capture). [`FlightPacket::materialize`] and
+//! [`ElmoPacketRepr::emit`] share one serializer, so both paths are
+//! byte-identical by construction.
 
 use std::net::Ipv4Addr;
+use std::sync::Arc;
 
-use elmo_core::{ElmoHeader, HeaderLayout};
+use elmo_core::{pop, DownstreamRule, ElmoHeader, HeaderLayout, PortBitmap, UpstreamRule};
 use elmo_net::ethernet::{self, EtherType, Frame, FrameRepr, MacAddr};
 use elmo_net::ipv4::{self, Ipv4Packet, Ipv4Repr, Protocol};
 use elmo_net::udp::{self, UdpPacket, UdpRepr, VXLAN_PORT};
@@ -85,59 +99,19 @@ impl ElmoPacketRepr {
     /// Serialize the whole packet (encap path). Appends to `out`, which is
     /// cleared first; the buffer's capacity is reused across packets.
     pub fn emit(&self, layout: &HeaderLayout, inner_frame: &[u8], out: &mut Vec<u8>) {
-        out.clear();
-        let elmo_bytes = self.elmo.as_ref().map(|h| h.encode(layout));
-        let elmo_len = elmo_bytes.as_ref().map_or(0, Vec::len);
-        let total = Self::OUTER_LEN + elmo_len + inner_frame.len();
-        out.resize(total, 0);
-
-        // Ethernet
-        let mut eth = Frame::new_unchecked(&mut out[..]);
-        FrameRepr {
-            dst: self.dst_mac,
-            src: self.src_mac,
-            ethertype: EtherType::Ipv4,
-        }
-        .emit(&mut eth);
-        // IPv4
-        let ip_payload = udp::HEADER_LEN + vxlan::HEADER_LEN + elmo_len + inner_frame.len();
-        let mut ip = Ipv4Packet::new_unchecked(&mut out[ethernet::HEADER_LEN..]);
-        Ipv4Repr {
-            src: self.src_ip,
-            dst: self.group_ip,
-            protocol: Protocol::Udp,
-            ttl: 64,
-            payload_len: ip_payload,
-        }
-        .emit(&mut ip);
-        // UDP (checksum disabled, as common for VXLAN underlays)
-        let udp_off = ethernet::HEADER_LEN + ipv4::HEADER_LEN;
-        let mut udp = UdpPacket::new_unchecked(&mut out[udp_off..]);
-        UdpRepr {
-            src_port: self.flow_entropy,
-            dst_port: VXLAN_PORT,
-            payload_len: vxlan::HEADER_LEN + elmo_len + inner_frame.len(),
-        }
-        .emit(&mut udp);
-        // VXLAN
-        let vx_off = udp_off + udp::HEADER_LEN;
-        let mut vx = VxlanPacket::new_unchecked(&mut out[vx_off..]);
-        VxlanRepr {
-            vni: self.vni,
-            next_header: if elmo_len > 0 {
-                NextHeader::Elmo
-            } else {
-                NextHeader::Ethernet
-            },
-        }
-        .emit(&mut vx);
-        // Elmo header + inner frame
-        let mut off = vx_off + vxlan::HEADER_LEN;
-        if let Some(bytes) = elmo_bytes {
-            out[off..off + bytes.len()].copy_from_slice(&bytes);
-            off += bytes.len();
-        }
-        out[off..].copy_from_slice(inner_frame);
+        emit_stack(
+            self.src_mac,
+            self.dst_mac,
+            self.src_ip,
+            self.group_ip,
+            self.flow_entropy,
+            self.vni,
+            self.elmo.as_ref(),
+            pop::NONE,
+            layout,
+            inner_frame,
+            out,
+        );
     }
 
     /// Parse a packet; returns the representation and the offset of the
@@ -187,21 +161,262 @@ impl ElmoPacketRepr {
     }
 }
 
+/// The one serializer both [`ElmoPacketRepr::emit`] and
+/// [`FlightPacket::materialize`] go through: outer Ethernet/IPv4/UDP/VXLAN
+/// stack, Elmo header (encoded at `elmo_popped` depth), inner frame, in a
+/// single pass over `out` (cleared first, capacity reused across packets).
+#[allow(clippy::too_many_arguments)]
+fn emit_stack(
+    src_mac: MacAddr,
+    dst_mac: MacAddr,
+    src_ip: Ipv4Addr,
+    group_ip: Ipv4Addr,
+    flow_entropy: u16,
+    vni: Vni,
+    elmo: Option<&ElmoHeader>,
+    elmo_popped: u8,
+    layout: &HeaderLayout,
+    inner_frame: &[u8],
+    out: &mut Vec<u8>,
+) {
+    out.clear();
+    let elmo_bytes = elmo.map(|h| h.encode_popped(layout, elmo_popped));
+    let elmo_len = elmo_bytes.as_ref().map_or(0, Vec::len);
+    let total = ElmoPacketRepr::OUTER_LEN + elmo_len + inner_frame.len();
+    out.resize(total, 0);
+
+    // Ethernet
+    let mut eth = Frame::new_unchecked(&mut out[..]);
+    FrameRepr {
+        dst: dst_mac,
+        src: src_mac,
+        ethertype: EtherType::Ipv4,
+    }
+    .emit(&mut eth);
+    // IPv4
+    let ip_payload = udp::HEADER_LEN + vxlan::HEADER_LEN + elmo_len + inner_frame.len();
+    let mut ip = Ipv4Packet::new_unchecked(&mut out[ethernet::HEADER_LEN..]);
+    Ipv4Repr {
+        src: src_ip,
+        dst: group_ip,
+        protocol: Protocol::Udp,
+        ttl: 64,
+        payload_len: ip_payload,
+    }
+    .emit(&mut ip);
+    // UDP (checksum disabled, as common for VXLAN underlays)
+    let udp_off = ethernet::HEADER_LEN + ipv4::HEADER_LEN;
+    let mut udp = UdpPacket::new_unchecked(&mut out[udp_off..]);
+    UdpRepr {
+        src_port: flow_entropy,
+        dst_port: VXLAN_PORT,
+        payload_len: vxlan::HEADER_LEN + elmo_len + inner_frame.len(),
+    }
+    .emit(&mut udp);
+    // VXLAN
+    let vx_off = udp_off + udp::HEADER_LEN;
+    let mut vx = VxlanPacket::new_unchecked(&mut out[vx_off..]);
+    VxlanRepr {
+        vni,
+        next_header: if elmo_len > 0 {
+            NextHeader::Elmo
+        } else {
+            NextHeader::Ethernet
+        },
+    }
+    .emit(&mut vx);
+    // Elmo header + inner frame
+    let mut off = vx_off + vxlan::HEADER_LEN;
+    if let Some(bytes) = elmo_bytes {
+        out[off..off + bytes.len()].copy_from_slice(&bytes);
+        off += bytes.len();
+    }
+    out[off..].copy_from_slice(inner_frame);
+}
+
+/// A packet in flight through the fabric replay fast path: parsed exactly
+/// once, then passed hop to hop as structs.
+///
+/// Cloning is free of allocation — the outer fields are `Copy`, the Elmo
+/// header is an `Arc` of the *sender's* decoded header shared by every copy
+/// fabric-wide, and the tenant payload is an immutable `Arc<[u8]>` likewise
+/// shared by all copies. Because sections pop strictly front-to-back (D2d),
+/// a hop "pops" a section by bumping [`popped`](Self::popped) on its copy —
+/// the header struct itself is never cloned or mutated, and no payload byte
+/// is copied between injection and the final per-delivery materialization.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct FlightPacket {
+    /// Outer source MAC (the sending hypervisor).
+    pub src_mac: MacAddr,
+    /// Outer destination MAC.
+    pub dst_mac: MacAddr,
+    /// Outer source IP (the sending host's underlay address).
+    pub src_ip: Ipv4Addr,
+    /// Outer destination IP (multicast group, or host address for unicast).
+    pub group_ip: Ipv4Addr,
+    /// Flow entropy for ECMP (outer UDP source port).
+    pub flow_entropy: u16,
+    /// Tenant virtual network.
+    pub vni: Vni,
+    /// The Elmo header as the sender emitted it; `None` once stripped for
+    /// host delivery. Shared by all copies of the packet.
+    pub elmo: Option<Arc<ElmoHeader>>,
+    /// How many leading header sections this copy has popped (an
+    /// [`elmo_core::pop`] depth). Meaningless (keep `0`) when `elmo` is
+    /// `None`. The rule accessors and [`materialize`](Self::materialize)
+    /// treat sections above this depth as absent.
+    pub popped: u8,
+    /// The tenant's inner frame, shared immutably by every copy.
+    pub payload: Arc<[u8]>,
+}
+
+impl FlightPacket {
+    /// Parse a wire packet into flight form (the one parse of the fast
+    /// path). The payload bytes are copied once into the shared buffer.
+    pub fn parse(bytes: &[u8], layout: &HeaderLayout) -> Result<FlightPacket, PacketError> {
+        let (repr, inner_off) = ElmoPacketRepr::parse(bytes, layout)?;
+        Ok(FlightPacket {
+            src_mac: repr.src_mac,
+            dst_mac: repr.dst_mac,
+            src_ip: repr.src_ip,
+            group_ip: repr.group_ip,
+            flow_entropy: repr.flow_entropy,
+            vni: repr.vni,
+            elmo: repr.elmo.map(Arc::new),
+            popped: pop::NONE,
+            payload: Arc::from(&bytes[inner_off..]),
+        })
+    }
+
+    /// Total bytes [`materialize`](Self::materialize) will produce —
+    /// the on-the-wire size of this copy, without serializing anything.
+    pub fn wire_len(&self, layout: &HeaderLayout) -> usize {
+        let elmo_len = self
+            .elmo
+            .as_ref()
+            .map_or(0, |h| h.byte_len_popped(layout, self.popped));
+        ElmoPacketRepr::OUTER_LEN + elmo_len + self.payload.len()
+    }
+
+    /// Bytes the switch parser must hold in its header vector (outer stack
+    /// plus Elmo header; the RMT limit applies to this, not the payload).
+    pub fn header_vector_len(&self, layout: &HeaderLayout) -> usize {
+        let elmo_len = self
+            .elmo
+            .as_ref()
+            .map_or(0, |h| h.byte_len_popped(layout, self.popped));
+        ElmoPacketRepr::OUTER_LEN + elmo_len
+    }
+
+    /// Serialize this copy to wire bytes (cleared-and-reused `out`). Goes
+    /// through the same serializer as [`ElmoPacketRepr::emit`], so the
+    /// bytes are identical to what the encode-per-hop path produces.
+    pub fn materialize(&self, layout: &HeaderLayout, out: &mut Vec<u8>) {
+        emit_stack(
+            self.src_mac,
+            self.dst_mac,
+            self.src_ip,
+            self.group_ip,
+            self.flow_entropy,
+            self.vni,
+            self.elmo.as_deref(),
+            self.popped,
+            layout,
+            &self.payload,
+            out,
+        );
+    }
+
+    /// The upstream leaf rule this copy still carries, if any.
+    pub fn u_leaf(&self) -> Option<&UpstreamRule> {
+        self.elmo
+            .as_deref()
+            .filter(|_| self.popped < pop::U_LEAF)
+            .and_then(|h| h.u_leaf.as_ref())
+    }
+
+    /// The upstream spine rule this copy still carries, if any.
+    pub fn u_spine(&self) -> Option<&UpstreamRule> {
+        self.elmo
+            .as_deref()
+            .filter(|_| self.popped < pop::U_SPINE)
+            .and_then(|h| h.u_spine.as_ref())
+    }
+
+    /// The core pod bitmap this copy still carries, if any.
+    pub fn core_pods(&self) -> Option<&PortBitmap> {
+        self.elmo
+            .as_deref()
+            .filter(|_| self.popped < pop::CORE)
+            .and_then(|h| h.core.as_ref())
+    }
+
+    /// The downstream spine p-rule matching `switch`, if this copy still
+    /// carries the d-spine section and a rule names that switch.
+    pub fn find_d_spine(&self, switch: u32) -> Option<&DownstreamRule> {
+        self.elmo
+            .as_deref()
+            .filter(|_| self.popped < pop::D_SPINE)
+            .and_then(|h| h.d_spine.iter().find(|r| r.switches.contains(&switch)))
+    }
+
+    /// The default d-spine p-rule, if this copy still carries it.
+    pub fn d_spine_default(&self) -> Option<&PortBitmap> {
+        self.elmo
+            .as_deref()
+            .filter(|_| self.popped < pop::D_SPINE)
+            .and_then(|h| h.d_spine_default.as_ref())
+    }
+
+    /// The downstream leaf p-rule matching `switch`, if a rule names that
+    /// switch (the d-leaf section is never popped in flight — the leaf
+    /// strips the whole header on delivery).
+    pub fn find_d_leaf(&self, switch: u32) -> Option<&DownstreamRule> {
+        self.elmo
+            .as_deref()
+            .and_then(|h| h.d_leaf.iter().find(|r| r.switches.contains(&switch)))
+    }
+
+    /// The default d-leaf p-rule.
+    pub fn d_leaf_default(&self) -> Option<&PortBitmap> {
+        self.elmo.as_deref().and_then(|h| h.d_leaf_default.as_ref())
+    }
+
+    /// Serialize into a fresh exactly-sized buffer.
+    pub fn to_bytes(&self, layout: &HeaderLayout) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.wire_len(layout));
+        self.materialize(layout, &mut out);
+        out
+    }
+
+    /// This copy's ECMP hash — identical to [`ecmp_hash`] on the parsed
+    /// representation of the same packet.
+    pub fn ecmp_hash(&self, salt: u64) -> u64 {
+        ecmp_hash_fields(self.src_ip, self.group_ip, self.flow_entropy, salt)
+    }
+}
+
 /// A deterministic FNV-1a hash of the packet's flow identity, used for ECMP
 /// path selection at leaves (choosing a spine) and spines (choosing a core).
 pub fn ecmp_hash(repr: &ElmoPacketRepr, salt: u64) -> u64 {
+    ecmp_hash_fields(repr.src_ip, repr.group_ip, repr.flow_entropy, salt)
+}
+
+/// [`ecmp_hash`] on the raw flow-identity fields (shared with
+/// [`FlightPacket`], which carries the same fields without the repr).
+pub fn ecmp_hash_fields(src_ip: Ipv4Addr, group_ip: Ipv4Addr, flow_entropy: u16, salt: u64) -> u64 {
     let mut h = 0xcbf2_9ce4_8422_2325u64 ^ salt;
     let mut feed = |b: u8| {
         h ^= b as u64;
         h = h.wrapping_mul(0x1000_0000_01b3);
     };
-    for b in repr.src_ip.octets() {
+    for b in src_ip.octets() {
         feed(b);
     }
-    for b in repr.group_ip.octets() {
+    for b in group_ip.octets() {
         feed(b);
     }
-    for b in repr.flow_entropy.to_be_bytes() {
+    for b in flow_entropy.to_be_bytes() {
         feed(b);
     }
     h
@@ -332,6 +547,59 @@ mod tests {
             ecmp_hash(&b, 1),
             "entropy changes the hash"
         );
+    }
+
+    #[test]
+    fn flight_parse_materialize_is_byte_identical() {
+        let l = layout();
+        for with_elmo in [true, false] {
+            let repr = sample_repr(with_elmo);
+            let inner = b"tenant payload shared by all copies";
+            let mut wire = Vec::new();
+            repr.emit(&l, inner, &mut wire);
+            let flight = FlightPacket::parse(&wire, &l).unwrap();
+            assert_eq!(flight.wire_len(&l), wire.len());
+            assert_eq!(flight.header_vector_len(&l), repr.header_vector_len(&l));
+            assert_eq!(flight.to_bytes(&l), wire);
+            assert_eq!(flight.ecmp_hash(9), ecmp_hash(&repr, 9));
+            assert_eq!(&*flight.payload, inner);
+        }
+    }
+
+    #[test]
+    fn flight_header_pop_rematerializes_like_repr() {
+        let l = layout();
+        let repr = sample_repr(true);
+        let inner = b"payload";
+        let mut wire = Vec::new();
+        repr.emit(&l, inner, &mut wire);
+        let mut flight = FlightPacket::parse(&wire, &l).unwrap();
+        // Pop a section: physically on the repr, as a depth bump in flight.
+        // Bytes (and the predicted wire length) must still match.
+        let mut popped_repr = repr.clone();
+        popped_repr.elmo.as_mut().unwrap().u_leaf = None;
+        flight.popped = pop::U_LEAF;
+        let mut expect = Vec::new();
+        popped_repr.emit(&l, inner, &mut expect);
+        assert_eq!(flight.wire_len(&l), expect.len());
+        assert_eq!(flight.to_bytes(&l), expect);
+    }
+
+    #[test]
+    fn flight_rule_accessors_respect_pop_depth() {
+        let l = layout();
+        let repr = sample_repr(true);
+        let mut wire = Vec::new();
+        repr.emit(&l, b"p", &mut wire);
+        let mut flight = FlightPacket::parse(&wire, &l).unwrap();
+        assert!(flight.u_leaf().is_some());
+        assert!(flight.core_pods().is_some());
+        flight.popped = pop::U_LEAF;
+        assert!(flight.u_leaf().is_none(), "popped section reads as absent");
+        assert!(flight.core_pods().is_some(), "deeper sections unaffected");
+        flight.popped = pop::D_SPINE;
+        assert!(flight.core_pods().is_none());
+        assert!(flight.d_spine_default().is_none());
     }
 
     #[test]

@@ -42,6 +42,12 @@ pub const REQUIRED_METRICS: &[&str] = &[
     // Fabric link accounting (§5.1.2 traffic overhead, measured bytes).
     "fabric.packets_on_links",
     "fabric.host_to_leaf_bytes",
+    // Zero-copy replay loop health: scratch-buffer reuse vs growth, and
+    // how many copies were actually serialized back to wire bytes (only
+    // host deliveries and captures should be).
+    "fabric.replay.buffer_reuse",
+    "fabric.replay.fresh_alloc",
+    "fabric.replay.materialized",
     // Encoding memoization (shared by the controller batch path and the
     // sweep; hit rate is the tenant-reuse signal the bench reports).
     "encode.cache_hit",

@@ -1,0 +1,373 @@
+//! Byte-identity golden tests for the zero-copy replay fast path.
+//!
+//! `Fabric::inject` (flight form: parse once, forward structs, materialize
+//! at delivery) must be observationally indistinguishable from
+//! `Fabric::inject_reference` (the pre-change encode-per-hop path, kept
+//! in-tree as the reference): identical `(HostId, Vec<u8>)` deliveries in
+//! identical order, identical per-switch `SwitchStats`, and identical
+//! per-tier link-byte counters — on the paper's Figure 3 end-to-end
+//! scenario as well as s-rule and default-p-rule encodings.
+
+use std::net::Ipv4Addr;
+use std::sync::Arc;
+
+use elmo::core::{encode_group, header_for_sender, EncoderConfig, HeaderLayout};
+use elmo::dataplane::{Fabric, HypervisorSwitch, SenderFlow, SwitchConfig};
+use elmo::net::vxlan::Vni;
+use elmo::topology::{Clos, GroupTree, HostId, LeafId, PodId, UpstreamCover};
+
+const OUTER: Ipv4Addr = Ipv4Addr::new(239, 1, 1, 1);
+const GROUP: Ipv4Addr = Ipv4Addr::new(225, 0, 0, 1);
+const MEMBERS: [HostId; 6] = [
+    HostId(0),
+    HostId(1),
+    HostId(42),
+    HostId(48),
+    HostId(49),
+    HostId(57),
+];
+
+/// One encoded scenario, ready to build identical fabrics from.
+struct Scenario {
+    topo: Clos,
+    layout: HeaderLayout,
+    enc: elmo::core::GroupEncoding,
+    tree: GroupTree,
+}
+
+/// The paper's Figure 3 configuration: pod P3 lands on the default p-rule,
+/// everything else on exact p-rules.
+fn figure3_scenario() -> Scenario {
+    let topo = Clos::paper_example();
+    let layout = HeaderLayout::for_clos(&topo);
+    let tree = GroupTree::new(&topo, MEMBERS);
+    let cfg = EncoderConfig::with_budget(&layout, 325, 0);
+    let mut sa = |_p| false;
+    let mut la = |_l| false;
+    let enc = encode_group(&topo, &tree, &cfg, &mut sa, &mut la);
+    Scenario {
+        topo,
+        layout,
+        enc,
+        tree,
+    }
+}
+
+/// A tight-budget encoding with group-table capacity available: some
+/// switches get s-rules instead of p-rules.
+fn srule_scenario() -> Scenario {
+    let topo = Clos::paper_example();
+    let layout = HeaderLayout::for_clos(&topo);
+    let tree = GroupTree::new(&topo, MEMBERS);
+    let cfg = EncoderConfig {
+        r: 0,
+        k_max: 2,
+        h_spine_max: 2,
+        h_leaf_max: 2,
+        budget_bytes: 325,
+        mode: elmo::core::RedundancyMode::Sum,
+    };
+    let mut sa = |_p| true;
+    let mut la = |_l| true;
+    let enc = encode_group(&topo, &tree, &cfg, &mut sa, &mut la);
+    assert!(
+        !enc.d_spine.s_rules.is_empty() || !enc.d_leaf.s_rules.is_empty(),
+        "scenario must exercise s-rules"
+    );
+    Scenario {
+        topo,
+        layout,
+        enc,
+        tree,
+    }
+}
+
+/// Same tight budget with no s-rule capacity: overflow switches fall to the
+/// default p-rule and over-deliver.
+fn default_prule_scenario() -> Scenario {
+    let topo = Clos::paper_example();
+    let layout = HeaderLayout::for_clos(&topo);
+    let tree = GroupTree::new(&topo, MEMBERS);
+    let cfg = EncoderConfig {
+        r: 0,
+        k_max: 2,
+        h_spine_max: 2,
+        h_leaf_max: 2,
+        budget_bytes: 325,
+        mode: elmo::core::RedundancyMode::Sum,
+    };
+    let mut sa = |_p| false;
+    let mut la = |_l| false;
+    let enc = encode_group(&topo, &tree, &cfg, &mut sa, &mut la);
+    assert!(
+        enc.d_leaf.default_rule.is_some() || enc.d_spine.default_rule.is_some(),
+        "scenario must exercise the default p-rule"
+    );
+    Scenario {
+        topo,
+        layout,
+        enc,
+        tree,
+    }
+}
+
+fn build_fabric(s: &Scenario) -> Fabric {
+    let mut fabric = Fabric::new(s.topo, SwitchConfig::default());
+    for (leaf, bm) in &s.enc.d_leaf.s_rules {
+        fabric
+            .leaf_mut(LeafId(*leaf))
+            .install_srule(OUTER, bm.clone())
+            .expect("leaf capacity");
+    }
+    for (pod, bm) in &s.enc.d_spine.s_rules {
+        fabric
+            .install_pod_srule(PodId(*pod), OUTER, bm.clone())
+            .expect("spine capacity");
+    }
+    fabric
+}
+
+fn sender_packets(s: &Scenario, sender: HostId, count: usize) -> Vec<Vec<u8>> {
+    let header = header_for_sender(
+        &s.topo,
+        &s.layout,
+        &s.tree,
+        &s.enc,
+        sender,
+        &UpstreamCover::multipath(),
+    );
+    let mut hv = HypervisorSwitch::new(sender);
+    hv.install_flow(
+        Vni(1),
+        GROUP,
+        SenderFlow::new(OUTER, Vni(1), &header, &s.layout, vec![]),
+    );
+    (0..count)
+        .map(|i| {
+            let payload = format!("replay identity payload #{i} from host {sender}");
+            hv.send(Vni(1), GROUP, payload.as_bytes(), &s.layout)
+                .remove(0)
+        })
+        .collect()
+}
+
+/// Assert every observable of two fabrics matches: per-tier link bytes and
+/// each individual switch's counters.
+fn assert_fabrics_identical(a: &Fabric, b: &Fabric, what: &str) {
+    assert_eq!(a.stats, b.stats, "{what}: FabricStats diverged");
+    let topo = *a.topo();
+    for l in topo.leaves() {
+        assert_eq!(
+            a.leaf(l).stats,
+            b.leaf(l).stats,
+            "{what}: leaf {l:?} stats diverged"
+        );
+    }
+    for sp in topo.spines() {
+        assert_eq!(
+            a.spine(sp).stats,
+            b.spine(sp).stats,
+            "{what}: spine {sp:?} stats diverged"
+        );
+    }
+    for c in topo.cores() {
+        assert_eq!(
+            a.core(c).stats,
+            b.core(c).stats,
+            "{what}: core {c:?} stats diverged"
+        );
+    }
+}
+
+/// Drive the same packets through the fast path and the reference path,
+/// asserting byte-identical deliveries and identical counters.
+fn assert_paths_identical(s: &Scenario, what: &str) {
+    let mut fast = build_fabric(s);
+    let mut reference = build_fabric(s);
+    for &sender in &MEMBERS {
+        for pkt in sender_packets(s, sender, 3) {
+            let d_fast = fast.inject(sender, pkt.clone());
+            let d_ref = reference.inject_reference(sender, pkt);
+            assert_eq!(d_fast, d_ref, "{what}: deliveries diverged");
+            assert!(!d_fast.is_empty(), "{what}: scenario delivered nothing");
+        }
+    }
+    assert_fabrics_identical(&fast, &reference, what);
+}
+
+#[test]
+fn figure3_fast_path_is_byte_identical_to_reference() {
+    assert_paths_identical(&figure3_scenario(), "figure3");
+}
+
+#[test]
+fn srule_fast_path_is_byte_identical_to_reference() {
+    assert_paths_identical(&srule_scenario(), "srule");
+}
+
+#[test]
+fn default_prule_fast_path_is_byte_identical_to_reference() {
+    assert_paths_identical(&default_prule_scenario(), "default-prule");
+}
+
+#[test]
+fn unicast_fast_path_is_byte_identical_to_reference() {
+    let topo = Clos::paper_example();
+    let layout = HeaderLayout::for_clos(&topo);
+    let mut fast = Fabric::new(topo, SwitchConfig::default());
+    let mut reference = Fabric::new(topo, SwitchConfig::default());
+    let mut hv_a = HypervisorSwitch::new(HostId(0));
+    let mut hv_b = HypervisorSwitch::new(HostId(0));
+    for target in [HostId(1), HostId(13), HostId(57)] {
+        let pa = hv_a
+            .send_unicast_to(&[target], Vni(3), b"uni", &layout)
+            .remove(0);
+        let pb = hv_b
+            .send_unicast_to(&[target], Vni(3), b"uni", &layout)
+            .remove(0);
+        assert_eq!(pa, pb);
+        let d_fast = fast.inject(HostId(0), pa);
+        let d_ref = reference.inject_reference(HostId(0), pb);
+        assert_eq!(d_fast, d_ref);
+        assert_eq!(d_fast[0].0, target);
+    }
+    assert_fabrics_identical(&fast, &reference, "unicast");
+}
+
+#[test]
+fn inject_batch_matches_sequential_injects() {
+    let s = figure3_scenario();
+    let mut one_by_one = build_fabric(&s);
+    let mut batched = build_fabric(&s);
+    let mut batch = Vec::new();
+    let mut expected = Vec::new();
+    for &sender in &MEMBERS[..3] {
+        for pkt in sender_packets(&s, sender, 2) {
+            expected.extend(one_by_one.inject(sender, pkt.clone()));
+            batch.push((sender, pkt));
+        }
+    }
+    let got = batched.inject_batch(batch);
+    assert_eq!(got, expected);
+    assert_fabrics_identical(&one_by_one, &batched, "batch");
+}
+
+#[test]
+fn inject_flight_matches_byte_injection() {
+    let s = figure3_scenario();
+    let sender = HostId(0);
+    let header = header_for_sender(
+        &s.topo,
+        &s.layout,
+        &s.tree,
+        &s.enc,
+        sender,
+        &UpstreamCover::multipath(),
+    );
+    // Two hypervisors with identical state: one sends bytes, one flights.
+    let mut hv_bytes = HypervisorSwitch::new(sender);
+    let mut hv_flight = HypervisorSwitch::new(sender);
+    for hv in [&mut hv_bytes, &mut hv_flight] {
+        hv.install_flow(
+            Vni(1),
+            GROUP,
+            SenderFlow::new(OUTER, Vni(1), &header, &s.layout, vec![]),
+        );
+    }
+    let mut fast = build_fabric(&s);
+    let mut flight_fab = build_fabric(&s);
+    let payload: Arc<[u8]> = Arc::from(&b"flight payload"[..]);
+    for _ in 0..4 {
+        let pkt = hv_bytes.send(Vni(1), GROUP, &payload, &s.layout).remove(0);
+        let flight = hv_flight.send_flight(Vni(1), GROUP, &payload).remove(0);
+        assert_eq!(flight.to_bytes(&s.layout), pkt, "send_flight wire bytes");
+        let d_bytes = fast.inject(sender, pkt);
+        let d_flight = flight_fab.inject_flight(sender, flight);
+        assert_eq!(d_bytes, d_flight);
+    }
+    assert_fabrics_identical(&fast, &flight_fab, "flight");
+}
+
+#[test]
+fn replay_is_deterministic_across_runs() {
+    let run = || {
+        let s = figure3_scenario();
+        let mut fabric = build_fabric(&s);
+        let mut out = Vec::new();
+        for &sender in &MEMBERS {
+            for pkt in sender_packets(&s, sender, 2) {
+                out.extend(fabric.inject(sender, pkt));
+            }
+        }
+        (out, fabric.stats)
+    };
+    let (d1, s1) = run();
+    let (d2, s2) = run();
+    assert_eq!(d1, d2, "deliveries must be bit-identical across runs");
+    assert_eq!(s1, s2, "link counters must be identical across runs");
+}
+
+#[test]
+fn capture_is_identical_and_restartable() {
+    let s = figure3_scenario();
+    let mut fast = build_fabric(&s);
+    let mut reference = build_fabric(&s);
+    let pkts = sender_packets(&s, HostId(0), 2);
+
+    // Session 1: both paths capture the same wire copies in the same order.
+    fast.start_capture(1024);
+    reference.start_capture(1024);
+    fast.inject(HostId(0), pkts[0].clone());
+    reference.inject_reference(HostId(0), pkts[0].clone());
+    let cap_fast = fast.take_capture();
+    let cap_ref = reference.take_capture();
+    assert!(!cap_fast.is_empty());
+    assert_eq!(cap_fast, cap_ref, "captured copies diverged");
+
+    // Session 2: take_capture reset state, so a fresh capture works and is
+    // independent of the first.
+    fast.start_capture(1024);
+    fast.inject(HostId(0), pkts[1].clone());
+    let cap2 = fast.take_capture();
+    assert_eq!(cap2.len(), cap_fast.len(), "second session captures anew");
+    assert_ne!(cap2, cap_fast, "entropy differs, so copies differ");
+
+    // After take_capture, capturing is off: nothing is recorded.
+    fast.inject(HostId(0), pkts[0].clone());
+    assert!(fast.take_capture().is_empty());
+
+    // The capture limit is honored per session.
+    fast.start_capture(3);
+    fast.inject(HostId(0), pkts[0].clone());
+    assert_eq!(fast.take_capture().len(), 3);
+}
+
+#[test]
+fn failed_switch_behaves_identically_on_both_paths() {
+    let s = figure3_scenario();
+    let mut fast = build_fabric(&s);
+    let mut reference = build_fabric(&s);
+    for f in [&mut fast, &mut reference] {
+        f.fail_core(elmo::topology::CoreId(0));
+        f.fail_core(elmo::topology::CoreId(1));
+    }
+    for pkt in sender_packets(&s, HostId(0), 3) {
+        let d_fast = fast.inject(HostId(0), pkt.clone());
+        let d_ref = reference.inject_reference(HostId(0), pkt);
+        assert_eq!(d_fast, d_ref, "deliveries diverged under failure");
+    }
+    assert_fabrics_identical(&fast, &reference, "failed-core");
+}
+
+#[test]
+fn garbage_bytes_count_parse_drop_on_ingress_leaf() {
+    let topo = Clos::paper_example();
+    let mut fast = Fabric::new(topo, SwitchConfig::default());
+    let mut reference = Fabric::new(topo, SwitchConfig::default());
+    assert!(fast.inject(HostId(0), vec![0u8; 24]).is_empty());
+    assert!(reference
+        .inject_reference(HostId(0), vec![0u8; 24])
+        .is_empty());
+    assert_eq!(fast.leaf(LeafId(0)).stats.dropped_parse, 1);
+    assert_fabrics_identical(&fast, &reference, "garbage");
+}
