@@ -516,6 +516,43 @@ fn bench_replay(args: &Args) -> ReplayBench {
     }
 }
 
+/// Time the static rule-state verifier end to end on a 1,000-group
+/// workload of the bench fabric: controller compile, fabric install, full
+/// `elmo_verify::check_state` walk (delivery, loops, budgets, replica
+/// coherence), traffic cross-check, and a 50-group differential replay.
+/// The report must come back clean — a wall-time number for a verifier
+/// that found violations would not measure the steady-state cost.
+fn bench_verify() -> (usize, f64, f64) {
+    use elmo_sim::verify_exp::{self, VerifyExpConfig};
+    let topo = Clos::scaled_fabric(6, 24, 16);
+    let layout = elmo_core::HeaderLayout::for_clos(&topo);
+    let mut wl = WorkloadConfig::scaled(&topo, 12, GroupSizeDist::Wve);
+    wl.total_groups = 1_000;
+    let cfg = VerifyExpConfig {
+        r: 12,
+        header_budget: layout.max_header_bytes(2, 30, 2),
+        threads: 0,
+        samples: 50,
+        seed: 0xb_e4c4,
+    };
+    let start = Instant::now();
+    let run = verify_exp::run(topo, wl, &cfg);
+    let secs = start.elapsed().as_secs_f64();
+    assert!(
+        run.report.ok(),
+        "bench workload must verify clean: {:?}",
+        run.report.counts_by_kind()
+    );
+    let rate = run.report.groups_checked as f64 / secs;
+    elmo_obs::info!(
+        "bench.verify",
+        groups = run.report.groups_checked,
+        wall_ms = secs * 1e3,
+        groups_per_sec = rate
+    );
+    (run.report.groups_checked, secs * 1e3, rate)
+}
+
 fn json_f(v: f64) -> String {
     if v.is_finite() {
         format!("{v:.2}")
@@ -559,6 +596,7 @@ fn run_encode_bench(args: &Args, cpus: usize, skipped: &[usize]) {
     let (topo, wl, runs, reference) = bench_sweep(args);
     let cache = bench_cache(args, &reference);
     let (mku_calls, mku_ms, mku_rate) = bench_min_k_union();
+    let (verify_groups, verify_ms, verify_rate) = bench_verify();
 
     let one_thread = runs.iter().find(|r| r.threads == 1).map(|r| r.wall_ms);
     let speedups: Vec<String> = runs
@@ -593,7 +631,7 @@ fn run_encode_bench(args: &Args, cpus: usize, skipped: &[usize]) {
         json_f(cache.warm_wall_ms),
     );
     let json = format!(
-        "{{\n  \"bench\": \"elmo encode sweep\",\n  \"fabric_hosts\": {},\n  \"groups\": {},\n  \"r_values\": [{}],\n  \"cpus_available\": {},\n  \"parallel_speedup_valid\": true,\n  \"skipped_thread_counts\": [{}],\n  \"runs\": [\n{}\n  ],\n  \"cache\": {},\n  \"phases\": [\n{}\n  ],\n  \"min_k_union\": {{\"calls\": {}, \"wall_ms\": {}, \"calls_per_sec\": {}}}\n}}\n",
+        "{{\n  \"bench\": \"elmo encode sweep\",\n  \"fabric_hosts\": {},\n  \"groups\": {},\n  \"r_values\": [{}],\n  \"cpus_available\": {},\n  \"parallel_speedup_valid\": true,\n  \"skipped_thread_counts\": [{}],\n  \"runs\": [\n{}\n  ],\n  \"cache\": {},\n  \"phases\": [\n{}\n  ],\n  \"min_k_union\": {{\"calls\": {}, \"wall_ms\": {}, \"calls_per_sec\": {}}},\n  \"verify\": {{\"groups\": {}, \"wall_ms\": {}, \"groups_per_sec\": {}}}\n}}\n",
         topo.num_hosts(),
         wl.total_groups,
         r_list.join(", "),
@@ -605,6 +643,9 @@ fn run_encode_bench(args: &Args, cpus: usize, skipped: &[usize]) {
         mku_calls,
         json_f(mku_ms),
         json_f(mku_rate),
+        verify_groups,
+        json_f(verify_ms),
+        json_f(verify_rate),
     );
     std::fs::write(&args.out, &json).expect("write bench output");
     if args.require_cache_hits && cache.hits == 0 {

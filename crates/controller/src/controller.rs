@@ -8,12 +8,12 @@
 //! updates — the quantity Table 2 measures. Core switches never need
 //! updates, by construction.
 
-use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::collections::{BTreeMap, BTreeSet};
 use std::net::Ipv4Addr;
 
 use elmo_core::{
-    encode_group, header_for_sender, ElmoHeader, EncodeCache, EncoderConfig, GroupEncoding,
-    HeaderLayout, RedundancyMode,
+    encode_group, header_for_sender, DetHashMap, ElmoHeader, EncodeCache, EncoderConfig,
+    GroupEncoding, HeaderLayout, RedundancyMode,
 };
 use elmo_dataplane::MembershipSignal;
 use elmo_net::vxlan::Vni;
@@ -178,9 +178,9 @@ pub struct Controller {
     /// Structural encoding cache for the batch pipeline's optimistic
     /// phase, warm across batches (see `elmo_core::sig`).
     cache: EncodeCache,
-    groups: HashMap<GroupId, GroupState>,
+    groups: DetHashMap<GroupId, GroupState>,
     /// Tenant-facing index: (VNI, tenant group address) -> group.
-    by_addr: HashMap<(Vni, Ipv4Addr), GroupId>,
+    by_addr: DetHashMap<(Vni, Ipv4Addr), GroupId>,
     next_group_id: u64,
     failures: FailureState,
 }
@@ -197,8 +197,8 @@ impl Controller {
             encoder,
             srules: SRuleSpace::new(&topo, config.leaf_fmax, config.spine_fmax),
             cache: EncodeCache::new(),
-            groups: HashMap::new(),
-            by_addr: HashMap::new(),
+            groups: DetHashMap::default(),
+            by_addr: DetHashMap::default(),
             next_group_id: 0,
             failures: FailureState::none(),
         }

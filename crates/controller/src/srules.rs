@@ -118,6 +118,16 @@ impl SRuleSpace {
     pub fn pod_usages(&self) -> &[usize] {
         &self.pod_used
     }
+
+    /// Per-leaf group-table capacity (`Fmax`).
+    pub fn leaf_capacity(&self) -> usize {
+        self.leaf_cap
+    }
+
+    /// Per-spine group-table capacity (`Fmax`).
+    pub fn spine_capacity(&self) -> usize {
+        self.spine_cap
+    }
 }
 
 /// Summary statistics over a usage vector.

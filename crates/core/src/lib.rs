@@ -24,6 +24,7 @@
 pub mod bitmap;
 pub mod bits;
 pub mod cluster;
+pub mod det;
 pub mod header;
 pub mod layout;
 pub mod min_k_union;
@@ -36,6 +37,7 @@ pub use bitmap::PortBitmap;
 pub use cluster::{
     cluster_layer, cluster_layer_with, ClusterConfig, ClusterScratch, LayerEncoding, RedundancyMode,
 };
+pub use det::{DetHashMap, DetHashSet, DetHasher};
 pub use header::{pop, DownstreamRule, ElmoHeader, HeaderError, UpstreamRule};
 pub use layout::HeaderLayout;
 pub use min_k_union::{approx_min_k_union, approx_min_k_union_with, MinKUnionScratch};

@@ -14,7 +14,7 @@ use crate::bitmap::PortBitmap;
 use crate::cluster::{
     cluster_layer_with, ClusterConfig, ClusterScratch, LayerEncoding, RedundancyMode,
 };
-use crate::header::{ElmoHeader, UpstreamRule};
+use crate::header::{DownstreamRule, ElmoHeader, UpstreamRule};
 use crate::layout::HeaderLayout;
 use crate::sig::{cluster_layer_cached, CacheOutcome, CacheShard, EncodeCache};
 
@@ -414,11 +414,48 @@ pub fn header_for_sender(
         // traversed).
         header.d_spine = enc.d_spine.p_rules.clone();
         header.d_spine_default = enc.d_spine.default_rule.clone();
+        if enc.d_spine.p_rules.is_empty()
+            && enc.d_spine.s_rules.is_empty()
+            && enc.d_spine.default_rule.is_none()
+        {
+            // Single-pod receiver tree: the encoder skips the spine layer
+            // because receiver-to-receiver traffic never crosses the core.
+            // A sender outside that pod still does, so its header must
+            // carry the one rule the shared encoding omitted.
+            for &p in &remote_pods {
+                header.d_spine.push(DownstreamRule {
+                    bitmap: PortBitmap::from_ports(
+                        layout.spine_down_ports,
+                        tree.leaf_ports_in_pod(topo, p),
+                    ),
+                    switches: vec![p.0],
+                });
+            }
+        }
     }
 
     // --- shared downstream leaf section --------------------------------------
     header.d_leaf = enc.d_leaf.p_rules.clone();
     header.d_leaf_default = enc.d_leaf.default_rule.clone();
+    if enc.d_leaf.p_rules.is_empty()
+        && enc.d_leaf.s_rules.is_empty()
+        && enc.d_leaf.default_rule.is_none()
+    {
+        // Likewise for a single-leaf tree: covered by the sender's upstream
+        // leaf rule only when the sender shares that leaf. A remote
+        // sender's copy arrives downstream and needs an explicit rule.
+        for l in tree.leaves() {
+            if l != sender_leaf {
+                header.d_leaf.push(DownstreamRule {
+                    bitmap: PortBitmap::from_ports(
+                        layout.leaf_down_ports,
+                        tree.host_ports_on_leaf(topo, l),
+                    ),
+                    switches: vec![l.0],
+                });
+            }
+        }
+    }
 
     header
 }

@@ -12,11 +12,10 @@
 //! discarding anything else. During failure reconfiguration it can degrade a
 //! group to unicast (§3.3).
 
-use std::collections::HashMap;
 use std::net::Ipv4Addr;
 use std::sync::Arc;
 
-use elmo_core::{ElmoHeader, HeaderLayout};
+use elmo_core::{DetHashMap, ElmoHeader, HeaderLayout};
 use elmo_net::ethernet::{self, EtherType, Frame, FrameRepr, MacAddr};
 use elmo_net::ipv4::{self, Ipv4Packet, Ipv4Repr, Protocol};
 use elmo_net::udp::{self, UdpPacket, UdpRepr, VXLAN_PORT};
@@ -167,9 +166,9 @@ pub struct HypervisorSwitch {
     mac: MacAddr,
     ip: Ipv4Addr,
     /// Sender-side flow table: (tenant VNI, tenant group address) -> encap.
-    flows: HashMap<(Vni, Ipv4Addr), SenderFlow>,
+    flows: DetHashMap<(Vni, Ipv4Addr), SenderFlow>,
     /// Receiver-side subscriptions: outer group address -> local VM slots.
-    subscriptions: HashMap<Ipv4Addr, Vec<VmSlot>>,
+    subscriptions: DetHashMap<Ipv4Addr, Vec<VmSlot>>,
     /// Flow-entropy counter for outer UDP source ports.
     entropy: u16,
     /// Counters.
@@ -183,8 +182,8 @@ impl HypervisorSwitch {
             host,
             mac: MacAddr::for_host(host.0),
             ip: host_ip(host),
-            flows: HashMap::new(),
-            subscriptions: HashMap::new(),
+            flows: DetHashMap::default(),
+            subscriptions: DetHashMap::default(),
             entropy: (host.0 as u16).wrapping_mul(31).wrapping_add(17),
             stats: HypervisorStats::default(),
         }
@@ -216,6 +215,19 @@ impl HypervisorSwitch {
     /// Fetch a flow entry (for inspection or toggling fallback).
     pub fn flow_mut(&mut self, vni: Vni, tenant_group: Ipv4Addr) -> Option<&mut SenderFlow> {
         self.flows.get_mut(&(vni, tenant_group))
+    }
+
+    /// Read-only flow lookup (static verification of the encap table).
+    pub fn flow(&self, vni: Vni, tenant_group: Ipv4Addr) -> Option<&SenderFlow> {
+        self.flows.get(&(vni, tenant_group))
+    }
+
+    /// Local VM slots subscribed to an outer group address.
+    pub fn subscribers(&self, outer_group: Ipv4Addr) -> &[VmSlot] {
+        self.subscriptions
+            .get(&outer_group)
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
     }
 
     /// Number of installed sender flows.

@@ -249,6 +249,23 @@ impl NetworkSwitch {
         self.group_table.len()
     }
 
+    /// Look up the installed s-rule for an outer group address, if any.
+    pub fn srule(&self, group: &Ipv4Addr) -> Option<&PortBitmap> {
+        self.group_table.get(group)
+    }
+
+    /// Iterate over every installed s-rule. Table order is hash order
+    /// (deterministic under [`elmo_core::sig::SigHasher`] but not sorted);
+    /// collect and sort when a canonical order matters.
+    pub fn srules(&self) -> impl Iterator<Item = (&Ipv4Addr, &PortBitmap)> {
+        self.group_table.iter()
+    }
+
+    /// The switch's static configuration (parser and table limits).
+    pub fn config(&self) -> &SwitchConfig {
+        &self.config
+    }
+
     /// Remaining group-table capacity.
     pub fn srule_capacity_left(&self) -> usize {
         self.config.group_table_capacity - self.group_table.len()

@@ -117,14 +117,15 @@ pub fn rule_aggregation<'a>(
     slack: f64,
 ) -> AggregationUsage {
     use std::collections::BTreeSet;
-    use std::collections::HashMap;
+
+    use elmo_core::DetHashMap;
     // Bucket by pod set; pack greedily within the bucket.
     struct Shared {
         leaves: BTreeSet<u32>,
         max_member_leaves: usize,
         members: usize,
     }
-    let mut buckets: HashMap<Vec<u32>, Vec<Shared>> = HashMap::new();
+    let mut buckets: DetHashMap<Vec<u32>, Vec<Shared>> = DetHashMap::default();
     let mut flow_entries = 0usize;
     let mut factor_sum = 0.0f64;
     let mut groups = 0usize;

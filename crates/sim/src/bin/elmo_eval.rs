@@ -20,6 +20,7 @@
 //!   xpander         §5.1.2: non-Clos (Xpander) feasibility
 //!   ablation        §3.1 design-decision ablation (D1 -> D2 -> D3)
 //!   two-tier        §5.1.1: two-tier (CONGA-style) leaf-spine sanity check
+//!   verify          static rule-state verification of the fig4/fig5 state
 //!   all             run everything
 //!
 //! flags:
@@ -32,6 +33,8 @@
 //!   --seed N        workload seed
 //!   --threads N     encode worker threads (0 = all cores; results are
 //!                   identical at any thread count, only wall-clock changes)
+//!   --samples N     groups replayed in verify's differential mode (default 120)
+//!   --report-out P  write verify's JSON report to P
 //!   --metrics-out P write an elmo-obs metrics snapshot (JSON) to P on exit
 //!   --trace-pcap P  dump a bounded sample of simulated packets to P (pcap)
 //!   -v / -vv        debug / trace logging on stderr
@@ -42,6 +45,11 @@
 //! `elmo-eval check-metrics <file>` validates a snapshot written with
 //! `--metrics-out` against the declared-metric contract
 //! ([`elmo_sim::obs::REQUIRED_METRICS`]); exit 1 if invalid.
+//!
+//! `elmo-eval verify` compiles the Figure-4 (P=12) and Figure-5 (P=1)
+//! workloads, installs every rule into a simulated fabric, and runs the
+//! `elmo-verify` static checker plus its differential replay mode; exit 1
+//! if any violation is found. See `elmo_sim::verify_exp`.
 //!
 //! Without `--full` a proportionally scaled fabric is used so every
 //! experiment completes in seconds; shapes (who wins, where the knees are)
@@ -66,6 +74,8 @@ struct Opts {
     metrics_out: Option<String>,
     trace_pcap: Option<String>,
     check_file: Option<String>,
+    samples: usize,
+    report_out: Option<String>,
 }
 
 fn parse_args() -> Opts {
@@ -83,6 +93,8 @@ fn parse_args() -> Opts {
         metrics_out: None,
         trace_pcap: None,
         check_file: None,
+        samples: 120,
+        report_out: None,
     };
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -109,6 +121,13 @@ fn parse_args() -> Opts {
             "--pkt" => opts.extra_payload = Some(expect_num(&mut args, "--pkt")),
             "--seed" => opts.seed = expect_num(&mut args, "--seed"),
             "--threads" => opts.threads = expect_num(&mut args, "--threads") as usize,
+            "--samples" => opts.samples = expect_num(&mut args, "--samples") as usize,
+            "--report-out" => {
+                opts.report_out = Some(
+                    args.next()
+                        .unwrap_or_else(|| usage("--report-out needs a path")),
+                );
+            }
             "--r" => {
                 let list = args.next().unwrap_or_else(|| usage("--r needs a list"));
                 opts.r_values = list
@@ -148,9 +167,10 @@ fn usage(msg: &str) -> ! {
     }
     eprintln!(
         "usage: elmo-eval <fig4|fig5|uniform|limited-srules|small-header|table1|table2|table3|\
-         fig6|fig7|telemetry|failures|latency|xpander|all> [--full] [--groups N] [--tenants N] \
-         [--events N] [--pkt N] [--r 0,6,12] [--seed N] [--threads N] [--metrics-out PATH] \
-         [--trace-pcap PATH] [-v|-vv|--quiet] [--log-json]\n\
+         fig6|fig7|telemetry|failures|latency|xpander|verify|all> [--full] [--groups N] \
+         [--tenants N] [--events N] [--pkt N] [--r 0,6,12] [--seed N] [--threads N] \
+         [--samples N] [--report-out PATH] [--metrics-out PATH] [--trace-pcap PATH] \
+         [-v|-vv|--quiet] [--log-json]\n\
          \n       elmo-eval check-metrics <snapshot.json>"
     );
     std::process::exit(2);
@@ -206,6 +226,7 @@ fn main() {
             "xpander",
             "ablation",
             "two-tier",
+            "verify",
             "table1",
         ] {
             let mut o = opts.clone();
@@ -334,8 +355,95 @@ fn run_one(opts: &Opts) {
         "table1" => run_table1(opts),
         "ablation" => run_ablation(opts),
         "two-tier" => run_two_tier(opts),
+        "verify" => run_verify(opts),
         other => usage(&format!("unknown experiment: {other}")),
     }
+}
+
+/// `elmo-eval verify` — compile the Figure-4 (P=12) and Figure-5 (P=1)
+/// workloads at R = max(--r), install every rule into a simulated fabric,
+/// and run the `elmo-verify` static checker plus its differential replay
+/// mode. Exit 1 on any violation; `--report-out` writes the JSON reports.
+fn run_verify(opts: &Opts) {
+    use elmo_sim::verify_exp::{self, VerifyExpConfig};
+    let topo = fabric(opts);
+    let layout = elmo_core::HeaderLayout::for_clos(&topo);
+    // Same budget rule as the sweeps: 30 downstream-leaf p-rules, and at
+    // least the paper's 325 bytes on the full fabric.
+    let budget = layout
+        .max_header_bytes(2, 30, 2)
+        .max(if opts.full { 325 } else { 0 });
+    let r = opts.r_values.iter().copied().max().unwrap_or(12);
+    let cfg = VerifyExpConfig {
+        r,
+        header_budget: budget,
+        threads: opts.threads,
+        samples: opts.samples,
+        seed: opts.seed,
+    };
+    let mut reports = std::collections::BTreeMap::new();
+    let mut failed = false;
+    for (name, p) in [("fig4_p12", 12usize), ("fig5_p1", 1usize)] {
+        let mut wl = workload_cfg(opts, &topo, p, GroupSizeDist::Wve);
+        if opts.groups.is_none() {
+            // The checker walks every (group, sender) pair; bound the
+            // default so `verify` stays a seconds-scale smoke. `--groups`
+            // overrides.
+            wl.total_groups = wl.total_groups.min(2_000);
+        }
+        let run = verify_exp::run(topo, wl, &cfg);
+        let rep = &run.report;
+        println!(
+            "verify {name}: R={r}, {} groups ({} unicast fallback), {} sender walks, \
+             {} differential replays, {} traffic cross-checks -> {}",
+            count(rep.groups_checked as u64),
+            rep.skipped_unicast_fallback,
+            count(rep.senders_checked as u64),
+            run.differential_sampled,
+            count(run.traffic_cross_checked as u64),
+            if rep.ok() { "ok" } else { "FAIL" },
+        );
+        println!(
+            "  header max {}B of {}B budget, vector max {}B of {}B; \
+             leaf s-rules mean {:.1} (max {}), spine mean {:.1} (max {})",
+            rep.budgets.max_header_bytes,
+            rep.budgets.header_budget_bytes,
+            rep.budgets.max_header_vector_bytes,
+            rep.budgets.header_vector_limit,
+            rep.budgets.leaf_tables.mean,
+            rep.budgets.leaf_tables.max,
+            rep.budgets.spine_tables.mean,
+            rep.budgets.spine_tables.max,
+        );
+        if !rep.ok() {
+            failed = true;
+            for v in rep.violations.iter().take(20) {
+                println!("  violation: {v}");
+            }
+            if rep.violations.len() > 20 {
+                println!("  ... and {} more", rep.violations.len() - 20);
+            }
+        }
+        reports.insert(name.to_string(), rep.to_json());
+    }
+    if let Some(path) = &opts.report_out {
+        let json = elmo_obs::JsonValue::Object(reports).pretty();
+        match std::fs::write(path, json) {
+            Ok(()) => elmo_obs::info!("verify.report_written", path = path.as_str()),
+            Err(e) => {
+                elmo_obs::error!(
+                    "verify.report_write_failed",
+                    path = path.as_str(),
+                    error = e.to_string()
+                );
+                std::process::exit(1);
+            }
+        }
+    }
+    if failed {
+        std::process::exit(1);
+    }
+    println!();
 }
 
 /// §5.1.2 limits Fmax to 10,000 at full scale; scale it with the workload.

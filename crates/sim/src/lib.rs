@@ -26,6 +26,7 @@ pub mod report;
 pub mod sweep;
 pub mod table2;
 pub mod table3;
+pub mod verify_exp;
 pub mod xpander_exp;
 
 pub use metrics::{group_traffic, traffic_model, GroupTraffic, Summary, TrafficModel};

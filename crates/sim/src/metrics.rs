@@ -202,13 +202,14 @@ fn elmo_walk(
         let pod = elmo_topology::PodId(pod_idx as u32);
         // Downstream spine rule resolution: p-rule, else s-rule, else the
         // default p-rule. The core bitmap only targets member pods, and
-        // `bitmap_for` covers all three rule sources for members, so a miss
-        // is impossible here.
-        let leaf_ports: PortBitmap = enc
-            .d_spine
-            .bitmap_for(pod.0)
-            .expect("member pod has a rule")
-            .clone();
+        // `bitmap_for` covers all three rule sources for members. The one
+        // exception is a single-pod receiver tree reached by a sender from
+        // another pod: the shared encoding skips the spine layer entirely
+        // and `header_for_sender` synthesizes the rule into the header, so
+        // mirror that here.
+        let leaf_ports: PortBitmap = enc.d_spine.bitmap_for(pod.0).cloned().unwrap_or_else(|| {
+            PortBitmap::from_ports(topo.spine_down_ports(), tree.leaf_ports_in_pod(topo, pod))
+        });
         for leaf_idx in leaf_ports.iter_ones() {
             wire!(&leaf_stage);
             let leaf = topo.leaf_in_pod(pod, leaf_idx);

@@ -19,6 +19,7 @@ use elmo_topology::{Clos, HostId};
 pub const REQUIRED_METRICS: &[&str] = &[
     // Controller hot path (§5.1: encode + admission pipeline).
     "controller.groups_created",
+    "controller.groups_deleted",
     "controller.batch.groups",
     "controller.batch.optimistic_encodes",
     "controller.batch.admitted",
@@ -33,15 +34,30 @@ pub const REQUIRED_METRICS: &[&str] = &[
     "controller.failures.spine",
     "controller.failures.core",
     "controller.failures.groups_rerouted",
+    "controller.failures.degraded_to_unicast",
+    "controller.failures.hypervisor_updates",
     // Data plane (§4.1: match source per forwarded packet).
     "dataplane.prule_hits",
     "dataplane.srule_hits",
     "dataplane.default_prule_sprays",
     "dataplane.header_pops",
+    "dataplane.unicast_forwarded",
+    "dataplane.dropped_no_rule",
+    "dataplane.dropped_parse",
+    "dataplane.dropped_header_vector",
+    "dataplane.hv.sent_multicast",
+    "dataplane.hv.sent_unicast",
+    "dataplane.hv.delivered",
     "dataplane.hv.discarded",
+    "dataplane.hv.no_flow",
     // Fabric link accounting (§5.1.2 traffic overhead, measured bytes).
     "fabric.packets_on_links",
     "fabric.host_to_leaf_bytes",
+    "fabric.leaf_to_host_bytes",
+    "fabric.leaf_to_spine_bytes",
+    "fabric.spine_to_leaf_bytes",
+    "fabric.spine_to_core_bytes",
+    "fabric.core_to_spine_bytes",
     // Zero-copy replay loop health: scratch-buffer reuse vs growth, and
     // how many copies were actually serialized back to wire bytes (only
     // host deliveries and captures should be).
@@ -55,7 +71,12 @@ pub const REQUIRED_METRICS: &[&str] = &[
     // Sweep / workload (§5.1.1-2).
     "sim.sweep.groups_encoded",
     "sim.sweep.reencoded",
+    "sim.table2.events",
+    "sim.table2.device_updates",
     "workloads.groups_generated",
+    // Applications (§5.2).
+    "apps.pubsub.runs",
+    "apps.telemetry.runs",
 ];
 
 /// Histogram names the snapshot must also contain.

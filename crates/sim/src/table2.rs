@@ -9,8 +9,6 @@
 //! Li et al. baseline, where every membership change reprograms every
 //! switch on the group's tree.
 
-use std::collections::HashMap;
-
 use elmo_controller::{Controller, ControllerConfig, GroupId, MemberRole};
 use elmo_net::vxlan::Vni;
 use elmo_topology::{Clos, GroupTree, HostId};
@@ -117,7 +115,7 @@ pub fn run(
 
     // Replay churn, accumulating per-device update counts.
     let stream = churn_events(&workload, events, workload_cfg.seed ^ 0xc4u64);
-    let mut hv_counts: HashMap<HostId, u64> = HashMap::new();
+    let mut hv_counts: elmo_core::DetHashMap<HostId, u64> = Default::default();
     let mut leaf_counts = vec![0u64; topo.num_leaves()];
     let mut spine_counts = vec![0u64; topo.num_spines()];
     let core_counts = vec![0u64; topo.num_cores()]; // Elmo never updates cores

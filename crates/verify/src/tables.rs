@@ -1,0 +1,311 @@
+//! Fabric-wide group-table checks: every encoded s-rule is installed
+//! byte-identically (on every replica, for pod rules), nothing stale is
+//! left behind, capacities hold, and the controller's occupancy
+//! accounting agrees with the per-group encodings.
+
+use std::collections::BTreeMap;
+use std::net::Ipv4Addr;
+
+use elmo_controller::{Controller, GroupId, GroupState, UsageStats};
+use elmo_core::PortBitmap;
+use elmo_dataplane::Fabric;
+use elmo_topology::{LeafId, PodId, SwitchRef};
+
+use crate::report::{RuleRef, TableTier, Violation, ViolationKind, Witness};
+
+/// Run every table check, pushing violations, and return the leaf and
+/// spine occupancy summaries.
+pub(crate) fn check_tables(
+    ctl: &Controller,
+    fabric: &Fabric,
+    violations: &mut Vec<Violation>,
+) -> (TableTier, TableTier) {
+    let topo = ctl.topo();
+    let mut push = |group: Option<GroupId>, kind, witness, detail: String| {
+        violations.push(Violation {
+            group,
+            kind,
+            witness,
+            detail,
+        });
+    };
+
+    // What the encodings say must be installed.
+    let mut expected_leaf: BTreeMap<(u32, Ipv4Addr), (GroupId, &PortBitmap)> = BTreeMap::new();
+    let mut expected_pod: BTreeMap<(u32, Ipv4Addr), (GroupId, &PortBitmap)> = BTreeMap::new();
+    let mut leaf_encoded = vec![0usize; topo.num_leaves()];
+    let mut pod_encoded = vec![0usize; topo.num_pods()];
+    let mut groups: Vec<&GroupState> = ctl.groups().collect();
+    groups.sort_unstable_by_key(|g| g.id.0);
+    for g in &groups {
+        if g.unicast_fallback {
+            continue;
+        }
+        for (leaf, bm) in &g.enc.d_leaf.s_rules {
+            expected_leaf.insert((*leaf, g.outer_addr), (g.id, bm));
+            leaf_encoded[*leaf as usize] += 1;
+        }
+        for (pod, bm) in &g.enc.d_spine.s_rules {
+            expected_pod.insert((*pod, g.outer_addr), (g.id, bm));
+            pod_encoded[*pod as usize] += 1;
+        }
+    }
+
+    // Controller accounting must match the encodings it admitted.
+    for l in topo.leaves() {
+        let tracked = ctl.srules().leaf_usage(l);
+        let encoded = leaf_encoded[l.0 as usize];
+        if tracked != encoded {
+            push(
+                None,
+                ViolationKind::TableAccounting,
+                Witness {
+                    switch: Some(SwitchRef::Leaf(l)),
+                    ..Witness::default()
+                },
+                format!("controller tracks {tracked} leaf s-rules, encodings hold {encoded}"),
+            );
+        }
+    }
+    for (p, &encoded) in pod_encoded.iter().enumerate().take(topo.num_pods()) {
+        let pod = PodId(p as u32);
+        let tracked = ctl.srules().pod_usage(pod);
+        if tracked != encoded {
+            push(
+                None,
+                ViolationKind::TableAccounting,
+                Witness {
+                    switch: Some(SwitchRef::Spine(topo.spine_in_pod(pod, 0))),
+                    ..Witness::default()
+                },
+                format!("controller tracks {tracked} pod s-rules, encodings hold {encoded}"),
+            );
+        }
+    }
+
+    // Every encoded leaf s-rule must be installed, byte-identically.
+    for ((leaf, addr), (gid, bm)) in &expected_leaf {
+        let l = LeafId(*leaf);
+        match fabric.leaf(l).srule(addr) {
+            None => push(
+                Some(*gid),
+                ViolationKind::MissingSRule,
+                Witness {
+                    switch: Some(SwitchRef::Leaf(l)),
+                    rule: Some(RuleRef::SRule),
+                    ..Witness::default()
+                },
+                format!("encoded s-rule for {addr} not installed on the leaf"),
+            ),
+            Some(inst) if inst != *bm => push(
+                Some(*gid),
+                ViolationKind::RuleMismatch,
+                Witness {
+                    switch: Some(SwitchRef::Leaf(l)),
+                    rule: Some(RuleRef::SRule),
+                    ..Witness::default()
+                },
+                format!(
+                    "installed bitmap {} differs from encoding {}",
+                    inst.to_binary_string(),
+                    bm.to_binary_string()
+                ),
+            ),
+            _ => {}
+        }
+    }
+
+    // Pod s-rules: present on *every* spine (ECMP may pick any), all
+    // replicas equal, and equal to the encoding.
+    for ((pod, addr), (gid, bm)) in &expected_pod {
+        let pod = PodId(*pod);
+        let views: Vec<_> = topo
+            .spines_in_pod(pod)
+            .map(|s| (s, fabric.spine(s).srule(addr)))
+            .collect();
+        let divergent = views.iter().any(|(_, v)| *v != views[0].1);
+        if divergent {
+            let (spine, _) = views
+                .iter()
+                .find(|(_, v)| *v != views[0].1)
+                .expect("divergent replica exists");
+            push(
+                Some(*gid),
+                ViolationKind::ReplicaDivergence,
+                Witness {
+                    switch: Some(SwitchRef::Spine(*spine)),
+                    rule: Some(RuleRef::SRule),
+                    ..Witness::default()
+                },
+                format!("spines of pod {} disagree on the s-rule for {addr}", pod.0),
+            );
+            continue;
+        }
+        match views[0].1 {
+            None => push(
+                Some(*gid),
+                ViolationKind::MissingSRule,
+                Witness {
+                    switch: Some(SwitchRef::Spine(views[0].0)),
+                    rule: Some(RuleRef::SRule),
+                    ..Witness::default()
+                },
+                format!(
+                    "encoded pod s-rule for {addr} not installed on any spine of pod {}",
+                    pod.0
+                ),
+            ),
+            Some(inst) if inst != *bm => push(
+                Some(*gid),
+                ViolationKind::RuleMismatch,
+                Witness {
+                    switch: Some(SwitchRef::Spine(views[0].0)),
+                    rule: Some(RuleRef::SRule),
+                    ..Witness::default()
+                },
+                format!(
+                    "installed bitmap {} differs from encoding {}",
+                    inst.to_binary_string(),
+                    bm.to_binary_string()
+                ),
+            ),
+            _ => {}
+        }
+    }
+
+    // Stale entries, back edges in installed bitmaps, capacity, occupancy.
+    let leaf_cap = ctl.srules().leaf_capacity();
+    let spine_cap = ctl.srules().spine_capacity();
+    let mut leaf_counts = Vec::with_capacity(topo.num_leaves());
+    for l in topo.leaves() {
+        let sw = fabric.leaf(l);
+        leaf_counts.push(sw.srule_count());
+        check_capacity(
+            sw.srule_count(),
+            sw.config().group_table_capacity,
+            leaf_cap,
+            SwitchRef::Leaf(l),
+            &mut push,
+        );
+        for (addr, bm) in sw.srules() {
+            let live = live_group(ctl, addr);
+            if !expected_leaf.contains_key(&(l.0, *addr)) {
+                push(
+                    live,
+                    ViolationKind::StaleSRule,
+                    Witness {
+                        switch: Some(SwitchRef::Leaf(l)),
+                        rule: Some(RuleRef::SRule),
+                        ..Witness::default()
+                    },
+                    format!("installed s-rule for {addr} matches no live group encoding"),
+                );
+            }
+            if let Some(p) = bm.iter_ones().find(|&p| p >= topo.leaf_down_ports()) {
+                push(
+                    live,
+                    ViolationKind::Loop,
+                    Witness {
+                        switch: Some(SwitchRef::Leaf(l)),
+                        rule: Some(RuleRef::SRule),
+                        ..Witness::default()
+                    },
+                    format!(
+                        "installed s-rule for {addr} targets up-facing port {p}: \
+                         back edge toward the spine layer against the pop order"
+                    ),
+                );
+            }
+        }
+    }
+    let mut spine_counts = Vec::with_capacity(topo.num_spines());
+    for s in topo.spines() {
+        let sw = fabric.spine(s);
+        let pod = topo.pod_of_spine(s);
+        spine_counts.push(sw.srule_count());
+        check_capacity(
+            sw.srule_count(),
+            sw.config().group_table_capacity,
+            spine_cap,
+            SwitchRef::Spine(s),
+            &mut push,
+        );
+        for (addr, bm) in sw.srules() {
+            let live = live_group(ctl, addr);
+            if !expected_pod.contains_key(&(pod.0, *addr)) {
+                push(
+                    live,
+                    ViolationKind::StaleSRule,
+                    Witness {
+                        switch: Some(SwitchRef::Spine(s)),
+                        rule: Some(RuleRef::SRule),
+                        ..Witness::default()
+                    },
+                    format!("installed s-rule for {addr} matches no live group encoding"),
+                );
+            }
+            if let Some(p) = bm.iter_ones().find(|&p| p >= topo.spine_down_ports()) {
+                push(
+                    live,
+                    ViolationKind::Loop,
+                    Witness {
+                        switch: Some(SwitchRef::Spine(s)),
+                        rule: Some(RuleRef::SRule),
+                        ..Witness::default()
+                    },
+                    format!(
+                        "installed s-rule for {addr} targets up-facing port {p}: \
+                         back edge toward the core layer against the pop order"
+                    ),
+                );
+            }
+        }
+    }
+
+    (
+        tier_summary(&leaf_counts, leaf_cap),
+        tier_summary(&spine_counts, spine_cap),
+    )
+}
+
+fn check_capacity(
+    count: usize,
+    switch_cap: usize,
+    fmax: usize,
+    switch: SwitchRef,
+    push: &mut impl FnMut(Option<GroupId>, ViolationKind, Witness, String),
+) {
+    let cap = switch_cap.min(fmax);
+    if count > cap {
+        push(
+            None,
+            ViolationKind::TableOverflow,
+            Witness {
+                switch: Some(switch),
+                ..Witness::default()
+            },
+            format!("{count} installed s-rules exceed the {cap}-entry group table"),
+        );
+    }
+}
+
+/// Invert the deterministic outer-address mapping to name a live group in
+/// stale-entry witnesses (`None` when the address maps to no live group).
+fn live_group(ctl: &Controller, addr: &Ipv4Addr) -> Option<GroupId> {
+    let id = GroupId((u32::from_be_bytes(addr.octets()) & 0x00ff_ffff) as u64);
+    ctl.group(id)
+        .filter(|g| g.outer_addr == *addr)
+        .map(|g| g.id)
+}
+
+fn tier_summary(counts: &[usize], fmax: usize) -> TableTier {
+    let stats = UsageStats::of(counts);
+    TableTier {
+        capacity: (fmax != usize::MAX).then_some(fmax as u64),
+        entries: counts.iter().map(|&c| c as u64).sum(),
+        switches: counts.len(),
+        mean: stats.mean,
+        p95: stats.p95,
+        max: stats.max,
+    }
+}

@@ -3,107 +3,242 @@
 //! malformed packet is a denial-of-service vector (the paper's §7 security
 //! discussion puts hypervisors in charge of dropping malicious packets,
 //! but the network switches must survive whatever still reaches them).
-
-// Requires the real `proptest` crate, which is not vendored in this
-// offline workspace. Enable with `cargo test --features proptest` when
-// the registry is reachable.
-#![cfg(feature = "proptest")]
-
-use proptest::prelude::*;
+//!
+//! Two tiers:
+//! - an always-on deterministic suite (`deterministic` module below) that
+//!   drives seeded pseudo-random bytes and structured corruptions of valid
+//!   packets through `ElmoHeader::decode`, `ElmoPacketRepr::parse`, and
+//!   `FlightPacket::parse`, asserting typed errors rather than panics;
+//! - a property-based suite gated behind `--features proptest` (the crate
+//!   is not vendored in this offline workspace).
 
 use elmo::core::{ElmoHeader, HeaderLayout};
-use elmo::dataplane::{ElmoPacketRepr, HypervisorSwitch, NetworkSwitch, SwitchConfig};
-use elmo::topology::{Clos, CoreId, HostId, LeafId, SpineId};
+use elmo::dataplane::{ElmoPacketRepr, FlightPacket};
+use elmo::topology::Clos;
 
 fn layout() -> HeaderLayout {
     HeaderLayout::for_clos(&Clos::paper_example())
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(512))]
+/// SplitMix64: tiny, seedable, good-enough byte source for deterministic
+/// fuzzing without an external crate.
+struct SplitMix64(u64);
 
-    /// Raw bytes into the header decoder: error or success, never a panic,
-    /// and success must re-encode to a prefix-consistent length.
-    #[test]
-    fn header_decode_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..64)) {
-        let layout = layout();
-        if let Ok((header, used)) = ElmoHeader::decode(&bytes, &layout) {
-            prop_assert!(used <= bytes.len());
-            prop_assert_eq!(header.byte_len(&layout), used);
+impl SplitMix64 {
+    fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    fn fill(&mut self, buf: &mut [u8]) {
+        for chunk in buf.chunks_mut(8) {
+            let bytes = self.next_u64().to_le_bytes();
+            chunk.copy_from_slice(&bytes[..chunk.len()]);
         }
     }
+}
 
-    /// Raw bytes into the full packet parser.
-    #[test]
-    fn packet_parse_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..128)) {
-        let _ = ElmoPacketRepr::parse(&bytes, &layout());
+/// A valid multicast packet with a two-section Elmo header, as the
+/// quickstart's sender hypervisor would emit it.
+fn valid_packet(layout: &HeaderLayout) -> Vec<u8> {
+    let mut header = ElmoHeader::empty();
+    header.u_leaf = Some(elmo::core::UpstreamRule {
+        down: elmo::core::PortBitmap::from_ports(layout.leaf_down_ports, [1]),
+        multipath: true,
+        up: elmo::core::PortBitmap::new(layout.leaf_up_ports),
+    });
+    header.core = Some(elmo::core::PortBitmap::from_ports(layout.core_ports, [2]));
+    let repr = ElmoPacketRepr {
+        src_mac: elmo::net::ethernet::MacAddr::for_host(0),
+        dst_mac: elmo::net::ethernet::MacAddr::from_ipv4_multicast(
+            "239.0.0.5".parse().expect("addr"),
+        ),
+        src_ip: "10.0.0.7".parse().expect("addr"),
+        group_ip: "239.0.0.5".parse().expect("addr"),
+        flow_entropy: 7,
+        vni: elmo::net::vxlan::Vni(3),
+        elmo: Some(header),
+    };
+    let mut pkt = Vec::new();
+    repr.emit(layout, b"fuzz payload", &mut pkt);
+    pkt
+}
+
+/// Random bytes of every length up to 160 into all three parsers: a typed
+/// `Err` or a self-consistent `Ok`, never a panic. Decode round-trip
+/// lengths must stay inside the input.
+#[test]
+fn random_bytes_yield_typed_errors() {
+    let layout = layout();
+    let mut rng = SplitMix64(0xe1_40_f0_22);
+    let mut ok_headers = 0usize;
+    for len in 0..160 {
+        for _rep in 0..8 {
+            let mut bytes = vec![0u8; len];
+            rng.fill(&mut bytes);
+            if let Ok((header, used)) = ElmoHeader::decode(&bytes, &layout) {
+                assert!(used <= bytes.len());
+                assert_eq!(header.byte_len(&layout), used);
+                ok_headers += 1;
+            }
+            let repr = ElmoPacketRepr::parse(&bytes, &layout);
+            let flight = FlightPacket::parse(&bytes, &layout);
+            // The two parsers share one grammar: they must agree on
+            // accept/reject for identical input.
+            assert_eq!(repr.is_ok(), flight.is_ok(), "parsers diverge at len {len}");
+            if let (Ok((r, inner_off)), Ok(f)) = (repr, flight) {
+                assert!(inner_off <= bytes.len());
+                assert_eq!(r.vni, f.vni);
+                assert_eq!(&bytes[inner_off..], f.payload.as_ref());
+            }
+        }
     }
+    // The decoder accepting some random blobs is fine (short headers have
+    // little redundancy); the assertions above still hold for each.
+    let _ = ok_headers;
+}
 
-    /// Raw bytes into every switch role, on both upstream and downstream
-    /// ports: the switch may drop (and count) but must not panic, and must
-    /// never emit copies for garbage.
-    #[test]
-    fn switches_survive_garbage(
-        bytes in proptest::collection::vec(any::<u8>(), 0..96),
-        ingress in 0usize..4,
-    ) {
-        let topo = Clos::paper_example();
-        let layout = layout();
-        let mut leaf = NetworkSwitch::new_leaf(topo, LeafId(0), SwitchConfig::default());
-        let mut spine = NetworkSwitch::new_spine(topo, SpineId(0), SwitchConfig::default());
-        let mut core = NetworkSwitch::new_core(topo, CoreId(0), SwitchConfig::default());
-        prop_assert!(leaf.process(ingress, &bytes, &layout).is_empty());
-        prop_assert!(leaf.process(8 + ingress % 2, &bytes, &layout).is_empty());
-        prop_assert!(spine.process(ingress % 2, &bytes, &layout).is_empty());
-        prop_assert!(spine.process(2 + ingress % 2, &bytes, &layout).is_empty());
-        prop_assert!(core.process(ingress, &bytes, &layout).is_empty());
+/// Every truncation of a valid packet: the parsers must reject the prefix
+/// with a typed error (no prefix of a longer packet is itself valid, since
+/// the IPv4 total-length field covers the full datagram).
+#[test]
+fn truncations_of_valid_packet_are_rejected() {
+    let layout = layout();
+    let pkt = valid_packet(&layout);
+    for len in 0..pkt.len() {
+        let prefix = &pkt[..len];
+        assert!(
+            ElmoPacketRepr::parse(prefix, &layout).is_err(),
+            "truncation to {len} bytes parsed"
+        );
+        assert!(FlightPacket::parse(prefix, &layout).is_err());
     }
+    let (full, _) = ElmoPacketRepr::parse(&pkt, &layout).expect("untruncated packet parses");
+    assert!(full.elmo.is_some(), "fixture carries an Elmo header");
+}
 
-    /// Raw bytes into the hypervisor receive path and the IGMP interceptor.
-    #[test]
-    fn hypervisor_survives_garbage(bytes in proptest::collection::vec(any::<u8>(), 0..96)) {
-        let layout = layout();
-        let mut hv = HypervisorSwitch::new(HostId(5));
-        prop_assert!(hv.receive(&bytes, &layout).is_empty());
-        let _ = hv.intercept_igmp(elmo::dataplane::VmSlot(0), &bytes);
+/// Every single-byte corruption of a valid packet, all eight bit
+/// positions: parse may succeed (payload/entropy bits carry no
+/// redundancy) or fail typed, but must never panic — and a successful
+/// parse must re-emit without panicking either.
+#[test]
+fn single_bit_flips_never_panic() {
+    let layout = layout();
+    let pkt = valid_packet(&layout);
+    let mut scratch = Vec::new();
+    for at in 0..pkt.len() {
+        for bit in 0..8 {
+            let mut corrupted = pkt.clone();
+            corrupted[at] ^= 1 << bit;
+            if let Ok((repr, inner_off)) = ElmoPacketRepr::parse(&corrupted, &layout) {
+                repr.emit(&layout, &corrupted[inner_off..], &mut scratch);
+            }
+            let _ = FlightPacket::parse(&corrupted, &layout);
+        }
     }
+}
 
-    /// Bit-flip corruption of a valid packet: the data plane must either
-    /// drop it (checksum/structure) or deliver without panicking — and a
-    /// flipped IPv4 header byte must always be caught by the checksum.
-    #[test]
-    fn bit_flips_are_contained(flip_at in 14usize..34, flip_bit in 0u8..8) {
-        let topo = Clos::paper_example();
-        let layout = HeaderLayout::for_clos(&topo);
-        // A real packet from the quickstart group.
-        let mut header = ElmoHeader::empty();
-        header.u_leaf = Some(elmo::core::UpstreamRule {
-            down: elmo::core::PortBitmap::from_ports(layout.leaf_down_ports, [1]),
-            multipath: true,
-            up: elmo::core::PortBitmap::new(layout.leaf_up_ports),
-        });
-        header.core = Some(elmo::core::PortBitmap::from_ports(layout.core_ports, [2]));
-        let repr = ElmoPacketRepr {
-            src_mac: elmo::net::ethernet::MacAddr::for_host(0),
-            dst_mac: elmo::net::ethernet::MacAddr::from_ipv4_multicast(
-                "239.0.0.5".parse().expect("addr"),
-            ),
-            src_ip: "10.0.0.7".parse().expect("addr"),
-            group_ip: "239.0.0.5".parse().expect("addr"),
-            flow_entropy: 7,
-            vni: elmo::net::vxlan::Vni(3),
-            elmo: Some(header),
-        };
-        let mut pkt = Vec::new();
-        repr.emit(&layout, b"payload", &mut pkt);
-        // Flip one bit inside the IPv4 header.
-        pkt[flip_at] ^= 1 << flip_bit;
-        let mut leaf = NetworkSwitch::new_leaf(topo, LeafId(0), SwitchConfig::default());
-        let out = leaf.process(0, &pkt, &layout);
-        // A corrupted IPv4 header must be dropped by the checksum — unless
-        // the flip hit the checksum-neutral... there is none: any single
-        // bit flip breaks the ones-complement sum.
-        prop_assert!(out.is_empty());
-        prop_assert_eq!(leaf.stats.dropped_parse, 1);
+/// Corruptions aimed at the Elmo header region specifically: random bytes
+/// overwrite the section area so the bitmap-count and switch-count fields
+/// take arbitrary values; the decoder must bound-check every claimed
+/// length against the buffer instead of trusting it.
+#[test]
+fn header_region_corruption_is_bounded() {
+    let layout = layout();
+    let pkt = valid_packet(&layout);
+    let elmo_start = ElmoPacketRepr::OUTER_LEN;
+    let mut rng = SplitMix64(0x5eed);
+    for _rep in 0..4096 {
+        let mut corrupted = pkt.clone();
+        let span = (rng.next_u64() as usize % (corrupted.len() - elmo_start)).max(1);
+        rng.fill(&mut corrupted[elmo_start..elmo_start + span]);
+        if let Ok((header, used)) = ElmoHeader::decode(&corrupted[elmo_start..], &layout) {
+            assert!(used <= corrupted.len() - elmo_start);
+            assert_eq!(header.byte_len(&layout), used);
+        }
+        let _ = ElmoPacketRepr::parse(&corrupted, &layout);
+        let _ = FlightPacket::parse(&corrupted, &layout);
+    }
+}
+
+#[cfg(feature = "proptest")]
+mod property_based {
+    use proptest::prelude::*;
+
+    use super::layout;
+    use elmo::core::{ElmoHeader, HeaderLayout};
+    use elmo::dataplane::{ElmoPacketRepr, HypervisorSwitch, NetworkSwitch, SwitchConfig};
+    use elmo::topology::{Clos, CoreId, HostId, LeafId, SpineId};
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(512))]
+
+        /// Raw bytes into the header decoder: error or success, never a panic,
+        /// and success must re-encode to a prefix-consistent length.
+        #[test]
+        fn header_decode_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..64)) {
+            let layout = layout();
+            if let Ok((header, used)) = ElmoHeader::decode(&bytes, &layout) {
+                prop_assert!(used <= bytes.len());
+                prop_assert_eq!(header.byte_len(&layout), used);
+            }
+        }
+
+        /// Raw bytes into the full packet parser.
+        #[test]
+        fn packet_parse_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..128)) {
+            let _ = ElmoPacketRepr::parse(&bytes, &layout());
+        }
+
+        /// Raw bytes into every switch role, on both upstream and downstream
+        /// ports: the switch may drop (and count) but must not panic, and must
+        /// never emit copies for garbage.
+        #[test]
+        fn switches_survive_garbage(
+            bytes in proptest::collection::vec(any::<u8>(), 0..96),
+            ingress in 0usize..4,
+        ) {
+            let topo = Clos::paper_example();
+            let layout = layout();
+            let mut leaf = NetworkSwitch::new_leaf(topo, LeafId(0), SwitchConfig::default());
+            let mut spine = NetworkSwitch::new_spine(topo, SpineId(0), SwitchConfig::default());
+            let mut core = NetworkSwitch::new_core(topo, CoreId(0), SwitchConfig::default());
+            prop_assert!(leaf.process(ingress, &bytes, &layout).is_empty());
+            prop_assert!(leaf.process(8 + ingress % 2, &bytes, &layout).is_empty());
+            prop_assert!(spine.process(ingress % 2, &bytes, &layout).is_empty());
+            prop_assert!(spine.process(2 + ingress % 2, &bytes, &layout).is_empty());
+            prop_assert!(core.process(ingress, &bytes, &layout).is_empty());
+        }
+
+        /// Raw bytes into the hypervisor receive path and the IGMP interceptor.
+        #[test]
+        fn hypervisor_survives_garbage(bytes in proptest::collection::vec(any::<u8>(), 0..96)) {
+            let layout = layout();
+            let mut hv = HypervisorSwitch::new(HostId(5));
+            prop_assert!(hv.receive(&bytes, &layout).is_empty());
+            let _ = hv.intercept_igmp(elmo::dataplane::VmSlot(0), &bytes);
+        }
+
+        /// Bit-flip corruption of a valid packet: the data plane must either
+        /// drop it (checksum/structure) or deliver without panicking — and a
+        /// flipped IPv4 header byte must always be caught by the checksum.
+        #[test]
+        fn bit_flips_are_contained(flip_at in 14usize..34, flip_bit in 0u8..8) {
+            let topo = Clos::paper_example();
+            let layout = HeaderLayout::for_clos(&topo);
+            let mut pkt = super::valid_packet(&layout);
+            // Flip one bit inside the IPv4 header.
+            pkt[flip_at] ^= 1 << flip_bit;
+            let mut leaf = NetworkSwitch::new_leaf(topo, LeafId(0), SwitchConfig::default());
+            let out = leaf.process(0, &pkt, &layout);
+            // A corrupted IPv4 header must be dropped by the checksum — unless
+            // the flip hit the checksum-neutral... there is none: any single
+            // bit flip breaks the ones-complement sum.
+            prop_assert!(out.is_empty());
+            prop_assert_eq!(leaf.stats.dropped_parse, 1);
+        }
     }
 }
