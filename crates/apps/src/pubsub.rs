@@ -48,6 +48,21 @@ pub fn run(
     transport: Transport,
     model: &HostModel,
 ) -> PubSubResult {
+    run_sharded(topo, subscribers, msg_bytes, transport, model, 1)
+}
+
+/// [`run`] with the fabric replay routed through the sharded multi-core
+/// engine when `replay_threads > 1` (0 = one shard per core). Deliveries
+/// are identical at any shard count; this exists so the eval harness can
+/// exercise the application workloads over the parallel data plane.
+pub fn run_sharded(
+    topo: Clos,
+    subscribers: usize,
+    msg_bytes: usize,
+    transport: Transport,
+    model: &HostModel,
+    replay_threads: usize,
+) -> PubSubResult {
     assert!(subscribers >= 1);
     assert!(
         subscribers < topo.num_hosts(),
@@ -107,7 +122,13 @@ pub fn run(
     };
     let packets_per_message = packets.len();
     let mut received = vec![0usize; subscribers];
-    for (host, bytes) in fabric.inject_batch(packets.into_iter().map(|p| (publisher, p))) {
+    let batch = packets.into_iter().map(|p| (publisher, p));
+    let delivered = if replay_threads > 1 {
+        fabric.inject_batch_sharded(batch, replay_threads)
+    } else {
+        fabric.inject_batch(batch)
+    };
+    for (host, bytes) in delivered {
         // Locate the subscriber hypervisor for this host.
         if let Some(i) = subs.iter().position(|&h| h == host) {
             for (_, inner) in rx[i].receive(&bytes, ctl.layout()) {

@@ -135,6 +135,22 @@ pub fn replicate(
     transport: Transport,
     model: &HostModel,
 ) -> SmrResult {
+    replicate_sharded(topo, replicas, log, transport, model, 1)
+}
+
+/// [`replicate`] with the fabric replay routed through the sharded
+/// multi-core engine when `replay_threads > 1` (0 = one shard per core).
+/// Replicas converge to the same digest at any shard count: within one
+/// log entry every delivered frame is identical, so delivery order
+/// cannot reorder commands.
+pub fn replicate_sharded(
+    topo: Clos,
+    replicas: usize,
+    log: &[Command],
+    transport: Transport,
+    model: &HostModel,
+    replay_threads: usize,
+) -> SmrResult {
     assert!(replicas >= 1 && replicas < topo.num_hosts());
     let leader = HostId(0);
     let followers: Vec<HostId> = (1..=replicas as u32).map(HostId).collect();
@@ -193,7 +209,13 @@ pub fn replicate(
             Transport::Unicast => leader_hv.send_unicast_to(&followers, vni, &frame, ctl.layout()),
         };
         leader_egress += packets.iter().map(|p| p.len() as u64).sum::<u64>();
-        for (host, bytes) in fabric.inject_batch(packets.into_iter().map(|p| (leader, p))) {
+        let batch = packets.into_iter().map(|p| (leader, p));
+        let delivered = if replay_threads > 1 {
+            fabric.inject_batch_sharded(batch, replay_threads)
+        } else {
+            fabric.inject_batch(batch)
+        };
+        for (host, bytes) in delivered {
             if let Some((hv, replica)) = machines.get_mut(&host) {
                 for (_, inner) in hv.receive(&bytes, ctl.layout()) {
                     replica.apply(inner);

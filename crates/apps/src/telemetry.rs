@@ -27,6 +27,10 @@ pub struct TelemetryConfig {
     pub datagrams_per_sec: usize,
     /// Length of the measured interval in seconds.
     pub interval_secs: usize,
+    /// Fabric replay shard count (1 = serial loop, >1 = the sharded
+    /// multi-core engine, 0 = one shard per core). Deliveries are
+    /// identical at any value.
+    pub replay_threads: usize,
 }
 
 impl Default for TelemetryConfig {
@@ -35,6 +39,7 @@ impl Default for TelemetryConfig {
             datagram_bytes: 362,
             datagrams_per_sec: 2,
             interval_secs: 1,
+            replay_threads: 1,
         }
     }
 }
@@ -116,7 +121,13 @@ pub fn run(
                 agent_hv.send_unicast_to(&collector_hosts, vni, &datagram, ctl.layout())
             }
         };
-        for (host, bytes) in fabric.inject_batch(packets.into_iter().map(|p| (agent, p))) {
+        let batch = packets.into_iter().map(|p| (agent, p));
+        let delivered = if cfg.replay_threads > 1 {
+            fabric.inject_batch_sharded(batch, cfg.replay_threads)
+        } else {
+            fabric.inject_batch(batch)
+        };
+        for (host, bytes) in delivered {
             if let Some(i) = collector_hosts.iter().position(|&h| h == host) {
                 received_total += rx[i].receive(&bytes, ctl.layout()).len();
             }

@@ -13,6 +13,9 @@
 //!   --out PATH        output file (default BENCH_encode.json)
 //!   --replay-packets N    packets for the data-plane replay bench (default 20,000)
 //!   --replay-payload N    inner-frame bytes per replay packet (default 1,500)
+//!   --replay-threads LIST shard counts for the sharded replay axis
+//!                         (default 1,2,4,8; counts above the core count
+//!                         are skipped and recorded, 0 = all cores)
 //!   --replay-out PATH     replay output file (default BENCH_dataplane.json)
 //!   --replay-only     skip the encode sweep; run only the replay bench
 //!   --expect-deliveries N exit nonzero if the replay delivered-copy count differs
@@ -43,7 +46,7 @@ use std::time::Instant;
 
 use elmo_controller::{Controller, ControllerConfig, GroupId, MemberRole};
 use elmo_core::{approx_min_k_union_with, EncodeCache, MinKUnionScratch, PortBitmap, SplitMix64};
-use elmo_dataplane::{Fabric, FlightPacket, HypervisorSwitch, SenderFlow, SwitchConfig};
+use elmo_dataplane::{DeliveryBatch, Fabric, FlightPacket, HypervisorSwitch, SenderFlow, SwitchConfig};
 use elmo_net::vxlan::Vni;
 use elmo_sim::sweep::SweepResult;
 use elmo_sim::{sweep, SweepConfig};
@@ -59,6 +62,7 @@ struct Args {
     out: String,
     replay_packets: usize,
     replay_payload: usize,
+    replay_threads: Vec<usize>,
     replay_out: String,
     replay_only: bool,
     expect_deliveries: Option<u64>,
@@ -77,6 +81,7 @@ fn parse_args() -> Args {
         // The paper's traffic figures use 1,500-byte payloads; the replay
         // paths diverge most where payload bytes dominate the wire copy.
         replay_payload: 1_500,
+        replay_threads: vec![1, 2, 4, 8],
         replay_out: "BENCH_dataplane.json".into(),
         replay_only: false,
         expect_deliveries: None,
@@ -129,6 +134,13 @@ fn parse_args() -> Args {
             }
             "--replay-payload" => {
                 out.replay_payload = num_list("--replay-payload").first().copied().unwrap_or(0);
+            }
+            "--replay-threads" => {
+                out.replay_threads = num_list("--replay-threads");
+                if out.replay_threads.is_empty() {
+                    elmo_obs::error!("usage", msg = "--replay-threads needs at least one count");
+                    std::process::exit(2);
+                }
             }
             "--replay-out" => {
                 out.replay_out = args.next().unwrap_or_else(|| {
@@ -327,6 +339,17 @@ struct ReplayMode {
     warm_copies_per_sec: f64,
 }
 
+/// One timed sharded-replay row: the same workload run through
+/// `inject_flights_sharded` at one shard count.
+struct ShardRow {
+    threads: usize,
+    cold_wall_ms: f64,
+    warm_wall_ms: f64,
+    cold_pkts_per_sec: f64,
+    warm_pkts_per_sec: f64,
+    warm_copies_per_sec: f64,
+}
+
 struct ReplayBench {
     packets: usize,
     payload_bytes: usize,
@@ -335,6 +358,8 @@ struct ReplayBench {
     /// Wire copies (link hops) per full run (identical across modes, asserted).
     copies_on_links: u64,
     modes: Vec<ReplayMode>,
+    /// The threads axis: one row per (non-oversubscribed) shard count.
+    shard_rows: Vec<ShardRow>,
 }
 
 /// Build the fixed replay workload: the paper-example fabric with three
@@ -507,12 +532,102 @@ fn bench_replay(args: &Args) -> ReplayBench {
             row
         })
         .collect();
+    // The threads axis: the same flight stream through the sharded engine
+    // at each shard count, with the same cold/interleaved-warm discipline.
+    // Delivered and on-link copy counts are asserted against the serial
+    // modes — a scaling number from an engine that forwards differently
+    // would be meaningless.
+    let sc = &args.replay_threads;
+    let mut shard_fabrics: Vec<Fabric> = sc.iter().map(|_| template.clone()).collect();
+    let mut batches: Vec<DeliveryBatch> = sc.iter().map(|_| DeliveryBatch::new()).collect();
+    let mut s_cold_secs = vec![0f64; sc.len()];
+    let mut s_cold_delivered = vec![0u64; sc.len()];
+    // Timed region = replay + full materialization: the serial modes hand
+    // back owned wire bytes for every delivery, so the sharded rows must
+    // pay the same serialization cost for the comparison to be honest.
+    let mut s_wire_bytes = 0u64;
+    for (si, &t) in sc.iter().enumerate() {
+        let start = Instant::now();
+        shard_fabrics[si].replay_flights_sharded(&flights[..cold_n], t, &mut batches[si]);
+        let mut delivered = 0u64;
+        batches[si].for_each(|_, b| {
+            delivered += 1;
+            s_wire_bytes += b.len() as u64;
+        });
+        s_cold_delivered[si] = delivered;
+        s_cold_secs[si] = start.elapsed().as_secs_f64();
+    }
+    let mut s_warm_secs = vec![f64::INFINITY; sc.len()];
+    let mut s_warm_delivered = vec![0u64; sc.len()];
+    let mut s_links = vec![0u64; sc.len()];
+    for rep in 0..WARM_REPS {
+        for (si, &t) in sc.iter().enumerate() {
+            // The batch is reused across reps: its arenas hand capacity
+            // back to the workers, so the warm path is allocation-free —
+            // the replay service's steady state.
+            let start = Instant::now();
+            shard_fabrics[si].replay_flights_sharded(&flights[cold_n..], t, &mut batches[si]);
+            let mut delivered = 0u64;
+            batches[si].for_each(|_, b| {
+                delivered += 1;
+                s_wire_bytes += b.len() as u64;
+            });
+            s_warm_secs[si] = s_warm_secs[si].min(start.elapsed().as_secs_f64());
+            if rep == 0 {
+                s_warm_delivered[si] = delivered;
+                s_links[si] = shard_fabrics[si].stats.packets_on_links;
+            } else {
+                assert_eq!(
+                    delivered, s_warm_delivered[si],
+                    "sharded({t}): replay not repeatable"
+                );
+            }
+        }
+    }
+    for (si, &t) in sc.iter().enumerate() {
+        assert_eq!(
+            s_cold_delivered[si] + s_warm_delivered[si],
+            deliveries,
+            "sharded({t}) changed the delivered-copy count"
+        );
+        assert_eq!(
+            s_links[si], links_full_run[0],
+            "sharded({t}) changed the on-link copy count"
+        );
+    }
+    assert!(
+        std::hint::black_box(s_wire_bytes) > 0,
+        "sharded rows materialized no wire bytes"
+    );
+    let shard_rows = sc
+        .iter()
+        .enumerate()
+        .map(|(si, &t)| {
+            let row = ShardRow {
+                threads: t,
+                cold_wall_ms: s_cold_secs[si] * 1e3,
+                warm_wall_ms: s_warm_secs[si] * 1e3,
+                cold_pkts_per_sec: cold_n as f64 / s_cold_secs[si],
+                warm_pkts_per_sec: warm_n / s_warm_secs[si],
+                warm_copies_per_sec: s_warm_delivered[si] as f64 / s_warm_secs[si],
+            };
+            elmo_obs::info!(
+                "bench.replay.sharded",
+                threads = t,
+                packets = n,
+                warm_pkts_per_sec = row.warm_pkts_per_sec,
+                warm_copies_per_sec = row.warm_copies_per_sec
+            );
+            row
+        })
+        .collect();
     ReplayBench {
         packets: n,
         payload_bytes: args.replay_payload,
         deliveries,
         copies_on_links: links_full_run[0],
         modes,
+        shard_rows,
     }
 }
 
@@ -534,6 +649,7 @@ fn bench_verify() -> (usize, f64, f64) {
         threads: 0,
         samples: 50,
         seed: 0xb_e4c4,
+        replay_threads: 1,
     };
     let start = Instant::now();
     let run = verify_exp::run(topo, wl, &cfg);
@@ -661,9 +777,10 @@ fn run_encode_bench(args: &Args, cpus: usize, skipped: &[usize]) {
 /// Run the data-plane replay bench, write `args.replay_out`, and enforce
 /// `--expect-deliveries` (the CI smoke gate: any change to how many copies
 /// the fixed workload delivers fails the run).
-fn run_replay_bench(args: &Args, cpus: usize) {
+fn run_replay_bench(args: &Args, cpus: usize, skipped_shards: &[usize]) {
     let replay = bench_replay(args);
     let warm_ref = replay.modes[0].warm_pkts_per_sec;
+    let warm_flight = replay.modes[2].warm_pkts_per_sec;
     let mode_rows: Vec<String> = replay
         .modes
         .iter()
@@ -679,8 +796,32 @@ fn run_replay_bench(args: &Args, cpus: usize) {
             )
         })
         .collect();
+    // The threads axis. Only non-oversubscribed shard counts were run
+    // (main filtered the rest into `skipped_shards`), so every
+    // `speedup_vs_flight` here is scaling evidence, not scheduler noise.
+    let shard_json_rows: Vec<String> = replay
+        .shard_rows
+        .iter()
+        .map(|r| {
+            format!(
+                "      {{\"threads\": {}, \"oversubscribed\": false, \"cold_wall_ms\": {}, \"warm_wall_ms\": {}, \"cold_pkts_per_sec\": {}, \"warm_pkts_per_sec\": {}, \"warm_copies_per_sec\": {}, \"speedup_vs_flight\": {}}}",
+                r.threads,
+                json_f(r.cold_wall_ms),
+                json_f(r.warm_wall_ms),
+                json_f(r.cold_pkts_per_sec),
+                json_f(r.warm_pkts_per_sec),
+                json_f(r.warm_copies_per_sec),
+                json_f(r.warm_pkts_per_sec / warm_flight),
+            )
+        })
+        .collect();
+    let skipped_json = skipped_shards
+        .iter()
+        .map(|t| t.to_string())
+        .collect::<Vec<_>>()
+        .join(", ");
     let json = format!(
-        "{{\n  \"bench\": \"elmo dataplane replay\",\n  \"fabric_hosts\": {},\n  \"packets\": {},\n  \"payload_bytes\": {},\n  \"cpus_available\": {},\n  \"deliveries\": {},\n  \"copies_on_links\": {},\n  \"modes\": [\n{}\n  ],\n  \"speedup_fast_vs_reference\": {},\n  \"speedup_flight_vs_reference\": {}\n}}\n",
+        "{{\n  \"bench\": \"elmo dataplane replay\",\n  \"fabric_hosts\": {},\n  \"packets\": {},\n  \"payload_bytes\": {},\n  \"cpus_available\": {},\n  \"deliveries\": {},\n  \"copies_on_links\": {},\n  \"modes\": [\n{}\n  ],\n  \"speedup_fast_vs_reference\": {},\n  \"speedup_flight_vs_reference\": {},\n  \"replay_threads\": {{\n    \"skipped_shard_counts\": [{}],\n    \"rows\": [\n{}\n    ]\n  }}\n}}\n",
         Clos::paper_example().num_hosts(),
         replay.packets,
         replay.payload_bytes,
@@ -690,6 +831,8 @@ fn run_replay_bench(args: &Args, cpus: usize) {
         mode_rows.join(",\n"),
         json_f(replay.modes[1].warm_pkts_per_sec / warm_ref),
         json_f(replay.modes[2].warm_pkts_per_sec / warm_ref),
+        skipped_json,
+        shard_json_rows.join(",\n"),
     );
     std::fs::write(&args.replay_out, &json).expect("write replay bench output");
     elmo_obs::info!("bench.wrote", path = args.replay_out.as_str());
@@ -734,10 +877,31 @@ fn main() {
             args.threads.push(1);
         }
     }
+    // Same honesty rule for the replay shard axis: a shard count above the
+    // core count can only measure oversubscription, so it is recorded as
+    // skipped, never timed.
+    let skipped_shards: Vec<usize> = args
+        .replay_threads
+        .iter()
+        .copied()
+        .filter(|&t| t != 0 && t > cpus)
+        .collect();
+    if !skipped_shards.is_empty() {
+        args.replay_threads.retain(|&t| t == 0 || t <= cpus);
+        elmo_obs::warn!(
+            "bench.oversubscribed",
+            cpus = cpus,
+            skipped = format!("{skipped_shards:?}"),
+            msg = "skipping replay shard counts above available cores"
+        );
+        if args.replay_threads.is_empty() {
+            args.replay_threads.push(1);
+        }
+    }
     if !args.replay_only {
         run_encode_bench(&args, cpus, &skipped);
     }
-    run_replay_bench(&args, cpus);
+    run_replay_bench(&args, cpus, &skipped_shards);
     if let Some(path) = &args.metrics_out {
         if let Err(e) = elmo_sim::obs::write_snapshot(path) {
             elmo_obs::error!(

@@ -41,7 +41,7 @@ pub use det::{DetHashMap, DetHashSet, DetHasher};
 pub use header::{pop, DownstreamRule, ElmoHeader, HeaderError, UpstreamRule};
 pub use layout::HeaderLayout;
 pub use min_k_union::{approx_min_k_union, approx_min_k_union_with, MinKUnionScratch};
-pub use par::{parallel_map, parallel_map_with, resolve_threads};
+pub use par::{parallel_map, parallel_map_with, resolve_threads, spsc, SpscReceiver, SpscSender};
 pub use plan::{
     encode_group, encode_group_optimistic_cached, encode_group_with, header_for_sender,
     EncodeScratch, EncoderConfig, GroupEncoding,

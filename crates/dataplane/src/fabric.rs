@@ -8,20 +8,23 @@
 //! 4/5, right panels).
 //!
 //! The replay loop is zero-copy: injected wire bytes are parsed **once**
-//! into a [`FlightPacket`] and every subsequent hop moves structs — the
-//! payload stays behind one shared `Arc` and only the Elmo header is
-//! cloned when a switch pops sections. Bytes are re-materialized solely at
-//! host delivery (and into the capture buffer when capturing). An iterative
-//! work-queue (`flight_queue`) and a per-hop output buffer (`hop_scratch`)
-//! are reused across injections so the steady state allocates nothing but
-//! the delivered copies themselves. [`Fabric::inject_reference`] keeps the
-//! pre-change encode-per-hop path alive for byte-identity golden tests and
-//! A/B benchmarking.
+//! into a [`FlightPacket`] and every subsequent hop moves struct-of-arrays
+//! entries — because every copy of an injected packet shares the same
+//! header and payload, a queued copy is fully described by `(switch,
+//! ingress port, pop depth)` and the inner loop iterates three flat
+//! arrays with zero `Arc` traffic per hop. Bytes are re-materialized
+//! solely at host delivery (and into the capture buffer when capturing).
+//! The work-queue ([`FlightQueue`]) and the per-hop output buffer
+//! (`hop_scratch`) are reused across injections so the steady state
+//! allocates nothing but the delivered copies themselves.
+//! [`Fabric::inject_reference`] keeps the pre-change encode-per-hop path
+//! alive for byte-identity golden tests and A/B benchmarking; the sharded
+//! multi-core variant of this loop lives in [`crate::shard`].
 
-use elmo_core::HeaderLayout;
+use elmo_core::{pop, HeaderLayout};
 use elmo_topology::{Clos, CoreId, HostId, LeafId, PodId, SpineId, SwitchRef};
 
-use crate::netswitch::{NetworkSwitch, SwitchConfig};
+use crate::netswitch::{NetworkSwitch, SwitchConfig, HOST_STRIPPED};
 use crate::packet::FlightPacket;
 
 /// Aggregate per-tier traffic counters (bytes and packets on the wire).
@@ -37,6 +40,19 @@ pub struct FabricStats {
 }
 
 impl FabricStats {
+    /// Fold another shard's counters into this one. Addition is the only
+    /// merge: every field is a sum over link events, so per-shard totals
+    /// combined in any order equal the serial totals.
+    pub fn absorb(&mut self, o: &FabricStats) {
+        self.host_to_leaf_bytes += o.host_to_leaf_bytes;
+        self.leaf_to_host_bytes += o.leaf_to_host_bytes;
+        self.leaf_to_spine_bytes += o.leaf_to_spine_bytes;
+        self.spine_to_leaf_bytes += o.spine_to_leaf_bytes;
+        self.spine_to_core_bytes += o.spine_to_core_bytes;
+        self.core_to_spine_bytes += o.core_to_spine_bytes;
+        self.packets_on_links += o.packets_on_links;
+    }
+
     /// Total bytes crossing any link (the numerator of traffic overhead).
     pub fn total_link_bytes(&self) -> u64 {
         self.host_to_leaf_bytes
@@ -51,26 +67,33 @@ impl FabricStats {
 /// Fabric-wide mirrors of the per-`Fabric` link counters. These measure
 /// *actual* bytes moved by the packet model, so a snapshot can be
 /// cross-checked against `sim::metrics`' analytic traffic accounting.
-struct FabricMetrics {
-    host_to_leaf_bytes: elmo_obs::Counter,
-    leaf_to_host_bytes: elmo_obs::Counter,
-    leaf_to_spine_bytes: elmo_obs::Counter,
-    spine_to_leaf_bytes: elmo_obs::Counter,
-    spine_to_core_bytes: elmo_obs::Counter,
-    core_to_spine_bytes: elmo_obs::Counter,
-    packets_on_links: elmo_obs::Counter,
+pub(crate) struct FabricMetrics {
+    pub(crate) host_to_leaf_bytes: elmo_obs::Counter,
+    pub(crate) leaf_to_host_bytes: elmo_obs::Counter,
+    pub(crate) leaf_to_spine_bytes: elmo_obs::Counter,
+    pub(crate) spine_to_leaf_bytes: elmo_obs::Counter,
+    pub(crate) spine_to_core_bytes: elmo_obs::Counter,
+    pub(crate) core_to_spine_bytes: elmo_obs::Counter,
+    pub(crate) packets_on_links: elmo_obs::Counter,
     /// Injections whose flight work-queue and hop buffer ran entirely in
     /// previously allocated capacity (the zero-allocation steady state).
-    replay_buffer_reuse: elmo_obs::Counter,
+    pub(crate) replay_buffer_reuse: elmo_obs::Counter,
     /// Injections that had to grow a scratch buffer (first packets, or a
     /// fan-out larger than anything seen before).
-    replay_fresh_alloc: elmo_obs::Counter,
+    pub(crate) replay_fresh_alloc: elmo_obs::Counter,
     /// Packet copies serialized back to wire bytes (host deliveries and
     /// captured copies) — every other copy moved as structs only.
-    replay_materialized: elmo_obs::Counter,
+    pub(crate) replay_materialized: elmo_obs::Counter,
+    /// Flight copies that crossed a shard boundary through an SPSC ring in
+    /// the sharded replay engine. Deterministic for a fixed topology,
+    /// batch, and shard count (the partition fixes each hop's owner).
+    pub(crate) shard_cross_msgs: elmo_obs::Counter,
+    /// Sharded batch injections run (`inject_*_sharded` calls that took
+    /// the multi-worker path rather than the serial fallback).
+    pub(crate) shard_batches: elmo_obs::Counter,
 }
 
-fn metrics() -> &'static FabricMetrics {
+pub(crate) fn metrics() -> &'static FabricMetrics {
     static M: std::sync::OnceLock<FabricMetrics> = std::sync::OnceLock::new();
     M.get_or_init(|| FabricMetrics {
         host_to_leaf_bytes: elmo_obs::counter("fabric.host_to_leaf_bytes"),
@@ -83,35 +106,74 @@ fn metrics() -> &'static FabricMetrics {
         replay_buffer_reuse: elmo_obs::counter("fabric.replay.buffer_reuse"),
         replay_fresh_alloc: elmo_obs::counter("fabric.replay.fresh_alloc"),
         replay_materialized: elmo_obs::counter("fabric.replay.materialized"),
+        shard_cross_msgs: elmo_obs::counter("fabric.replay.shard.cross_msgs"),
+        shard_batches: elmo_obs::counter("fabric.replay.shard.batches"),
     })
 }
 
 /// A fully instantiated Clos fabric of [`NetworkSwitch`]es.
 #[derive(Clone, Debug)]
 pub struct Fabric {
-    topo: Clos,
-    layout: HeaderLayout,
-    leaves: Vec<NetworkSwitch>,
-    spines: Vec<NetworkSwitch>,
-    cores: Vec<NetworkSwitch>,
+    pub(crate) topo: Clos,
+    pub(crate) layout: HeaderLayout,
+    pub(crate) leaves: Vec<NetworkSwitch>,
+    pub(crate) spines: Vec<NetworkSwitch>,
+    pub(crate) cores: Vec<NetworkSwitch>,
     /// Switches currently failed: packets reaching them are dropped.
-    down: std::collections::BTreeSet<SwitchRef>,
+    pub(crate) down: std::collections::BTreeSet<SwitchRef>,
     /// When tracing, the per-hop records of the in-flight injection.
-    trace: Option<Vec<HopRecord>>,
+    pub(crate) trace: Option<Vec<HopRecord>>,
     /// When capturing, `(capture limit, captured packets)`: every copy
     /// put on a wire (injected or forwarded) is recorded until the limit
     /// is reached. Powers `elmo-eval --trace-pcap`. `None` (the default)
     /// keeps the replay loop free of any capture work beyond one
     /// predictable `is_some` test per copy.
-    capture: Option<(usize, Vec<Vec<u8>>)>,
+    pub(crate) capture: Option<(usize, Vec<Vec<u8>>)>,
     /// Reusable work-queue for the flight replay loop: copies waiting to
     /// enter their next switch. Drained to empty by every injection, so
     /// only its capacity survives between packets.
-    flight_queue: Vec<(SwitchRef, usize, FlightPacket)>,
-    /// Reusable per-hop output buffer handed to `process_flight`.
-    hop_scratch: Vec<(usize, FlightPacket)>,
+    flight_queue: FlightQueue,
+    /// Reusable per-hop output buffer handed to `process_hops`.
+    hop_scratch: Vec<(u16, u8)>,
     /// Link counters.
     pub stats: FabricStats,
+}
+
+/// The struct-of-arrays flight work-queue: entry `i` is the copy
+/// `(sw[i], port[i], popped[i])`. All copies of one injection share the
+/// injected packet's header and payload `Arc`s, so the pop depth is the
+/// only per-copy state and pushing a copy writes three flat words — no
+/// pointer chasing, no reference-count traffic.
+#[derive(Clone, Debug, Default)]
+pub(crate) struct FlightQueue {
+    sw: Vec<SwitchRef>,
+    port: Vec<u16>,
+    popped: Vec<u8>,
+}
+
+impl FlightQueue {
+    #[inline]
+    pub(crate) fn push(&mut self, sw: SwitchRef, port: u16, popped: u8) {
+        self.sw.push(sw);
+        self.port.push(port);
+        self.popped.push(popped);
+    }
+
+    /// LIFO pop, matching the traversal order of the reference byte loop.
+    #[inline]
+    pub(crate) fn pop(&mut self) -> Option<(SwitchRef, u16, u8)> {
+        let sw = self.sw.pop()?;
+        let port = self.port.pop().expect("arrays pushed in lockstep");
+        let popped = self.popped.pop().expect("arrays pushed in lockstep");
+        Some((sw, port, popped))
+    }
+
+    pub(crate) fn capacity(&self) -> usize {
+        self.sw
+            .capacity()
+            .min(self.port.capacity())
+            .min(self.popped.capacity())
+    }
 }
 
 /// One switch's handling of one packet copy, INT-style (paper §7's
@@ -151,7 +213,7 @@ impl Fabric {
             down: std::collections::BTreeSet::new(),
             trace: None,
             capture: None,
-            flight_queue: Vec::new(),
+            flight_queue: FlightQueue::default(),
             hop_scratch: Vec::new(),
             stats: FabricStats::default(),
         }
@@ -374,6 +436,11 @@ impl Fabric {
     /// The iterative flight work-queue. LIFO pop with in-order output
     /// pushes — the exact traversal order of the pre-change byte loop, so
     /// delivery order, capture order, and every counter sequence match.
+    ///
+    /// The queue is struct-of-arrays: every queued copy shares the
+    /// injected packet's header and payload, so the loop keeps exactly two
+    /// working packets (`work`, and its header-stripped twin for host
+    /// copies) and rewrites only `work.popped` per entry.
     fn run_flight(
         &mut self,
         sw0: SwitchRef,
@@ -387,30 +454,37 @@ impl Fabric {
         let mut queue = std::mem::take(&mut self.flight_queue);
         let mut hop_out = std::mem::take(&mut self.hop_scratch);
         let start_caps = (queue.capacity(), hop_out.capacity());
-        queue.push((sw0, port0, pkt0));
+        let mut work = pkt0;
+        let host_work = FlightPacket {
+            elmo: None,
+            popped: pop::NONE,
+            ..work.clone()
+        };
+        queue.push(sw0, port0 as u16, work.popped);
         // A packet visits each layer at most twice (up, down); the queue is
         // bounded by the output fan-out, so plain iteration terminates.
-        while let Some((sw, port_in, pkt)) = queue.pop() {
+        while let Some((sw, port_in, popped_in)) = queue.pop() {
             if self.down.contains(&sw) {
                 continue; // failed switch: the packet is lost here
             }
+            work.popped = popped_in;
             hop_out.clear();
             match sw {
-                SwitchRef::Leaf(l) => self.leaves[l.0 as usize].process_flight(
-                    port_in,
-                    &pkt,
+                SwitchRef::Leaf(l) => self.leaves[l.0 as usize].process_hops(
+                    port_in as usize,
+                    &work,
                     &self.layout,
                     &mut hop_out,
                 ),
-                SwitchRef::Spine(s) => self.spines[s.0 as usize].process_flight(
-                    port_in,
-                    &pkt,
+                SwitchRef::Spine(s) => self.spines[s.0 as usize].process_hops(
+                    port_in as usize,
+                    &work,
                     &self.layout,
                     &mut hop_out,
                 ),
-                SwitchRef::Core(c) => self.cores[c.0 as usize].process_flight(
-                    port_in,
-                    &pkt,
+                SwitchRef::Core(c) => self.cores[c.0 as usize].process_hops(
+                    port_in as usize,
+                    &work,
                     &self.layout,
                     &mut hop_out,
                 ),
@@ -418,26 +492,41 @@ impl Fabric {
             if let Some(trace) = &mut self.trace {
                 trace.push(HopRecord {
                     switch: sw,
-                    ingress_port: port_in,
-                    bytes_in: pkt.wire_len(&self.layout),
-                    egress_ports: hop_out.iter().map(|(p, _)| *p).collect(),
+                    ingress_port: port_in as usize,
+                    bytes_in: work.wire_len(&self.layout),
+                    egress_ports: hop_out.iter().map(|(p, _)| *p as usize).collect(),
                 });
             }
-            for (port_out, out_pkt) in hop_out.drain(..) {
+            for i in 0..hop_out.len() {
+                let (port_out, state) = hop_out[i];
                 self.stats.packets_on_links += 1;
                 m.packets_on_links.inc();
+                let out_pkt: &FlightPacket = if state == HOST_STRIPPED {
+                    &host_work
+                } else {
+                    work.popped = state;
+                    &work
+                };
                 let n = out_pkt.wire_len(&self.layout) as u64;
                 if self.capture.is_some() {
-                    self.capture_flight(&out_pkt);
+                    let bytes = out_pkt.to_bytes(&self.layout);
+                    self.capture_copy_slow(&bytes);
+                    m.replay_materialized.inc();
                 }
-                match self.next_hop(sw, port_out) {
+                match next_hop(&self.topo, sw, port_out as usize) {
                     Hop::Host(h) => {
                         self.stats.leaf_to_host_bytes += n;
                         m.leaf_to_host_bytes.add(n);
+                        let out_pkt: &FlightPacket = if state == HOST_STRIPPED {
+                            &host_work
+                        } else {
+                            &work
+                        };
                         deliveries.push((h, out_pkt.to_bytes(&self.layout)));
                         m.replay_materialized.inc();
                     }
                     Hop::Switch(next, next_port, tier) => {
+                        debug_assert_ne!(state, HOST_STRIPPED, "stripped copies go to hosts");
                         match tier {
                             LinkTier::LeafSpine => {
                                 self.stats.leaf_to_spine_bytes += n;
@@ -456,7 +545,7 @@ impl Fabric {
                                 m.core_to_spine_bytes.add(n);
                             }
                         }
-                        queue.push((next, next_port, out_pkt));
+                        queue.push(next, next_port as u16, state);
                     }
                 }
             }
@@ -468,6 +557,10 @@ impl Fabric {
         } else {
             m.replay_buffer_reuse.inc();
         }
+        // Drop the working copies before the Arcs' last clones go out in
+        // deliveries; `host_work` kept them alive across the loop.
+        drop(host_work);
+        drop(work);
         self.flight_queue = queue;
         self.hop_scratch = hop_out;
     }
@@ -517,7 +610,7 @@ impl Fabric {
                 self.stats.packets_on_links += 1;
                 m.packets_on_links.inc();
                 self.capture_copy(&out_pkt);
-                match self.next_hop(sw, port_out) {
+                match next_hop(&self.topo, sw, port_out) {
                     Hop::Host(h) => {
                         self.stats.leaf_to_host_bytes += out_pkt.len() as u64;
                         m.leaf_to_host_bytes.add(out_pkt.len() as u64);
@@ -551,64 +644,67 @@ impl Fabric {
         deliveries
     }
 
-    /// Resolve a switch's output port to the device on the other end.
-    fn next_hop(&self, sw: SwitchRef, port: usize) -> Hop {
-        match sw {
-            SwitchRef::Leaf(l) => {
-                if port < self.topo.leaf_down_ports() {
-                    Hop::Host(self.topo.host_under_leaf(l, port))
-                } else {
-                    let local_spine = port - self.topo.leaf_down_ports();
-                    let pod = self.topo.pod_of_leaf(l);
-                    let spine = self.topo.spine_in_pod(pod, local_spine);
-                    Hop::Switch(
-                        SwitchRef::Spine(spine),
-                        self.topo.leaf_index_in_pod(l),
-                        LinkTier::LeafSpine,
-                    )
-                }
-            }
-            SwitchRef::Spine(s) => {
-                if port < self.topo.spine_down_ports() {
-                    let pod = self.topo.pod_of_spine(s);
-                    let leaf = self.topo.leaf_in_pod(pod, port);
-                    Hop::Switch(
-                        SwitchRef::Leaf(leaf),
-                        self.topo.leaf_up_port(self.topo.spine_index_in_pod(s)),
-                        LinkTier::SpineLeaf,
-                    )
-                } else {
-                    let local_core = port - self.topo.spine_down_ports();
-                    let core: Vec<CoreId> = self.topo.cores_of_spine(s).collect();
-                    let core = core[local_core];
-                    Hop::Switch(
-                        SwitchRef::Core(core),
-                        self.topo.pod_of_spine(s).0 as usize,
-                        LinkTier::SpineCore,
-                    )
-                }
-            }
-            SwitchRef::Core(c) => {
-                let pod = PodId(port as u32);
-                let spine = self.topo.spine_under_core(c, pod);
-                let local_core = c.0 as usize % self.topo.cores_per_spine();
+}
+
+/// Resolve a switch's output port to the device on the other end. Free
+/// function over [`Clos`] so the sharded workers in [`crate::shard`] can
+/// route hops without borrowing the whole `Fabric`.
+pub(crate) fn next_hop(topo: &Clos, sw: SwitchRef, port: usize) -> Hop {
+    match sw {
+        SwitchRef::Leaf(l) => {
+            if port < topo.leaf_down_ports() {
+                Hop::Host(topo.host_under_leaf(l, port))
+            } else {
+                let local_spine = port - topo.leaf_down_ports();
+                let pod = topo.pod_of_leaf(l);
+                let spine = topo.spine_in_pod(pod, local_spine);
                 Hop::Switch(
                     SwitchRef::Spine(spine),
-                    self.topo.spine_up_port(local_core),
-                    LinkTier::CoreSpine,
+                    topo.leaf_index_in_pod(l),
+                    LinkTier::LeafSpine,
                 )
             }
+        }
+        SwitchRef::Spine(s) => {
+            if port < topo.spine_down_ports() {
+                let pod = topo.pod_of_spine(s);
+                let leaf = topo.leaf_in_pod(pod, port);
+                Hop::Switch(
+                    SwitchRef::Leaf(leaf),
+                    topo.leaf_up_port(topo.spine_index_in_pod(s)),
+                    LinkTier::SpineLeaf,
+                )
+            } else {
+                let local_core = port - topo.spine_down_ports();
+                let core: Vec<CoreId> = topo.cores_of_spine(s).collect();
+                let core = core[local_core];
+                Hop::Switch(
+                    SwitchRef::Core(core),
+                    topo.pod_of_spine(s).0 as usize,
+                    LinkTier::SpineCore,
+                )
+            }
+        }
+        SwitchRef::Core(c) => {
+            let pod = PodId(port as u32);
+            let spine = topo.spine_under_core(c, pod);
+            let local_core = c.0 as usize % topo.cores_per_spine();
+            Hop::Switch(
+                SwitchRef::Spine(spine),
+                topo.spine_up_port(local_core),
+                LinkTier::CoreSpine,
+            )
         }
     }
 }
 
-enum Hop {
+pub(crate) enum Hop {
     Host(HostId),
     Switch(SwitchRef, usize, LinkTier),
 }
 
 #[derive(Clone, Copy)]
-enum LinkTier {
+pub(crate) enum LinkTier {
     LeafSpine,
     SpineLeaf,
     SpineCore,

@@ -19,6 +19,7 @@ pub mod hypervisor;
 pub mod netswitch;
 pub mod packet;
 pub mod pcap;
+pub mod shard;
 
 pub use fabric::{Fabric, FabricStats, HopRecord};
 pub use hypervisor::{
@@ -27,3 +28,4 @@ pub use hypervisor::{
 pub use netswitch::{GroupTableFull, NetworkSwitch, SwitchConfig, SwitchStats};
 pub use packet::{ecmp_hash, ecmp_hash_fields, ElmoPacketRepr, FlightPacket, PacketError};
 pub use pcap::PcapWriter;
+pub use shard::DeliveryBatch;

@@ -143,19 +143,17 @@ fn popped(n: u64) {
     metrics().header_pops.add(n);
 }
 
-/// Push one host-bound copy per set port: the Elmo header is stripped
-/// entirely (egress invalidation) and every copy shares the payload `Arc`.
-fn push_host_copies(ports: &PortBitmap, pkt: &FlightPacket, out: &mut Vec<(usize, FlightPacket)>) {
-    if ports.is_empty() {
-        return;
-    }
-    let host_pkt = FlightPacket {
-        elmo: None,
-        popped: pop::NONE,
-        ..pkt.clone()
-    };
+/// Hop-state sentinel for a host-bound copy whose Elmo header is stripped
+/// entirely (egress invalidation). Every other state a hop emits is a
+/// plain [`elmo_core::pop`] depth, so one `u8` describes any output copy:
+/// the struct-of-arrays replay queues store exactly `(port, state)` and
+/// reconstruct the copy from the injection's shared packet on demand.
+pub const HOST_STRIPPED: u8 = u8::MAX;
+
+/// Push one host-bound hop per set port.
+fn push_host_hops(ports: &PortBitmap, out: &mut Vec<(u16, u8)>) {
     for port in ports.iter_ones() {
-        out.push((port, host_pkt.clone()));
+        out.push((port as u16, HOST_STRIPPED));
     }
 }
 
@@ -306,11 +304,12 @@ impl NetworkSwitch {
     /// appending the copies to emit as `(output port, packet)` pairs.
     ///
     /// This is the replay fast path: no byte buffer is read or written and
-    /// nothing is allocated — popping header sections is a bump of the
-    /// copy's [`FlightPacket::popped`] depth (sections pop strictly
-    /// front-to-back), so each emitted copy is a plain struct copy sharing
-    /// the sender's header and payload `Arc`s, mirroring the paper's §4.1
-    /// claim that forwarding touches only the compact header.
+    /// nothing is allocated — each emitted copy is a plain struct copy
+    /// sharing the sender's header and payload `Arc`s, mirroring the
+    /// paper's §4.1 claim that forwarding touches only the compact header.
+    ///
+    /// The struct-of-arrays replay loops use [`process_hops`]
+    /// (Self::process_hops) directly and skip even the struct copies.
     pub fn process_flight(
         &mut self,
         ingress_port: usize,
@@ -318,18 +317,51 @@ impl NetworkSwitch {
         layout: &HeaderLayout,
         out: &mut Vec<(usize, FlightPacket)>,
     ) {
+        let mut hops: Vec<(u16, u8)> = Vec::new();
+        self.process_hops(ingress_port, pkt, layout, &mut hops);
+        for (port, state) in hops {
+            let copy = if state == HOST_STRIPPED {
+                FlightPacket {
+                    elmo: None,
+                    popped: pop::NONE,
+                    ..pkt.clone()
+                }
+            } else {
+                FlightPacket {
+                    popped: state,
+                    ..pkt.clone()
+                }
+            };
+            out.push((port as usize, copy));
+        }
+    }
+
+    /// The struct-of-arrays form of [`process_flight`](Self::process_flight):
+    /// emit `(output port, hop state)` pairs instead of packet structs,
+    /// where the state is the copy's new [`elmo_core::pop`] depth or
+    /// [`HOST_STRIPPED`]. All matching, counters, and emission order are
+    /// identical — every copy of an injected packet shares the same header
+    /// and payload, so the depth byte is the *only* per-copy state and the
+    /// replay queues can be flat arrays with zero `Arc` traffic per hop.
+    pub fn process_hops(
+        &mut self,
+        ingress_port: usize,
+        pkt: &FlightPacket,
+        layout: &HeaderLayout,
+        out: &mut Vec<(u16, u8)>,
+    ) {
         if pkt.header_vector_len(layout) > self.config.header_vector_limit {
             self.stats.drop_header_vector();
             return;
         }
         if !ipv4::is_multicast(pkt.group_ip) {
-            self.unicast_flight(pkt, out);
+            self.unicast_hops(pkt, out);
             return;
         }
         match self.id {
-            SwitchRef::Leaf(l) => self.leaf_flight(l, ingress_port, pkt, out),
-            SwitchRef::Spine(s) => self.spine_flight(s, ingress_port, pkt, out),
-            SwitchRef::Core(c) => self.core_flight(c, pkt, out),
+            SwitchRef::Leaf(l) => self.leaf_hops(l, ingress_port, pkt, out),
+            SwitchRef::Spine(s) => self.spine_hops(s, ingress_port, pkt, out),
+            SwitchRef::Core(c) => self.core_hops(c, pkt, out),
         }
     }
 
@@ -341,12 +373,12 @@ impl NetworkSwitch {
         self.stats.drop_parse();
     }
 
-    fn leaf_flight(
+    fn leaf_hops(
         &mut self,
         leaf: LeafId,
         ingress_port: usize,
         pkt: &FlightPacket,
-        out: &mut Vec<(usize, FlightPacket)>,
+        out: &mut Vec<(u16, u8)>,
     ) {
         let from_host = ingress_port < self.topo.leaf_down_ports();
         if pkt.elmo.is_none() {
@@ -361,22 +393,18 @@ impl NetworkSwitch {
             };
             self.stats.hit_prule();
             // Copies to co-located receivers: Elmo header fully stripped.
-            push_host_copies(&rule.down, pkt, out);
+            push_host_hops(&rule.down, out);
             // Copy upward, with the u-leaf rule popped (a depth bump — the
             // shared header itself is untouched).
             if rule.goes_up() {
                 popped(1);
-                let up_pkt = FlightPacket {
-                    popped: pop::U_LEAF,
-                    ..pkt.clone()
-                };
                 if rule.multipath {
-                    let spine = (up_pkt.ecmp_hash(leaf.0 as u64) % self.topo.leaf_up_ports() as u64)
-                        as usize;
-                    out.push((self.topo.leaf_up_port(spine), up_pkt));
+                    let spine =
+                        (pkt.ecmp_hash(leaf.0 as u64) % self.topo.leaf_up_ports() as u64) as usize;
+                    out.push((self.topo.leaf_up_port(spine) as u16, pop::U_LEAF));
                 } else {
                     for spine in rule.up.iter_ones() {
-                        out.push((self.topo.leaf_up_port(spine), up_pkt.clone()));
+                        out.push((self.topo.leaf_up_port(spine) as u16, pop::U_LEAF));
                     }
                 }
             }
@@ -403,16 +431,16 @@ impl NetworkSwitch {
             None
         };
         if let Some(ports) = ports {
-            push_host_copies(ports, pkt, out);
+            push_host_hops(ports, out);
         }
     }
 
-    fn spine_flight(
+    fn spine_hops(
         &mut self,
         spine: SpineId,
         ingress_port: usize,
         pkt: &FlightPacket,
-        out: &mut Vec<(usize, FlightPacket)>,
+        out: &mut Vec<(u16, u8)>,
     ) {
         let from_leaf = ingress_port < self.topo.spine_down_ports();
         if pkt.elmo.is_none() {
@@ -431,29 +459,21 @@ impl NetworkSwitch {
             // D_SPINE; sections already popped upstream are no-ops).
             if !rule.down.is_empty() {
                 popped(3);
-                let down_pkt = FlightPacket {
-                    popped: pop::D_SPINE,
-                    ..pkt.clone()
-                };
                 for port in rule.down.iter_ones() {
-                    out.push((port, down_pkt.clone()));
+                    out.push((port as u16, pop::D_SPINE));
                 }
             }
             // Copy upward to the core, u-spine popped.
             if rule.goes_up() {
                 popped(1);
-                let up_pkt = FlightPacket {
-                    popped: pop::U_SPINE,
-                    ..pkt.clone()
-                };
                 if rule.multipath {
-                    let core = (up_pkt.ecmp_hash(0x51de ^ spine.0 as u64)
+                    let core = (pkt.ecmp_hash(0x51de ^ spine.0 as u64)
                         % self.topo.spine_up_ports() as u64)
                         as usize;
-                    out.push((self.topo.spine_up_port(core), up_pkt));
+                    out.push((self.topo.spine_up_port(core) as u16, pop::U_SPINE));
                 } else {
                     for core in rule.up.iter_ones() {
-                        out.push((self.topo.spine_up_port(core), up_pkt.clone()));
+                        out.push((self.topo.spine_up_port(core) as u16, pop::U_SPINE));
                     }
                 }
             }
@@ -482,22 +502,13 @@ impl NetworkSwitch {
         if let Some(ports) = ports {
             // Next hop is a leaf: pop the spine section.
             popped(1);
-            let down_pkt = FlightPacket {
-                popped: pop::D_SPINE,
-                ..pkt.clone()
-            };
             for port in ports.iter_ones() {
-                out.push((port, down_pkt.clone()));
+                out.push((port as u16, pop::D_SPINE));
             }
         }
     }
 
-    fn core_flight(
-        &mut self,
-        _core: CoreId,
-        pkt: &FlightPacket,
-        out: &mut Vec<(usize, FlightPacket)>,
-    ) {
+    fn core_hops(&mut self, _core: CoreId, pkt: &FlightPacket, out: &mut Vec<(u16, u8)>) {
         if pkt.elmo.is_none() {
             self.stats.drop_parse();
             return;
@@ -508,18 +519,15 @@ impl NetworkSwitch {
         };
         self.stats.hit_prule();
         popped(1);
-        let down_pkt = FlightPacket {
-            popped: pop::CORE,
-            ..pkt.clone()
-        };
         for pod in pods.iter_ones() {
-            out.push((pod, down_pkt.clone()));
+            out.push((pod as u16, pop::CORE));
         }
     }
 
     /// Plain underlay unicast on the flight path: route on the destination
-    /// host address; the packet itself is forwarded unmodified.
-    fn unicast_flight(&mut self, pkt: &FlightPacket, out: &mut Vec<(usize, FlightPacket)>) {
+    /// host address; the packet itself is forwarded unmodified (its pop
+    /// depth — and `None` Elmo header — carry through).
+    fn unicast_hops(&mut self, pkt: &FlightPacket, out: &mut Vec<(u16, u8)>) {
         let Some(dst_host) = crate::hypervisor::host_of_ip(pkt.group_ip) else {
             self.stats.drop_parse();
             return;
@@ -552,7 +560,7 @@ impl NetworkSwitch {
             SwitchRef::Core(_) => dst_pod.0 as usize,
         };
         self.stats.hit_unicast();
-        out.push((port, pkt.clone()));
+        out.push((port as u16, pkt.popped));
     }
 
     // ----- reference (pre-zero-copy) byte path -------------------------------

@@ -99,6 +99,7 @@ impl ElmoPacketRepr {
     /// Serialize the whole packet (encap path). Appends to `out`, which is
     /// cleared first; the buffer's capacity is reused across packets.
     pub fn emit(&self, layout: &HeaderLayout, inner_frame: &[u8], out: &mut Vec<u8>) {
+        out.clear();
         emit_stack(
             self.src_mac,
             self.dst_mac,
@@ -179,14 +180,19 @@ fn emit_stack(
     inner_frame: &[u8],
     out: &mut Vec<u8>,
 ) {
-    out.clear();
+    // Appends after `out`'s current end, so callers can serialize into a
+    // shared arena (`DeliveryBatch`) as well as a cleared scratch buffer.
+    // Only the header region is zero-extended; the payload (the bulk of
+    // the packet) is appended in one pass, so no byte is written twice.
+    let base = out.len();
     let elmo_bytes = elmo.map(|h| h.encode_popped(layout, elmo_popped));
     let elmo_len = elmo_bytes.as_ref().map_or(0, Vec::len);
-    let total = ElmoPacketRepr::OUTER_LEN + elmo_len + inner_frame.len();
-    out.resize(total, 0);
+    let headers = ElmoPacketRepr::OUTER_LEN + elmo_len;
+    out.resize(base + headers, 0);
+    let buf = &mut out[base..];
 
     // Ethernet
-    let mut eth = Frame::new_unchecked(&mut out[..]);
+    let mut eth = Frame::new_unchecked(&mut buf[..]);
     FrameRepr {
         dst: dst_mac,
         src: src_mac,
@@ -195,7 +201,7 @@ fn emit_stack(
     .emit(&mut eth);
     // IPv4
     let ip_payload = udp::HEADER_LEN + vxlan::HEADER_LEN + elmo_len + inner_frame.len();
-    let mut ip = Ipv4Packet::new_unchecked(&mut out[ethernet::HEADER_LEN..]);
+    let mut ip = Ipv4Packet::new_unchecked(&mut buf[ethernet::HEADER_LEN..]);
     Ipv4Repr {
         src: src_ip,
         dst: group_ip,
@@ -206,7 +212,7 @@ fn emit_stack(
     .emit(&mut ip);
     // UDP (checksum disabled, as common for VXLAN underlays)
     let udp_off = ethernet::HEADER_LEN + ipv4::HEADER_LEN;
-    let mut udp = UdpPacket::new_unchecked(&mut out[udp_off..]);
+    let mut udp = UdpPacket::new_unchecked(&mut buf[udp_off..]);
     UdpRepr {
         src_port: flow_entropy,
         dst_port: VXLAN_PORT,
@@ -215,7 +221,7 @@ fn emit_stack(
     .emit(&mut udp);
     // VXLAN
     let vx_off = udp_off + udp::HEADER_LEN;
-    let mut vx = VxlanPacket::new_unchecked(&mut out[vx_off..]);
+    let mut vx = VxlanPacket::new_unchecked(&mut buf[vx_off..]);
     VxlanRepr {
         vni,
         next_header: if elmo_len > 0 {
@@ -225,13 +231,12 @@ fn emit_stack(
         },
     }
     .emit(&mut vx);
-    // Elmo header + inner frame
-    let mut off = vx_off + vxlan::HEADER_LEN;
+    // Elmo header, then the inner frame appended past the header region
+    let off = vx_off + vxlan::HEADER_LEN;
     if let Some(bytes) = elmo_bytes {
-        out[off..off + bytes.len()].copy_from_slice(&bytes);
-        off += bytes.len();
+        buf[off..off + bytes.len()].copy_from_slice(&bytes);
     }
-    out[off..].copy_from_slice(inner_frame);
+    out.extend_from_slice(inner_frame);
 }
 
 /// A packet in flight through the fabric replay fast path: parsed exactly
@@ -312,6 +317,7 @@ impl FlightPacket {
     /// through the same serializer as [`ElmoPacketRepr::emit`], so the
     /// bytes are identical to what the encode-per-hop path produces.
     pub fn materialize(&self, layout: &HeaderLayout, out: &mut Vec<u8>) {
+        out.clear();
         emit_stack(
             self.src_mac,
             self.dst_mac,
@@ -325,6 +331,62 @@ impl FlightPacket {
             &self.payload,
             out,
         );
+    }
+
+    /// Serialize the header-stripped host-delivery form of this copy
+    /// (outer stack + inner frame, no Elmo header) without constructing
+    /// the stripped twin packet. Byte-identical to materializing a clone
+    /// with `elmo: None`.
+    pub fn to_host_bytes(&self, layout: &HeaderLayout) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.host_wire_len());
+        self.append_host_to(layout, &mut out);
+        out
+    }
+
+    /// Append this copy's wire bytes to `out` (an arena, not cleared) and
+    /// return how many bytes were written. Same bytes as
+    /// [`to_bytes`](Self::to_bytes), minus the per-copy allocation.
+    pub fn append_to(&self, layout: &HeaderLayout, out: &mut Vec<u8>) -> usize {
+        let base = out.len();
+        emit_stack(
+            self.src_mac,
+            self.dst_mac,
+            self.src_ip,
+            self.group_ip,
+            self.flow_entropy,
+            self.vni,
+            self.elmo.as_deref(),
+            self.popped,
+            layout,
+            &self.payload,
+            out,
+        );
+        out.len() - base
+    }
+
+    /// [`append_to`](Self::append_to) for the header-stripped host form;
+    /// same bytes as [`to_host_bytes`](Self::to_host_bytes).
+    pub fn append_host_to(&self, layout: &HeaderLayout, out: &mut Vec<u8>) -> usize {
+        let base = out.len();
+        emit_stack(
+            self.src_mac,
+            self.dst_mac,
+            self.src_ip,
+            self.group_ip,
+            self.flow_entropy,
+            self.vni,
+            None,
+            pop::NONE,
+            layout,
+            &self.payload,
+            out,
+        );
+        out.len() - base
+    }
+
+    /// On-the-wire size of [`to_host_bytes`](Self::to_host_bytes).
+    pub fn host_wire_len(&self) -> usize {
+        ElmoPacketRepr::OUTER_LEN + self.payload.len()
     }
 
     /// The upstream leaf rule this copy still carries, if any.

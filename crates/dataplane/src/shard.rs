@@ -1,0 +1,877 @@
+//! Sharded multi-core replay: the fabric's switches partitioned across
+//! worker threads, each owning a disjoint switch set, with bounded SPSC
+//! rings carrying the flight copies that cross shard boundaries.
+//!
+//! # Partition
+//!
+//! Every switch has exactly one owning shard for the whole batch:
+//!
+//! * the leaves **and** spines of pod `p` go to shard `p % n`, so the two
+//!   hops of every intra-pod traversal (leaf→spine, spine→leaf) stay
+//!   shard-local — in the paper's Clos this is the vast majority of hops
+//!   for rack-local and pod-local groups;
+//! * cores are dealt round-robin (`core % n`), since core hops are the
+//!   cross-pod traffic that must cross shards anyway.
+//!
+//! Ownership is enforced by construction, not locks: the `Fabric`'s switch
+//! vectors are taken apart and moved into the workers, then reassembled
+//! (same order, same switches, now with updated per-switch counters) after
+//! the join. No switch is ever aliased by two threads, so the engine is
+//! safe Rust with zero `unsafe`.
+//!
+//! # Cross-shard protocol
+//!
+//! Each ordered worker pair gets one bounded SPSC ring
+//! ([`elmo_core::spsc`]); a copy whose next switch lives elsewhere is sent
+//! as a small `Copy` [`ShardMsg`] — dense switch index, ingress port, pop
+//! depth, and the batch index of the packet it belongs to. Workers clone
+//! the batch's `FlightPacket`s once up front (bumping each header/payload
+//! `Arc` once per worker, never per hop), so a ring message is all a
+//! receiving shard needs to resume the traversal.
+//!
+//! When a ring fills, the producer drains its *own* incoming rings into
+//! its local queue while retrying, which breaks any cycle of full rings —
+//! progress is always possible somewhere, so the engine cannot deadlock.
+//!
+//! # Deliveries: zero-copy to the very end
+//!
+//! A delivered copy is fully determined by `(host, batch packet index,
+//! pop state)` — the wire bytes are a pure function of the shared
+//! `FlightPacket` and the `u8` state. So workers record exactly that
+//! triple, in struct-of-arrays segments, and [`DeliveryBatch`]
+//! materializes bytes only when a consumer asks ([`DeliveryBatch::
+//! for_each`] through one recycled scratch buffer, [`DeliveryBatch::
+//! to_vec`] into owned vectors). Replaying a 20k-packet batch therefore
+//! touches a few hundred kilobytes of delivery state instead of
+//! streaming ~75 MB of packet bytes through cold memory — the same
+//! parse-once/share-everything argument as the flight path itself,
+//! carried through to the output.
+//!
+//! # Termination and determinism
+//!
+//! A single atomic counter tracks copies that are queued anywhere but not
+//! yet processed. Producers increment it *before* publishing a copy and
+//! decrement only after fully processing one, so it can only read zero
+//! when every local queue and every ring is empty — the workers' exit
+//! condition. (A solo worker skips the counter entirely and runs inline
+//! on the calling thread.)
+//!
+//! The traversal itself is a fixed function of (topology, rules, batch):
+//! which copies exist, which links they cross, and which hosts they reach
+//! do not depend on thread interleaving. Only the *order* in which workers
+//! happen to produce deliveries is racy, so every delivery carries its
+//! batch index and the final iteration order is the canonical sort by
+//! `(packet, host, state)`. The result: byte-identical delivery sequences
+//! and link/switch counters for any shard count, including one — which is
+//! how `tests/replay_identity.rs` pins it.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use elmo_core::{resolve_threads, spsc, HeaderLayout, SpscReceiver, SpscSender};
+use elmo_topology::{Clos, CoreId, HostId, LeafId, SpineId, SwitchRef};
+
+use crate::fabric::{metrics, next_hop, Fabric, FabricStats, Hop, LinkTier};
+use crate::netswitch::{NetworkSwitch, HOST_STRIPPED};
+use crate::packet::FlightPacket;
+
+/// Capacity of each cross-shard ring, in messages. Full rings are not
+/// fatal (producers drain-and-retry); this just bounds memory and keeps
+/// the common case allocation-free.
+const RING_CAPACITY: usize = 1024;
+
+/// Delivery-state marker for entries recorded by the serial
+/// capture/trace fallback, whose bytes were materialized eagerly into
+/// the segment's side arena (pop depths are tiny; [`HOST_STRIPPED`] is
+/// `u8::MAX`, this sits just below it).
+const FALLBACK_BYTES: u8 = u8::MAX - 1;
+
+/// A flight copy crossing a shard boundary (or queued locally): the copy's
+/// entire state, small and `Copy`.
+#[derive(Clone, Copy, Debug)]
+struct ShardMsg {
+    /// Dense switch index (leaves, then spines, then cores).
+    sw: u32,
+    /// Ingress port on that switch.
+    port: u16,
+    /// Pop depth the copy arrives with.
+    state: u8,
+    /// Index of the packet in the batch this copy belongs to.
+    pkt: u32,
+}
+
+/// One worker's delivery output in struct-of-arrays form. Entry `i` is
+/// `(hosts[i], pkt[i], state[i])`; bytes are derived on demand. The
+/// `start`/`len`/`bytes` arena is used only by the serial capture/trace
+/// fallback (`state == FALLBACK_BYTES`), which receives bytes instead of
+/// flight state.
+#[derive(Clone, Debug, Default)]
+struct Segment {
+    hosts: Vec<HostId>,
+    pkt: Vec<u32>,
+    state: Vec<u8>,
+    start: Vec<u32>,
+    len: Vec<u32>,
+    bytes: Vec<u8>,
+}
+
+impl Segment {
+    fn clear(&mut self) {
+        self.hosts.clear();
+        self.pkt.clear();
+        self.state.clear();
+        self.start.clear();
+        self.len.clear();
+        self.bytes.clear();
+    }
+
+    #[inline]
+    fn push(&mut self, host: HostId, pkt: u32, state: u8) {
+        self.hosts.push(host);
+        self.pkt.push(pkt);
+        self.state.push(state);
+    }
+
+    fn push_bytes(&mut self, host: HostId, pkt: u32, b: &[u8]) {
+        self.push(host, pkt, FALLBACK_BYTES);
+        self.start.push(self.bytes.len() as u32);
+        self.len.push(b.len() as u32);
+        self.bytes.extend_from_slice(b);
+    }
+
+    /// Arena slice for a fallback entry (entry `i` must be the `i`-th
+    /// push overall *and* pushes must all have been `push_bytes` — the
+    /// fallback path never mixes forms within a batch).
+    #[inline]
+    fn fallback_bytes(&self, i: usize) -> &[u8] {
+        let s = self.start[i] as usize;
+        &self.bytes[s..s + self.len[i] as usize]
+    }
+}
+
+/// Host deliveries of one replayed batch, kept zero-copy: each entry is
+/// `(host, batch packet index, pop state)` plus a shared reference to
+/// the batch's [`FlightPacket`]s, and wire bytes are materialized only
+/// when read. Iteration follows the canonical `(packet, host, state)`
+/// order, which is identical for every shard count.
+///
+/// Reuse one `DeliveryBatch` across [`Fabric::replay_flights_sharded`]
+/// calls and the steady state allocates nothing: segments, order index,
+/// and the materialization scratch all keep their capacity.
+#[derive(Clone, Debug, Default)]
+pub struct DeliveryBatch {
+    segments: Vec<Segment>,
+    /// Canonical iteration order as `(segment, entry)` pairs.
+    order: Vec<(u32, u32)>,
+    /// The replayed batch, for on-demand materialization. `popped` may
+    /// hold worker scratch — the per-entry `state` is authoritative.
+    pkts: Vec<FlightPacket>,
+    /// Captured from the fabric at replay time (`None` until the first
+    /// replay fills the batch).
+    layout: Option<HeaderLayout>,
+    /// Recycled buffer for [`for_each`](Self::for_each).
+    scratch: Vec<u8>,
+    /// Recycled key buffer for [`sort_canonical`](Self::sort_canonical).
+    sort_scratch: Vec<(u64, u32, u32)>,
+    /// Recycled per-packet count buffer for the counting sort.
+    count_scratch: Vec<u32>,
+}
+
+impl DeliveryBatch {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Delivered copies in the batch.
+    pub fn len(&self) -> usize {
+        self.order.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.order.is_empty()
+    }
+
+    /// Drop the entries but keep every buffer's capacity.
+    pub fn clear(&mut self) {
+        for seg in &mut self.segments {
+            seg.clear();
+        }
+        self.order.clear();
+        self.pkts.clear();
+    }
+
+    /// The deliveries as `(host, batch packet index)` in canonical
+    /// order, without materializing any bytes.
+    pub fn entries(&self) -> impl Iterator<Item = (HostId, u32)> + '_ {
+        self.order.iter().map(|&(s, i)| {
+            let seg = &self.segments[s as usize];
+            (seg.hosts[i as usize], seg.pkt[i as usize])
+        })
+    }
+
+    /// Visit every delivery in canonical order as `(host, wire bytes)`.
+    /// Bytes are materialized into one internal scratch buffer that is
+    /// recycled between calls to `f` — the whole walk stays in cache and
+    /// allocates nothing once warm.
+    pub fn for_each(&mut self, mut f: impl FnMut(HostId, &[u8])) {
+        let Some(layout) = self.layout else {
+            return; // never replayed into: no entries
+        };
+        let mut scratch = std::mem::take(&mut self.scratch);
+        for &(s, i) in &self.order {
+            let seg = &self.segments[s as usize];
+            let (i, host) = (i as usize, seg.hosts[i as usize]);
+            match seg.state[i] {
+                FALLBACK_BYTES => f(host, seg.fallback_bytes(i)),
+                state => {
+                    scratch.clear();
+                    let pkt = &self.pkts[seg.pkt[i] as usize];
+                    if state == HOST_STRIPPED {
+                        pkt.append_host_to(&layout, &mut scratch);
+                    } else {
+                        let mut p = pkt.clone();
+                        p.popped = state;
+                        p.append_to(&layout, &mut scratch);
+                    }
+                    f(host, &scratch);
+                }
+            }
+        }
+        self.scratch = scratch;
+    }
+
+    /// Materialize into the owned-bytes form of
+    /// [`Fabric::inject_batch`], same canonical order as
+    /// [`for_each`](Self::for_each).
+    pub fn to_vec(&mut self) -> Vec<(HostId, Vec<u8>)> {
+        let mut out = Vec::with_capacity(self.len());
+        self.for_each(|h, b| out.push((h, b.to_vec())));
+        out
+    }
+
+    /// Make sure exactly `n` segments exist, clearing all of them.
+    fn reset(&mut self, n: usize, layout: HeaderLayout) {
+        self.clear();
+        self.segments.resize_with(n, Segment::default);
+        self.segments.truncate(n);
+        self.layout = Some(layout);
+    }
+
+    /// Rebuild the canonical iteration order. The `(packet, host)` key
+    /// decides everything except exact-duplicate deliveries, which fall
+    /// back to the state byte (engine entries — two states, two byte
+    /// strings) or the arena bytes (fallback entries).
+    fn sort_canonical(&mut self) {
+        // A packet fans out to a handful of hosts, so the batch is a
+        // counting sort by packet index (linear) followed by a tiny
+        // `(host, state)` sort inside each packet's run — O(entries +
+        // packets), never a comparison sort over the whole batch. Equal
+        // keys are byte-identical deliveries, so within-run instability
+        // and the shard-dependent scatter order cannot leak through.
+        let total: usize = self.segments.iter().map(|s| s.hosts.len()).sum();
+        let mut max_pkt = 0usize;
+        for seg in &self.segments {
+            for &p in &seg.pkt {
+                max_pkt = max_pkt.max(p as usize);
+            }
+        }
+        let mut counts = std::mem::take(&mut self.count_scratch);
+        counts.clear();
+        counts.resize(max_pkt + 2, 0u32);
+        for seg in &self.segments {
+            for &p in &seg.pkt {
+                counts[p as usize + 1] += 1;
+            }
+        }
+        for i in 1..counts.len() {
+            counts[i] += counts[i - 1];
+        }
+        let mut keyed = std::mem::take(&mut self.sort_scratch);
+        keyed.clear();
+        keyed.resize(total, (0, 0, 0));
+        for (si, seg) in self.segments.iter().enumerate() {
+            for i in 0..seg.hosts.len() {
+                let p = seg.pkt[i] as usize;
+                let slot = counts[p] as usize;
+                counts[p] += 1;
+                let k = ((seg.hosts[i].0 as u64) << 8) | seg.state[i] as u64;
+                keyed[slot] = (k, si as u32, i as u32);
+            }
+        }
+        // After the scatter `counts[p]` is the end of packet `p`'s run.
+        let segs = &self.segments;
+        let mut run_start = 0usize;
+        for p in 0..=max_pkt {
+            let run_end = counts[p] as usize;
+            let run = &mut keyed[run_start..run_end];
+            if run.len() > 1 {
+                run.sort_unstable_by(|a, b| {
+                    a.0.cmp(&b.0).then_with(|| {
+                        if (a.0 & 0xff) as u8 == FALLBACK_BYTES {
+                            segs[a.1 as usize]
+                                .fallback_bytes(a.2 as usize)
+                                .cmp(segs[b.1 as usize].fallback_bytes(b.2 as usize))
+                        } else {
+                            std::cmp::Ordering::Equal
+                        }
+                    })
+                });
+            }
+            run_start = run_end;
+        }
+        self.order.clear();
+        self.order.extend(keyed.iter().map(|&(_, s, i)| (s, i)));
+        self.sort_scratch = keyed;
+        self.count_scratch = counts;
+    }
+}
+
+/// The switch-ownership map for one shard count.
+struct Partition {
+    /// Dense switch index → (owning shard, index into that shard's
+    /// switch vector). Local indices follow dense order within a shard,
+    /// which is what makes reassembly a single in-order walk.
+    owner: Vec<(u32, u32)>,
+    num_leaves: usize,
+    num_spines: usize,
+}
+
+impl Partition {
+    fn new(topo: &Clos, shards: usize) -> Partition {
+        let (l, s, c) = (topo.num_leaves(), topo.num_spines(), topo.num_cores());
+        let mut owner = Vec::with_capacity(l + s + c);
+        let mut next_local = vec![0u32; shards];
+        let mut assign = |shard: usize, owner: &mut Vec<(u32, u32)>| {
+            let local = next_local[shard];
+            next_local[shard] += 1;
+            owner.push((shard as u32, local));
+        };
+        for i in 0..l {
+            assign(
+                topo.pod_of_leaf(LeafId(i as u32)).0 as usize % shards,
+                &mut owner,
+            );
+        }
+        for i in 0..s {
+            assign(
+                topo.pod_of_spine(SpineId(i as u32)).0 as usize % shards,
+                &mut owner,
+            );
+        }
+        for i in 0..c {
+            assign(i % shards, &mut owner);
+        }
+        Partition {
+            owner,
+            num_leaves: l,
+            num_spines: s,
+        }
+    }
+
+    #[inline]
+    fn dense(&self, sw: SwitchRef) -> u32 {
+        match sw {
+            SwitchRef::Leaf(l) => l.0,
+            SwitchRef::Spine(s) => self.num_leaves as u32 + s.0,
+            SwitchRef::Core(c) => (self.num_leaves + self.num_spines) as u32 + c.0,
+        }
+    }
+
+    #[inline]
+    fn switch_ref(&self, dense: u32) -> SwitchRef {
+        let d = dense as usize;
+        if d < self.num_leaves {
+            SwitchRef::Leaf(LeafId(dense))
+        } else if d < self.num_leaves + self.num_spines {
+            SwitchRef::Spine(SpineId((d - self.num_leaves) as u32))
+        } else {
+            SwitchRef::Core(CoreId((d - self.num_leaves - self.num_spines) as u32))
+        }
+    }
+}
+
+/// One worker's private state: its owned switches, scratch, and counters.
+struct Worker {
+    /// Owned switches, dense order.
+    switches: Vec<NetworkSwitch>,
+    /// Local SoA work queue (same layout idea as the serial
+    /// `FlightQueue`, plus the packet index).
+    q_sw: Vec<u32>,
+    q_port: Vec<u16>,
+    q_state: Vec<u8>,
+    q_pkt: Vec<u32>,
+    /// Per-hop output scratch handed to `process_hops`.
+    hop_out: Vec<(u16, u8)>,
+    /// This worker's clone of the batch (one `Arc` bump per packet, never
+    /// per hop); `popped` is rewritten in place per queue entry.
+    pkts: Vec<FlightPacket>,
+    /// Private link counters, absorbed into `Fabric::stats` after join.
+    stats: FabricStats,
+    /// Deliveries: `(host, packet, state)` triples, no bytes.
+    seg: Segment,
+    /// Copies this worker pushed across a shard boundary.
+    cross_msgs: u64,
+}
+
+impl Worker {
+    #[inline]
+    fn push_local(&mut self, msg: ShardMsg) {
+        self.q_sw.push(msg.sw);
+        self.q_port.push(msg.port);
+        self.q_state.push(msg.state);
+        self.q_pkt.push(msg.pkt);
+    }
+
+    #[inline]
+    fn pop_local(&mut self) -> Option<ShardMsg> {
+        let sw = self.q_sw.pop()?;
+        Some(ShardMsg {
+            sw,
+            port: self.q_port.pop().expect("arrays pushed in lockstep"),
+            state: self.q_state.pop().expect("arrays pushed in lockstep"),
+            pkt: self.q_pkt.pop().expect("arrays pushed in lockstep"),
+        })
+    }
+
+    /// Drain every incoming ring into the local queue.
+    fn drain_incoming(&mut self, rxs: &mut [SpscReceiver<ShardMsg>]) {
+        for rx in rxs.iter_mut() {
+            while let Some(msg) = rx.try_pop() {
+                self.q_sw.push(msg.sw);
+                self.q_port.push(msg.port);
+                self.q_state.push(msg.state);
+                self.q_pkt.push(msg.pkt);
+            }
+        }
+    }
+}
+
+impl Fabric {
+    /// Inject a batch of wire packets through the sharded engine.
+    ///
+    /// Delivery *set* and all counters are identical to
+    /// [`inject_batch`](Self::inject_batch); the returned vector is in
+    /// canonical `(packet index, host, bytes)` order, which is the same
+    /// for every `shards` value (0 = one shard per available core).
+    /// Capture and trace sessions force the serial path, since their
+    /// buffers record traversal order.
+    pub fn inject_batch_sharded<I>(&mut self, packets: I, shards: usize) -> Vec<(HostId, Vec<u8>)>
+    where
+        I: IntoIterator<Item = (HostId, Vec<u8>)>,
+    {
+        let shards = resolve_threads(shards).max(1);
+        if self.capture.is_some() || self.trace.is_some() {
+            let mut tagged = Vec::new();
+            for (i, (from, bytes)) in packets.into_iter().enumerate() {
+                for (h, b) in self.inject(from, bytes) {
+                    tagged.push((i as u32, h, b));
+                }
+            }
+            tagged.sort_unstable_by(|a, b| (a.0, (a.1).0, &a.2).cmp(&(b.0, (b.1).0, &b.2)));
+            return tagged.into_iter().map(|(_, h, b)| (h, b)).collect();
+        }
+        // Serial pre-pass, identical to `inject_into`'s per-packet
+        // prologue: injection accounting, the one parse, and parse-drop
+        // attribution.
+        let m = metrics();
+        let part = Partition::new(&self.topo, shards);
+        let mut flights = Vec::new();
+        let mut seeds = Vec::new();
+        for (from, bytes) in packets {
+            let leaf = self.topo.leaf_of_host(from);
+            self.stats.host_to_leaf_bytes += bytes.len() as u64;
+            self.stats.packets_on_links += 1;
+            m.host_to_leaf_bytes.add(bytes.len() as u64);
+            m.packets_on_links.inc();
+            if self.down.contains(&SwitchRef::Leaf(leaf)) {
+                continue; // failed ingress leaf: lost before parsing
+            }
+            let pkt = match FlightPacket::parse(&bytes, &self.layout) {
+                Ok(p) => p,
+                Err(_) => {
+                    self.leaves[leaf.0 as usize].note_parse_drop();
+                    continue;
+                }
+            };
+            seeds.push(ShardMsg {
+                sw: part.dense(SwitchRef::Leaf(leaf)),
+                port: self.topo.host_port_on_leaf(from) as u16,
+                state: pkt.popped,
+                pkt: flights.len() as u32,
+            });
+            flights.push(pkt);
+        }
+        let mut out = DeliveryBatch::new();
+        out.reset(shards, self.layout);
+        self.run_batch(&part, flights, seeds, shards, &mut out);
+        out.to_vec()
+    }
+
+    /// [`inject_batch_sharded`](Self::inject_batch_sharded) for
+    /// already-parsed packets: same canonical output, returned as owned
+    /// vectors. [`replay_flights_sharded`](Self::replay_flights_sharded)
+    /// is the zero-copy form.
+    pub fn inject_flights_sharded(
+        &mut self,
+        flights: &[(HostId, FlightPacket)],
+        shards: usize,
+    ) -> Vec<(HostId, Vec<u8>)> {
+        let mut out = DeliveryBatch::new();
+        self.replay_flights_sharded(flights, shards, &mut out);
+        out.to_vec()
+    }
+
+    /// The sharded replay engine's primary entry point: drive a batch of
+    /// pre-parsed packets through `shards` workers, filling `out` (which
+    /// is cleared first; its buffers are reused, so repeated replay into
+    /// the same `DeliveryBatch` is allocation-free once warm).
+    ///
+    /// Counters and the canonical delivery sequence are identical to the
+    /// serial flight path for every shard count. Capture and trace
+    /// sessions force the serial path (their buffers record traversal
+    /// order, which only the serial loop defines).
+    pub fn replay_flights_sharded(
+        &mut self,
+        flights: &[(HostId, FlightPacket)],
+        shards: usize,
+        out: &mut DeliveryBatch,
+    ) {
+        let shards = resolve_threads(shards).max(1);
+        if self.capture.is_some() || self.trace.is_some() {
+            out.reset(1, self.layout);
+            for (i, (from, pkt)) in flights.iter().enumerate() {
+                for (h, b) in self.inject_flight(*from, pkt.clone()) {
+                    out.segments[0].push_bytes(h, i as u32, &b);
+                }
+            }
+            out.sort_canonical();
+            return;
+        }
+        let m = metrics();
+        let part = Partition::new(&self.topo, shards);
+        out.reset(shards, self.layout);
+        // Reuse the batch's packet buffer as the pre-pass target: the
+        // worker's clones come back here for materialization anyway.
+        let mut batch = std::mem::take(&mut out.pkts);
+        let mut seeds = Vec::with_capacity(flights.len());
+        for (from, pkt) in flights {
+            let leaf = self.topo.leaf_of_host(*from);
+            let wire = pkt.wire_len(&self.layout) as u64;
+            self.stats.host_to_leaf_bytes += wire;
+            self.stats.packets_on_links += 1;
+            m.host_to_leaf_bytes.add(wire);
+            m.packets_on_links.inc();
+            if self.down.contains(&SwitchRef::Leaf(leaf)) {
+                continue;
+            }
+            seeds.push(ShardMsg {
+                sw: part.dense(SwitchRef::Leaf(leaf)),
+                port: self.topo.host_port_on_leaf(*from) as u16,
+                state: pkt.popped,
+                pkt: batch.len() as u32,
+            });
+            batch.push(pkt.clone());
+        }
+        self.run_batch(&part, batch, seeds, shards, out);
+    }
+
+    /// The engine core: move the switches out, run the batch to
+    /// completion across `shards` workers (inline on this thread when
+    /// `shards == 1`), move the switches back and merge counters.
+    /// `out` must already be `reset` to `shards` segments.
+    fn run_batch(
+        &mut self,
+        part: &Partition,
+        pkts: Vec<FlightPacket>,
+        seeds: Vec<ShardMsg>,
+        shards: usize,
+        out: &mut DeliveryBatch,
+    ) {
+        let m = metrics();
+        m.shard_batches.inc();
+        let topo = self.topo;
+        let layout = self.layout;
+        let down = self.down.clone();
+
+        // Take the switches apart: each shard's vector holds its owned
+        // switches in dense order (matching `Partition::owner`).
+        let leaves = std::mem::take(&mut self.leaves);
+        let spines = std::mem::take(&mut self.spines);
+        let cores = std::mem::take(&mut self.cores);
+        let mut shard_switches: Vec<Vec<NetworkSwitch>> = (0..shards).map(|_| Vec::new()).collect();
+        for (dense, sw) in leaves
+            .into_iter()
+            .chain(spines.into_iter())
+            .chain(cores.into_iter())
+            .enumerate()
+        {
+            shard_switches[part.owner[dense].0 as usize].push(sw);
+        }
+
+        // Copies queued anywhere but not yet processed. Seeded before the
+        // workers start; producers increment before publishing a child
+        // copy and decrement after finishing an entry, so zero means
+        // globally done.
+        let pending = AtomicUsize::new(seeds.len());
+
+        // Seed each shard's local queue with the batch entries whose
+        // ingress leaf it owns.
+        let mut seed_per_shard: Vec<Vec<ShardMsg>> = (0..shards).map(|_| Vec::new()).collect();
+        for msg in seeds {
+            seed_per_shard[part.owner[msg.sw as usize].0 as usize].push(msg);
+        }
+
+        // Hand each worker a cleared segment from `out` — when the caller
+        // reuses a `DeliveryBatch`, the previous batch's capacity comes
+        // back here.
+        let segments: Vec<Segment> = out.segments.drain(..).collect();
+
+        let down_ref = &down;
+        let pending_ref = &pending;
+        let results: Vec<Worker> = if shards == 1 {
+            // One shard: no rings, no threads — the worker loop runs on
+            // this thread with the batch moved in (no clone) and the
+            // termination atomics skipped. This is the serial flight
+            // path plus the SoA delivery log.
+            let worker = run_worker(
+                shard_switches.pop().expect("one shard"),
+                seed_per_shard.pop().expect("one seed set"),
+                vec![None],
+                Vec::new(),
+                segments.into_iter().next().expect("one segment"),
+                pkts,
+                part,
+                down_ref,
+                pending_ref,
+                topo,
+                layout,
+            );
+            vec![worker]
+        } else {
+            // One SPSC ring per ordered worker pair. `txs[i][j]` is
+            // worker i's sender toward worker j (None for i == j);
+            // `rxs[j]` holds worker j's receive ends.
+            let mut txs: Vec<Vec<Option<SpscSender<ShardMsg>>>> =
+                (0..shards).map(|_| Vec::new()).collect();
+            let mut rxs: Vec<Vec<SpscReceiver<ShardMsg>>> =
+                (0..shards).map(|_| Vec::new()).collect();
+            for i in 0..shards {
+                for j in 0..shards {
+                    if i == j {
+                        txs[i].push(None);
+                    } else {
+                        let (tx, rx) = spsc(RING_CAPACITY);
+                        txs[i].push(Some(tx));
+                        rxs[j].push(rx);
+                    }
+                }
+            }
+            let mut results: Vec<Option<Worker>> = (0..shards).map(|_| None).collect();
+            let pkts_ref = &pkts;
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = shard_switches
+                    .into_iter()
+                    .zip(txs)
+                    .zip(rxs)
+                    .zip(seed_per_shard)
+                    .zip(segments)
+                    .map(|((((switches, my_txs), my_rxs), my_seeds), my_seg)| {
+                        scope.spawn(move || {
+                            run_worker(
+                                switches,
+                                my_seeds,
+                                my_txs,
+                                my_rxs,
+                                my_seg,
+                                pkts_ref.clone(),
+                                part,
+                                down_ref,
+                                pending_ref,
+                                topo,
+                                layout,
+                            )
+                        })
+                    })
+                    .collect();
+                for (i, h) in handles.into_iter().enumerate() {
+                    results[i] = Some(h.join().expect("shard worker panicked"));
+                }
+            });
+            results
+                .into_iter()
+                .map(|r| r.expect("worker joined"))
+                .collect()
+        };
+
+        // Reassemble the fabric: local indices were assigned in dense
+        // order, so one in-order walk over each shard's vector puts every
+        // switch back where it came from.
+        let total = part.owner.len();
+        let mut iters: Vec<std::vec::IntoIter<NetworkSwitch>> = Vec::with_capacity(shards);
+        let mut cross_total = 0u64;
+        for (i, r) in results.into_iter().enumerate() {
+            iters.push(r.switches.into_iter());
+            self.stats.absorb(&r.stats);
+            out.segments.push(r.seg);
+            cross_total += r.cross_msgs;
+            if i == 0 {
+                // Any worker's batch clone serves materialization (the
+                // packets differ only in `popped` scratch, which the
+                // per-entry state overrides).
+                out.pkts = r.pkts;
+            }
+        }
+        for dense in 0..total {
+            let sw = iters[part.owner[dense].0 as usize]
+                .next()
+                .expect("every owned switch returned");
+            match part.switch_ref(dense as u32) {
+                SwitchRef::Leaf(_) => self.leaves.push(sw),
+                SwitchRef::Spine(_) => self.spines.push(sw),
+                SwitchRef::Core(_) => self.cores.push(sw),
+            }
+        }
+        debug_assert_eq!(self.leaves.len(), part.num_leaves);
+        debug_assert_eq!(self.spines.len(), part.num_spines);
+        m.shard_cross_msgs.add(cross_total);
+        out.sort_canonical();
+    }
+}
+
+/// One shard's event loop: drain rings, pop the local LIFO, process the
+/// copy through its owned switch, route the outputs.
+#[allow(clippy::too_many_arguments)]
+fn run_worker(
+    switches: Vec<NetworkSwitch>,
+    seeds: Vec<ShardMsg>,
+    txs: Vec<Option<SpscSender<ShardMsg>>>,
+    mut rxs: Vec<SpscReceiver<ShardMsg>>,
+    seg: Segment,
+    batch: Vec<FlightPacket>,
+    part: &Partition,
+    down: &std::collections::BTreeSet<SwitchRef>,
+    pending: &AtomicUsize,
+    topo: Clos,
+    layout: HeaderLayout,
+) -> Worker {
+    let m = metrics();
+    // A solo worker (one shard, no rings) terminates when its local
+    // queue runs dry; the shared counter — and its two atomic RMWs per
+    // copy — is only needed when copies can be in flight elsewhere.
+    let solo = rxs.is_empty();
+    let mut w = Worker {
+        switches,
+        q_sw: Vec::new(),
+        q_port: Vec::new(),
+        q_state: Vec::new(),
+        q_pkt: Vec::new(),
+        hop_out: Vec::new(),
+        pkts: batch,
+        stats: FabricStats::default(),
+        seg,
+        cross_msgs: 0,
+    };
+    for msg in seeds {
+        w.push_local(msg);
+    }
+    loop {
+        w.drain_incoming(&mut rxs);
+        let Some(entry) = w.pop_local() else {
+            if solo || pending.load(Ordering::Acquire) == 0 {
+                break;
+            }
+            std::hint::spin_loop();
+            continue;
+        };
+        let sw_ref = part.switch_ref(entry.sw);
+        if down.contains(&sw_ref) {
+            // Failed switch: the copy is lost here, exactly as in the
+            // serial loop.
+            if !solo {
+                pending.fetch_sub(1, Ordering::AcqRel);
+            }
+            continue;
+        }
+        let local_idx = part.owner[entry.sw as usize].1 as usize;
+        // Split the worker's fields so the switch, the packet, and the
+        // scratch buffer can be borrowed simultaneously.
+        let node = &mut w.switches[local_idx];
+        let work = &mut w.pkts[entry.pkt as usize];
+        work.popped = entry.state;
+        w.hop_out.clear();
+        node.process_hops(entry.port as usize, work, &layout, &mut w.hop_out);
+        for i in 0..w.hop_out.len() {
+            let (port_out, state) = w.hop_out[i];
+            w.stats.packets_on_links += 1;
+            m.packets_on_links.inc();
+            let work = &mut w.pkts[entry.pkt as usize];
+            let n = if state == HOST_STRIPPED {
+                work.host_wire_len() as u64
+            } else {
+                work.popped = state;
+                work.wire_len(&layout) as u64
+            };
+            match next_hop(&topo, sw_ref, port_out as usize) {
+                Hop::Host(h) => {
+                    w.stats.leaf_to_host_bytes += n;
+                    m.leaf_to_host_bytes.add(n);
+                    m.replay_materialized.inc();
+                    w.seg.push(h, entry.pkt, state);
+                }
+                Hop::Switch(next, next_port, tier) => {
+                    debug_assert_ne!(state, HOST_STRIPPED, "stripped copies go to hosts");
+                    match tier {
+                        LinkTier::LeafSpine => {
+                            w.stats.leaf_to_spine_bytes += n;
+                            m.leaf_to_spine_bytes.add(n);
+                        }
+                        LinkTier::SpineLeaf => {
+                            w.stats.spine_to_leaf_bytes += n;
+                            m.spine_to_leaf_bytes.add(n);
+                        }
+                        LinkTier::SpineCore => {
+                            w.stats.spine_to_core_bytes += n;
+                            m.spine_to_core_bytes.add(n);
+                        }
+                        LinkTier::CoreSpine => {
+                            w.stats.core_to_spine_bytes += n;
+                            m.core_to_spine_bytes.add(n);
+                        }
+                    }
+                    let dense = part.dense(next);
+                    let msg = ShardMsg {
+                        sw: dense,
+                        port: next_port as u16,
+                        state,
+                        pkt: entry.pkt,
+                    };
+                    // Publish-before-decrement: the child is counted
+                    // before any consumer can see it, so `pending` never
+                    // reads zero while work exists.
+                    if !solo {
+                        pending.fetch_add(1, Ordering::AcqRel);
+                    }
+                    let owner = part.owner[dense as usize].0 as usize;
+                    match &txs[owner] {
+                        None => w.push_local(msg),
+                        Some(tx) => {
+                            w.cross_msgs += 1;
+                            let mut msg = msg;
+                            // Full ring: drain our own inputs while
+                            // retrying, so no cycle of full rings can
+                            // stall every producer at once.
+                            while let Err(back) = tx.try_push(msg) {
+                                msg = back;
+                                w.drain_incoming(&mut rxs);
+                                std::hint::spin_loop();
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        if !solo {
+            pending.fetch_sub(1, Ordering::AcqRel);
+        }
+    }
+    w
+}

@@ -34,6 +34,10 @@
 //!   --threads N     encode worker threads (0 = all cores; results are
 //!                   identical at any thread count, only wall-clock changes)
 //!   --samples N     groups replayed in verify's differential mode (default 120)
+//!   --replay-threads N  data-plane replay shard count for verify's
+//!                   differential mode and the fig6/telemetry/SMR app
+//!                   fabrics (default: verify samples one from the seed;
+//!                   apps stay serial; results are identical either way)
 //!   --report-out P  write verify's JSON report to P
 //!   --metrics-out P write an elmo-obs metrics snapshot (JSON) to P on exit
 //!   --trace-pcap P  dump a bounded sample of simulated packets to P (pcap)
@@ -76,6 +80,7 @@ struct Opts {
     check_file: Option<String>,
     samples: usize,
     report_out: Option<String>,
+    replay_threads: Option<usize>,
 }
 
 fn parse_args() -> Opts {
@@ -95,6 +100,7 @@ fn parse_args() -> Opts {
         check_file: None,
         samples: 120,
         report_out: None,
+        replay_threads: None,
     };
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -122,6 +128,9 @@ fn parse_args() -> Opts {
             "--seed" => opts.seed = expect_num(&mut args, "--seed"),
             "--threads" => opts.threads = expect_num(&mut args, "--threads") as usize,
             "--samples" => opts.samples = expect_num(&mut args, "--samples") as usize,
+            "--replay-threads" => {
+                opts.replay_threads = Some(expect_num(&mut args, "--replay-threads") as usize);
+            }
             "--report-out" => {
                 opts.report_out = Some(
                     args.next()
@@ -169,7 +178,8 @@ fn usage(msg: &str) -> ! {
         "usage: elmo-eval <fig4|fig5|uniform|limited-srules|small-header|table1|table2|table3|\
          fig6|fig7|telemetry|failures|latency|xpander|verify|all> [--full] [--groups N] \
          [--tenants N] [--events N] [--pkt N] [--r 0,6,12] [--seed N] [--threads N] \
-         [--samples N] [--report-out PATH] [--metrics-out PATH] [--trace-pcap PATH] \
+         [--samples N] [--replay-threads N] [--report-out PATH] [--metrics-out PATH] \
+         [--trace-pcap PATH] \
          [-v|-vv|--quiet] [--log-json]\n\
          \n       elmo-eval check-metrics <snapshot.json>"
     );
@@ -374,12 +384,20 @@ fn run_verify(opts: &Opts) {
         .max_header_bytes(2, 30, 2)
         .max(if opts.full { 325 } else { 0 });
     let r = opts.r_values.iter().copied().max().unwrap_or(12);
+    // Differential replay goes through the sharded engine at a shard
+    // count sampled from the seed (2 or 4), unless --replay-threads pins
+    // one. Either way the replays diff against the same static walk, so
+    // this doubles as a continuous cross-check of the multi-core path.
+    let replay_threads = opts
+        .replay_threads
+        .unwrap_or_else(|| if opts.seed % 2 == 0 { 2 } else { 4 });
     let cfg = VerifyExpConfig {
         r,
         header_budget: budget,
         threads: opts.threads,
         samples: opts.samples,
         seed: opts.seed,
+        replay_threads,
     };
     let mut reports = std::collections::BTreeMap::new();
     let mut failed = false;
@@ -395,7 +413,7 @@ fn run_verify(opts: &Opts) {
         let rep = &run.report;
         println!(
             "verify {name}: R={r}, {} groups ({} unicast fallback), {} sender walks, \
-             {} differential replays, {} traffic cross-checks -> {}",
+             {} differential replays ({replay_threads} shards), {} traffic cross-checks -> {}",
             count(rep.groups_checked as u64),
             rep.skipped_unicast_fallback,
             count(rep.senders_checked as u64),
@@ -663,7 +681,7 @@ fn run_table3() {
 }
 
 fn run_fig6(opts: &Opts) {
-    use elmo_apps::pubsub::{run, Transport};
+    use elmo_apps::pubsub::{run_sharded, Transport};
     use elmo_apps::HostModel;
     let topo = if opts.full {
         Clos::facebook_fabric()
@@ -671,14 +689,15 @@ fn run_fig6(opts: &Opts) {
         Clos::scaled_fabric(4, 8, 12)
     };
     let model = HostModel::default();
+    let rt = opts.replay_threads.unwrap_or(1);
     println!("Figure 6: pub-sub over ZeroMQ-style workload, 100-byte messages");
     let mut rows = Vec::new();
     for n in [1usize, 2, 4, 8, 16, 32, 64, 128, 256] {
         if n + 1 >= topo.num_hosts() {
             break;
         }
-        let uni = run(topo, n, 100, Transport::Unicast, &model);
-        let elmo = run(topo, n, 100, Transport::Elmo, &model);
+        let uni = run_sharded(topo, n, 100, Transport::Unicast, &model, rt);
+        let elmo = run_sharded(topo, n, 100, Transport::Elmo, &model, rt);
         assert!(
             uni.delivery_verified && elmo.delivery_verified,
             "fabric delivery broken"
@@ -752,13 +771,17 @@ fn run_telemetry(opts: &Opts) {
         Clos::scaled_fabric(4, 8, 12)
     };
     println!("Host telemetry (sFlow): agent egress bandwidth vs collectors");
+    let cfg = TelemetryConfig {
+        replay_threads: opts.replay_threads.unwrap_or(1),
+        ..TelemetryConfig::default()
+    };
     let mut rows = Vec::new();
     for n in [1usize, 2, 4, 8, 16, 32, 64] {
         if n + 1 >= topo.num_hosts() {
             break;
         }
-        let uni = run(topo, n, TelemetryConfig::default(), Transport::Unicast);
-        let elmo = run(topo, n, TelemetryConfig::default(), Transport::Elmo);
+        let uni = run(topo, n, cfg, Transport::Unicast);
+        let elmo = run(topo, n, cfg, Transport::Elmo);
         assert_eq!(uni.received_total, uni.expected_total);
         assert_eq!(elmo.received_total, elmo.expected_total);
         rows.push(vec![

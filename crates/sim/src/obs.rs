@@ -64,6 +64,8 @@ pub const REQUIRED_METRICS: &[&str] = &[
     "fabric.replay.buffer_reuse",
     "fabric.replay.fresh_alloc",
     "fabric.replay.materialized",
+    "fabric.replay.shard.batches",
+    "fabric.replay.shard.cross_msgs",
     // Encoding memoization (shared by the controller batch path and the
     // sweep; hit rate is the tenant-reuse signal the bench reports).
     "encode.cache_hit",

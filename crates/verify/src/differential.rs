@@ -39,6 +39,22 @@ pub fn differential_check(
     max_samples: usize,
     seed: u64,
 ) -> DifferentialOutcome {
+    differential_check_with(ctl, fabric, max_samples, seed, 1)
+}
+
+/// [`differential_check`] with the replay routed through the sharded
+/// engine when `replay_threads > 1` — the same diff against the static
+/// walk, but exercising the multi-core forwarding path (partitioned
+/// switches, cross-shard rings) instead of the serial loop. The walk's
+/// predictions don't change, so any divergence the sharded engine
+/// introduces surfaces as a Loss/Leakage/EncapMismatch violation here.
+pub fn differential_check_with(
+    ctl: &Controller,
+    fabric: &mut Fabric,
+    max_samples: usize,
+    seed: u64,
+    replay_threads: usize,
+) -> DifferentialOutcome {
     let layout = *ctl.layout();
     let mut ids: Vec<GroupId> = ctl
         .groups()
@@ -114,8 +130,13 @@ pub fn differential_check(
             host_copy.to_bytes(&layout)
         };
 
+        let delivered = if replay_threads > 1 {
+            fabric.inject_flights_sharded(&[(sender, pkt)], replay_threads)
+        } else {
+            fabric.inject_flight(sender, pkt)
+        };
         let mut observed: BTreeMap<HostId, u32> = BTreeMap::new();
-        for (h, bytes) in fabric.inject_flight(sender, pkt) {
+        for (h, bytes) in delivered {
             *observed.entry(h).or_insert(0) += 1;
             if bytes != expected_bytes {
                 violations.push(Violation {

@@ -46,7 +46,7 @@ use elmo_controller::{Controller, GroupState};
 use elmo_dataplane::{ElmoPacketRepr, Fabric, HypervisorSwitch};
 use elmo_topology::{HostId, LeafId, SwitchRef};
 
-pub use differential::{differential_check, DifferentialOutcome};
+pub use differential::{differential_check, differential_check_with, DifferentialOutcome};
 pub use report::{
     BudgetSummary, RedundancySummary, Report, RuleRef, SenderTraffic, TableTier, Violation,
     ViolationKind, Witness,

@@ -359,6 +359,153 @@ fn failed_switch_behaves_identically_on_both_paths() {
     assert_fabrics_identical(&fast, &reference, "failed-core");
 }
 
+/// Sort a delivery vector into the sharded engine's canonical per-packet
+/// order. `inject_batch` returns deliveries grouped by injection already,
+/// so tagging each packet's slice and sorting within it yields exactly
+/// what `inject_batch_sharded` promises.
+fn canonicalize_serial(
+    fabric: &mut Fabric,
+    batch: &[(HostId, Vec<u8>)],
+) -> Vec<(HostId, Vec<u8>)> {
+    let mut out = Vec::new();
+    for (sender, pkt) in batch {
+        let mut per_pkt = fabric.inject(*sender, pkt.clone());
+        per_pkt.sort_unstable_by(|a, b| ((a.0).0, &a.1).cmp(&((b.0).0, &b.1)));
+        out.extend(per_pkt);
+    }
+    out
+}
+
+/// Drive one scenario's batch through `inject_batch` (serial flight path)
+/// and `inject_batch_sharded` at several shard counts: the delivery set
+/// (canonical order) and every merged counter must match exactly.
+fn assert_sharded_identical(s: &Scenario, what: &str) {
+    let mut batch = Vec::new();
+    for &sender in &MEMBERS {
+        for pkt in sender_packets(s, sender, 3) {
+            batch.push((sender, pkt));
+        }
+    }
+    let mut serial = build_fabric(s);
+    let expected = canonicalize_serial(&mut serial, &batch);
+    assert!(!expected.is_empty(), "{what}: scenario delivered nothing");
+    for shards in [1usize, 2, 4, 8] {
+        let mut sharded = build_fabric(s);
+        let got = sharded.inject_batch_sharded(batch.clone(), shards);
+        assert_eq!(
+            got, expected,
+            "{what}: sharded({shards}) delivery set diverged"
+        );
+        assert_fabrics_identical(&serial, &sharded, &format!("{what}: sharded({shards})"));
+    }
+}
+
+#[test]
+fn figure3_sharded_replay_matches_serial_at_all_shard_counts() {
+    assert_sharded_identical(&figure3_scenario(), "figure3");
+}
+
+#[test]
+fn srule_sharded_replay_matches_serial_at_all_shard_counts() {
+    assert_sharded_identical(&srule_scenario(), "srule");
+}
+
+#[test]
+fn default_prule_sharded_replay_matches_serial_at_all_shard_counts() {
+    assert_sharded_identical(&default_prule_scenario(), "default-prule");
+}
+
+#[test]
+fn sharded_flights_match_sharded_bytes() {
+    let s = figure3_scenario();
+    let sender = HostId(0);
+    let header = header_for_sender(
+        &s.topo,
+        &s.layout,
+        &s.tree,
+        &s.enc,
+        sender,
+        &UpstreamCover::multipath(),
+    );
+    let mut hv_bytes = HypervisorSwitch::new(sender);
+    let mut hv_flight = HypervisorSwitch::new(sender);
+    for hv in [&mut hv_bytes, &mut hv_flight] {
+        hv.install_flow(
+            Vni(1),
+            GROUP,
+            SenderFlow::new(OUTER, Vni(1), &header, &s.layout, vec![]),
+        );
+    }
+    let mut byte_batch = Vec::new();
+    let mut flight_batch = Vec::new();
+    for i in 0..6 {
+        let payload: Arc<[u8]> = Arc::from(format!("sharded flight payload #{i}").into_bytes());
+        byte_batch.push((
+            sender,
+            hv_bytes.send(Vni(1), GROUP, &payload, &s.layout).remove(0),
+        ));
+        flight_batch.push((
+            sender,
+            hv_flight.send_flight(Vni(1), GROUP, &payload).remove(0),
+        ));
+    }
+    let mut from_bytes = build_fabric(&s);
+    let mut from_flights = build_fabric(&s);
+    let d_bytes = from_bytes.inject_batch_sharded(byte_batch, 4);
+    let d_flights = from_flights.inject_flights_sharded(&flight_batch, 4);
+    assert_eq!(d_bytes, d_flights, "flight/byte sharded paths diverged");
+    assert!(!d_bytes.is_empty());
+    assert_fabrics_identical(&from_bytes, &from_flights, "sharded flight vs bytes");
+}
+
+#[test]
+fn sharded_replay_respects_failed_switches() {
+    let s = figure3_scenario();
+    let mut batch = Vec::new();
+    for &sender in &MEMBERS {
+        for pkt in sender_packets(&s, sender, 2) {
+            batch.push((sender, pkt));
+        }
+    }
+    let fail = |f: &mut Fabric| {
+        f.fail_core(elmo::topology::CoreId(0));
+        f.fail_core(elmo::topology::CoreId(1));
+    };
+    let mut serial = build_fabric(&s);
+    fail(&mut serial);
+    let expected = canonicalize_serial(&mut serial, &batch);
+    for shards in [2usize, 4] {
+        let mut sharded = build_fabric(&s);
+        fail(&mut sharded);
+        let got = sharded.inject_batch_sharded(batch.clone(), shards);
+        assert_eq!(got, expected, "sharded({shards}) under failure diverged");
+        assert_fabrics_identical(&serial, &sharded, "sharded failed-core");
+    }
+}
+
+#[test]
+fn sharded_replay_is_deterministic_across_runs_and_shard_counts() {
+    let run = |shards: usize| {
+        let s = figure3_scenario();
+        let mut fabric = build_fabric(&s);
+        let mut batch = Vec::new();
+        for &sender in &MEMBERS {
+            for pkt in sender_packets(&s, sender, 2) {
+                batch.push((sender, pkt));
+            }
+        }
+        let out = fabric.inject_batch_sharded(batch, shards);
+        (out, fabric.stats)
+    };
+    let (d2a, s2a) = run(2);
+    let (d2b, s2b) = run(2);
+    assert_eq!(d2a, d2b, "same shard count must be bit-identical");
+    assert_eq!(s2a, s2b);
+    let (d4, s4) = run(4);
+    assert_eq!(d2a, d4, "shard count must not change the delivery vector");
+    assert_eq!(s2a, s4, "shard count must not change link counters");
+}
+
 #[test]
 fn garbage_bytes_count_parse_drop_on_ingress_leaf() {
     let topo = Clos::paper_example();

@@ -1,15 +1,15 @@
 //! Differential-mode acceptance: the static walk must agree byte for byte
 //! with the fast-path fabric replay on at least 100 sampled groups, and
 //! the walk's redundancy accounting must match the independent traffic
-//! model on every checked (group, sender) pair.
+//! model on every checked (group, sender) pair — over both the serial
+//! replay loop and the sharded multi-core engine.
 
 use elmo_core::HeaderLayout;
 use elmo_sim::verify_exp::{self, VerifyExpConfig};
 use elmo_topology::Clos;
 use elmo_workloads::{GroupSizeDist, WorkloadConfig};
 
-#[test]
-fn differential_replay_matches_on_100_sampled_groups() {
+fn run_at(replay_threads: usize) {
     let topo = Clos::scaled_fabric(6, 24, 16);
     let layout = HeaderLayout::for_clos(&topo);
     let mut wl = WorkloadConfig::scaled(&topo, 1, GroupSizeDist::Wve);
@@ -23,11 +23,12 @@ fn differential_replay_matches_on_100_sampled_groups() {
             threads: 0,
             samples: 120,
             seed: 0xe1_40,
+            replay_threads,
         },
     );
     assert!(
         run.report.ok(),
-        "expected a clean report, got {:?}",
+        "expected a clean report at {replay_threads} shards, got {:?}",
         run.report.counts_by_kind()
     );
     assert!(
@@ -43,4 +44,14 @@ fn differential_replay_matches_on_100_sampled_groups() {
         "only {} sender walks were cross-checked",
         run.traffic_cross_checked
     );
+}
+
+#[test]
+fn differential_replay_matches_on_100_sampled_groups() {
+    run_at(1);
+}
+
+#[test]
+fn differential_replay_matches_through_the_sharded_engine() {
+    run_at(4);
 }
