@@ -46,7 +46,9 @@ use std::time::Instant;
 
 use elmo_controller::{Controller, ControllerConfig, GroupId, MemberRole};
 use elmo_core::{approx_min_k_union_with, EncodeCache, MinKUnionScratch, PortBitmap, SplitMix64};
-use elmo_dataplane::{DeliveryBatch, Fabric, FlightPacket, HypervisorSwitch, SenderFlow, SwitchConfig};
+use elmo_dataplane::{
+    DeliveryBatch, Fabric, FlightPacket, HypervisorSwitch, SenderFlow, SwitchConfig,
+};
 use elmo_net::vxlan::Vni;
 use elmo_sim::sweep::SweepResult;
 use elmo_sim::{sweep, SweepConfig};

@@ -15,11 +15,13 @@
 //! * [`Controller::header_for`] — the per-sender packet header hypervisors
 //!   encapsulate with.
 
+pub mod attribution;
 pub mod batch;
 pub mod controller;
 pub mod failures;
 pub mod srules;
 
+pub use attribution::RuleAttribution;
 pub use batch::{encode_batch, encode_batch_cached, optimistic_reqs, BatchOutcome, SRuleReq};
 pub use controller::{
     Controller, ControllerConfig, GroupId, GroupSpec, GroupState, MemberCounts, MemberRole,

@@ -91,6 +91,12 @@ pub(crate) struct FabricMetrics {
     /// Sharded batch injections run (`inject_*_sharded` calls that took
     /// the multi-worker path rather than the serial fallback).
     pub(crate) shard_batches: elmo_obs::Counter,
+    /// Sharded replay calls forced onto the serial path because a capture
+    /// or hop-trace session pins traversal order (the copy-tree trace
+    /// does not — it shards fine).
+    pub(crate) trace_serial_fallback: elmo_obs::Counter,
+    /// Copy-tree trace events handed out by `take_tree_trace`.
+    pub(crate) trace_events: elmo_obs::Counter,
 }
 
 pub(crate) fn metrics() -> &'static FabricMetrics {
@@ -108,7 +114,47 @@ pub(crate) fn metrics() -> &'static FabricMetrics {
         replay_materialized: elmo_obs::counter("fabric.replay.materialized"),
         shard_cross_msgs: elmo_obs::counter("fabric.replay.shard.cross_msgs"),
         shard_batches: elmo_obs::counter("fabric.replay.shard.batches"),
+        trace_serial_fallback: elmo_obs::counter("fabric.replay.trace_serial_fallback"),
+        trace_events: elmo_obs::counter("trace.events_recorded"),
     })
+}
+
+/// Dense switch numbering shared by the shard partition and the
+/// copy-tree trace: leaves first, then spines, then cores. Trace node
+/// ids must be stable across shard counts, so both derive from this one
+/// function of the topology alone.
+pub fn dense_switch_id(topo: &Clos, sw: SwitchRef) -> u32 {
+    match sw {
+        SwitchRef::Leaf(l) => l.0,
+        SwitchRef::Spine(s) => topo.num_leaves() as u32 + s.0,
+        SwitchRef::Core(c) => (topo.num_leaves() + topo.num_spines()) as u32 + c.0,
+    }
+}
+
+/// Inverse of [`dense_switch_id`].
+pub fn dense_switch_ref(topo: &Clos, dense: u32) -> SwitchRef {
+    let d = dense as usize;
+    if d < topo.num_leaves() {
+        SwitchRef::Leaf(LeafId(dense))
+    } else if d < topo.num_leaves() + topo.num_spines() {
+        SwitchRef::Spine(SpineId((d - topo.num_leaves()) as u32))
+    } else {
+        SwitchRef::Core(CoreId((d - topo.num_leaves() - topo.num_spines()) as u32))
+    }
+}
+
+/// Human label for a copy-tree trace node id (a dense switch id, or
+/// [`elmo_obs::HOST_NODE_BIT`] | host id): `"leaf:3"`, `"spine:7"`,
+/// `"core:0"`, `"host:42"`.
+pub fn trace_node_label(topo: &Clos, node: u32) -> String {
+    if node & elmo_obs::HOST_NODE_BIT != 0 {
+        return format!("host:{}", node & !elmo_obs::HOST_NODE_BIT);
+    }
+    match dense_switch_ref(topo, node) {
+        SwitchRef::Leaf(l) => format!("leaf:{}", l.0),
+        SwitchRef::Spine(s) => format!("spine:{}", s.0),
+        SwitchRef::Core(c) => format!("core:{}", c.0),
+    }
 }
 
 /// A fully instantiated Clos fabric of [`NetworkSwitch`]es.
@@ -123,6 +169,17 @@ pub struct Fabric {
     pub(crate) down: std::collections::BTreeSet<SwitchRef>,
     /// When tracing, the per-hop records of the in-flight injection.
     pub(crate) trace: Option<Vec<HopRecord>>,
+    /// When copy-tree tracing, the edge events of every traced injection.
+    /// Unlike `trace`/`capture`, an armed tree trace does **not** force
+    /// sharded replay onto the serial path: edge events are recorded
+    /// shard-locally and stitched on merge, and their canonical sort is
+    /// shard-count-invariant.
+    pub(crate) tree: Option<TreeTrace>,
+    /// Flight-recorder ring capacity per replay shard (0 = off).
+    pub(crate) recorder_cap: usize,
+    /// The per-shard flight recorders of the last sharded batch (empty
+    /// until a batch runs with `recorder_cap > 0`).
+    pub(crate) flight_recorders: Vec<elmo_obs::FlightRecorder>,
     /// When capturing, `(capture limit, captured packets)`: every copy
     /// put on a wire (injected or forwarded) is recorded until the limit
     /// is reached. Powers `elmo-eval --trace-pcap`. `None` (the default)
@@ -176,6 +233,17 @@ impl FlightQueue {
     }
 }
 
+/// An armed copy-tree trace session: the accumulated edge events plus
+/// the packet counter that numbers serial injections. Packet indices —
+/// serial injection order, or batch index in the sharded engine — and
+/// dense switch ids are the *only* inputs to trace identity (never wall
+/// clocks), which is what keeps traced runs bit-reproducible.
+#[derive(Clone, Debug, Default)]
+pub(crate) struct TreeTrace {
+    pub(crate) events: Vec<elmo_obs::TraceEvent>,
+    pub(crate) next_pkt: u32,
+}
+
 /// One switch's handling of one packet copy, INT-style (paper §7's
 /// monitoring direction: per-hop telemetry carried with the multicast
 /// packet — here collected out of band by the fabric model).
@@ -212,6 +280,9 @@ impl Fabric {
                 .collect(),
             down: std::collections::BTreeSet::new(),
             trace: None,
+            tree: None,
+            recorder_cap: 0,
+            flight_recorders: Vec::new(),
             capture: None,
             flight_queue: FlightQueue::default(),
             hop_scratch: Vec::new(),
@@ -235,6 +306,84 @@ impl Fabric {
             .take()
             .map(|(_, pkts)| pkts)
             .unwrap_or_default()
+    }
+
+    /// Arm a copy-tree trace session: every subsequent injection (serial
+    /// or sharded) records one [`elmo_obs::TraceEvent`] per replication
+    /// edge until [`take_tree_trace`](Self::take_tree_trace). One session
+    /// should cover either sequential serial injections or one sharded
+    /// batch — packet indices restart at the batch boundary.
+    pub fn start_tree_trace(&mut self) {
+        self.tree = Some(TreeTrace::default());
+    }
+
+    /// Whether a copy-tree trace session is armed.
+    pub fn tree_tracing(&self) -> bool {
+        self.tree.is_some()
+    }
+
+    /// End the trace session and take its events in canonical order
+    /// (sorted by packet, parent, child, state — the shard-invariant
+    /// order). Empty if tracing was never armed.
+    pub fn take_tree_trace(&mut self) -> Vec<elmo_obs::TraceEvent> {
+        let mut events = self.tree.take().map(|t| t.events).unwrap_or_default();
+        elmo_obs::sort_events(&mut events);
+        metrics().trace_events.add(events.len() as u64);
+        events
+    }
+
+    /// Arm the per-shard flight recorders: each worker of subsequent
+    /// sharded batches keeps a ring of its last `capacity` trace events
+    /// for postmortem dumps (0 disables). The rings survive until the
+    /// next sharded batch replaces them.
+    pub fn arm_flight_recorder(&mut self, capacity: usize) {
+        self.recorder_cap = capacity;
+        self.flight_recorders.clear();
+    }
+
+    /// The per-shard flight recorders of the most recent sharded batch.
+    pub fn flight_recorders(&self) -> &[elmo_obs::FlightRecorder] {
+        &self.flight_recorders
+    }
+
+    /// Dump every armed shard recorder through the structured log,
+    /// tagged with `reason`; returns the total events dumped.
+    pub fn dump_flight_recorders(&self, reason: &str) -> usize {
+        self.flight_recorders
+            .iter()
+            .enumerate()
+            .map(|(shard, r)| r.dump(shard, reason))
+            .sum()
+    }
+
+    /// Record the root edge of a traced injection and allocate its
+    /// packet index. Only called with the trace armed.
+    #[cold]
+    fn tree_root(&mut self, sw0: SwitchRef, state: u8) -> u32 {
+        let child = dense_switch_id(&self.topo, sw0);
+        let t = self.tree.as_mut().expect("tree trace armed");
+        let pkt = t.next_pkt;
+        t.next_pkt += 1;
+        t.events.push(elmo_obs::TraceEvent {
+            pkt,
+            parent: elmo_obs::TRACE_ROOT,
+            child,
+            state,
+        });
+        pkt
+    }
+
+    /// Record one replication edge of a traced injection.
+    #[cold]
+    fn tree_edge(&mut self, pkt: u32, parent: u32, child: u32, state: u8) {
+        if let Some(t) = &mut self.tree {
+            t.events.push(elmo_obs::TraceEvent {
+                pkt,
+                parent,
+                child,
+                state,
+            });
+        }
     }
 
     /// Record one wire copy when capturing. The disabled case is a single
@@ -449,6 +598,14 @@ impl Fabric {
         deliveries: &mut Vec<(HostId, Vec<u8>)>,
     ) {
         let m = metrics();
+        // Copy-tree tracing costs the off case one `is_some` test per
+        // output (like capture); all recording lives in `#[cold]` bodies.
+        let tracing = self.tree.is_some();
+        let trace_pkt = if tracing {
+            self.tree_root(sw0, pkt0.popped)
+        } else {
+            0
+        };
         // Take the scratch buffers out of `self` so the borrow checker
         // sees them as locals while switches and counters are borrowed.
         let mut queue = std::mem::take(&mut self.flight_queue);
@@ -497,8 +654,12 @@ impl Fabric {
                     egress_ports: hop_out.iter().map(|(p, _)| *p as usize).collect(),
                 });
             }
-            for i in 0..hop_out.len() {
-                let (port_out, state) = hop_out[i];
+            let trace_parent = if tracing {
+                dense_switch_id(&self.topo, sw)
+            } else {
+                0
+            };
+            for &(port_out, state) in &hop_out {
                 self.stats.packets_on_links += 1;
                 m.packets_on_links.inc();
                 let out_pkt: &FlightPacket = if state == HOST_STRIPPED {
@@ -524,9 +685,21 @@ impl Fabric {
                         };
                         deliveries.push((h, out_pkt.to_bytes(&self.layout)));
                         m.replay_materialized.inc();
+                        if tracing {
+                            self.tree_edge(
+                                trace_pkt,
+                                trace_parent,
+                                elmo_obs::HOST_NODE_BIT | h.0,
+                                state,
+                            );
+                        }
                     }
                     Hop::Switch(next, next_port, tier) => {
                         debug_assert_ne!(state, HOST_STRIPPED, "stripped copies go to hosts");
+                        if tracing {
+                            let child = dense_switch_id(&self.topo, next);
+                            self.tree_edge(trace_pkt, trace_parent, child, state);
+                        }
                         match tier {
                             LinkTier::LeafSpine => {
                                 self.stats.leaf_to_spine_bytes += n;
@@ -643,7 +816,6 @@ impl Fabric {
         }
         deliveries
     }
-
 }
 
 /// Resolve a switch's output port to the device on the other end. Free

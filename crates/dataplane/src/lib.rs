@@ -21,11 +21,13 @@ pub mod packet;
 pub mod pcap;
 pub mod shard;
 
-pub use fabric::{Fabric, FabricStats, HopRecord};
+pub use fabric::{
+    dense_switch_id, dense_switch_ref, trace_node_label, Fabric, FabricStats, HopRecord,
+};
 pub use hypervisor::{
     host_ip, host_of_ip, HypervisorStats, HypervisorSwitch, MembershipSignal, SenderFlow, VmSlot,
 };
-pub use netswitch::{GroupTableFull, NetworkSwitch, SwitchConfig, SwitchStats};
+pub use netswitch::{GroupTableFull, MatchSource, NetworkSwitch, SwitchConfig, SwitchStats};
 pub use packet::{ecmp_hash, ecmp_hash_fields, ElmoPacketRepr, FlightPacket, PacketError};
 pub use pcap::PcapWriter;
 pub use shard::DeliveryBatch;

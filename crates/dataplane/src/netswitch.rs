@@ -35,6 +35,33 @@ use crate::packet::{ecmp_hash, ElmoPacketRepr, FlightPacket};
 /// probe and deterministic across runs.
 type GroupTable = HashMap<Ipv4Addr, PortBitmap, BuildHasherDefault<SigHasher>>;
 
+/// Which rule source resolved a packet copy at a switch — the ingress
+/// pipeline's match order made explicit for the copy-tree trace's rule
+/// attribution (`elmo-eval trace` annotates each tree node with this).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum MatchSource {
+    /// A p-rule carried in the packet header matched the switch's own id.
+    PRule,
+    /// The group table held an s-rule for the outer destination.
+    SRule,
+    /// The header's default p-rule for this layer applied.
+    DefaultPRule,
+    /// Nothing matched: the copy would drop here.
+    NoRule,
+}
+
+impl MatchSource {
+    /// Stable label used in trace JSON and rendered trees.
+    pub fn label(&self) -> &'static str {
+        match self {
+            MatchSource::PRule => "p-rule",
+            MatchSource::SRule => "s-rule",
+            MatchSource::DefaultPRule => "default-p-rule",
+            MatchSource::NoRule => "no-rule",
+        }
+    }
+}
+
 /// Per-switch resource limits.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub struct SwitchConfig {
@@ -362,6 +389,49 @@ impl NetworkSwitch {
             SwitchRef::Leaf(l) => self.leaf_hops(l, ingress_port, pkt, out),
             SwitchRef::Spine(s) => self.spine_hops(s, ingress_port, pkt, out),
             SwitchRef::Core(c) => self.core_hops(c, pkt, out),
+        }
+    }
+
+    /// Which rule source a *downstream* copy of `pkt` resolves to at this
+    /// switch, mirroring [`process_hops`](Self::process_hops)' match order
+    /// exactly — own-id p-rule, then the installed group table, then the
+    /// header's default p-rule — with no counters or side effects. Core
+    /// switches report their core p-rule. This is the offline attribution
+    /// probe behind `elmo-eval trace`: the hot path records only the tree
+    /// edges, and match sources are recomputed here against the same
+    /// installed state the replay used.
+    pub fn classify_downstream(&self, pkt: &FlightPacket) -> MatchSource {
+        match self.id {
+            SwitchRef::Leaf(l) => {
+                if pkt.find_d_leaf(l.0).is_some() {
+                    MatchSource::PRule
+                } else if self.group_table.contains_key(&pkt.group_ip) {
+                    MatchSource::SRule
+                } else if pkt.d_leaf_default().is_some() {
+                    MatchSource::DefaultPRule
+                } else {
+                    MatchSource::NoRule
+                }
+            }
+            SwitchRef::Spine(s) => {
+                let pod = self.topo.pod_of_spine(s);
+                if pkt.find_d_spine(pod.0).is_some() {
+                    MatchSource::PRule
+                } else if self.group_table.contains_key(&pkt.group_ip) {
+                    MatchSource::SRule
+                } else if pkt.d_spine_default().is_some() {
+                    MatchSource::DefaultPRule
+                } else {
+                    MatchSource::NoRule
+                }
+            }
+            SwitchRef::Core(_) => {
+                if pkt.core_pods().is_some() {
+                    MatchSource::PRule
+                } else {
+                    MatchSource::NoRule
+                }
+            }
         }
     }
 

@@ -70,9 +70,26 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use elmo_core::{resolve_threads, spsc, HeaderLayout, SpscReceiver, SpscSender};
 use elmo_topology::{Clos, CoreId, HostId, LeafId, SpineId, SwitchRef};
 
+use elmo_obs::{FlightRecorder, TraceEvent, HOST_NODE_BIT, TRACE_ROOT};
+
 use crate::fabric::{metrics, next_hop, Fabric, FabricStats, Hop, LinkTier};
 use crate::netswitch::{NetworkSwitch, HOST_STRIPPED};
 use crate::packet::FlightPacket;
+
+/// Count every sharded call that a capture or hop-trace session forces
+/// onto the serial path, and say so once per process — silent fallback
+/// made a `--trace-pcap` replay look sharded while it was not.
+fn note_trace_serial_fallback(caller: &'static str) {
+    metrics().trace_serial_fallback.inc();
+    static ONCE: std::sync::Once = std::sync::Once::new();
+    ONCE.call_once(|| {
+        elmo_obs::warn!(
+            "fabric.replay.trace_serial_fallback",
+            caller = caller,
+            reason = "capture/hop-trace session pins traversal order; sharding disabled"
+        );
+    });
+}
 
 /// Capacity of each cross-shard ring, in messages. Full rings are not
 /// fatal (producers drain-and-retry); this just bounds memory and keeps
@@ -300,8 +317,8 @@ impl DeliveryBatch {
         // After the scatter `counts[p]` is the end of packet `p`'s run.
         let segs = &self.segments;
         let mut run_start = 0usize;
-        for p in 0..=max_pkt {
-            let run_end = counts[p] as usize;
+        for &end in counts.iter().take(max_pkt + 1) {
+            let run_end = end as usize;
             let run = &mut keyed[run_start..run_end];
             if run.len() > 1 {
                 run.sort_unstable_by(|a, b| {
@@ -410,6 +427,11 @@ struct Worker {
     seg: Segment,
     /// Copies this worker pushed across a shard boundary.
     cross_msgs: u64,
+    /// Copy-tree trace events recorded by this shard (stitched into the
+    /// fabric's trace session after the join).
+    events: Vec<TraceEvent>,
+    /// This shard's flight-recorder ring (zero-capacity when disarmed).
+    recorder: FlightRecorder,
 }
 
 impl Worker {
@@ -460,6 +482,7 @@ impl Fabric {
     {
         let shards = resolve_threads(shards).max(1);
         if self.capture.is_some() || self.trace.is_some() {
+            note_trace_serial_fallback("inject_batch_sharded");
             let mut tagged = Vec::new();
             for (i, (from, bytes)) in packets.into_iter().enumerate() {
                 for (h, b) in self.inject(from, bytes) {
@@ -492,12 +515,21 @@ impl Fabric {
                     continue;
                 }
             };
-            seeds.push(ShardMsg {
+            let seed = ShardMsg {
                 sw: part.dense(SwitchRef::Leaf(leaf)),
                 port: self.topo.host_port_on_leaf(from) as u16,
                 state: pkt.popped,
                 pkt: flights.len() as u32,
-            });
+            };
+            if let Some(t) = &mut self.tree {
+                t.events.push(TraceEvent {
+                    pkt: seed.pkt,
+                    parent: TRACE_ROOT,
+                    child: seed.sw,
+                    state: seed.state,
+                });
+            }
+            seeds.push(seed);
             flights.push(pkt);
         }
         let mut out = DeliveryBatch::new();
@@ -537,6 +569,7 @@ impl Fabric {
     ) {
         let shards = resolve_threads(shards).max(1);
         if self.capture.is_some() || self.trace.is_some() {
+            note_trace_serial_fallback("replay_flights_sharded");
             out.reset(1, self.layout);
             for (i, (from, pkt)) in flights.iter().enumerate() {
                 for (h, b) in self.inject_flight(*from, pkt.clone()) {
@@ -563,12 +596,21 @@ impl Fabric {
             if self.down.contains(&SwitchRef::Leaf(leaf)) {
                 continue;
             }
-            seeds.push(ShardMsg {
+            let seed = ShardMsg {
                 sw: part.dense(SwitchRef::Leaf(leaf)),
                 port: self.topo.host_port_on_leaf(*from) as u16,
                 state: pkt.popped,
                 pkt: batch.len() as u32,
-            });
+            };
+            if let Some(t) = &mut self.tree {
+                t.events.push(TraceEvent {
+                    pkt: seed.pkt,
+                    parent: TRACE_ROOT,
+                    child: seed.sw,
+                    state: seed.state,
+                });
+            }
+            seeds.push(seed);
             batch.push(pkt.clone());
         }
         self.run_batch(&part, batch, seeds, shards, out);
@@ -591,6 +633,17 @@ impl Fabric {
         let topo = self.topo;
         let layout = self.layout;
         let down = self.down.clone();
+        // Trace events are recorded shard-locally and stitched after the
+        // join (the canonical event sort is shard-count-invariant, so no
+        // ordering information is lost). Root events for the seeds were
+        // already recorded by the pre-pass on this thread.
+        let tracing = self.tree.is_some();
+        let recorder_cap = self.recorder_cap;
+        if let Some(t) = &mut self.tree {
+            // Serial injections after this batch must not reuse its
+            // packet indices.
+            t.next_pkt = t.next_pkt.max(pkts.len() as u32);
+        }
 
         // Take the switches apart: each shard's vector holds its owned
         // switches in dense order (matching `Partition::owner`).
@@ -598,12 +651,7 @@ impl Fabric {
         let spines = std::mem::take(&mut self.spines);
         let cores = std::mem::take(&mut self.cores);
         let mut shard_switches: Vec<Vec<NetworkSwitch>> = (0..shards).map(|_| Vec::new()).collect();
-        for (dense, sw) in leaves
-            .into_iter()
-            .chain(spines.into_iter())
-            .chain(cores.into_iter())
-            .enumerate()
-        {
+        for (dense, sw) in leaves.into_iter().chain(spines).chain(cores).enumerate() {
             shard_switches[part.owner[dense].0 as usize].push(sw);
         }
 
@@ -644,6 +692,8 @@ impl Fabric {
                 pending_ref,
                 topo,
                 layout,
+                tracing,
+                recorder_cap,
             );
             vec![worker]
         } else {
@@ -654,14 +704,14 @@ impl Fabric {
                 (0..shards).map(|_| Vec::new()).collect();
             let mut rxs: Vec<Vec<SpscReceiver<ShardMsg>>> =
                 (0..shards).map(|_| Vec::new()).collect();
-            for i in 0..shards {
-                for j in 0..shards {
+            for (i, tx_row) in txs.iter_mut().enumerate() {
+                for (j, rx_row) in rxs.iter_mut().enumerate() {
                     if i == j {
-                        txs[i].push(None);
+                        tx_row.push(None);
                     } else {
                         let (tx, rx) = spsc(RING_CAPACITY);
-                        txs[i].push(Some(tx));
-                        rxs[j].push(rx);
+                        tx_row.push(Some(tx));
+                        rx_row.push(rx);
                     }
                 }
             }
@@ -688,6 +738,8 @@ impl Fabric {
                                 pending_ref,
                                 topo,
                                 layout,
+                                tracing,
+                                recorder_cap,
                             )
                         })
                     })
@@ -708,11 +760,20 @@ impl Fabric {
         let total = part.owner.len();
         let mut iters: Vec<std::vec::IntoIter<NetworkSwitch>> = Vec::with_capacity(shards);
         let mut cross_total = 0u64;
+        let mut recorders = Vec::new();
         for (i, r) in results.into_iter().enumerate() {
             iters.push(r.switches.into_iter());
             self.stats.absorb(&r.stats);
             out.segments.push(r.seg);
             cross_total += r.cross_msgs;
+            if tracing {
+                if let Some(t) = &mut self.tree {
+                    t.events.extend(r.events);
+                }
+            }
+            if recorder_cap > 0 {
+                recorders.push(r.recorder);
+            }
             if i == 0 {
                 // Any worker's batch clone serves materialization (the
                 // packets differ only in `popped` scratch, which the
@@ -732,6 +793,9 @@ impl Fabric {
         }
         debug_assert_eq!(self.leaves.len(), part.num_leaves);
         debug_assert_eq!(self.spines.len(), part.num_spines);
+        if recorder_cap > 0 {
+            self.flight_recorders = recorders;
+        }
         m.shard_cross_msgs.add(cross_total);
         out.sort_canonical();
     }
@@ -752,6 +816,8 @@ fn run_worker(
     pending: &AtomicUsize,
     topo: Clos,
     layout: HeaderLayout,
+    tracing: bool,
+    recorder_cap: usize,
 ) -> Worker {
     let m = metrics();
     // A solo worker (one shard, no rings) terminates when its local
@@ -769,6 +835,8 @@ fn run_worker(
         stats: FabricStats::default(),
         seg,
         cross_msgs: 0,
+        events: Vec::new(),
+        recorder: FlightRecorder::new(recorder_cap),
     };
     for msg in seeds {
         w.push_local(msg);
@@ -816,6 +884,20 @@ fn run_worker(
                     m.leaf_to_host_bytes.add(n);
                     m.replay_materialized.inc();
                     w.seg.push(h, entry.pkt, state);
+                    if tracing || recorder_cap > 0 {
+                        let ev = TraceEvent {
+                            pkt: entry.pkt,
+                            parent: entry.sw,
+                            child: HOST_NODE_BIT | h.0,
+                            state,
+                        };
+                        if tracing {
+                            w.events.push(ev);
+                        }
+                        if recorder_cap > 0 {
+                            w.recorder.record(ev);
+                        }
+                    }
                 }
                 Hop::Switch(next, next_port, tier) => {
                     debug_assert_ne!(state, HOST_STRIPPED, "stripped copies go to hosts");
@@ -838,6 +920,20 @@ fn run_worker(
                         }
                     }
                     let dense = part.dense(next);
+                    if tracing || recorder_cap > 0 {
+                        let ev = TraceEvent {
+                            pkt: entry.pkt,
+                            parent: entry.sw,
+                            child: dense,
+                            state,
+                        };
+                        if tracing {
+                            w.events.push(ev);
+                        }
+                        if recorder_cap > 0 {
+                            w.recorder.record(ev);
+                        }
+                    }
                     let msg = ShardMsg {
                         sw: dense,
                         port: next_port as u16,

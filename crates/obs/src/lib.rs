@@ -20,12 +20,20 @@
 //! * **Export** ([`Snapshot`]) — metrics serialize to a stable JSON
 //!   document and parse back losslessly ([`Snapshot::from_json`]), so
 //!   sims and CI can diff runs.
+//! * **Tracing** ([`trace`]) — causal copy-tree trace events, the tree
+//!   builder behind `elmo-eval trace`, and the per-shard flight
+//!   recorder; [`timeline`] adds ring-buffered per-window registry
+//!   snapshots for time-resolved replay/failure runs. Both derive every
+//!   id from (packet index, switch id) — never wall clocks — so traced
+//!   runs stay bit-identical at any shard count.
 
 pub mod hist;
 pub mod json;
 pub mod log;
 pub mod registry;
 pub mod span;
+pub mod timeline;
+pub mod trace;
 
 pub use hist::{bucket_hi, bucket_index, bucket_lo, bucket_value, N_BUCKETS};
 pub use json::JsonValue;
@@ -35,3 +43,7 @@ pub use registry::{
     Histogram, Snapshot,
 };
 pub use span::Span;
+pub use timeline::{Timeline, TimelineWindow};
+pub use trace::{
+    sort_events, CopyTree, FlightRecorder, TraceEvent, TraceNode, HOST_NODE_BIT, TRACE_ROOT,
+};

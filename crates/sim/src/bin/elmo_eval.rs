@@ -21,6 +21,8 @@
 //!   ablation        §3.1 design-decision ablation (D1 -> D2 -> D3)
 //!   two-tier        §5.1.1: two-tier (CONGA-style) leaf-spine sanity check
 //!   verify          static rule-state verification of the fig4/fig5 state
+//!   trace           causal copy-tree trace of one packet (--group, --sender)
+//!   timeline        windowed failure replay emitting per-window metrics
 //!   all             run everything
 //!
 //! flags:
@@ -39,6 +41,13 @@
 //!                   fabrics (default: verify samples one from the seed;
 //!                   apps stay serial; results are identical either way)
 //!   --report-out P  write verify's JSON report to P
+//!   --group N       fixture group id for `trace` (1..=3, default 3)
+//!   --sender H      sender host for `trace` (default: group's first member)
+//!   --trace-out P   write the traced copy tree (JSON) to P
+//!   --expect-nodes N  fail `trace` unless the tree has exactly N nodes
+//!   --windows N     logical windows for `timeline` (default 12)
+//!   --tick N        packets replayed per window (default 8)
+//!   --timeline-out P  write `timeline`'s per-window JSONL to P
 //!   --metrics-out P write an elmo-obs metrics snapshot (JSON) to P on exit
 //!   --trace-pcap P  dump a bounded sample of simulated packets to P (pcap)
 //!   -v / -vv        debug / trace logging on stderr
@@ -81,6 +90,13 @@ struct Opts {
     samples: usize,
     report_out: Option<String>,
     replay_threads: Option<usize>,
+    group: u64,
+    sender: Option<u32>,
+    trace_out: Option<String>,
+    expect_nodes: Option<usize>,
+    windows: usize,
+    tick: usize,
+    timeline_out: Option<String>,
 }
 
 fn parse_args() -> Opts {
@@ -101,6 +117,13 @@ fn parse_args() -> Opts {
         samples: 120,
         report_out: None,
         replay_threads: None,
+        group: 3,
+        sender: None,
+        trace_out: None,
+        expect_nodes: None,
+        windows: 12,
+        tick: 8,
+        timeline_out: None,
     };
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -135,6 +158,25 @@ fn parse_args() -> Opts {
                 opts.report_out = Some(
                     args.next()
                         .unwrap_or_else(|| usage("--report-out needs a path")),
+                );
+            }
+            "--group" => opts.group = expect_num(&mut args, "--group"),
+            "--sender" => opts.sender = Some(expect_num(&mut args, "--sender") as u32),
+            "--trace-out" => {
+                opts.trace_out = Some(
+                    args.next()
+                        .unwrap_or_else(|| usage("--trace-out needs a path")),
+                );
+            }
+            "--expect-nodes" => {
+                opts.expect_nodes = Some(expect_num(&mut args, "--expect-nodes") as usize);
+            }
+            "--windows" => opts.windows = expect_num(&mut args, "--windows") as usize,
+            "--tick" => opts.tick = expect_num(&mut args, "--tick") as usize,
+            "--timeline-out" => {
+                opts.timeline_out = Some(
+                    args.next()
+                        .unwrap_or_else(|| usage("--timeline-out needs a path")),
                 );
             }
             "--r" => {
@@ -176,10 +218,13 @@ fn usage(msg: &str) -> ! {
     }
     eprintln!(
         "usage: elmo-eval <fig4|fig5|uniform|limited-srules|small-header|table1|table2|table3|\
-         fig6|fig7|telemetry|failures|latency|xpander|verify|all> [--full] [--groups N] \
+         fig6|fig7|telemetry|failures|latency|xpander|verify|trace|timeline|all> [--full] \
+         [--groups N] \
          [--tenants N] [--events N] [--pkt N] [--r 0,6,12] [--seed N] [--threads N] \
          [--samples N] [--replay-threads N] [--report-out PATH] [--metrics-out PATH] \
          [--trace-pcap PATH] \
+         [--group N] [--sender H] [--trace-out PATH] [--expect-nodes N] \
+         [--windows N] [--tick N] [--timeline-out PATH] \
          [-v|-vv|--quiet] [--log-json]\n\
          \n       elmo-eval check-metrics <snapshot.json>"
     );
@@ -237,6 +282,8 @@ fn main() {
             "ablation",
             "two-tier",
             "verify",
+            "trace",
+            "timeline",
             "table1",
         ] {
             let mut o = opts.clone();
@@ -366,8 +413,129 @@ fn run_one(opts: &Opts) {
         "ablation" => run_ablation(opts),
         "two-tier" => run_two_tier(opts),
         "verify" => run_verify(opts),
+        "trace" => run_trace(opts),
+        "timeline" => run_timeline(opts),
         other => usage(&format!("unknown experiment: {other}")),
     }
+}
+
+/// `elmo-eval trace` — trace one packet's causal copy tree through the
+/// paper-example fabric, print it annotated with match sources and rule
+/// attributions, and cross-check its host leaves against the static walk
+/// and the actual deliveries. Exit 1 if the three host sets disagree or
+/// `--expect-nodes` mismatches.
+fn run_trace(opts: &Opts) {
+    let run = match elmo_sim::trace_exp::run(opts.group, opts.sender) {
+        Ok(r) => r,
+        Err(e) => {
+            elmo_obs::error!("trace.failed", error = e.as_str());
+            std::process::exit(1);
+        }
+    };
+    println!(
+        "copy tree: fixture group {} (members {:?}), sender {}\n",
+        opts.group,
+        elmo_sim::trace_exp::FIXTURE_SHAPES[opts.group as usize - 1],
+        opts.sender
+            .unwrap_or(elmo_sim::trace_exp::FIXTURE_SHAPES[opts.group as usize - 1][0]),
+    );
+    println!("{}", run.rendered);
+    println!(
+        "{} nodes, {} host leaves; static walk predicts {} hosts; replay delivered to {} -> {}",
+        run.nodes(),
+        run.tree_hosts.len(),
+        run.walk_hosts.len(),
+        run.delivered_hosts.len(),
+        if run.ok { "ok" } else { "MISMATCH" },
+    );
+    if let Some(path) = &opts.trace_out {
+        match std::fs::write(path, run.tree.to_json()) {
+            Ok(()) => elmo_obs::info!("trace.tree_written", path = path.as_str()),
+            Err(e) => {
+                elmo_obs::error!(
+                    "trace.write_failed",
+                    path = path.as_str(),
+                    error = e.to_string()
+                );
+                std::process::exit(1);
+            }
+        }
+    }
+    if !run.ok {
+        elmo_obs::error!(
+            "trace.host_set_mismatch",
+            tree = format!("{:?}", run.tree_hosts),
+            walk = format!("{:?}", run.walk_hosts),
+            replay = format!("{:?}", run.delivered_hosts)
+        );
+        std::process::exit(1);
+    }
+    if let Some(n) = opts.expect_nodes {
+        if run.nodes() != n {
+            elmo_obs::error!("trace.node_count_mismatch", expected = n, got = run.nodes());
+            std::process::exit(1);
+        }
+        println!("node count matches --expect-nodes {n}");
+    }
+    println!();
+}
+
+/// `elmo-eval timeline` — the windowed failure replay: `--windows`
+/// logical ticks of `--tick` packets each through the sharded engine,
+/// with the copy tree's first spine hop failed during the middle third.
+/// `--timeline-out` writes one JSONL line per window. Exit 1 if the run
+/// shows no loss window (the failure must be observable).
+fn run_timeline(opts: &Opts) {
+    let shards = opts.replay_threads.unwrap_or(2);
+    let run = match elmo_sim::timeline_exp::run(opts.windows, opts.tick, shards) {
+        Ok(r) => r,
+        Err(e) => {
+            elmo_obs::error!("timeline.failed", error = e.as_str());
+            std::process::exit(1);
+        }
+    };
+    println!(
+        "timeline: {} windows x {} packets, {} replay shards, spine {} failed for the middle third",
+        opts.windows, opts.tick, shards, run.failed_spine
+    );
+    let rows: Vec<Vec<String>> = run
+        .rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.window.to_string(),
+                r.delivered.to_string(),
+                r.expected.to_string(),
+                if r.failed { "down".into() } else { "up".into() },
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        table(&["window", "delivered", "expected", "spine"], &rows)
+    );
+    println!(
+        "{} loss windows; flight recorders captured {} events at first shortfall",
+        run.loss_windows, run.recorder_events
+    );
+    if let Some(path) = &opts.timeline_out {
+        match run.timeline.write_jsonl(path) {
+            Ok(()) => elmo_obs::info!("timeline.written", path = path.as_str()),
+            Err(e) => {
+                elmo_obs::error!(
+                    "timeline.write_failed",
+                    path = path.as_str(),
+                    error = e.to_string()
+                );
+                std::process::exit(1);
+            }
+        }
+    }
+    if run.loss_windows == 0 {
+        elmo_obs::error!("timeline.no_loss_window");
+        std::process::exit(1);
+    }
+    println!();
 }
 
 /// `elmo-eval verify` — compile the Figure-4 (P=12) and Figure-5 (P=1)

@@ -26,6 +26,8 @@ pub mod report;
 pub mod sweep;
 pub mod table2;
 pub mod table3;
+pub mod timeline_exp;
+pub mod trace_exp;
 pub mod verify_exp;
 pub mod xpander_exp;
 

@@ -66,6 +66,14 @@ pub const REQUIRED_METRICS: &[&str] = &[
     "fabric.replay.materialized",
     "fabric.replay.shard.batches",
     "fabric.replay.shard.cross_msgs",
+    "fabric.replay.trace_serial_fallback",
+    // Copy-tree tracing and the windowed time-series (§7 monitoring
+    // direction; `elmo-eval trace` / `timeline`).
+    "trace.events_recorded",
+    "trace.trees_built",
+    "trace.flight_recorder.dumps",
+    "timeline.windows_closed",
+    "timeline.windows_evicted",
     // Encoding memoization (shared by the controller batch path and the
     // sweep; hit rate is the tenant-reuse signal the bench reports).
     "encode.cache_hit",

@@ -52,9 +52,9 @@ pub struct VerifyExpConfig {
     pub samples: usize,
     /// Seed for the differential sampler.
     pub seed: u64,
-    /// Shard count for the differential replay (1 = serial loop,
-    /// >1 = the sharded multi-core engine, 0 = one shard per core).
-    /// Either way the replays are diffed against the same static walk.
+    /// Shard count for the differential replay: 1 = serial loop, more
+    /// = the sharded multi-core engine, 0 = one shard per core. Either
+    /// way the replays are diffed against the same static walk.
     pub replay_threads: usize,
 }
 
@@ -183,13 +183,8 @@ pub fn run(topo: Clos, workload_cfg: WorkloadConfig, cfg: &VerifyExpConfig) -> V
     }
     report.violations.extend(extra);
 
-    let diff = differential_check_with(
-        &ctl,
-        &mut fabric,
-        cfg.samples,
-        cfg.seed,
-        cfg.replay_threads,
-    );
+    let diff =
+        differential_check_with(&ctl, &mut fabric, cfg.samples, cfg.seed, cfg.replay_threads);
     report.violations.extend(diff.violations);
 
     VerifyRun {

@@ -27,6 +27,22 @@ pub struct DifferentialOutcome {
     pub sampled: usize,
     /// Disagreements between the static walk and the replay.
     pub violations: Vec<Violation>,
+    /// For every diverging (group, sender), the traced copy tree of a
+    /// serial re-run — the postmortem witness the report embeds.
+    pub divergence_traces: Vec<DivergenceTrace>,
+}
+
+/// The traced replication tree of one diverging replay: which switches
+/// copied the packet where, so a Loss/Leakage report shows *where* the
+/// tree and the static walk part ways instead of only that they do.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct DivergenceTrace {
+    /// The diverging group.
+    pub group: GroupId,
+    /// The replayed sender.
+    pub sender: HostId,
+    /// The copy tree as the versioned `elmo_trace` JSON document.
+    pub tree_json: String,
 }
 
 /// Replay up to `max_samples` groups (one deterministic random sender
@@ -72,6 +88,7 @@ pub fn differential_check_with(
     ids.sort_unstable_by_key(|g| g.0);
 
     let mut violations = Vec::new();
+    let mut divergence_traces = Vec::new();
     let mut sampled = 0usize;
     for gid in ids {
         let Some(state) = ctl.group(gid) else {
@@ -122,6 +139,10 @@ pub fn differential_check_with(
             continue;
         }
         let pkt = pkts.remove(0);
+        // Kept aside for the divergence postmortem: a traced serial
+        // re-run of the same flight (Arc bumps only, no byte copies).
+        let trace_pkt = pkt.clone();
+        let before = violations.len();
         // Every host copy is the same bytes: the outer stack with the Elmo
         // header stripped, plus the payload.
         let expected_bytes = {
@@ -182,9 +203,26 @@ pub fn differential_check_with(
                 });
             }
         }
+        if violations.len() > before {
+            // Divergence: attach the traced copy tree of a serial re-run
+            // as the witness. Tracing never changes deliveries, so the
+            // re-run reproduces exactly what the diff above observed.
+            fabric.start_tree_trace();
+            let _ = fabric.inject_flight(sender, trace_pkt);
+            let events = fabric.take_tree_trace();
+            let tree = elmo_obs::CopyTree::build(0, &events, |n| {
+                elmo_dataplane::trace_node_label(ctl.topo(), n)
+            });
+            divergence_traces.push(DivergenceTrace {
+                group: gid,
+                sender,
+                tree_json: tree.to_json(),
+            });
+        }
     }
     DifferentialOutcome {
         sampled,
         violations,
+        divergence_traces,
     }
 }

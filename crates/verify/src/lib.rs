@@ -46,11 +46,37 @@ use elmo_controller::{Controller, GroupState};
 use elmo_dataplane::{ElmoPacketRepr, Fabric, HypervisorSwitch};
 use elmo_topology::{HostId, LeafId, SwitchRef};
 
-pub use differential::{differential_check, differential_check_with, DifferentialOutcome};
+pub use differential::{
+    differential_check, differential_check_with, DifferentialOutcome, DivergenceTrace,
+};
 pub use report::{
     BudgetSummary, RedundancySummary, Report, RuleRef, SenderTraffic, TableTier, Violation,
     ViolationKind, Witness,
 };
+
+/// The static walk's predicted delivery multiset for one (group, sender)
+/// pair: host → expected copy count, computed from the compiled header
+/// and the installed rule state without injecting a packet. This is the
+/// independent oracle `elmo-eval trace` cross-checks a traced copy tree
+/// against — the tree's host leaves must equal these keys exactly.
+pub fn static_walk_deliveries(
+    ctl: &Controller,
+    fabric: &Fabric,
+    group: elmo_controller::GroupId,
+    sender: HostId,
+) -> Result<BTreeMap<HostId, u32>, String> {
+    let state = ctl
+        .group(group)
+        .ok_or_else(|| format!("group {} does not exist", group.0))?;
+    if state.unicast_fallback {
+        return Err(format!("group {} is degraded to unicast fallback", group.0));
+    }
+    let header = ctl
+        .header_for(group, sender)
+        .ok_or_else(|| format!("no header for sender {} in group {}", sender.0, group.0))?;
+    let layout = *ctl.layout();
+    Ok(walk::walk_sender(ctl.topo(), &layout, fabric, state, sender, &header).deliveries)
+}
 
 /// Knobs for [`check_state_with`].
 #[derive(Clone, Copy, Debug, Default)]

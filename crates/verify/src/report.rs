@@ -223,6 +223,10 @@ pub struct Report {
     /// Per-sender traffic records (populated when
     /// [`VerifyOptions::collect_traffic`](crate::VerifyOptions) is set).
     pub traffic: Vec<SenderTraffic>,
+    /// Traced copy trees of diverging differential replays (populated by
+    /// the harness from
+    /// [`DifferentialOutcome::divergence_traces`](crate::differential::DifferentialOutcome)).
+    pub divergence_traces: Vec<crate::differential::DivergenceTrace>,
 }
 
 impl Report {
@@ -298,6 +302,27 @@ impl Report {
         root.insert(
             "violations".into(),
             JsonValue::Array(self.violations.iter().map(violation_json).collect()),
+        );
+        root.insert(
+            "divergence_traces".into(),
+            JsonValue::Array(
+                self.divergence_traces
+                    .iter()
+                    .map(|t| {
+                        let mut m = BTreeMap::new();
+                        m.insert("group".into(), JsonValue::U64(t.group.0));
+                        m.insert("sender".into(), JsonValue::U64(t.sender.0 as u64));
+                        // Embed the tree document itself, not a string of
+                        // it, so report consumers read one JSON value.
+                        m.insert(
+                            "tree".into(),
+                            JsonValue::parse(&t.tree_json)
+                                .unwrap_or_else(|_| JsonValue::String(t.tree_json.clone())),
+                        );
+                        JsonValue::Object(m)
+                    })
+                    .collect(),
+            ),
         );
         JsonValue::Object(root)
     }

@@ -15,7 +15,13 @@
 //!    `elmo_obs::counter(..)` / `elmo_obs::histogram(..)` in non-test code
 //!    must be declared in `elmo_sim::obs::REQUIRED_METRICS` /
 //!    `REQUIRED_HISTOGRAMS`, so exported snapshots are complete and
-//!    `elmo-eval check-metrics` stays meaningful.
+//!    `elmo-eval check-metrics` stays meaningful. This covers the
+//!    `trace.*` / `timeline.*` tracing metrics like everything else.
+//! 4. **Clock-free tracing**: the copy-tree trace and timeline paths
+//!    (`obs/trace.rs`, `obs/timeline.rs`, `dataplane/fabric.rs`,
+//!    `dataplane/shard.rs`) get the encode path's wall-clock ban — trace
+//!    ids derive from (packet index, switch id) and windows are logical
+//!    ticks, so traced replays stay bit-identical at any shard count.
 //!
 //! Exits non-zero with `file:line` diagnostics on any violation. Wired
 //! into CI next to clippy and rustfmt.
@@ -58,8 +64,20 @@ fn main() {
         if is_encode_path(&rel_str) {
             check_encode_purity(&rel_str, non_test, &mut problems);
         }
+        if is_trace_path(&rel_str) {
+            check_no_clock(
+                &rel_str,
+                non_test,
+                "in a trace/timeline path; trace ids derive from (packet index, \
+                 switch id) and windows are logical ticks — never wall clocks",
+                &mut problems,
+            );
+        }
+        // `tests/` files are integration tests — entirely test code, so
+        // like `#[cfg(test)]` blocks they may mint ad-hoc probe metrics.
         if !rel_str.starts_with("crates/obs/")
             && !rel_str.starts_with("crates/xtask/")
+            && !rel_str.starts_with("tests/")
             && !rel_str.ends_with("sim/src/obs.rs")
         {
             check_metric_names(&rel_str, non_test, &declared, &mut problems);
@@ -200,8 +218,23 @@ fn is_encode_path(rel: &str) -> bool {
     .contains(&rel)
 }
 
-/// Lint 2: wall-clock reads and float tokens in the encode hot path.
-fn check_encode_purity(rel: &str, text: &str, problems: &mut Vec<String>) {
+/// Files where trace ids and timeline windows are derived. Trace ids must
+/// be pure functions of (packet index, switch id) and windows must be
+/// logical ticks, so these paths get the same clock ban as the encode
+/// path — a wall-clock read here would silently break the "trace-enabled
+/// replay is bit-identical at any shard count" guarantee.
+fn is_trace_path(rel: &str) -> bool {
+    [
+        "crates/obs/src/trace.rs",
+        "crates/obs/src/timeline.rs",
+        "crates/dataplane/src/fabric.rs",
+        "crates/dataplane/src/shard.rs",
+    ]
+    .contains(&rel)
+}
+
+/// Shared clock ban: flag `Instant::now` / `SystemTime` outside comments.
+fn check_no_clock(rel: &str, text: &str, why: &str, problems: &mut Vec<String>) {
     for banned in ["Instant::now", "SystemTime"] {
         let mut from = 0;
         while let Some(pos) = text[from..].find(banned) {
@@ -210,13 +243,19 @@ fn check_encode_purity(rel: &str, text: &str, problems: &mut Vec<String>) {
             if in_comment(text, idx) {
                 continue;
             }
-            problems.push(format!(
-                "{}:{}: `{banned}` in the encode path; encoding must not read the clock",
-                rel,
-                line_of(text, idx)
-            ));
+            problems.push(format!("{}:{}: `{banned}` {why}", rel, line_of(text, idx)));
         }
     }
+}
+
+/// Lint 2: wall-clock reads and float tokens in the encode hot path.
+fn check_encode_purity(rel: &str, text: &str, problems: &mut Vec<String>) {
+    check_no_clock(
+        rel,
+        text,
+        "in the encode path; encoding must not read the clock",
+        problems,
+    );
     for banned in ["f32", "f64"] {
         let mut from = 0;
         while let Some(pos) = text[from..].find(banned) {

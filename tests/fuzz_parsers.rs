@@ -164,6 +164,150 @@ fn header_region_corruption_is_bounded() {
     }
 }
 
+/// The observability JSON parsers get the same deterministic treatment as
+/// the packet parsers: `Snapshot::from_json`, `CopyTree::from_json`, and
+/// `TimelineWindow::from_json` all accept attacker-supplied files (CI
+/// artifacts, `--report-out` documents, `timeline.jsonl` lines), so random
+/// bytes, truncations, and bit flips must yield typed errors — and valid
+/// documents must round-trip losslessly.
+mod obs_documents {
+    use super::SplitMix64;
+    use elmo::obs::{CopyTree, Snapshot, TimelineWindow, TraceEvent, HOST_NODE_BIT, TRACE_ROOT};
+
+    fn valid_tree() -> CopyTree {
+        let events = [
+            TraceEvent {
+                pkt: 0,
+                parent: TRACE_ROOT,
+                child: 0,
+                state: 0,
+            },
+            TraceEvent {
+                pkt: 0,
+                parent: 0,
+                child: 6,
+                state: 1,
+            },
+            TraceEvent {
+                pkt: 0,
+                parent: 6,
+                child: HOST_NODE_BIT | 42,
+                state: u8::MAX,
+            },
+        ];
+        let mut tree = CopyTree::build(0, &events, |n| format!("sw:{n}"));
+        tree.annotate(|n| {
+            if n.node & HOST_NODE_BIT != 0 {
+                ("deliver".into(), String::new())
+            } else {
+                ("p-rule".into(), format!("g1/p{}", n.state))
+            }
+        });
+        tree
+    }
+
+    fn valid_window() -> TimelineWindow {
+        let mut w = TimelineWindow {
+            index: 7,
+            ..TimelineWindow::default()
+        };
+        w.counters.insert("dataplane.prule_hits".into(), 64);
+        w.counters.insert("fabric.packets_on_links".into(), 112);
+        w.gauges.insert("timeline.window.deliveries".into(), 40);
+        w
+    }
+
+    /// Random bytes into all three document parsers: typed errors or a
+    /// self-consistent success, never a panic.
+    #[test]
+    fn random_bytes_yield_typed_errors() {
+        let mut rng = SplitMix64(0x0b5_d0c5);
+        for len in 0..256 {
+            for _rep in 0..4 {
+                let mut bytes = vec![0u8; len];
+                rng.fill(&mut bytes);
+                let text = String::from_utf8_lossy(&bytes);
+                let _ = Snapshot::from_json(&text);
+                let _ = CopyTree::from_json(&text);
+                let _ = TimelineWindow::from_json(&text);
+            }
+        }
+    }
+
+    /// Valid documents survive a parse → serialize → parse cycle without
+    /// losing anything.
+    #[test]
+    fn valid_documents_round_trip_losslessly() {
+        let tree = valid_tree();
+        let back = CopyTree::from_json(&tree.to_json()).expect("tree parses");
+        assert_eq!(back, tree);
+        assert_eq!(back.to_json(), tree.to_json());
+
+        let window = valid_window();
+        let back = TimelineWindow::from_json(&window.to_json()).expect("window parses");
+        assert_eq!(back, window);
+        assert_eq!(back.to_json(), window.to_json());
+
+        let snap = {
+            // A live snapshot is process-global; go through JSON so the
+            // fixture is stable regardless of what other tests recorded.
+            elmo::obs::counter("fuzz.obs_documents.probe").add(3);
+            elmo::obs::snapshot()
+        };
+        let json = snap.to_json();
+        let back = Snapshot::from_json(&json).expect("snapshot parses");
+        assert_eq!(back.counter("fuzz.obs_documents.probe"), Some(3));
+        assert_eq!(back.to_json(), json);
+    }
+
+    /// Every truncation of each valid document is rejected with a typed
+    /// error — braces never balance early, since the last non-whitespace
+    /// byte closes the root object.
+    #[test]
+    fn truncations_are_rejected() {
+        let tree_json = valid_tree().to_json();
+        for len in 0..tree_json.trim_end().len() {
+            assert!(
+                CopyTree::from_json(&tree_json[..len]).is_err(),
+                "tree truncation to {len} bytes parsed"
+            );
+        }
+        let window_json = valid_window().to_json();
+        for len in 0..window_json.trim_end().len() {
+            assert!(TimelineWindow::from_json(&window_json[..len]).is_err());
+        }
+    }
+
+    /// Single-byte corruptions: parse may succeed (string content carries
+    /// no redundancy) or fail typed, but never panic — and a successful
+    /// parse must re-serialize without panicking.
+    #[test]
+    fn single_byte_corruptions_never_panic() {
+        let tree_json = valid_tree().to_json();
+        let window_json = valid_window().to_json();
+        let mut rng = SplitMix64(0xf1_1b);
+        for (doc, which) in [(&tree_json, 0u8), (&window_json, 1)] {
+            for at in 0..doc.len() {
+                let mut corrupted = doc.clone().into_bytes();
+                corrupted[at] ^= 1 << (rng.next_u64() % 8);
+                let text = String::from_utf8_lossy(&corrupted);
+                match which {
+                    0 => {
+                        if let Ok(t) = CopyTree::from_json(&text) {
+                            let _ = t.to_json();
+                        }
+                    }
+                    _ => {
+                        if let Ok(w) = TimelineWindow::from_json(&text) {
+                            let _ = w.to_json();
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
 #[cfg(feature = "proptest")]
 mod property_based {
     use proptest::prelude::*;

@@ -100,3 +100,93 @@ fn untraced_injection_records_nothing_extra() {
     assert_eq!(deliveries2.len(), 3);
     assert_eq!(trace.len(), trace2.len(), "traces are reproducible");
 }
+
+/// The same controller-driven fixture as [`traced_transmission`], but in
+/// flight-packet form for the causal copy-tree trace.
+fn tree_fixture() -> (Clos, Fabric, elmo::dataplane::FlightPacket) {
+    let topo = Clos::paper_example();
+    let mut ctl = Controller::new(topo, ControllerConfig::paper_default(0));
+    let gid = GroupId(1);
+    let group = Ipv4Addr::new(225, 8, 8, 8);
+    ctl.create_group(
+        gid,
+        Vni(8),
+        group,
+        [
+            (HostId(0), MemberRole::Both),
+            (HostId(1), MemberRole::Receiver),
+            (HostId(42), MemberRole::Receiver),
+            (HostId(57), MemberRole::Receiver),
+        ],
+    );
+    let state = ctl.group(gid).expect("group");
+    let mut fabric = Fabric::new(topo, SwitchConfig::default());
+    for (leaf, bm) in &state.enc.d_leaf.s_rules {
+        fabric
+            .leaf_mut(LeafId(*leaf))
+            .install_srule(state.outer_addr, bm.clone())
+            .unwrap();
+    }
+    for (pod, bm) in &state.enc.d_spine.s_rules {
+        fabric
+            .install_pod_srule(PodId(*pod), state.outer_addr, bm.clone())
+            .unwrap();
+    }
+    let header = ctl.header_for(gid, HostId(0)).expect("header");
+    let mut hv = HypervisorSwitch::new(HostId(0));
+    hv.install_flow(
+        Vni(8),
+        group,
+        SenderFlow::new(state.outer_addr, Vni(8), &header, ctl.layout(), vec![]),
+    );
+    let payload: std::sync::Arc<[u8]> = std::sync::Arc::from(&b"trace me"[..]);
+    let pkt = hv.send_flight(Vni(8), group, &payload).remove(0);
+    (topo, fabric, pkt)
+}
+
+#[test]
+fn copy_tree_leaves_equal_delivery_hosts() {
+    let (topo, mut fabric, pkt) = tree_fixture();
+    fabric.start_tree_trace();
+    assert!(fabric.tree_tracing());
+    let deliveries = fabric.inject_flight(HostId(0), pkt);
+    let events = fabric.take_tree_trace();
+    assert!(!fabric.tree_tracing(), "take_tree_trace ends the session");
+
+    let tree =
+        elmo::obs::CopyTree::build(0, &events, |n| elmo::dataplane::trace_node_label(&topo, n));
+    // The tree's host leaves are exactly the replay's delivery set.
+    let mut delivered: Vec<u32> = deliveries.iter().map(|(h, _)| h.0).collect();
+    delivered.sort_unstable();
+    delivered.dedup();
+    assert_eq!(tree.leaf_hosts(), delivered);
+    // The root is the sender's leaf, with no parent.
+    let root = &tree.nodes[0];
+    assert!(root.parent.is_none());
+    assert_eq!(root.label, "leaf:0");
+    // Every non-root node's parent id exists in the tree.
+    let ids: std::collections::BTreeSet<u64> = tree.nodes.iter().map(|n| n.id).collect();
+    assert_eq!(ids.len(), tree.nodes.len(), "node ids are unique");
+    for n in &tree.nodes {
+        if let Some(p) = n.parent {
+            assert!(ids.contains(&p), "dangling parent {p} on {n:?}");
+        }
+    }
+}
+
+#[test]
+fn tracing_off_is_a_no_op() {
+    // Untraced runs record nothing and deliver bit-identically to traced
+    // ones — the zero-sampling overhead guard.
+    let (_, mut traced_fab, pkt) = tree_fixture();
+    let (_, mut plain_fab, pkt2) = tree_fixture();
+    traced_fab.start_tree_trace();
+    let traced = traced_fab.inject_flight(HostId(0), pkt);
+    let plain = plain_fab.inject_flight(HostId(0), pkt2);
+    assert_eq!(traced, plain, "tracing changed deliveries");
+    assert!(!plain_fab.tree_tracing());
+    assert!(
+        plain_fab.take_tree_trace().is_empty(),
+        "untraced run recorded events"
+    );
+}

@@ -363,10 +363,7 @@ fn failed_switch_behaves_identically_on_both_paths() {
 /// order. `inject_batch` returns deliveries grouped by injection already,
 /// so tagging each packet's slice and sorting within it yields exactly
 /// what `inject_batch_sharded` promises.
-fn canonicalize_serial(
-    fabric: &mut Fabric,
-    batch: &[(HostId, Vec<u8>)],
-) -> Vec<(HostId, Vec<u8>)> {
+fn canonicalize_serial(fabric: &mut Fabric, batch: &[(HostId, Vec<u8>)]) -> Vec<(HostId, Vec<u8>)> {
     let mut out = Vec::new();
     for (sender, pkt) in batch {
         let mut per_pkt = fabric.inject(*sender, pkt.clone());
@@ -504,6 +501,102 @@ fn sharded_replay_is_deterministic_across_runs_and_shard_counts() {
     let (d4, s4) = run(4);
     assert_eq!(d2a, d4, "shard count must not change the delivery vector");
     assert_eq!(s2a, s4, "shard count must not change link counters");
+}
+
+/// Flight-packet form of [`sender_packets`], for the tracing tests.
+fn sender_flights(
+    s: &Scenario,
+    sender: HostId,
+    count: usize,
+) -> Vec<elmo::dataplane::FlightPacket> {
+    let header = header_for_sender(
+        &s.topo,
+        &s.layout,
+        &s.tree,
+        &s.enc,
+        sender,
+        &UpstreamCover::multipath(),
+    );
+    let mut hv = HypervisorSwitch::new(sender);
+    hv.install_flow(
+        Vni(1),
+        GROUP,
+        SenderFlow::new(OUTER, Vni(1), &header, &s.layout, vec![]),
+    );
+    (0..count)
+        .map(|i| {
+            let payload: Arc<[u8]> =
+                Arc::from(format!("traced replay payload #{i} from host {sender}").into_bytes());
+            hv.send_flight(Vni(1), GROUP, &payload).remove(0)
+        })
+        .collect()
+}
+
+/// Copy-tree tracing must be a pure observer: trace-enabled sharded
+/// replay keeps the delivery set bit-identical to an untraced run at
+/// every shard count, and the recorded event set (canonically sorted by
+/// `take_tree_trace`) is the same at 1/2/4/8 shards as on the serial
+/// path — so the reconstructed copy-tree topology is shard-invariant.
+fn assert_traced_identical(s: &Scenario, what: &str) {
+    let mut batch = Vec::new();
+    for &sender in &MEMBERS {
+        for flight in sender_flights(s, sender, 2) {
+            batch.push((sender, flight));
+        }
+    }
+    // Untraced canonical deliveries: the baseline tracing must not change.
+    let mut plain = build_fabric(s);
+    let expected = plain.inject_flights_sharded(&batch, 1);
+    assert!(!expected.is_empty(), "{what}: scenario delivered nothing");
+
+    // Serial traced run: packet index = injection order, so its events
+    // are directly comparable with the sharded engine's batch indices.
+    let mut serial = build_fabric(s);
+    serial.start_tree_trace();
+    for (sender, flight) in &batch {
+        serial.inject_flight(*sender, flight.clone());
+    }
+    let serial_events = serial.take_tree_trace();
+    assert!(!serial_events.is_empty(), "{what}: trace recorded nothing");
+
+    for shards in [1usize, 2, 4, 8] {
+        let mut traced = build_fabric(s);
+        traced.start_tree_trace();
+        let got = traced.inject_flights_sharded(&batch, shards);
+        assert_eq!(
+            got, expected,
+            "{what}: tracing changed deliveries at {shards} shards"
+        );
+        let events = traced.take_tree_trace();
+        assert_eq!(
+            events, serial_events,
+            "{what}: trace events diverged at {shards} shards"
+        );
+        assert_fabrics_identical(&plain, &traced, &format!("{what}: traced({shards})"));
+        // The per-packet trees those events reconstruct are identical
+        // too; spot-check the first packet's tree at every shard count.
+        let tree = elmo::obs::CopyTree::build(0, &events, |n| format!("{n}"));
+        let serial_tree = elmo::obs::CopyTree::build(0, &serial_events, |n| format!("{n}"));
+        assert_eq!(
+            tree, serial_tree,
+            "{what}: copy tree diverged at {shards} shards"
+        );
+    }
+}
+
+#[test]
+fn figure3_traced_replay_is_bit_identical_at_all_shard_counts() {
+    assert_traced_identical(&figure3_scenario(), "figure3");
+}
+
+#[test]
+fn srule_traced_replay_is_bit_identical_at_all_shard_counts() {
+    assert_traced_identical(&srule_scenario(), "srule");
+}
+
+#[test]
+fn default_prule_traced_replay_is_bit_identical_at_all_shard_counts() {
+    assert_traced_identical(&default_prule_scenario(), "default-prule");
 }
 
 #[test]
