@@ -19,6 +19,12 @@
 //!   --replay-out PATH     replay output file (default BENCH_dataplane.json)
 //!   --replay-only     skip the encode sweep; run only the replay bench
 //!   --expect-deliveries N exit nonzero if the replay delivered-copy count differs
+//!   --churn-events N      join/leave events per churn scenario (default 20,000)
+//!   --churn-out PATH      churn output file (default BENCH_churn.json)
+//!   --churn-only      run only the churn bench
+//!   --expect-churn-hit-rate N exit nonzero if any scenario's delta hit rate
+//!                         falls below N percent (the deterministic CI gate;
+//!                         timing numbers are reported, never asserted)
 //!   --metrics-out P   also write the full elmo-obs metrics snapshot to P
 //!   -v / --quiet      debug / warn-only logging on stderr
 //!   --log-json        JSONL structured events on stderr
@@ -40,6 +46,15 @@
 //! all-flight path from pre-parsed [`FlightPacket`]s — asserting identical
 //! delivery and link counts before reporting packets/s and copies/s,
 //! cold (first 10%, scratch buffers still growing) vs warm.
+//!
+//! The churn bench replays the same seeded join/leave stream through a
+//! delta-on and a delta-off controller on the bench fabric, verifying the
+//! delta controller's installed state after every burst and asserting the
+//! two controllers finish bit-identical before any throughput is reported.
+//! The headline figure is the per-event split: the mean cost of an event
+//! the delta path absorbed vs the mean full re-encode in the baseline run
+//! (the end-to-end ops/s ratio is Amdahl-capped by the hit rate and is
+//! reported alongside).
 
 use std::net::Ipv4Addr;
 use std::time::Instant;
@@ -68,6 +83,10 @@ struct Args {
     replay_out: String,
     replay_only: bool,
     expect_deliveries: Option<u64>,
+    churn_events: usize,
+    churn_out: String,
+    churn_only: bool,
+    expect_churn_hit_rate: Option<u64>,
     metrics_out: Option<String>,
 }
 
@@ -87,6 +106,10 @@ fn parse_args() -> Args {
         replay_out: "BENCH_dataplane.json".into(),
         replay_only: false,
         expect_deliveries: None,
+        churn_events: 20_000,
+        churn_out: "BENCH_churn.json".into(),
+        churn_only: false,
+        expect_churn_hit_rate: None,
         metrics_out: None,
     };
     let mut args = std::env::args().skip(1);
@@ -151,6 +174,28 @@ fn parse_args() -> Args {
                 })
             }
             "--replay-only" => out.replay_only = true,
+            "--churn-events" => {
+                out.churn_events = num_list("--churn-events").first().copied().unwrap_or(0);
+                if out.churn_events == 0 {
+                    elmo_obs::error!("usage", msg = "--churn-events needs a positive count");
+                    std::process::exit(2);
+                }
+            }
+            "--churn-out" => {
+                out.churn_out = args.next().unwrap_or_else(|| {
+                    elmo_obs::error!("usage", msg = "--churn-out needs a path");
+                    std::process::exit(2);
+                })
+            }
+            "--churn-only" => out.churn_only = true,
+            "--expect-churn-hit-rate" => {
+                out.expect_churn_hit_rate = Some(
+                    num_list("--expect-churn-hit-rate")
+                        .first()
+                        .copied()
+                        .unwrap_or(0) as u64,
+                )
+            }
             "--expect-deliveries" => {
                 out.expect_deliveries = Some(
                     num_list("--expect-deliveries")
@@ -852,6 +897,122 @@ fn run_replay_bench(args: &Args, cpus: usize, skipped_shards: &[usize]) {
     }
 }
 
+/// The incremental-churn benchmark: replay the identical seeded stream
+/// through a delta-on and a delta-off controller for each scenario, verify
+/// the delta controller's installed state at every burst boundary, assert
+/// the final states bit-identical, and report the per-event cost split.
+/// Returns the lowest delta hit rate across scenarios (the deterministic
+/// quantity `--expect-churn-hit-rate` gates on).
+fn run_churn_bench(args: &Args) -> f64 {
+    use elmo_sim::churn_exp::{self, ChurnExpConfig};
+    use elmo_workloads::{initial_roles, Workload};
+
+    let topo = Clos::scaled_fabric(6, 24, 16); // the bench fabric
+    let layout = elmo_core::HeaderLayout::for_clos(&topo);
+    // Same budget rule as the sweeps: 30 downstream-leaf p-rules.
+    let budget = layout.max_header_bytes(2, 30, 2);
+    // Scenario axis: the paper's WVE mix (many small groups, frequent
+    // structural escalations) and a large-group mix (big receiver trees,
+    // where a full re-encode is most expensive and the patcher's flat
+    // per-event cost pays off hardest).
+    let scenarios: [(&str, Option<usize>, Option<usize>); 2] =
+        [("wve", Some(2_000), None), ("large", Some(200), Some(600))];
+    let burst = 5_000usize;
+    let mut rows = Vec::new();
+    let mut min_hit_rate = f64::INFINITY;
+    for (name, groups, min_group) in scenarios {
+        let mut wl = WorkloadConfig::scaled(&topo, 12, GroupSizeDist::Wve);
+        if let Some(g) = groups {
+            wl.total_groups = g;
+        }
+        if let Some(m) = min_group {
+            wl.min_group_size = m;
+        }
+        let workload = Workload::generate(topo, wl);
+        let roles = initial_roles(&workload, wl.seed);
+        let cfg_on = ChurnExpConfig {
+            r: 12,
+            header_budget: budget,
+            threads: 0,
+            events: args.churn_events,
+            burst,
+            seed: wl.seed ^ 0xc4,
+            delta: true,
+            verify_each_burst: true,
+        };
+        // Identical stream, delta disabled, no per-burst verification —
+        // final-state identity below is the correctness check that makes
+        // the baseline timings comparable.
+        let cfg_off = ChurnExpConfig {
+            delta: false,
+            verify_each_burst: false,
+            ..cfg_on
+        };
+        let mut on = churn_exp::build_controller(topo, &workload, &roles, &cfg_on);
+        let run_on = churn_exp::replay(&workload, &roles, &cfg_on, &mut on);
+        let mut off = churn_exp::build_controller(topo, &workload, &roles, &cfg_off);
+        let run_off = churn_exp::replay(&workload, &roles, &cfg_off, &mut off);
+        assert_eq!(
+            run_on.verify_violations, 0,
+            "{name}: churned state failed elmo-verify"
+        );
+        churn_exp::states_identical(&on, &off)
+            .unwrap_or_else(|e| panic!("{name}: delta path diverged from the baseline: {e}"));
+        assert_eq!(
+            run_on.stats.tree_changes(),
+            run_off.stats.tree_changes(),
+            "{name}: modes saw different tree-change streams"
+        );
+        let hit_rate = run_on.delta_hit_rate();
+        min_hit_rate = min_hit_rate.min(hit_rate);
+        let per_hit_speedup = run_off.full_ns.mean_ns() / run_on.hit_ns.mean_ns();
+        let e2e_speedup = run_on.events_per_sec() / run_off.events_per_sec();
+        elmo_obs::info!(
+            "bench.churn",
+            scenario = name,
+            events = run_on.events,
+            hit_rate = hit_rate,
+            per_hit_speedup = per_hit_speedup,
+            e2e_speedup = e2e_speedup
+        );
+        let s = &run_on.stats;
+        rows.push(format!(
+            "    {{\"scenario\": \"{name}\", \"groups\": {}, \"events\": {}, \"burst_events\": {burst}, \
+             \"delta_on\": {{\"ops_per_sec\": {}, \"p95_event_us\": {}, \"delta_hits\": {}, \
+             \"full_reencodes\": {}, \"structural_escalations\": {}, \"hit_rate\": {}, \
+             \"mean_hit_us\": {}, \"mean_full_us\": {}, \"verified_bursts\": {}, \"verify_violations\": {}}}, \
+             \"delta_off\": {{\"ops_per_sec\": {}, \"p95_event_us\": {}, \"mean_full_us\": {}}}, \
+             \"speedup_per_hit\": {}, \"speedup_end_to_end\": {}, \"final_state_identical\": true}}",
+            run_on.groups,
+            run_on.events,
+            json_f(run_on.events_per_sec()),
+            json_f(run_on.p95_event_ns() as f64 / 1e3),
+            s.delta_hits,
+            s.full_reencodes,
+            s.structural_escalations,
+            json_f(hit_rate),
+            json_f(run_on.hit_ns.mean_ns() / 1e3),
+            json_f(run_on.full_ns.mean_ns() / 1e3),
+            run_on.verified_bursts,
+            run_on.verify_violations,
+            json_f(run_off.events_per_sec()),
+            json_f(run_off.p95_event_ns() as f64 / 1e3),
+            json_f(run_off.full_ns.mean_ns() / 1e3),
+            json_f(per_hit_speedup),
+            json_f(e2e_speedup),
+        ));
+    }
+    let json = format!(
+        "{{\n  \"bench\": \"elmo churn delta\",\n  \"fabric_hosts\": {},\n  \"events_per_scenario\": {},\n  \"scenarios\": [\n{}\n  ]\n}}\n",
+        topo.num_hosts(),
+        args.churn_events,
+        rows.join(",\n"),
+    );
+    std::fs::write(&args.churn_out, &json).expect("write churn bench output");
+    elmo_obs::info!("bench.wrote", path = args.churn_out.as_str());
+    min_hit_rate
+}
+
 fn main() {
     let mut args = parse_args();
     let cpus = std::thread::available_parallelism()
@@ -900,10 +1061,26 @@ fn main() {
             args.replay_threads.push(1);
         }
     }
-    if !args.replay_only {
-        run_encode_bench(&args, cpus, &skipped);
+    if !args.churn_only {
+        if !args.replay_only {
+            run_encode_bench(&args, cpus, &skipped);
+        }
+        run_replay_bench(&args, cpus, &skipped_shards);
     }
-    run_replay_bench(&args, cpus, &skipped_shards);
+    if !args.replay_only {
+        let min_hit_rate = run_churn_bench(&args);
+        if let Some(floor) = args.expect_churn_hit_rate {
+            if !(min_hit_rate * 100.0 >= floor as f64) {
+                elmo_obs::error!(
+                    "bench.churn_hit_rate",
+                    min_hit_rate = min_hit_rate,
+                    floor_pct = floor,
+                    msg = "--expect-churn-hit-rate: delta hit rate fell below the pinned floor"
+                );
+                std::process::exit(1);
+            }
+        }
+    }
     if let Some(path) = &args.metrics_out {
         if let Err(e) = elmo_sim::obs::write_snapshot(path) {
             elmo_obs::error!(

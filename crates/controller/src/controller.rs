@@ -92,6 +92,23 @@ pub struct GroupState {
     pub covers: BTreeMap<PodId, UpstreamCover>,
     /// Groups degraded to unicast during failure reconfiguration.
     pub unicast_fallback: bool,
+    /// Monotonic encoding version, bumped on every membership change that
+    /// touches the tree or encoding. Deployment agents stamp installed
+    /// headers with it; because headers are source-routed (self-contained
+    /// p-rules) and the delta path never frees live s-rules, packets
+    /// encoded against epoch `n` remain deliverable while epoch `n+1`
+    /// rolls out — the epoch only tells agents *which* hypervisors still
+    /// carry stale flows.
+    pub epoch: u64,
+    /// Certificate that `enc.d_leaf` is the canonical parsimonious
+    /// fast-path encoding of the current tree (see
+    /// [`elmo_core::layer_is_parsimonious`]). Established once after each
+    /// full encode (only when the delta path is enabled) and preserved by
+    /// every accepted patch, it lets the churn engine patch without
+    /// re-probing member inputs on each event. `false` means "not
+    /// certified", not "not parsimonious" — the delta path then escalates
+    /// to a full re-encode, which re-certifies.
+    pub leaf_parsimonious: bool,
 }
 
 impl GroupState {
@@ -130,12 +147,30 @@ pub struct UpdateSet {
     /// Pods whose spines receive group-table updates (each pod counts
     /// `spines_per_pod` physical switch updates).
     pub spine_pods: BTreeSet<PodId>,
+    /// Every sender hypervisor of the group must be reprogrammed: its
+    /// header embeds the changed shared downstream sections. Kept symbolic
+    /// so the membership hot path never materializes a per-host set whose
+    /// size it cannot control; accounting consumers expand it with
+    /// [`Self::materialize_senders`] against the group's current state.
+    pub all_senders: bool,
 }
 
 impl UpdateSet {
     /// Total physical switch updates at the spine tier.
     pub fn spine_switch_updates(&self, topo: &Clos) -> usize {
         self.spine_pods.len() * topo.params().spines_per_pod
+    }
+
+    /// Expand a symbolic `all_senders` marker into explicit hypervisor
+    /// entries against the group's current state. Idempotent; a no-op when
+    /// the marker is unset. Accounting consumers (Table 2) call this; the
+    /// churn hot path deliberately never does.
+    pub fn materialize_senders(&mut self, state: &GroupState) {
+        if std::mem::take(&mut self.all_senders) {
+            for h in state.sender_hosts() {
+                self.hypervisors.insert(h);
+            }
+        }
     }
 }
 
@@ -183,6 +218,13 @@ pub struct Controller {
     by_addr: DetHashMap<(Vni, Ipv4Addr), GroupId>,
     next_group_id: u64,
     failures: FailureState,
+    /// Whether membership changes may take the delta re-encode path (see
+    /// [`crate::delta`]). On by default; the full path is kept reachable
+    /// for baselines and as the escalation target.
+    delta_enabled: bool,
+    /// Deterministic churn counters (mirrored to global obs counters).
+    churn: crate::delta::ChurnStats,
+    delta_scratch: crate::delta::DeltaScratch,
 }
 
 impl Controller {
@@ -201,7 +243,28 @@ impl Controller {
             by_addr: DetHashMap::default(),
             next_group_id: 0,
             failures: FailureState::none(),
+            delta_enabled: true,
+            churn: crate::delta::ChurnStats::default(),
+            delta_scratch: crate::delta::DeltaScratch::default(),
         }
+    }
+
+    /// Enable or disable the delta re-encode path for membership changes.
+    /// Disabling it sends every receiver-tree change through the full
+    /// re-encoder — the churn bench's baseline mode. Final state is
+    /// bit-identical either way; only the work done per event differs.
+    pub fn set_delta_enabled(&mut self, on: bool) {
+        self.delta_enabled = on;
+    }
+
+    /// Whether the delta re-encode path is active.
+    pub fn delta_enabled(&self) -> bool {
+        self.delta_enabled
+    }
+
+    /// Churn-engine counters accumulated by this controller.
+    pub fn churn_stats(&self) -> crate::delta::ChurnStats {
+        self.churn
     }
 
     /// The fabric this controller manages.
@@ -286,6 +349,15 @@ impl Controller {
         }
         let tree = Self::receiver_tree(&self.topo, &counts);
         let enc = self.encode(&tree);
+        let leaf_parsimonious = self.delta_enabled
+            && crate::delta::certify_leaf_parsimony(
+                &self.topo,
+                &self.layout,
+                &self.encoder,
+                &tree,
+                &enc,
+                &mut self.delta_scratch,
+            );
         let state = GroupState {
             id,
             vni,
@@ -296,6 +368,8 @@ impl Controller {
             enc,
             covers: BTreeMap::new(),
             unicast_fallback: false,
+            epoch: 0,
+            leaf_parsimonious,
         };
         let mut updates = UpdateSet::default();
         for h in state.sender_hosts().chain(state.receiver_hosts()) {
@@ -329,8 +403,10 @@ impl Controller {
         // Phase 1 (parallel): member counts, receiver tree, optimistic encode
         // through the (frozen) structural cache.
         let topo = &self.topo;
+        let layout = &self.layout;
         let encoder = &self.encoder;
         let base = &self.cache;
+        let delta_enabled = self.delta_enabled;
         let prepared = {
             let _span = elmo_obs::span!("batch_optimistic");
             elmo_core::parallel_map_with(
@@ -342,9 +418,10 @@ impl Controller {
                         Vec::new(),
                         elmo_core::CacheShard::new(),
                         Vec::new(),
+                        crate::delta::DeltaScratch::default(),
                     )
                 },
-                |(scratch, reqs, shard, outcomes), i| {
+                |(scratch, reqs, shard, outcomes, delta_scratch), i| {
                     let mut counts: BTreeMap<HostId, MemberCounts> = BTreeMap::new();
                     for &(h, role) in &specs[i].3 {
                         let c = counts.entry(h).or_default();
@@ -360,12 +437,22 @@ impl Controller {
                         topo, &tree, encoder, scratch, base, shard, outcomes, reqs,
                     );
                     crate::batch::metrics().optimistic_encodes.inc();
+                    let leaf_parsimonious = delta_enabled
+                        && crate::delta::certify_leaf_parsimony(
+                            topo,
+                            layout,
+                            encoder,
+                            &tree,
+                            &enc,
+                            delta_scratch,
+                        );
                     (
                         counts,
                         tree,
                         enc,
                         std::mem::take(reqs),
                         std::mem::take(outcomes),
+                        leaf_parsimonious,
                     )
                 },
             )
@@ -374,7 +461,8 @@ impl Controller {
         // install.
         let _span = elmo_obs::span!("batch_admission");
         let mut scratch = elmo_core::EncodeScratch::new();
-        for (spec, (counts, tree, mut enc, reqs, outcomes)) in specs.iter().zip(prepared) {
+        for (spec, prep) in specs.iter().zip(prepared) {
+            let (counts, tree, mut enc, reqs, outcomes, mut leaf_parsimonious) = prep;
             let (id, vni, tenant_addr, _) = spec;
             let (hits, misses) = self.cache.absorb(outcomes);
             bm.cache_hit.add(hits);
@@ -390,6 +478,17 @@ impl Controller {
                     &mut self.srules,
                     &mut scratch,
                 );
+                // The serial re-encode may land on a different layer shape;
+                // its certificate must be re-established.
+                leaf_parsimonious = self.delta_enabled
+                    && crate::delta::certify_leaf_parsimony(
+                        &self.topo,
+                        &self.layout,
+                        &self.encoder,
+                        &tree,
+                        &enc,
+                        &mut self.delta_scratch,
+                    );
             }
             let state = GroupState {
                 id: *id,
@@ -401,6 +500,8 @@ impl Controller {
                 enc,
                 covers: BTreeMap::new(),
                 unicast_fallback: false,
+                epoch: 0,
+                leaf_parsimonious,
             };
             self.by_addr.insert((*vni, *tenant_addr), *id);
             self.next_group_id = self.next_group_id.max(id.0 + 1);
@@ -458,6 +559,7 @@ impl Controller {
         updates.hypervisors.extend(second.hypervisors);
         updates.leaves.extend(second.leaves);
         updates.spine_pods.extend(second.spine_pods);
+        updates.all_senders |= second.all_senders;
         updates
     }
 
@@ -470,9 +572,13 @@ impl Controller {
     ) -> UpdateSet {
         let Controller {
             topo,
+            layout,
             encoder,
             srules,
             groups,
+            delta_enabled,
+            churn,
+            delta_scratch,
             ..
         } = self;
         let mut updates = UpdateSet::default();
@@ -518,29 +624,68 @@ impl Controller {
             return updates;
         }
 
-        // The receiver tree changed: re-encode and diff.
+        // The receiver tree changed. Try the delta path first: if the
+        // placement structure is preserved, patch the leaf layer in place
+        // and skip re-encoding entirely.
+        state.epoch += 1;
+        if *delta_enabled {
+            match crate::delta::try_apply(
+                topo,
+                layout,
+                encoder,
+                state,
+                host,
+                after_receiving,
+                delta_scratch,
+            ) {
+                crate::delta::DeltaOutcome::Patched => {
+                    churn.delta_hits += 1;
+                    crate::delta::metrics().delta_hit.inc();
+                    // A patch edits the shared downstream leaf section (or,
+                    // for single-leaf groups, the per-sender synthesized
+                    // rules), so every sender re-encapsulates; s-rules are
+                    // untouched by construction, so no switch updates.
+                    updates.all_senders = true;
+                    return updates;
+                }
+                crate::delta::DeltaOutcome::Structural => {
+                    churn.structural_escalations += 1;
+                    crate::delta::metrics().structural_escalation.inc();
+                }
+                crate::delta::DeltaOutcome::Refused(_) => {}
+            }
+        }
+        churn.full_reencodes += 1;
+        crate::delta::metrics().full_reencode.inc();
+
+        // Full path: rebuild the tree, re-encode, and diff.
         let old_tree =
             std::mem::replace(&mut state.tree, Self::receiver_tree(topo, &state.members));
         Self::free_srules(srules, &state.enc);
         let new_enc = encode_group_full(topo, &state.tree, encoder, srules);
         let old_enc = std::mem::replace(&mut state.enc, new_enc);
-        Self::diff_into(
-            topo,
-            &old_tree,
-            &state.tree,
-            &old_enc,
-            &state.enc,
-            host,
-            &mut updates,
-        );
-        for h in state
-            .members
-            .iter()
-            .filter(|(_, c)| c.senders > 0)
-            .map(|(&h, _)| h)
-        {
-            if Self::sender_header_changed(topo, &old_tree, &state.tree, &old_enc, &state.enc, h) {
-                updates.hypervisors.insert(h);
+        state.leaf_parsimonious = *delta_enabled
+            && crate::delta::certify_leaf_parsimony(
+                topo,
+                layout,
+                encoder,
+                &state.tree,
+                &state.enc,
+                delta_scratch,
+            );
+        Self::diff_srules_into(&old_enc, &state.enc, &mut updates);
+        if Self::headers_changed_for_all(&old_tree, &state.tree, &old_enc, &state.enc) {
+            updates.all_senders = true;
+        } else {
+            for h in state
+                .members
+                .iter()
+                .filter(|(_, c)| c.senders > 0)
+                .map(|(&h, _)| h)
+            {
+                if Self::sender_upstream_changed(topo, &old_tree, &state.tree, h) {
+                    updates.hypervisors.insert(h);
+                }
             }
         }
         updates
@@ -570,46 +715,72 @@ impl Controller {
         }
     }
 
-    /// Record switch-side differences between two encodings.
-    fn diff_into(
-        _topo: &Clos,
-        _old_tree: &GroupTree,
-        _new_tree: &GroupTree,
-        old: &GroupEncoding,
-        new: &GroupEncoding,
-        _changed_host: HostId,
-        updates: &mut UpdateSet,
-    ) {
-        let old_leaf: BTreeMap<u32, &elmo_core::PortBitmap> =
-            old.d_leaf.s_rules.iter().map(|(s, b)| (*s, b)).collect();
-        let new_leaf: BTreeMap<u32, &elmo_core::PortBitmap> =
-            new.d_leaf.s_rules.iter().map(|(s, b)| (*s, b)).collect();
-        for l in old_leaf.keys().chain(new_leaf.keys()) {
-            if old_leaf.get(l) != new_leaf.get(l) {
-                updates.leaves.insert(LeafId(*l));
+    /// Record switch-side s-rule differences between two encodings via a
+    /// two-pointer merge walk. Both layers' s-rule lists come out of the
+    /// encoder in ascending switch-id order (`cluster_pressed` assigns from
+    /// a sorted unassigned set), so one linear pass with no allocation
+    /// finds every switch whose installed rule appears, vanishes, or
+    /// changes contents.
+    fn diff_srules_into(old: &GroupEncoding, new: &GroupEncoding, updates: &mut UpdateSet) {
+        fn walk(
+            old: &[(u32, elmo_core::PortBitmap)],
+            new: &[(u32, elmo_core::PortBitmap)],
+            mut touch: impl FnMut(u32),
+        ) {
+            debug_assert!(old.windows(2).all(|w| w[0].0 < w[1].0), "s-rules sorted");
+            debug_assert!(new.windows(2).all(|w| w[0].0 < w[1].0), "s-rules sorted");
+            let (mut i, mut j) = (0, 0);
+            while i < old.len() || j < new.len() {
+                match (old.get(i), new.get(j)) {
+                    (Some((os, ob)), Some((ns, nb))) if os == ns => {
+                        if ob != nb {
+                            touch(*os);
+                        }
+                        i += 1;
+                        j += 1;
+                    }
+                    (Some((os, _)), Some((ns, _))) if os < ns => {
+                        touch(*os);
+                        i += 1;
+                    }
+                    (Some(_), Some((ns, _))) => {
+                        touch(*ns);
+                        j += 1;
+                    }
+                    (Some((os, _)), None) => {
+                        touch(*os);
+                        i += 1;
+                    }
+                    (None, Some((ns, _))) => {
+                        touch(*ns);
+                        j += 1;
+                    }
+                    (None, None) => unreachable!(),
+                }
             }
         }
-        let old_pod: BTreeMap<u32, &elmo_core::PortBitmap> =
-            old.d_spine.s_rules.iter().map(|(s, b)| (*s, b)).collect();
-        let new_pod: BTreeMap<u32, &elmo_core::PortBitmap> =
-            new.d_spine.s_rules.iter().map(|(s, b)| (*s, b)).collect();
-        for p in old_pod.keys().chain(new_pod.keys()) {
-            if old_pod.get(p) != new_pod.get(p) {
-                updates.spine_pods.insert(PodId(*p));
-            }
-        }
+        walk(&old.d_leaf.s_rules, &new.d_leaf.s_rules, |s| {
+            updates.leaves.insert(LeafId(s));
+        });
+        walk(&old.d_spine.s_rules, &new.d_spine.s_rules, |s| {
+            updates.spine_pods.insert(PodId(s));
+        });
     }
 
-    /// Whether a sender host's packet header changed between two encodings.
-    fn sender_header_changed(
-        topo: &Clos,
+    /// Whether every sender's packet header changed between two encodings:
+    /// the shared downstream sections differ, the pod set (core bitmap)
+    /// differs, or a synthesized downstream layer's source sets differ. An
+    /// all-empty downstream layer is synthesized per sender straight from
+    /// the tree (out-of-span receivers), so equal stored sections do not
+    /// imply equal headers: if either layer is synthesized in either
+    /// encoding, any change to the sets it is synthesized from changes
+    /// every sender's header.
+    fn headers_changed_for_all(
         old_tree: &GroupTree,
         new_tree: &GroupTree,
         old: &GroupEncoding,
         new: &GroupEncoding,
-        sender: HostId,
     ) -> bool {
-        // Shared downstream sections changed -> every sender re-encapsulates.
         if old.d_leaf.p_rules != new.d_leaf.p_rules
             || old.d_leaf.default_rule != new.d_leaf.default_rule
             || old.d_spine.p_rules != new.d_spine.p_rules
@@ -617,17 +788,46 @@ impl Controller {
         {
             return true;
         }
-        // Otherwise only upstream parts can differ: the sender's leaf's host
-        // set, its pod's leaf set, or the pod set (core bitmap).
+        if !old_tree.pods().eq(new_tree.pods()) {
+            return true;
+        }
+        let leaf_synth = |e: &GroupEncoding| {
+            e.d_leaf.p_rules.is_empty()
+                && e.d_leaf.s_rules.is_empty()
+                && e.d_leaf.default_rule.is_none()
+        };
+        let spine_synth = |e: &GroupEncoding| {
+            e.d_spine.p_rules.is_empty()
+                && e.d_spine.s_rules.is_empty()
+                && e.d_spine.default_rule.is_none()
+        };
+        let (lo, ln) = (leaf_synth(old), leaf_synth(new));
+        let (so, sn) = (spine_synth(old), spine_synth(new));
+        if lo != ln || so != sn {
+            return true;
+        }
+        if lo && !old_tree.leaf_hosts().eq(new_tree.leaf_hosts()) {
+            return true;
+        }
+        if so && !old_tree.pod_leaves().eq(new_tree.pod_leaves()) {
+            return true;
+        }
+        false
+    }
+
+    /// Whether a sender's header changed through its *upstream* parts only
+    /// (valid after [`Self::headers_changed_for_all`] returned false): the
+    /// sender's leaf's host set or its pod's leaf set.
+    fn sender_upstream_changed(
+        topo: &Clos,
+        old_tree: &GroupTree,
+        new_tree: &GroupTree,
+        sender: HostId,
+    ) -> bool {
         let leaf = topo.leaf_of_host(sender);
         let pod = topo.pod_of_leaf(leaf);
-        if old_tree.hosts_on_leaf(leaf) != new_tree.hosts_on_leaf(leaf) {
-            return true;
-        }
-        if old_tree.leaves_in_pod(pod) != new_tree.leaves_in_pod(pod) {
-            return true;
-        }
-        old_tree.pods().collect::<Vec<_>>() != new_tree.pods().collect::<Vec<_>>()
+        old_tree.hosts_on_leaf(leaf) != new_tree.hosts_on_leaf(leaf)
+            || old_tree.leaves_in_pod(pod) != new_tree.leaves_in_pod(pod)
     }
 
     /// Look a group up by its tenant-facing identity.
@@ -763,10 +963,11 @@ mod tests {
         ctl.create_group(GroupId(1), Vni(5), TADDR, figure3_members());
         let before = ctl.header_for(GroupId(1), HostId(0)).unwrap();
         // Host 16 is on L2 (pod 1): a brand-new leaf and pod.
-        let updates = ctl.join(GroupId(1), HostId(16), MemberRole::Receiver);
+        let mut updates = ctl.join(GroupId(1), HostId(16), MemberRole::Receiver);
         // Downstream rules changed, so the sender hypervisor (host 0) must
         // update alongside the joining host.
         assert!(updates.hypervisors.contains(&HostId(16)));
+        updates.materialize_senders(ctl.group(GroupId(1)).unwrap());
         assert!(updates.hypervisors.contains(&HostId(0)));
         let after = ctl.header_for(GroupId(1), HostId(0)).unwrap();
         assert_ne!(before, after);

@@ -18,6 +18,7 @@
 pub mod attribution;
 pub mod batch;
 pub mod controller;
+pub mod delta;
 pub mod failures;
 pub mod srules;
 
@@ -27,5 +28,6 @@ pub use controller::{
     Controller, ControllerConfig, GroupId, GroupSpec, GroupState, MemberCounts, MemberRole,
     UpdateSet,
 };
+pub use delta::ChurnStats;
 pub use failures::FailureImpact;
 pub use srules::{SRuleSpace, UsageStats};

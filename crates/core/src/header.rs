@@ -72,7 +72,7 @@ impl UpstreamRule {
 /// A downstream p-rule: an output bitmap shared by one or more switches of
 /// the layer, identified by layer-local identifiers (global leaf index, or
 /// pod index for logical spines).
-#[derive(Clone, PartialEq, Eq, Debug)]
+#[derive(Clone, Default, PartialEq, Eq, Debug)]
 pub struct DownstreamRule {
     /// Output ports (bitwise OR of the member switches' port sets, D3).
     pub bitmap: PortBitmap,

@@ -24,6 +24,7 @@
 pub mod bitmap;
 pub mod bits;
 pub mod cluster;
+pub mod delta;
 pub mod det;
 pub mod header;
 pub mod layout;
@@ -37,6 +38,7 @@ pub use bitmap::PortBitmap;
 pub use cluster::{
     cluster_layer, cluster_layer_with, ClusterConfig, ClusterScratch, LayerEncoding, RedundancyMode,
 };
+pub use delta::{layer_is_parsimonious, try_patch_layer, PatchRefusal, PatchScratch, Trust};
 pub use det::{DetHashMap, DetHashSet, DetHasher};
 pub use header::{pop, DownstreamRule, ElmoHeader, HeaderError, UpstreamRule};
 pub use layout::HeaderLayout;
@@ -44,7 +46,7 @@ pub use min_k_union::{approx_min_k_union, approx_min_k_union_with, MinKUnionScra
 pub use par::{parallel_map, parallel_map_with, resolve_threads, spsc, SpscReceiver, SpscSender};
 pub use plan::{
     encode_group, encode_group_optimistic_cached, encode_group_with, header_for_sender,
-    EncodeScratch, EncoderConfig, GroupEncoding,
+    leaf_layer_cfg, EncodeScratch, EncoderConfig, GroupEncoding,
 };
 pub use rng::SplitMix64;
 pub use sig::{

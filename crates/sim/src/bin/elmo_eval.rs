@@ -21,6 +21,9 @@
 //!   ablation        §3.1 design-decision ablation (D1 -> D2 -> D3)
 //!   two-tier        §5.1.1: two-tier (CONGA-style) leaf-spine sanity check
 //!   verify          static rule-state verification of the fig4/fig5 state
+//!   churn           §5.1.3a delta vs full re-encode under a seeded join/leave
+//!                   stream, with per-burst verification (--events, --burst,
+//!                   --delta on|off, --expect-hit-rate PCT)
 //!   trace           causal copy-tree trace of one packet (--group, --sender)
 //!   timeline        windowed failure replay emitting per-window metrics
 //!   all             run everything
@@ -97,6 +100,10 @@ struct Opts {
     windows: usize,
     tick: usize,
     timeline_out: Option<String>,
+    burst: usize,
+    delta: bool,
+    expect_hit_rate: Option<u64>,
+    min_group: Option<usize>,
 }
 
 fn parse_args() -> Opts {
@@ -124,6 +131,10 @@ fn parse_args() -> Opts {
         windows: 12,
         tick: 8,
         timeline_out: None,
+        burst: 5_000,
+        delta: true,
+        expect_hit_rate: None,
+        min_group: None,
     };
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -171,6 +182,18 @@ fn parse_args() -> Opts {
             "--expect-nodes" => {
                 opts.expect_nodes = Some(expect_num(&mut args, "--expect-nodes") as usize);
             }
+            "--burst" => opts.burst = expect_num(&mut args, "--burst") as usize,
+            "--delta" => {
+                opts.delta = match args.next().as_deref() {
+                    Some("on") => true,
+                    Some("off") => false,
+                    _ => usage("--delta needs on|off"),
+                }
+            }
+            "--expect-hit-rate" => {
+                opts.expect_hit_rate = Some(expect_num(&mut args, "--expect-hit-rate"));
+            }
+            "--min-group" => opts.min_group = Some(expect_num(&mut args, "--min-group") as usize),
             "--windows" => opts.windows = expect_num(&mut args, "--windows") as usize,
             "--tick" => opts.tick = expect_num(&mut args, "--tick") as usize,
             "--timeline-out" => {
@@ -218,12 +241,13 @@ fn usage(msg: &str) -> ! {
     }
     eprintln!(
         "usage: elmo-eval <fig4|fig5|uniform|limited-srules|small-header|table1|table2|table3|\
-         fig6|fig7|telemetry|failures|latency|xpander|verify|trace|timeline|all> [--full] \
+         fig6|fig7|telemetry|failures|latency|xpander|verify|churn|trace|timeline|all> [--full] \
          [--groups N] \
          [--tenants N] [--events N] [--pkt N] [--r 0,6,12] [--seed N] [--threads N] \
          [--samples N] [--replay-threads N] [--report-out PATH] [--metrics-out PATH] \
          [--trace-pcap PATH] \
          [--group N] [--sender H] [--trace-out PATH] [--expect-nodes N] \
+         [--burst N] [--delta on|off] [--expect-hit-rate PCT] \
          [--windows N] [--tick N] [--timeline-out PATH] \
          [-v|-vv|--quiet] [--log-json]\n\
          \n       elmo-eval check-metrics <snapshot.json>"
@@ -284,6 +308,7 @@ fn main() {
             "verify",
             "trace",
             "timeline",
+            "churn",
             "table1",
         ] {
             let mut o = opts.clone();
@@ -413,6 +438,7 @@ fn run_one(opts: &Opts) {
         "ablation" => run_ablation(opts),
         "two-tier" => run_two_tier(opts),
         "verify" => run_verify(opts),
+        "churn" => run_churn(opts),
         "trace" => run_trace(opts),
         "timeline" => run_timeline(opts),
         other => usage(&format!("unknown experiment: {other}")),
@@ -624,6 +650,122 @@ fn run_verify(opts: &Opts) {
                 );
                 std::process::exit(1);
             }
+        }
+    }
+    if failed {
+        std::process::exit(1);
+    }
+    println!();
+}
+
+/// `elmo-eval churn` — replay a seeded join/leave stream through two
+/// controllers, delta re-encode on and off, on the Figure-4 (P=12)
+/// workload. Both runs see the identical events in identical bursts; the
+/// full installed state is re-verified after every delta-path burst, and
+/// the two controllers are held to bit-identical final state. Exit 1 on
+/// any violation, divergence, or (with --expect-hit-rate) a delta hit
+/// rate below the pinned floor.
+fn run_churn(opts: &Opts) {
+    use elmo_sim::churn_exp::{self, ChurnExpConfig};
+    use elmo_workloads::{initial_roles, Workload};
+    let topo = fabric(opts);
+    let layout = elmo_core::HeaderLayout::for_clos(&topo);
+    let budget = layout
+        .max_header_bytes(2, 30, 2)
+        .max(if opts.full { 325 } else { 0 });
+    let r = opts.r_values.iter().copied().max().unwrap_or(12);
+    let mut wl = workload_cfg(opts, &topo, 12, GroupSizeDist::Wve);
+    if opts.groups.is_none() {
+        // Per-burst verification walks every (group, sender) pair; bound
+        // the default so `churn` stays a seconds-scale smoke. `--groups`
+        // overrides.
+        wl.total_groups = wl.total_groups.min(2_000);
+    }
+    if let Some(m) = opts.min_group {
+        wl.min_group_size = m;
+    }
+    let cfg_on = ChurnExpConfig {
+        r,
+        header_budget: budget,
+        threads: opts.threads,
+        events: opts.events,
+        burst: opts.burst,
+        seed: opts.seed ^ 0xc4,
+        delta: opts.delta,
+        verify_each_burst: true,
+    };
+    let workload = Workload::generate(topo, wl);
+    let roles = initial_roles(&workload, wl.seed);
+    let mut on = churn_exp::build_controller(topo, &workload, &roles, &cfg_on);
+    let run_on = churn_exp::replay(&workload, &roles, &cfg_on, &mut on);
+
+    // The baseline: same stream, same bursts, delta path disabled, no
+    // per-burst verification (final-state identity is the check).
+    let cfg_off = ChurnExpConfig {
+        delta: false,
+        verify_each_burst: false,
+        ..cfg_on
+    };
+    let mut off = churn_exp::build_controller(topo, &workload, &roles, &cfg_off);
+    let run_off = churn_exp::replay(&workload, &roles, &cfg_off, &mut off);
+
+    let mut failed = false;
+    let mode = if opts.delta {
+        "delta"
+    } else {
+        "full (--delta off)"
+    };
+    println!(
+        "churn: {} groups, {} events in bursts of {}, R={r}, {mode} path timed",
+        count(run_on.groups as u64),
+        count(run_on.events as u64),
+        opts.burst.max(1),
+    );
+    println!(
+        "  {mode}: {:.0} ops/s, p95 event {:.1} us; baseline full: {:.0} ops/s, p95 {:.1} us; speedup {:.1}x",
+        run_on.events_per_sec(),
+        run_on.p95_event_ns() as f64 / 1e3,
+        run_off.events_per_sec(),
+        run_off.p95_event_ns() as f64 / 1e3,
+        run_on.events_per_sec() / run_off.events_per_sec(),
+    );
+    println!(
+        "  per event: hit {:.1} us (n={}), full {:.1} us (n={}); baseline full {:.1} us -> per-hit speedup {:.1}x",
+        run_on.hit_ns.mean_ns() / 1e3,
+        count(run_on.hit_ns.count),
+        run_on.full_ns.mean_ns() / 1e3,
+        count(run_on.full_ns.count),
+        run_off.full_ns.mean_ns() / 1e3,
+        run_off.full_ns.mean_ns() / run_on.hit_ns.mean_ns(),
+    );
+    let s = &run_on.stats;
+    println!(
+        "  delta hits {} / full re-encodes {} (structural {}) -> hit rate {}; \
+         verified {} bursts -> {}",
+        count(s.delta_hits),
+        count(s.full_reencodes),
+        count(s.structural_escalations),
+        pct(run_on.delta_hit_rate()),
+        run_on.verified_bursts,
+        if run_on.verify_violations == 0 {
+            "clean".to_string()
+        } else {
+            failed = true;
+            format!("{} VIOLATIONS", run_on.verify_violations)
+        },
+    );
+    match churn_exp::states_identical(&on, &off) {
+        Ok(()) => println!("  final state bit-identical to the full re-encode baseline"),
+        Err(e) => {
+            failed = true;
+            println!("  DIVERGED from the full re-encode baseline: {e}");
+        }
+    }
+    if let Some(floor) = opts.expect_hit_rate {
+        let got = run_on.delta_hit_rate() * 100.0;
+        if !(got >= floor as f64) {
+            failed = true;
+            println!("  delta hit rate {got:.1}% below pinned floor {floor}%");
         }
     }
     if failed {

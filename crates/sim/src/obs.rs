@@ -25,6 +25,10 @@ pub const REQUIRED_METRICS: &[&str] = &[
     "controller.batch.admitted",
     "controller.batch.reencoded",
     "controller.membership_changes",
+    // Incremental churn engine (§5.1.3a: membership update handling).
+    "churn.delta_hit",
+    "churn.full_reencode",
+    "churn.structural_escalations",
     // s-rule admission (§3.2/§5.1.2: group-table occupancy and spill).
     "controller.srules.leaf_allocs",
     "controller.srules.leaf_refused",

@@ -128,11 +128,16 @@ pub fn run(
         let host = workload.tenants[g.tenant as usize].vms[e.vm as usize];
         let role = to_role(e.role);
         churn_events_ctr.inc();
-        let updates = if e.join {
+        let mut updates = if e.join {
             ctl.join(GroupId(e.group as u64), host, role)
         } else {
             ctl.leave(GroupId(e.group as u64), host, role)
         };
+        // Expand symbolic all-sender markers: Table 2 counts per-device
+        // update load, so every implied hypervisor must be explicit.
+        if let Some(state) = ctl.group(GroupId(e.group as u64)) {
+            updates.materialize_senders(state);
+        }
         churn_updates.add(
             (updates.hypervisors.len() + updates.leaves.len() + updates.spine_pods.len()) as u64,
         );

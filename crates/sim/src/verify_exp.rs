@@ -89,54 +89,8 @@ pub fn run(topo: Clos, workload_cfg: WorkloadConfig, cfg: &VerifyExpConfig) -> V
         .collect();
     ctl.create_groups_batch(&specs, cfg.threads);
 
-    // Install the compiled state exactly as a deployment agent would. The
-    // switch group tables are left uncapped because the paper-default
-    // controller admits unlimited s-rules to observe natural demand; the
-    // verifier still reports occupancy against the controller's own Fmax.
-    let mut fabric = Fabric::new(
-        topo,
-        SwitchConfig {
-            group_table_capacity: usize::MAX,
-            ..SwitchConfig::default()
-        },
-    );
+    let (mut fabric, hvs) = install_state(&ctl);
     let layout = *ctl.layout();
-    let mut hvs: BTreeMap<HostId, HypervisorSwitch> = BTreeMap::new();
-    let mut states: Vec<_> = ctl.groups().collect();
-    states.sort_unstable_by_key(|g| g.id.0);
-    for state in states {
-        if state.unicast_fallback {
-            continue;
-        }
-        for (leaf, bm) in &state.enc.d_leaf.s_rules {
-            fabric
-                .leaf_mut(LeafId(*leaf))
-                .install_srule(state.outer_addr, bm.clone())
-                .expect("uncapped leaf table");
-        }
-        for (pod, bm) in &state.enc.d_spine.s_rules {
-            fabric
-                .install_pod_srule(PodId(*pod), state.outer_addr, bm.clone())
-                .expect("uncapped spine table");
-        }
-        for h in state.receiver_hosts() {
-            hvs.entry(h)
-                .or_insert_with(|| HypervisorSwitch::new(h))
-                .subscribe(state.outer_addr, VmSlot(0));
-        }
-        for h in state.sender_hosts() {
-            let header = ctl
-                .header_for(state.id, h)
-                .expect("non-fallback group has a header for every sender");
-            hvs.entry(h)
-                .or_insert_with(|| HypervisorSwitch::new(h))
-                .install_flow(
-                    state.vni,
-                    state.tenant_addr,
-                    SenderFlow::new(state.outer_addr, state.vni, &header, &layout, vec![]),
-                );
-        }
-    }
 
     let hv_refs: Vec<&HypervisorSwitch> = hvs.values().collect();
     let opts = VerifyOptions {
@@ -192,6 +146,61 @@ pub fn run(topo: Clos, workload_cfg: WorkloadConfig, cfg: &VerifyExpConfig) -> V
         differential_sampled: diff.sampled,
         traffic_cross_checked: cross_checked,
     }
+}
+
+/// Install a controller's full compiled state into a fresh simulated
+/// fabric and hypervisor tier, exactly as a deployment agent would. The
+/// switch group tables are left uncapped because the paper-default
+/// controller admits unlimited s-rules to observe natural demand; the
+/// verifier still reports occupancy against the controller's own Fmax.
+/// Shared with [`crate::churn_exp`], which re-installs at every burst
+/// checkpoint.
+pub fn install_state(ctl: &Controller) -> (Fabric, BTreeMap<HostId, HypervisorSwitch>) {
+    let mut fabric = Fabric::new(
+        *ctl.topo(),
+        SwitchConfig {
+            group_table_capacity: usize::MAX,
+            ..SwitchConfig::default()
+        },
+    );
+    let layout = *ctl.layout();
+    let mut hvs: BTreeMap<HostId, HypervisorSwitch> = BTreeMap::new();
+    let mut states: Vec<_> = ctl.groups().collect();
+    states.sort_unstable_by_key(|g| g.id.0);
+    for state in states {
+        if state.unicast_fallback {
+            continue;
+        }
+        for (leaf, bm) in &state.enc.d_leaf.s_rules {
+            fabric
+                .leaf_mut(LeafId(*leaf))
+                .install_srule(state.outer_addr, bm.clone())
+                .expect("uncapped leaf table");
+        }
+        for (pod, bm) in &state.enc.d_spine.s_rules {
+            fabric
+                .install_pod_srule(PodId(*pod), state.outer_addr, bm.clone())
+                .expect("uncapped spine table");
+        }
+        for h in state.receiver_hosts() {
+            hvs.entry(h)
+                .or_insert_with(|| HypervisorSwitch::new(h))
+                .subscribe(state.outer_addr, VmSlot(0));
+        }
+        for h in state.sender_hosts() {
+            let header = ctl
+                .header_for(state.id, h)
+                .expect("non-fallback group has a header for every sender");
+            hvs.entry(h)
+                .or_insert_with(|| HypervisorSwitch::new(h))
+                .install_flow(
+                    state.vni,
+                    state.tenant_addr,
+                    SenderFlow::new(state.outer_addr, state.vni, &header, &layout, vec![]),
+                );
+        }
+    }
+    (fabric, hvs)
 }
 
 fn to_role(r: Role) -> MemberRole {

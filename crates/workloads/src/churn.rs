@@ -127,6 +127,31 @@ pub fn churn_events(workload: &Workload, n: usize, seed: u64) -> Vec<ChurnEvent>
     events
 }
 
+/// A deterministic burst partition of a churn stream: the same events as
+/// [`churn_events`] (bit-identical for a given workload/seed), chunked into
+/// fixed-size batches. Bench and eval drive the controller one burst at a
+/// time and run verification at the burst boundaries, so both tools see the
+/// exact same checkpoints. `burst == 0` is treated as "one burst" so a
+/// misconfigured caller still sees every event.
+pub fn churn_bursts(
+    workload: &Workload,
+    n: usize,
+    seed: u64,
+    burst: usize,
+) -> impl Iterator<Item = Vec<ChurnEvent>> {
+    let events = churn_events(workload, n, seed);
+    let burst = if burst == 0 { n.max(1) } else { burst };
+    let mut rest = events;
+    std::iter::from_fn(move || {
+        if rest.is_empty() {
+            return None;
+        }
+        let take = burst.min(rest.len());
+        let tail = rest.split_off(take);
+        Some(std::mem::replace(&mut rest, tail))
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -206,6 +231,18 @@ mod tests {
         let w = workload();
         assert_eq!(churn_events(&w, 500, 1), churn_events(&w, 500, 1));
         assert_ne!(churn_events(&w, 500, 1), churn_events(&w, 500, 2));
+    }
+
+    #[test]
+    fn bursts_are_bit_identical_to_the_flat_stream() {
+        let w = workload();
+        let flat = churn_events(&w, 1000, 42);
+        for burst in [1, 7, 100, 1000, 5000, 0] {
+            let chunked: Vec<ChurnEvent> = churn_bursts(&w, 1000, 42, burst).flatten().collect();
+            assert_eq!(chunked, flat, "burst size {burst} changed the stream");
+        }
+        let sizes: Vec<usize> = churn_bursts(&w, 1000, 42, 300).map(|b| b.len()).collect();
+        assert_eq!(sizes, vec![300, 300, 300, 100]);
     }
 
     #[test]

@@ -11,6 +11,6 @@ pub mod churn;
 pub mod dist;
 pub mod workload;
 
-pub use churn::{churn_events, initial_roles, ChurnEvent, Role};
+pub use churn::{churn_bursts, churn_events, initial_roles, ChurnEvent, Role};
 pub use dist::{group_size, tenant_size, GroupSizeDist};
 pub use workload::{GroupSpec, Tenant, Workload, WorkloadConfig};

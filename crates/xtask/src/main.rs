@@ -214,6 +214,11 @@ fn is_encode_path(rel: &str) -> bool {
         "crates/core/src/sig.rs",
         "crates/core/src/min_k_union.rs",
         "crates/core/src/par.rs",
+        // The churn delta patcher sits on the membership hot path and its
+        // patches must be bit-identical to from-scratch encodes, so it
+        // inherits the encode path's clock and float bans.
+        "crates/core/src/delta.rs",
+        "crates/controller/src/delta.rs",
     ]
     .contains(&rel)
 }
