@@ -570,7 +570,7 @@ mod tests {
         let mut rng = SplitMix64::new(0xDE17A);
         let mut accepted = 0usize;
         for _ in 0..300 {
-            let n = rng.range_inclusive(2, 8) as usize;
+            let n = rng.range_inclusive(2, 8);
             let mut inputs: Vec<(u32, PortBitmap)> = (0..n)
                 .map(|i| {
                     let mut b = PortBitmap::new(width);
@@ -601,12 +601,10 @@ mod tests {
             let res = patch(&mut layer, &inputs, switch, &nb, &c);
             inputs[vi].1 = nb;
             let fresh = encode(&inputs, &c);
-            match res {
-                Ok(()) => {
-                    accepted += 1;
-                    assert_eq!(layer, fresh, "patched layer diverged");
-                }
-                Err(_) => {} // refusal is always allowed
+            // refusal is always allowed; acceptance must match from-scratch
+            if res.is_ok() {
+                accepted += 1;
+                assert_eq!(layer, fresh, "patched layer diverged");
             }
         }
         assert!(accepted > 50, "patch path never engaged ({accepted})");
@@ -623,7 +621,7 @@ mod tests {
         let mut accepted = 0usize;
         let mut multi_chunk = 0usize;
         for _ in 0..300 {
-            let n = rng.range_inclusive(8, 20) as usize;
+            let n = rng.range_inclusive(8, 20);
             let mut inputs: Vec<(u32, PortBitmap)> = (0..n)
                 .map(|i| {
                     let mut b = PortBitmap::new(width);
@@ -684,7 +682,7 @@ mod tests {
         let c = cfg(3, usize::MAX, usize::MAX);
         let mut rng = SplitMix64::new(0x7357ED);
         for case in 0..40 {
-            let n = rng.range_inclusive(6, 16) as usize;
+            let n = rng.range_inclusive(6, 16);
             let mut inputs: Vec<(u32, PortBitmap)> = (0..n)
                 .map(|i| {
                     let mut b = PortBitmap::new(width);

@@ -185,6 +185,50 @@ impl ElmoHeader {
         self.bit_len_popped(layout, depth).div_ceil(8)
     }
 
+    /// [`byte_len_popped`](Self::byte_len_popped) at every pop depth
+    /// (index = depth, `pop::NONE` through `pop::D_SPINE`) in a single
+    /// walk over the sections, instead of five. The replay batch
+    /// pre-pass computes this row per packet; doing it section-by-section
+    /// would re-iterate the d-spine and d-leaf rule lists per depth.
+    pub fn byte_len_rows(&self, layout: &HeaderLayout) -> [usize; 5] {
+        let u_leaf = if self.u_leaf.is_some() {
+            layout.u_leaf_bits()
+        } else {
+            0
+        };
+        let u_spine = if self.u_spine.is_some() {
+            layout.u_spine_bits()
+        } else {
+            0
+        };
+        let core = if self.core.is_some() {
+            layout.core_bits()
+        } else {
+            0
+        };
+        let mut d_spine = 0;
+        for r in &self.d_spine {
+            d_spine += layout.d_spine_rule_bits(r.switches.len());
+        }
+        if self.d_spine_default.is_some() {
+            d_spine += layout.d_spine_default_bits();
+        }
+        let mut tail = layout.flags_bits();
+        for r in &self.d_leaf {
+            tail += layout.d_leaf_rule_bits(r.switches.len());
+        }
+        if self.d_leaf_default.is_some() {
+            tail += layout.d_leaf_default_bits();
+        }
+        [
+            (tail + d_spine + core + u_spine + u_leaf).div_ceil(8),
+            (tail + d_spine + core + u_spine).div_ceil(8),
+            (tail + d_spine + core).div_ceil(8),
+            (tail + d_spine).div_ceil(8),
+            tail.div_ceil(8),
+        ]
+    }
+
     /// Serialize to bytes (padded to a byte boundary).
     pub fn encode(&self, layout: &HeaderLayout) -> Vec<u8> {
         self.encode_popped(layout, pop::NONE)
@@ -468,6 +512,25 @@ mod tests {
         let (decoded, used) = ElmoHeader::decode(&bytes, &layout).unwrap();
         assert_eq!(used, bytes.len());
         assert_eq!(decoded, header);
+    }
+
+    #[test]
+    fn byte_len_rows_match_per_depth_byte_len() {
+        let layout = example_layout();
+        let mut partial = figure3b_header(&layout);
+        partial.u_spine = None;
+        partial.d_spine_default = None;
+        partial.d_leaf_default = None;
+        for header in [figure3b_header(&layout), partial, ElmoHeader::empty()] {
+            let rows = header.byte_len_rows(&layout);
+            for depth in 0..5u8 {
+                assert_eq!(
+                    rows[depth as usize],
+                    header.byte_len_popped(&layout, depth),
+                    "depth {depth}"
+                );
+            }
+        }
     }
 
     #[test]

@@ -848,8 +848,10 @@ pub(crate) fn next_hop(topo: &Clos, sw: SwitchRef, port: usize) -> Hop {
                 )
             } else {
                 let local_core = port - topo.spine_down_ports();
-                let core: Vec<CoreId> = topo.cores_of_spine(s).collect();
-                let core = core[local_core];
+                let core = topo
+                    .cores_of_spine(s)
+                    .nth(local_core)
+                    .expect("core-facing port maps to an attached core");
                 Hop::Switch(
                     SwitchRef::Core(core),
                     topo.pod_of_spine(s).0 as usize,

@@ -28,6 +28,8 @@ pub use hypervisor::{
     host_ip, host_of_ip, HypervisorStats, HypervisorSwitch, MembershipSignal, SenderFlow, VmSlot,
 };
 pub use netswitch::{GroupTableFull, MatchSource, NetworkSwitch, SwitchConfig, SwitchStats};
-pub use packet::{ecmp_hash, ecmp_hash_fields, ElmoPacketRepr, FlightPacket, PacketError};
+pub use packet::{
+    ecmp_hash, ecmp_hash_fields, ElmoPacketRepr, FlightBatch, FlightPacket, PacketError,
+};
 pub use pcap::PcapWriter;
 pub use shard::DeliveryBatch;

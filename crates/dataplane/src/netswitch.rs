@@ -112,6 +112,7 @@ struct DpMetrics {
     dropped_parse: elmo_obs::Counter,
     dropped_header_vector: elmo_obs::Counter,
     header_pops: elmo_obs::Counter,
+    plan_rebuilds: elmo_obs::Counter,
 }
 
 fn metrics() -> &'static DpMetrics {
@@ -125,49 +126,43 @@ fn metrics() -> &'static DpMetrics {
         dropped_parse: elmo_obs::counter("dataplane.dropped_parse"),
         dropped_header_vector: elmo_obs::counter("dataplane.dropped_header_vector"),
         header_pops: elmo_obs::counter("dataplane.header_pops"),
+        plan_rebuilds: elmo_obs::counter("fabric.replay.plan_rebuilds"),
     })
 }
 
 impl SwitchStats {
+    // The increment methods touch only the per-switch fields; the
+    // process-wide mirrors are brought up to date by
+    // `NetworkSwitch::flush_global_stats`, which every public processing
+    // entry point calls on exit (the batched replay engine calls it once
+    // per run instead of paying an atomic RMW per matched packet).
     fn hit_prule(&mut self) {
         self.prule_hits += 1;
-        metrics().prule_hits.inc();
     }
 
     fn hit_srule(&mut self) {
         self.srule_hits += 1;
-        metrics().srule_hits.inc();
     }
 
     fn hit_default(&mut self) {
         self.default_hits += 1;
-        metrics().default_sprays.inc();
     }
 
     fn hit_unicast(&mut self) {
         self.unicast_forwarded += 1;
-        metrics().unicast_forwarded.inc();
     }
 
     fn drop_no_rule(&mut self) {
         self.dropped_no_rule += 1;
-        metrics().dropped_no_rule.inc();
     }
 
     fn drop_parse(&mut self) {
         self.dropped_parse += 1;
-        metrics().dropped_parse.inc();
     }
 
     fn drop_header_vector(&mut self) {
         self.dropped_header_vector += 1;
-        metrics().dropped_header_vector.inc();
     }
-}
-
-/// Record `n` p-rule sections popped from a forwarded copy (D2d egress).
-fn popped(n: u64) {
-    metrics().header_pops.add(n);
 }
 
 /// Hop-state sentinel for a host-bound copy whose Elmo header is stripped
@@ -181,6 +176,75 @@ pub const HOST_STRIPPED: u8 = u8::MAX;
 fn push_host_hops(ports: &PortBitmap, out: &mut Vec<(u16, u8)>) {
     for port in ports.iter_ones() {
         out.push((port as u16, HOST_STRIPPED));
+    }
+}
+
+/// Push one hop per set bit of a flat word slice (a [`MatchPlan`] rule),
+/// ascending — the same port order `PortBitmap::iter_ones` yields, so the
+/// compiled and uncompiled lookups emit byte-identical copy sequences.
+fn push_word_hops(words: &[u64], state: u8, out: &mut Vec<(u16, u8)>) {
+    for (wi, &word) in words.iter().enumerate() {
+        let mut w = word;
+        while w != 0 {
+            let b = w.trailing_zeros() as usize;
+            w &= w - 1;
+            out.push(((wi * 64 + b) as u16, state));
+        }
+    }
+}
+
+/// The compiled form of a switch's group table: the s-rule lookup the
+/// replay hot path actually executes. Instead of probing the hash map per
+/// downstream copy, the table is flattened at install/patch time into a
+/// sorted dense key index (binary-searched, no hashing of any kind per
+/// copy) over a flat port-bitmap word arena. The plan carries the
+/// `table_version` it was compiled from; the hot path debug-asserts the
+/// versions match, so any mutation path that forgets to recompile trips
+/// immediately under `cargo test` instead of silently serving stale rules.
+#[derive(Clone, Debug, Default)]
+struct MatchPlan {
+    /// `NetworkSwitch::table_version` at compile time.
+    version: u64,
+    /// Sorted outer group addresses (big-endian `u32` form).
+    keys: Vec<u32>,
+    /// Parallel to `keys`: word offset of each rule in `words`.
+    offs: Vec<u32>,
+    /// Parallel to `keys`: word count of each rule.
+    lens: Vec<u16>,
+    /// Flat port-bitmap arena (low port in bit 0 of a rule's first word).
+    words: Vec<u64>,
+}
+
+impl MatchPlan {
+    /// Recompile from the authoritative hash table.
+    fn rebuild(&mut self, table: &GroupTable, version: u64) {
+        self.keys.clear();
+        self.offs.clear();
+        self.lens.clear();
+        self.words.clear();
+        let mut entries: Vec<(u32, &PortBitmap)> =
+            table.iter().map(|(ip, bm)| (u32::from(*ip), bm)).collect();
+        entries.sort_unstable_by_key(|e| e.0);
+        for (key, bm) in entries {
+            self.keys.push(key);
+            self.offs.push(self.words.len() as u32);
+            let base = self.words.len();
+            let nwords = bm.width().div_ceil(64);
+            self.words.resize(base + nwords, 0);
+            for p in bm.iter_ones() {
+                self.words[base + p / 64] |= 1u64 << (p % 64);
+            }
+            self.lens.push(nwords as u16);
+        }
+        self.version = version;
+        metrics().plan_rebuilds.inc();
+    }
+
+    /// The compiled rule for an outer group address, as a word slice.
+    fn lookup(&self, group: Ipv4Addr) -> Option<&[u64]> {
+        let i = self.keys.binary_search(&u32::from(group)).ok()?;
+        let off = self.offs[i] as usize;
+        Some(&self.words[off..off + self.lens[i] as usize])
     }
 }
 
@@ -203,10 +267,25 @@ pub struct NetworkSwitch {
     topo: Clos,
     config: SwitchConfig,
     /// s-rules: outer multicast group address -> output ports (downstream
-    /// ports only, like downstream p-rule bitmaps).
+    /// ports only, like downstream p-rule bitmaps). Authoritative state;
+    /// the control plane and the static verifier read this.
     group_table: GroupTable,
+    /// Compiled form of `group_table`, consulted by the replay hot path.
+    plan: MatchPlan,
+    /// Bumped on every `group_table` mutation; `plan.version` must match.
+    table_version: u64,
     /// Counters.
     pub stats: SwitchStats,
+    /// Header sections popped by this switch (D2d egress). Only the
+    /// process-wide `dataplane.header_pops` mirror exposes this.
+    pops: u64,
+    /// `stats` values already pushed into the process-wide metric
+    /// mirrors; [`flush_global_stats`](Self::flush_global_stats) adds the
+    /// difference. Counters are monotone (nothing external resets
+    /// `stats`), so the diff is always the unsent remainder.
+    flushed: SwitchStats,
+    /// `pops` value already pushed, likewise.
+    flushed_pops: u64,
 }
 
 impl NetworkSwitch {
@@ -217,7 +296,12 @@ impl NetworkSwitch {
             topo,
             config,
             group_table: GroupTable::default(),
+            plan: MatchPlan::default(),
+            table_version: 0,
             stats: SwitchStats::default(),
+            pops: 0,
+            flushed: SwitchStats::default(),
+            flushed_pops: 0,
         }
     }
 
@@ -228,7 +312,12 @@ impl NetworkSwitch {
             topo,
             config,
             group_table: GroupTable::default(),
+            plan: MatchPlan::default(),
+            table_version: 0,
             stats: SwitchStats::default(),
+            pops: 0,
+            flushed: SwitchStats::default(),
+            flushed_pops: 0,
         }
     }
 
@@ -239,7 +328,12 @@ impl NetworkSwitch {
             topo,
             config,
             group_table: GroupTable::default(),
+            plan: MatchPlan::default(),
+            table_version: 0,
             stats: SwitchStats::default(),
+            pops: 0,
+            flushed: SwitchStats::default(),
+            flushed_pops: 0,
         }
     }
 
@@ -261,12 +355,36 @@ impl NetworkSwitch {
             return Err(GroupTableFull);
         }
         self.group_table.insert(group, ports);
+        self.table_version += 1;
+        self.plan.rebuild(&self.group_table, self.table_version);
         Ok(())
     }
 
     /// Remove an s-rule; returns whether one existed.
     pub fn remove_srule(&mut self, group: &Ipv4Addr) -> bool {
-        self.group_table.remove(group).is_some()
+        let removed = self.group_table.remove(group).is_some();
+        if removed {
+            self.table_version += 1;
+            self.plan.rebuild(&self.group_table, self.table_version);
+        }
+        removed
+    }
+
+    /// Flip the lowest port bit of the *compiled* rule for `group`, leaving
+    /// the authoritative hash table (and the plan's version stamp) intact;
+    /// returns whether a compiled rule existed. This models the exact
+    /// failure the compiled-plan design risks — plan content silently
+    /// diverging from installed state — so tests can prove `elmo-verify`'s
+    /// differential replay catches it. Test-only by contract.
+    #[doc(hidden)]
+    pub fn corrupt_plan_for_test(&mut self, group: Ipv4Addr) -> bool {
+        if let Ok(i) = self.plan.keys.binary_search(&u32::from(group)) {
+            if self.plan.lens[i] > 0 {
+                self.plan.words[self.plan.offs[i] as usize] ^= 1;
+                return true;
+            }
+        }
+        false
     }
 
     /// Number of installed s-rules.
@@ -314,6 +432,7 @@ impl NetworkSwitch {
             Ok(p) => p,
             Err(_) => {
                 self.stats.drop_parse();
+                self.flush_global_stats();
                 return Vec::new();
             }
         };
@@ -377,7 +496,34 @@ impl NetworkSwitch {
         layout: &HeaderLayout,
         out: &mut Vec<(u16, u8)>,
     ) {
-        if pkt.header_vector_len(layout) > self.config.header_vector_limit {
+        self.process_hops_hv(ingress_port, pkt, pkt.header_vector_len(layout), out);
+        self.flush_global_stats();
+    }
+
+    /// [`process_hops`](Self::process_hops) with the packet's header-vector
+    /// length supplied by the caller. The batched replay engine precomputes
+    /// every packet's vector length per pop depth once at parse time
+    /// ([`crate::packet::FlightBatch`]), so its inner loop skips the
+    /// per-copy header walk this check otherwise costs.
+    ///
+    /// Unlike [`process_hops`](Self::process_hops), this does *not* flush
+    /// the per-switch counters into the process-wide metric mirrors —
+    /// the engine calls `flush_global_stats` once per run instead of
+    /// per packet. Direct callers that read global metrics afterwards
+    /// must flush through a wrapper entry point first.
+    pub fn process_hops_hv(
+        &mut self,
+        ingress_port: usize,
+        pkt: &FlightPacket,
+        header_vector_len: usize,
+        out: &mut Vec<(u16, u8)>,
+    ) {
+        debug_assert_eq!(
+            self.plan.version, self.table_version,
+            "stale MatchPlan at {:?}: group table mutated without recompiling",
+            self.id
+        );
+        if header_vector_len > self.config.header_vector_limit {
             self.stats.drop_header_vector();
             return;
         }
@@ -405,7 +551,7 @@ impl NetworkSwitch {
             SwitchRef::Leaf(l) => {
                 if pkt.find_d_leaf(l.0).is_some() {
                     MatchSource::PRule
-                } else if self.group_table.contains_key(&pkt.group_ip) {
+                } else if self.plan.lookup(pkt.group_ip).is_some() {
                     MatchSource::SRule
                 } else if pkt.d_leaf_default().is_some() {
                     MatchSource::DefaultPRule
@@ -417,7 +563,7 @@ impl NetworkSwitch {
                 let pod = self.topo.pod_of_spine(s);
                 if pkt.find_d_spine(pod.0).is_some() {
                     MatchSource::PRule
-                } else if self.group_table.contains_key(&pkt.group_ip) {
+                } else if self.plan.lookup(pkt.group_ip).is_some() {
                     MatchSource::SRule
                 } else if pkt.d_spine_default().is_some() {
                     MatchSource::DefaultPRule
@@ -441,6 +587,47 @@ impl NetworkSwitch {
     /// leaf parsed every packet itself.
     pub(crate) fn note_parse_drop(&mut self) {
         self.stats.drop_parse();
+        self.flush_global_stats();
+    }
+
+    /// Push the per-switch counter growth since the last flush into the
+    /// process-wide metric mirrors. Totals are identical to bumping the
+    /// mirrors inline (counter addition commutes); batching turns the
+    /// per-packet atomic RMWs into one guarded `add` per counter per
+    /// call. Every public processing entry point flushes on exit; the
+    /// batched replay engine flushes once per run.
+    pub(crate) fn flush_global_stats(&mut self) {
+        let m = metrics();
+        let (cur, last) = (self.stats, self.flushed);
+        if cur.prule_hits != last.prule_hits {
+            m.prule_hits.add(cur.prule_hits - last.prule_hits);
+        }
+        if cur.srule_hits != last.srule_hits {
+            m.srule_hits.add(cur.srule_hits - last.srule_hits);
+        }
+        if cur.default_hits != last.default_hits {
+            m.default_sprays.add(cur.default_hits - last.default_hits);
+        }
+        if cur.unicast_forwarded != last.unicast_forwarded {
+            m.unicast_forwarded
+                .add(cur.unicast_forwarded - last.unicast_forwarded);
+        }
+        if cur.dropped_no_rule != last.dropped_no_rule {
+            m.dropped_no_rule
+                .add(cur.dropped_no_rule - last.dropped_no_rule);
+        }
+        if cur.dropped_parse != last.dropped_parse {
+            m.dropped_parse.add(cur.dropped_parse - last.dropped_parse);
+        }
+        if cur.dropped_header_vector != last.dropped_header_vector {
+            m.dropped_header_vector
+                .add(cur.dropped_header_vector - last.dropped_header_vector);
+        }
+        if self.pops != self.flushed_pops {
+            m.header_pops.add(self.pops - self.flushed_pops);
+        }
+        self.flushed = cur;
+        self.flushed_pops = self.pops;
     }
 
     fn leaf_hops(
@@ -467,7 +654,7 @@ impl NetworkSwitch {
             // Copy upward, with the u-leaf rule popped (a depth bump — the
             // shared header itself is untouched).
             if rule.goes_up() {
-                popped(1);
+                self.pops += 1;
                 if rule.multipath {
                     let spine =
                         (pkt.ecmp_hash(leaf.0 as u64) % self.topo.leaf_up_ports() as u64) as usize;
@@ -482,26 +669,20 @@ impl NetworkSwitch {
         }
 
         // Downstream direction: match own identifier among d-leaf p-rules,
-        // then the group table, then the default p-rule. Disjoint field
-        // borrows so the bitmap can stay borrowed while counters bump.
-        let NetworkSwitch {
-            stats, group_table, ..
-        } = self;
-        let ports: Option<&PortBitmap> = if let Some(rule) = pkt.find_d_leaf(leaf.0) {
+        // then the compiled group table, then the default p-rule. Disjoint
+        // field borrows so the rule can stay borrowed while counters bump.
+        let NetworkSwitch { stats, plan, .. } = self;
+        if let Some(rule) = pkt.find_d_leaf(leaf.0) {
             stats.hit_prule();
-            Some(&rule.bitmap)
-        } else if let Some(bm) = group_table.get(&pkt.group_ip) {
+            push_host_hops(&rule.bitmap, out);
+        } else if let Some(words) = plan.lookup(pkt.group_ip) {
             stats.hit_srule();
-            Some(bm)
+            push_word_hops(words, HOST_STRIPPED, out);
         } else if let Some(bm) = pkt.d_leaf_default() {
             stats.hit_default();
-            Some(bm)
+            push_host_hops(bm, out);
         } else {
             stats.drop_no_rule();
-            None
-        };
-        if let Some(ports) = ports {
-            push_host_hops(ports, out);
         }
     }
 
@@ -528,14 +709,14 @@ impl NetworkSwitch {
             // everything except the d-leaf section (depth jumps straight to
             // D_SPINE; sections already popped upstream are no-ops).
             if !rule.down.is_empty() {
-                popped(3);
+                self.pops += 3;
                 for port in rule.down.iter_ones() {
                     out.push((port as u16, pop::D_SPINE));
                 }
             }
             // Copy upward to the core, u-spine popped.
             if rule.goes_up() {
-                popped(1);
+                self.pops += 1;
                 if rule.multipath {
                     let core = (pkt.ecmp_hash(0x51de ^ spine.0 as u64)
                         % self.topo.spine_up_ports() as u64)
@@ -550,31 +731,31 @@ impl NetworkSwitch {
             return;
         }
 
-        // Downstream: match own pod among d-spine p-rules, then the group
-        // table, then the default p-rule.
+        // Downstream: match own pod among d-spine p-rules, then the
+        // compiled group table, then the default p-rule. Either way the
+        // next hop is a leaf, so the spine section is popped.
         let pod = self.topo.pod_of_spine(spine);
         let NetworkSwitch {
-            stats, group_table, ..
+            stats, plan, pops, ..
         } = self;
-        let ports: Option<&PortBitmap> = if let Some(rule) = pkt.find_d_spine(pod.0) {
+        if let Some(rule) = pkt.find_d_spine(pod.0) {
             stats.hit_prule();
-            Some(&rule.bitmap)
-        } else if let Some(bm) = group_table.get(&pkt.group_ip) {
-            stats.hit_srule();
-            Some(bm)
-        } else if let Some(bm) = pkt.d_spine_default() {
-            stats.hit_default();
-            Some(bm)
-        } else {
-            stats.drop_no_rule();
-            None
-        };
-        if let Some(ports) = ports {
-            // Next hop is a leaf: pop the spine section.
-            popped(1);
-            for port in ports.iter_ones() {
+            *pops += 1;
+            for port in rule.bitmap.iter_ones() {
                 out.push((port as u16, pop::D_SPINE));
             }
+        } else if let Some(words) = plan.lookup(pkt.group_ip) {
+            stats.hit_srule();
+            *pops += 1;
+            push_word_hops(words, pop::D_SPINE, out);
+        } else if let Some(bm) = pkt.d_spine_default() {
+            stats.hit_default();
+            *pops += 1;
+            for port in bm.iter_ones() {
+                out.push((port as u16, pop::D_SPINE));
+            }
+        } else {
+            stats.drop_no_rule();
         }
     }
 
@@ -588,7 +769,7 @@ impl NetworkSwitch {
             return;
         };
         self.stats.hit_prule();
-        popped(1);
+        self.pops += 1;
         for pod in pods.iter_ones() {
             out.push((pod as u16, pop::CORE));
         }
@@ -645,6 +826,17 @@ impl NetworkSwitch {
         bytes: &[u8],
         layout: &HeaderLayout,
     ) -> Vec<(usize, Vec<u8>)> {
+        let out = self.process_reference_inner(ingress_port, bytes, layout);
+        self.flush_global_stats();
+        out
+    }
+
+    fn process_reference_inner(
+        &mut self,
+        ingress_port: usize,
+        bytes: &[u8],
+        layout: &HeaderLayout,
+    ) -> Vec<(usize, Vec<u8>)> {
         let (repr, inner_off) = match ElmoPacketRepr::parse(bytes, layout) {
             Ok(p) => p,
             Err(_) => {
@@ -696,7 +888,7 @@ impl NetworkSwitch {
             if rule.goes_up() {
                 let mut up_header = header;
                 up_header.pop_upstream_leaf();
-                popped(1);
+                self.pops += 1;
                 repr.elmo = Some(up_header);
                 if rule.multipath {
                     let spine = (ecmp_hash(&repr, leaf.0 as u64) % self.topo.leaf_up_ports() as u64)
@@ -770,7 +962,7 @@ impl NetworkSwitch {
                 down_header.pop_upstream_spine();
                 down_header.pop_core();
                 down_header.pop_d_spine();
-                popped(3);
+                self.pops += 3;
                 let mut down_repr = repr.clone();
                 down_repr.elmo = Some(down_header);
                 for port in rule.down.iter_ones() {
@@ -781,7 +973,7 @@ impl NetworkSwitch {
             if rule.goes_up() {
                 let mut up_header = header;
                 up_header.pop_upstream_spine();
-                popped(1);
+                self.pops += 1;
                 repr.elmo = Some(up_header);
                 if rule.multipath {
                     let core = (ecmp_hash(&repr, 0x51de ^ spine.0 as u64)
@@ -823,7 +1015,7 @@ impl NetworkSwitch {
             // Next hop is a leaf: pop the spine section.
             let mut down_header = header;
             down_header.pop_d_spine();
-            popped(1);
+            self.pops += 1;
             repr.elmo = Some(down_header);
             for port in ports.iter_ones() {
                 out.push((port, self.encode(&repr, inner, layout)));
@@ -851,7 +1043,7 @@ impl NetworkSwitch {
         self.stats.hit_prule();
         let mut down_header = header;
         down_header.pop_core();
-        popped(1);
+        self.pops += 1;
         repr.elmo = Some(down_header);
         for pod in pods.iter_ones() {
             out.push((pod, self.encode(&repr, inner, layout)));

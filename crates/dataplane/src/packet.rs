@@ -458,6 +458,222 @@ impl FlightPacket {
     }
 }
 
+/// A structure-of-arrays batch of parsed flight packets: the shared packet
+/// slots (`Arc` header + payload refs) plus, per packet, a precomputed wire
+/// and header-vector length for *every* reachable hop state. A copy's state
+/// is one byte — its [`elmo_core::pop`] depth or
+/// [`HOST_STRIPPED`](crate::netswitch::HOST_STRIPPED) — so a 6-entry length
+/// row per packet replaces the per-copy header walk (`byte_len_popped`)
+/// that dominates the scalar flight path's link accounting: the batched
+/// replay engine's inner loop reads lengths from this flat table and never
+/// touches header sections at all.
+#[derive(Clone, Debug, Default)]
+pub struct FlightBatch {
+    pkts: Vec<FlightPacket>,
+    /// `wire[i][d]` = wire bytes of packet `i` at pop depth `d` (0..=4);
+    /// `wire[i][5]` = the header-stripped host-delivery length.
+    wire: Vec<[u32; 6]>,
+    /// Memo of recently pushed headers' per-depth byte lengths, keyed by
+    /// `Arc` pointer identity: replayed flights share one immutable
+    /// header per group, so a handful of entries turns the per-packet
+    /// length-row walk into an 8-entry scan. Sound because every cached
+    /// header is kept alive by a packet already in `pkts` (its address
+    /// cannot be reused while the batch holds it); `clear` empties the
+    /// cache along with the packets.
+    row_cache: Vec<(usize, [u32; 5])>,
+    /// Round-robin eviction cursor for `row_cache`.
+    row_cache_at: usize,
+}
+
+/// Entries kept in [`FlightBatch`]'s header-length memo: enough for the
+/// distinct groups interleaved in a typical replay window, small enough
+/// that a miss costs a scan of eight words.
+const ROW_CACHE_CAP: usize = 8;
+
+impl FlightBatch {
+    /// An empty batch.
+    pub fn new() -> Self {
+        FlightBatch::default()
+    }
+
+    /// Number of packets in the batch.
+    pub fn len(&self) -> usize {
+        self.pkts.len()
+    }
+
+    /// Whether the batch is empty.
+    pub fn is_empty(&self) -> bool {
+        self.pkts.is_empty()
+    }
+
+    /// Drop all packets, keeping the row storage for reuse. Also drops
+    /// the header-length memo: cleared packets no longer pin their
+    /// headers' addresses, so cached pointers could alias fresh
+    /// allocations.
+    pub fn clear(&mut self) {
+        self.pkts.clear();
+        self.wire.clear();
+        self.row_cache.clear();
+        self.row_cache_at = 0;
+    }
+
+    /// Append an already-parsed packet, computing its length row once —
+    /// or, for a header `Arc` seen recently, copying the memoized row.
+    pub fn push(&mut self, pkt: FlightPacket, layout: &HeaderLayout) {
+        let host = (ElmoPacketRepr::OUTER_LEN + pkt.payload.len()) as u32;
+        let mut row = [host; 6];
+        if let Some(h) = pkt.elmo.as_ref() {
+            let key = Arc::as_ptr(h) as usize;
+            let lens = match self.row_cache.iter().find(|(k, _)| *k == key) {
+                Some((_, lens)) => *lens,
+                None => {
+                    let rows = h.byte_len_rows(layout);
+                    let lens = rows.map(|b| b as u32);
+                    if self.row_cache.len() < ROW_CACHE_CAP {
+                        self.row_cache.push((key, lens));
+                    } else {
+                        self.row_cache[self.row_cache_at] = (key, lens);
+                        self.row_cache_at = (self.row_cache_at + 1) % ROW_CACHE_CAP;
+                    }
+                    lens
+                }
+            };
+            for (slot, len) in row.iter_mut().zip(lens) {
+                *slot = host + len;
+            }
+        }
+        self.wire.push(row);
+        self.pkts.push(pkt);
+    }
+
+    /// Parse wire bytes and append — the batch form of
+    /// [`FlightPacket::parse`], sharing its grammar exactly: an error
+    /// leaves the batch unchanged.
+    pub fn push_wire(&mut self, bytes: &[u8], layout: &HeaderLayout) -> Result<(), PacketError> {
+        let pkt = FlightPacket::parse(bytes, layout)?;
+        self.push(pkt, layout);
+        Ok(())
+    }
+
+    /// The shared packet slot for index `i`.
+    pub fn pkt(&self, i: usize) -> &FlightPacket {
+        &self.pkts[i]
+    }
+
+    /// All packet slots, in push order.
+    pub fn pkts(&self) -> &[FlightPacket] {
+        &self.pkts
+    }
+
+    /// Wire bytes of a copy of packet `i` in hop state `state` (a pop
+    /// depth or `HOST_STRIPPED`). Identical to cloning the packet at that
+    /// state and asking [`FlightPacket::wire_len`], without the header walk.
+    #[inline]
+    pub fn wire_len(&self, i: usize, state: u8) -> usize {
+        let row = &self.wire[i];
+        if state == crate::netswitch::HOST_STRIPPED {
+            row[5] as usize
+        } else {
+            debug_assert!(state <= pop::D_SPINE, "unknown hop state {state}");
+            row[state as usize] as usize
+        }
+    }
+
+    /// Header-vector bytes of packet `i` at pop depth `state` — what the
+    /// switch parser must buffer. Identical to
+    /// [`FlightPacket::header_vector_len`] at that depth.
+    #[inline]
+    pub fn header_vector_len(&self, i: usize, state: u8) -> usize {
+        self.wire_len(i, state) - self.pkts[i].payload.len()
+    }
+
+    /// Build an empty batch on top of recycled buffers (cleared, capacity
+    /// kept) — how the sharded engine keeps warm replay allocation-free.
+    pub(crate) fn recycle(mut pkts: Vec<FlightPacket>, mut wire: Vec<[u32; 6]>) -> Self {
+        pkts.clear();
+        wire.clear();
+        FlightBatch {
+            pkts,
+            wire,
+            ..FlightBatch::default()
+        }
+    }
+
+    /// Tear the batch into its parallel arrays (packet slots, wire-length
+    /// rows) for the engine to share across workers.
+    pub(crate) fn into_parts(self) -> (Vec<FlightPacket>, Vec<[u32; 6]>) {
+        (self.pkts, self.wire)
+    }
+}
+
+/// Memoized serializer for the header-stripped host-delivery form: when
+/// consecutive deliveries share every outer field except the per-packet
+/// flow entropy — the common case in a replay, where one sender flow fans
+/// a stream of packets to the same group — the 50-byte outer stack is
+/// replayed from the previous emit and only the UDP source port (the
+/// entropy's sole appearance on the wire: the UDP checksum is emitted as
+/// zero per VXLAN convention, and the IPv4 checksum covers no ports) is
+/// patched. Byte-identical to [`FlightPacket::append_host_to`] by
+/// construction; the batch materializer uses it so per-delivery cost is
+/// the payload copy, not the header emit chain.
+#[derive(Clone, Debug, Default)]
+pub struct HostEmitCache {
+    /// Cached `(outer fields, emitted outer stack)` pairs, scanned
+    /// linearly — one entry per concurrently replayed flow, sized like
+    /// [`ROW_CACHE_CAP`] so interleaved groups all stay resident.
+    entries: Vec<(HostEmitKey, [u8; ElmoPacketRepr::OUTER_LEN])>,
+    /// Round-robin eviction cursor.
+    at: usize,
+}
+
+/// Every outer field that shapes the host-delivery prefix *except* the
+/// flow entropy, which only surfaces as the UDP source port.
+type HostEmitKey = (MacAddr, MacAddr, Ipv4Addr, Ipv4Addr, Vni, usize);
+
+impl HostEmitCache {
+    /// A cold cache; the first emit per flow takes the full path.
+    pub fn new() -> Self {
+        HostEmitCache::default()
+    }
+
+    /// Append `pkt`'s host-delivery wire bytes to `out` — same bytes as
+    /// [`FlightPacket::append_host_to`] — reusing a cached outer stack
+    /// when only the flow entropy differs from an earlier emit.
+    pub fn append_host_to(
+        &mut self,
+        pkt: &FlightPacket,
+        layout: &HeaderLayout,
+        out: &mut Vec<u8>,
+    ) -> usize {
+        let key: HostEmitKey = (
+            pkt.src_mac,
+            pkt.dst_mac,
+            pkt.src_ip,
+            pkt.group_ip,
+            pkt.vni,
+            pkt.payload.len(),
+        );
+        let base = out.len();
+        if let Some((_, prefix)) = self.entries.iter().find(|(k, _)| *k == key) {
+            out.extend_from_slice(prefix);
+            let sport = ethernet::HEADER_LEN + ipv4::HEADER_LEN;
+            out[base + sport..base + sport + 2].copy_from_slice(&pkt.flow_entropy.to_be_bytes());
+            out.extend_from_slice(&pkt.payload);
+        } else {
+            pkt.append_host_to(layout, out);
+            let mut prefix = [0; ElmoPacketRepr::OUTER_LEN];
+            prefix.copy_from_slice(&out[base..base + ElmoPacketRepr::OUTER_LEN]);
+            if self.entries.len() < ROW_CACHE_CAP {
+                self.entries.push((key, prefix));
+            } else {
+                self.entries[self.at] = (key, prefix);
+                self.at = (self.at + 1) % ROW_CACHE_CAP;
+            }
+        }
+        out.len() - base
+    }
+}
+
 /// A deterministic FNV-1a hash of the packet's flow identity, used for ECMP
 /// path selection at leaves (choosing a spine) and spines (choosing a core).
 pub fn ecmp_hash(repr: &ElmoPacketRepr, salt: u64) -> u64 {
@@ -546,6 +762,39 @@ mod tests {
     #[test]
     fn outer_len_constant() {
         assert_eq!(ElmoPacketRepr::OUTER_LEN, 14 + 20 + 8 + 8);
+    }
+
+    #[test]
+    fn host_emit_cache_matches_append_host_to() {
+        let l = layout();
+        let repr = sample_repr(true);
+        let mut buf = Vec::new();
+        repr.emit(&l, b"payload bytes", &mut buf);
+        let base = FlightPacket::parse(&buf, &l).unwrap();
+        // A stream of variants: entropy-only changes (the patch path),
+        // then changes to each cached field (must fall back to a full
+        // emit), then a payload-length change.
+        let mut variants = vec![base.clone(), base.clone(), base.clone()];
+        variants[1].flow_entropy = 0x0102;
+        variants[2].flow_entropy = 0xffff;
+        let mut other_ip = base.clone();
+        other_ip.src_ip = Ipv4Addr::new(10, 9, 9, 9);
+        variants.push(other_ip);
+        let mut other_vni = base.clone();
+        other_vni.vni = Vni(99);
+        variants.push(other_vni);
+        let mut longer = base.clone();
+        longer.payload = Arc::from(&b"a longer tenant payload"[..]);
+        longer.flow_entropy = 0x0102;
+        variants.push(longer);
+        variants.push(base.clone());
+        let mut cache = HostEmitCache::new();
+        for (i, pkt) in variants.iter().enumerate() {
+            let mut cached = Vec::new();
+            let n = cache.append_host_to(pkt, &l, &mut cached);
+            assert_eq!(n, cached.len());
+            assert_eq!(cached, pkt.to_host_bytes(&l), "variant {i}");
+        }
     }
 
     #[test]

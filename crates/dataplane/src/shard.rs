@@ -47,14 +47,32 @@
 //! parse-once/share-everything argument as the flight path itself,
 //! carried through to the output.
 //!
+//! # Run grouping
+//!
+//! Within a worker, pending copies are not a single queue: each owned
+//! switch has its own struct-of-arrays *bucket*, and the worker drains
+//! one whole bucket per iteration (swapping it out first — a switch
+//! never forwards to itself, so the run cannot grow under its own feet).
+//! Everything per-switch is then amortized over the run instead of paid
+//! per copy: the switch borrow, its compiled
+//! [`MatchPlan`](crate::netswitch::NetworkSwitch)'s cache lines, the
+//! failed-switch check, the termination counter (two atomic RMWs per
+//! *run*), and the global obs counters (one `add` per touched counter
+//! per run). Copy lengths come from the batch's precomputed
+//! [`FlightBatch`] wire-length rows, and output ports resolve through
+//! the [`Partition`]'s compiled hop table — the inner loop never walks a
+//! header or the topology math.
+//!
 //! # Termination and determinism
 //!
 //! A single atomic counter tracks copies that are queued anywhere but not
 //! yet processed. Producers increment it *before* publishing a copy and
-//! decrement only after fully processing one, so it can only read zero
-//! when every local queue and every ring is empty — the workers' exit
-//! condition. (A solo worker skips the counter entirely and runs inline
-//! on the calling thread.)
+//! decrement only after fully processing one — run-grouped: all of a
+//! run's children are counted in one increment before any is published,
+//! and the run's own entries are decremented in one subtraction after —
+//! so it can only read zero when every bucket and every ring is empty,
+//! the workers' exit condition. (A solo worker skips the counter
+//! entirely and runs inline on the calling thread.)
 //!
 //! The traversal itself is a fixed function of (topology, rules, batch):
 //! which copies exist, which links they cross, and which hosts they reach
@@ -74,7 +92,7 @@ use elmo_obs::{FlightRecorder, TraceEvent, HOST_NODE_BIT, TRACE_ROOT};
 
 use crate::fabric::{metrics, next_hop, Fabric, FabricStats, Hop, LinkTier};
 use crate::netswitch::{NetworkSwitch, HOST_STRIPPED};
-use crate::packet::FlightPacket;
+use crate::packet::{FlightBatch, FlightPacket, HostEmitCache};
 
 /// Count every sharded call that a capture or hop-trace session forces
 /// onto the serial path, and say so once per process — silent fallback
@@ -187,6 +205,9 @@ pub struct DeliveryBatch {
     layout: Option<HeaderLayout>,
     /// Recycled buffer for [`for_each`](Self::for_each).
     scratch: Vec<u8>,
+    /// Recycled [`FlightBatch`] wire-length rows — handed to the engine
+    /// at replay time, returned here after the join.
+    wire_scratch: Vec<[u32; 6]>,
     /// Recycled key buffer for [`sort_canonical`](Self::sort_canonical).
     sort_scratch: Vec<(u64, u32, u32)>,
     /// Recycled per-packet count buffer for the counting sort.
@@ -234,20 +255,34 @@ impl DeliveryBatch {
             return; // never replayed into: no entries
         };
         let mut scratch = std::mem::take(&mut self.scratch);
+        // Canonical order is packet-major, so every copy of one packet in
+        // one state (the common case: a packet's whole host fan-out, all
+        // `HOST_STRIPPED`) is consecutive — serialize once, replay the
+        // scratch buffer for the rest of the run. Across packets, the
+        // emit cache reuses the outer stack when only the entropy moved.
+        let mut memo: Option<(u32, u8)> = None;
+        let mut host_emit = HostEmitCache::new();
         for &(s, i) in &self.order {
             let seg = &self.segments[s as usize];
             let (i, host) = (i as usize, seg.hosts[i as usize]);
             match seg.state[i] {
-                FALLBACK_BYTES => f(host, seg.fallback_bytes(i)),
+                FALLBACK_BYTES => {
+                    memo = None;
+                    f(host, seg.fallback_bytes(i));
+                }
                 state => {
-                    scratch.clear();
-                    let pkt = &self.pkts[seg.pkt[i] as usize];
-                    if state == HOST_STRIPPED {
-                        pkt.append_host_to(&layout, &mut scratch);
-                    } else {
-                        let mut p = pkt.clone();
-                        p.popped = state;
-                        p.append_to(&layout, &mut scratch);
+                    let pkt_i = seg.pkt[i];
+                    if memo != Some((pkt_i, state)) {
+                        scratch.clear();
+                        let pkt = &self.pkts[pkt_i as usize];
+                        if state == HOST_STRIPPED {
+                            host_emit.append_host_to(pkt, &layout, &mut scratch);
+                        } else {
+                            let mut p = pkt.clone();
+                            p.popped = state;
+                            p.append_to(&layout, &mut scratch);
+                        }
+                        memo = Some((pkt_i, state));
                     }
                     f(host, &scratch);
                 }
@@ -342,7 +377,20 @@ impl DeliveryBatch {
     }
 }
 
-/// The switch-ownership map for one shard count.
+/// One entry of the partition's compiled hop table: where a switch's
+/// output port leads, with the next switch pre-resolved to its dense id.
+#[derive(Clone, Copy)]
+enum PlannedHop {
+    Host(HostId),
+    Switch {
+        dense: u32,
+        port: u16,
+        tier: LinkTier,
+    },
+}
+
+/// The switch-ownership map for one shard count, plus the compiled hop
+/// table every worker routes through.
 struct Partition {
     /// Dense switch index → (owning shard, index into that shard's
     /// switch vector). Local indices follow dense order within a shard,
@@ -350,6 +398,12 @@ struct Partition {
     owner: Vec<(u32, u32)>,
     num_leaves: usize,
     num_spines: usize,
+    /// [`next_hop`] precomputed for every `(switch, output port)`:
+    /// `hops[hop_off[dense] + port]`. The workers' inner loop resolves a
+    /// copy's next stop by indexing, never by topology arithmetic (the
+    /// spine→core branch of `next_hop` walks an iterator per call).
+    hops: Vec<PlannedHop>,
+    hop_off: Vec<u32>,
 }
 
 impl Partition {
@@ -377,11 +431,39 @@ impl Partition {
         for i in 0..c {
             assign(i % shards, &mut owner);
         }
-        Partition {
+        let mut part = Partition {
             owner,
             num_leaves: l,
             num_spines: s,
+            hops: Vec::new(),
+            hop_off: Vec::with_capacity(l + s + c),
+        };
+        for dense in 0..(l + s + c) as u32 {
+            part.hop_off.push(part.hops.len() as u32);
+            let sw = part.switch_ref(dense);
+            let ports = match sw {
+                SwitchRef::Leaf(_) => topo.leaf_down_ports() + topo.leaf_up_ports(),
+                SwitchRef::Spine(_) => topo.spine_down_ports() + topo.spine_up_ports(),
+                SwitchRef::Core(_) => topo.num_pods(),
+            };
+            for port in 0..ports {
+                part.hops.push(match next_hop(topo, sw, port) {
+                    Hop::Host(h) => PlannedHop::Host(h),
+                    Hop::Switch(next, next_port, tier) => PlannedHop::Switch {
+                        dense: part.dense(next),
+                        port: next_port as u16,
+                        tier,
+                    },
+                });
+            }
         }
+        part
+    }
+
+    /// The compiled [`next_hop`] for `port` on dense switch `dense`.
+    #[inline]
+    fn hop(&self, dense: u32, port: u16) -> PlannedHop {
+        self.hops[self.hop_off[dense as usize] as usize + port as usize]
     }
 
     #[inline]
@@ -406,20 +488,59 @@ impl Partition {
     }
 }
 
-/// One worker's private state: its owned switches, scratch, and counters.
+/// One destination switch's queued copies in struct-of-arrays form.
+/// Entry `i` is `(port[i], state[i], pkt[i])` — the switch itself is the
+/// bucket's identity, so one run through a bucket resolves the switch,
+/// its compiled plan, and its counters exactly once.
+#[derive(Clone, Debug, Default)]
+struct Bucket {
+    port: Vec<u16>,
+    state: Vec<u8>,
+    pkt: Vec<u32>,
+}
+
+impl Bucket {
+    #[inline]
+    fn len(&self) -> usize {
+        self.port.len()
+    }
+
+    #[inline]
+    fn push(&mut self, port: u16, state: u8, pkt: u32) {
+        self.port.push(port);
+        self.state.push(state);
+        self.pkt.push(pkt);
+    }
+
+    fn clear(&mut self) {
+        self.port.clear();
+        self.state.clear();
+        self.pkt.clear();
+    }
+}
+
+/// One worker's private state: its owned switches, per-switch work
+/// buckets, scratch, and counters.
 struct Worker {
     /// Owned switches, dense order.
     switches: Vec<NetworkSwitch>,
-    /// Local SoA work queue (same layout idea as the serial
-    /// `FlightQueue`, plus the packet index).
-    q_sw: Vec<u32>,
-    q_port: Vec<u16>,
-    q_state: Vec<u8>,
-    q_pkt: Vec<u32>,
-    /// Per-hop output scratch handed to `process_hops`.
+    /// Dense id of each owned switch (parallel to `switches`).
+    dense_of: Vec<u32>,
+    /// Per-owned-switch pending copies; `active` is a stack of local
+    /// indices whose bucket is non-empty, de-duplicated by `queued`.
+    buckets: Vec<Bucket>,
+    active: Vec<u32>,
+    queued: Vec<bool>,
+    /// The bucket currently being processed, swapped out of `buckets` so
+    /// ring drains during the run land in a fresh bucket.
+    run: Bucket,
+    /// Child copies staged during a run and published together after it
+    /// (one termination-counter increment covers them all).
+    staged: Vec<ShardMsg>,
+    /// Per-hop output scratch handed to `process_hops_hv`.
     hop_out: Vec<(u16, u8)>,
     /// This worker's clone of the batch (one `Arc` bump per packet, never
-    /// per hop); `popped` is rewritten in place per queue entry.
+    /// per hop); `popped` is rewritten in place per copy.
     pkts: Vec<FlightPacket>,
     /// Private link counters, absorbed into `Fabric::stats` after join.
     stats: FabricStats,
@@ -435,33 +556,23 @@ struct Worker {
 }
 
 impl Worker {
+    /// Queue a copy into its destination switch's bucket, activating the
+    /// bucket if it was empty.
     #[inline]
-    fn push_local(&mut self, msg: ShardMsg) {
-        self.q_sw.push(msg.sw);
-        self.q_port.push(msg.port);
-        self.q_state.push(msg.state);
-        self.q_pkt.push(msg.pkt);
+    fn enqueue(&mut self, part: &Partition, msg: ShardMsg) {
+        let local = part.owner[msg.sw as usize].1 as usize;
+        self.buckets[local].push(msg.port, msg.state, msg.pkt);
+        if !self.queued[local] {
+            self.queued[local] = true;
+            self.active.push(local as u32);
+        }
     }
 
-    #[inline]
-    fn pop_local(&mut self) -> Option<ShardMsg> {
-        let sw = self.q_sw.pop()?;
-        Some(ShardMsg {
-            sw,
-            port: self.q_port.pop().expect("arrays pushed in lockstep"),
-            state: self.q_state.pop().expect("arrays pushed in lockstep"),
-            pkt: self.q_pkt.pop().expect("arrays pushed in lockstep"),
-        })
-    }
-
-    /// Drain every incoming ring into the local queue.
-    fn drain_incoming(&mut self, rxs: &mut [SpscReceiver<ShardMsg>]) {
+    /// Drain every incoming ring, batch-at-a-time, into the buckets.
+    fn drain_incoming(&mut self, rxs: &mut [SpscReceiver<ShardMsg>], part: &Partition) {
         for rx in rxs.iter_mut() {
             while let Some(msg) = rx.try_pop() {
-                self.q_sw.push(msg.sw);
-                self.q_port.push(msg.port);
-                self.q_state.push(msg.state);
-                self.q_pkt.push(msg.pkt);
+                self.enqueue(part, msg);
             }
         }
     }
@@ -497,7 +608,7 @@ impl Fabric {
         // attribution.
         let m = metrics();
         let part = Partition::new(&self.topo, shards);
-        let mut flights = Vec::new();
+        let mut batch = FlightBatch::new();
         let mut seeds = Vec::new();
         for (from, bytes) in packets {
             let leaf = self.topo.leaf_of_host(from);
@@ -519,7 +630,7 @@ impl Fabric {
                 sw: part.dense(SwitchRef::Leaf(leaf)),
                 port: self.topo.host_port_on_leaf(from) as u16,
                 state: pkt.popped,
-                pkt: flights.len() as u32,
+                pkt: batch.len() as u32,
             };
             if let Some(t) = &mut self.tree {
                 t.events.push(TraceEvent {
@@ -530,11 +641,11 @@ impl Fabric {
                 });
             }
             seeds.push(seed);
-            flights.push(pkt);
+            batch.push(pkt, &self.layout);
         }
         let mut out = DeliveryBatch::new();
         out.reset(shards, self.layout);
-        self.run_batch(&part, flights, seeds, shards, &mut out);
+        self.run_batch(&part, batch, seeds, shards, &mut out);
         out.to_vec()
     }
 
@@ -582,17 +693,20 @@ impl Fabric {
         let m = metrics();
         let part = Partition::new(&self.topo, shards);
         out.reset(shards, self.layout);
-        // Reuse the batch's packet buffer as the pre-pass target: the
-        // worker's clones come back here for materialization anyway.
-        let mut batch = std::mem::take(&mut out.pkts);
+        // Build the SoA batch on the `DeliveryBatch`'s recycled buffers:
+        // the packet slots come back for materialization anyway, and the
+        // wire-length rows are returned as scratch after the join.
+        let mut batch = FlightBatch::recycle(
+            std::mem::take(&mut out.pkts),
+            std::mem::take(&mut out.wire_scratch),
+        );
         let mut seeds = Vec::with_capacity(flights.len());
+        let mut ingress_bytes = 0u64;
         for (from, pkt) in flights {
             let leaf = self.topo.leaf_of_host(*from);
-            let wire = pkt.wire_len(&self.layout) as u64;
-            self.stats.host_to_leaf_bytes += wire;
-            self.stats.packets_on_links += 1;
-            m.host_to_leaf_bytes.add(wire);
-            m.packets_on_links.inc();
+            let idx = batch.len();
+            batch.push(pkt.clone(), &self.layout);
+            ingress_bytes += batch.wire_len(idx, pkt.popped) as u64;
             if self.down.contains(&SwitchRef::Leaf(leaf)) {
                 continue;
             }
@@ -600,7 +714,7 @@ impl Fabric {
                 sw: part.dense(SwitchRef::Leaf(leaf)),
                 port: self.topo.host_port_on_leaf(*from) as u16,
                 state: pkt.popped,
-                pkt: batch.len() as u32,
+                pkt: idx as u32,
             };
             if let Some(t) = &mut self.tree {
                 t.events.push(TraceEvent {
@@ -611,8 +725,13 @@ impl Fabric {
                 });
             }
             seeds.push(seed);
-            batch.push(pkt.clone());
         }
+        // Ingress accounting, batched: one update per replay call, not
+        // two atomic RMWs per packet.
+        self.stats.host_to_leaf_bytes += ingress_bytes;
+        self.stats.packets_on_links += flights.len() as u64;
+        m.host_to_leaf_bytes.add(ingress_bytes);
+        m.packets_on_links.add(flights.len() as u64);
         self.run_batch(&part, batch, seeds, shards, out);
     }
 
@@ -623,15 +742,13 @@ impl Fabric {
     fn run_batch(
         &mut self,
         part: &Partition,
-        pkts: Vec<FlightPacket>,
+        batch: FlightBatch,
         seeds: Vec<ShardMsg>,
         shards: usize,
         out: &mut DeliveryBatch,
     ) {
         let m = metrics();
         m.shard_batches.inc();
-        let topo = self.topo;
-        let layout = self.layout;
         let down = self.down.clone();
         // Trace events are recorded shard-locally and stitched after the
         // join (the canonical event sort is shard-count-invariant, so no
@@ -642,17 +759,24 @@ impl Fabric {
         if let Some(t) = &mut self.tree {
             // Serial injections after this batch must not reuse its
             // packet indices.
-            t.next_pkt = t.next_pkt.max(pkts.len() as u32);
+            t.next_pkt = t.next_pkt.max(batch.len() as u32);
         }
+        // Split the batch: packet slots are cloned per worker, the
+        // wire-length rows are immutable and shared by reference.
+        let (pkts, wire) = batch.into_parts();
 
         // Take the switches apart: each shard's vector holds its owned
-        // switches in dense order (matching `Partition::owner`).
+        // switches in dense order (matching `Partition::owner`), with the
+        // dense ids recorded alongside.
         let leaves = std::mem::take(&mut self.leaves);
         let spines = std::mem::take(&mut self.spines);
         let cores = std::mem::take(&mut self.cores);
         let mut shard_switches: Vec<Vec<NetworkSwitch>> = (0..shards).map(|_| Vec::new()).collect();
+        let mut shard_dense: Vec<Vec<u32>> = (0..shards).map(|_| Vec::new()).collect();
         for (dense, sw) in leaves.into_iter().chain(spines).chain(cores).enumerate() {
-            shard_switches[part.owner[dense].0 as usize].push(sw);
+            let shard = part.owner[dense].0 as usize;
+            shard_switches[shard].push(sw);
+            shard_dense[shard].push(dense as u32);
         }
 
         // Copies queued anywhere but not yet processed. Seeded before the
@@ -675,23 +799,24 @@ impl Fabric {
 
         let down_ref = &down;
         let pending_ref = &pending;
+        let wire_ref: &[[u32; 6]] = &wire;
         let results: Vec<Worker> = if shards == 1 {
             // One shard: no rings, no threads — the worker loop runs on
             // this thread with the batch moved in (no clone) and the
-            // termination atomics skipped. This is the serial flight
-            // path plus the SoA delivery log.
+            // termination atomics skipped. This is the batched serial
+            // path the bench records as mode `batched`.
             let worker = run_worker(
                 shard_switches.pop().expect("one shard"),
+                shard_dense.pop().expect("one dense list"),
                 seed_per_shard.pop().expect("one seed set"),
                 vec![None],
                 Vec::new(),
                 segments.into_iter().next().expect("one segment"),
                 pkts,
+                wire_ref,
                 part,
                 down_ref,
                 pending_ref,
-                topo,
-                layout,
                 tracing,
                 recorder_cap,
             );
@@ -720,29 +845,32 @@ impl Fabric {
             std::thread::scope(|scope| {
                 let handles: Vec<_> = shard_switches
                     .into_iter()
+                    .zip(shard_dense)
                     .zip(txs)
                     .zip(rxs)
                     .zip(seed_per_shard)
                     .zip(segments)
-                    .map(|((((switches, my_txs), my_rxs), my_seeds), my_seg)| {
-                        scope.spawn(move || {
-                            run_worker(
-                                switches,
-                                my_seeds,
-                                my_txs,
-                                my_rxs,
-                                my_seg,
-                                pkts_ref.clone(),
-                                part,
-                                down_ref,
-                                pending_ref,
-                                topo,
-                                layout,
-                                tracing,
-                                recorder_cap,
-                            )
-                        })
-                    })
+                    .map(
+                        |(((((switches, dense_of), my_txs), my_rxs), my_seeds), my_seg)| {
+                            scope.spawn(move || {
+                                run_worker(
+                                    switches,
+                                    dense_of,
+                                    my_seeds,
+                                    my_txs,
+                                    my_rxs,
+                                    my_seg,
+                                    pkts_ref.clone(),
+                                    wire_ref,
+                                    part,
+                                    down_ref,
+                                    pending_ref,
+                                    tracing,
+                                    recorder_cap,
+                                )
+                            })
+                        },
+                    )
                     .collect();
                 for (i, h) in handles.into_iter().enumerate() {
                     results[i] = Some(h.join().expect("shard worker panicked"));
@@ -797,39 +925,49 @@ impl Fabric {
             self.flight_recorders = recorders;
         }
         m.shard_cross_msgs.add(cross_total);
+        out.wire_scratch = wire;
         out.sort_canonical();
     }
 }
 
-/// One shard's event loop: drain rings, pop the local LIFO, process the
-/// copy through its owned switch, route the outputs.
+/// One shard's event loop, organized as runs: pick a non-empty bucket,
+/// swap it out, and push every copy in it through the owned switch in a
+/// single borrow. The switch and its compiled `MatchPlan`, the
+/// failed-switch check, the termination counter (two atomic RMWs per
+/// run), and the global obs counters (one `add` per touched counter per
+/// run) are all amortized over the run; per-copy work is an array scan:
+/// bucket SoA in, `hop_out` pairs through the compiled hop table, wire
+/// lengths from the batch's precomputed rows.
 #[allow(clippy::too_many_arguments)]
 fn run_worker(
     switches: Vec<NetworkSwitch>,
+    dense_of: Vec<u32>,
     seeds: Vec<ShardMsg>,
     txs: Vec<Option<SpscSender<ShardMsg>>>,
     mut rxs: Vec<SpscReceiver<ShardMsg>>,
     seg: Segment,
     batch: Vec<FlightPacket>,
+    wire: &[[u32; 6]],
     part: &Partition,
     down: &std::collections::BTreeSet<SwitchRef>,
     pending: &AtomicUsize,
-    topo: Clos,
-    layout: HeaderLayout,
     tracing: bool,
     recorder_cap: usize,
 ) -> Worker {
     let m = metrics();
-    // A solo worker (one shard, no rings) terminates when its local
-    // queue runs dry; the shared counter — and its two atomic RMWs per
-    // copy — is only needed when copies can be in flight elsewhere.
+    // A solo worker (one shard, no rings) terminates when its buckets
+    // run dry; the shared counter is only needed when copies can be in
+    // flight elsewhere.
     let solo = rxs.is_empty();
+    let n = switches.len();
     let mut w = Worker {
         switches,
-        q_sw: Vec::new(),
-        q_port: Vec::new(),
-        q_state: Vec::new(),
-        q_pkt: Vec::new(),
+        dense_of,
+        buckets: (0..n).map(|_| Bucket::default()).collect(),
+        active: Vec::new(),
+        queued: vec![false; n],
+        run: Bucket::default(),
+        staged: Vec::new(),
         hop_out: Vec::new(),
         pkts: batch,
         stats: FabricStats::default(),
@@ -839,135 +977,199 @@ fn run_worker(
         recorder: FlightRecorder::new(recorder_cap),
     };
     for msg in seeds {
-        w.push_local(msg);
+        w.enqueue(part, msg);
     }
     loop {
-        w.drain_incoming(&mut rxs);
-        let Some(entry) = w.pop_local() else {
+        w.drain_incoming(&mut rxs, part);
+        let Some(local) = w.active.pop() else {
             if solo || pending.load(Ordering::Acquire) == 0 {
                 break;
             }
             std::hint::spin_loop();
             continue;
         };
-        let sw_ref = part.switch_ref(entry.sw);
-        if down.contains(&sw_ref) {
-            // Failed switch: the copy is lost here, exactly as in the
-            // serial loop.
+        let li = local as usize;
+        w.queued[li] = false;
+        // Swap the bucket out: a switch never forwards to itself, so the
+        // run is fixed the moment it starts; ring drains during the run
+        // land in the fresh bucket and re-activate the switch.
+        std::mem::swap(&mut w.buckets[li], &mut w.run);
+        let run_len = w.run.len();
+        let dense_sw = w.dense_of[li];
+        if down.contains(&part.switch_ref(dense_sw)) {
+            // Failed switch: the whole run is lost here, exactly as in
+            // the serial loop.
             if !solo {
-                pending.fetch_sub(1, Ordering::AcqRel);
+                pending.fetch_sub(run_len, Ordering::AcqRel);
             }
+            w.run.clear();
             continue;
         }
-        let local_idx = part.owner[entry.sw as usize].1 as usize;
-        // Split the worker's fields so the switch, the packet, and the
-        // scratch buffer can be borrowed simultaneously.
-        let node = &mut w.switches[local_idx];
-        let work = &mut w.pkts[entry.pkt as usize];
-        work.popped = entry.state;
-        w.hop_out.clear();
-        node.process_hops(entry.port as usize, work, &layout, &mut w.hop_out);
-        for i in 0..w.hop_out.len() {
-            let (port_out, state) = w.hop_out[i];
-            w.stats.packets_on_links += 1;
-            m.packets_on_links.inc();
-            let work = &mut w.pkts[entry.pkt as usize];
-            let n = if state == HOST_STRIPPED {
-                work.host_wire_len() as u64
-            } else {
+        // Per-run accumulators, flushed once after the run.
+        let mut links = 0u64;
+        let mut tier_bytes = [0u64; 4];
+        let mut host_bytes = 0u64;
+        let mut delivered = 0u64;
+        {
+            // Split the worker's fields so the switch, the packets, and
+            // the scratch buffers can be borrowed simultaneously.
+            let Worker {
+                switches,
+                run,
+                staged,
+                hop_out,
+                pkts,
+                seg,
+                events,
+                recorder,
+                buckets,
+                active,
+                queued,
+                ..
+            } = &mut w;
+            let node = &mut switches[li];
+            staged.clear();
+            for e in 0..run_len {
+                let (port, state, pkt_i) = (run.port[e], run.state[e], run.pkt[e]);
+                let work = &mut pkts[pkt_i as usize];
                 work.popped = state;
-                work.wire_len(&layout) as u64
-            };
-            match next_hop(&topo, sw_ref, port_out as usize) {
-                Hop::Host(h) => {
-                    w.stats.leaf_to_host_bytes += n;
-                    m.leaf_to_host_bytes.add(n);
-                    m.replay_materialized.inc();
-                    w.seg.push(h, entry.pkt, state);
-                    if tracing || recorder_cap > 0 {
-                        let ev = TraceEvent {
-                            pkt: entry.pkt,
-                            parent: entry.sw,
-                            child: HOST_NODE_BIT | h.0,
-                            state,
-                        };
-                        if tracing {
-                            w.events.push(ev);
+                let hv = wire[pkt_i as usize][state as usize] as usize - work.payload.len();
+                hop_out.clear();
+                node.process_hops_hv(port as usize, work, hv, hop_out);
+                for &(port_out, out_state) in hop_out.iter() {
+                    links += 1;
+                    let row = &wire[pkt_i as usize];
+                    let n = if out_state == HOST_STRIPPED {
+                        row[5]
+                    } else {
+                        row[out_state as usize]
+                    } as u64;
+                    match part.hop(dense_sw, port_out) {
+                        PlannedHop::Host(h) => {
+                            host_bytes += n;
+                            delivered += 1;
+                            seg.push(h, pkt_i, out_state);
+                            if tracing || recorder_cap > 0 {
+                                let ev = TraceEvent {
+                                    pkt: pkt_i,
+                                    parent: dense_sw,
+                                    child: HOST_NODE_BIT | h.0,
+                                    state: out_state,
+                                };
+                                if tracing {
+                                    events.push(ev);
+                                }
+                                if recorder_cap > 0 {
+                                    recorder.record(ev);
+                                }
+                            }
                         }
-                        if recorder_cap > 0 {
-                            w.recorder.record(ev);
-                        }
-                    }
-                }
-                Hop::Switch(next, next_port, tier) => {
-                    debug_assert_ne!(state, HOST_STRIPPED, "stripped copies go to hosts");
-                    match tier {
-                        LinkTier::LeafSpine => {
-                            w.stats.leaf_to_spine_bytes += n;
-                            m.leaf_to_spine_bytes.add(n);
-                        }
-                        LinkTier::SpineLeaf => {
-                            w.stats.spine_to_leaf_bytes += n;
-                            m.spine_to_leaf_bytes.add(n);
-                        }
-                        LinkTier::SpineCore => {
-                            w.stats.spine_to_core_bytes += n;
-                            m.spine_to_core_bytes.add(n);
-                        }
-                        LinkTier::CoreSpine => {
-                            w.stats.core_to_spine_bytes += n;
-                            m.core_to_spine_bytes.add(n);
-                        }
-                    }
-                    let dense = part.dense(next);
-                    if tracing || recorder_cap > 0 {
-                        let ev = TraceEvent {
-                            pkt: entry.pkt,
-                            parent: entry.sw,
-                            child: dense,
-                            state,
-                        };
-                        if tracing {
-                            w.events.push(ev);
-                        }
-                        if recorder_cap > 0 {
-                            w.recorder.record(ev);
-                        }
-                    }
-                    let msg = ShardMsg {
-                        sw: dense,
-                        port: next_port as u16,
-                        state,
-                        pkt: entry.pkt,
-                    };
-                    // Publish-before-decrement: the child is counted
-                    // before any consumer can see it, so `pending` never
-                    // reads zero while work exists.
-                    if !solo {
-                        pending.fetch_add(1, Ordering::AcqRel);
-                    }
-                    let owner = part.owner[dense as usize].0 as usize;
-                    match &txs[owner] {
-                        None => w.push_local(msg),
-                        Some(tx) => {
-                            w.cross_msgs += 1;
-                            let mut msg = msg;
-                            // Full ring: drain our own inputs while
-                            // retrying, so no cycle of full rings can
-                            // stall every producer at once.
-                            while let Err(back) = tx.try_push(msg) {
-                                msg = back;
-                                w.drain_incoming(&mut rxs);
-                                std::hint::spin_loop();
+                        PlannedHop::Switch { dense, port, tier } => {
+                            debug_assert_ne!(
+                                out_state, HOST_STRIPPED,
+                                "stripped copies go to hosts"
+                            );
+                            tier_bytes[tier as usize] += n;
+                            if tracing || recorder_cap > 0 {
+                                let ev = TraceEvent {
+                                    pkt: pkt_i,
+                                    parent: dense_sw,
+                                    child: dense,
+                                    state: out_state,
+                                };
+                                if tracing {
+                                    events.push(ev);
+                                }
+                                if recorder_cap > 0 {
+                                    recorder.record(ev);
+                                }
+                            }
+                            if solo {
+                                // No rings, no termination counter: queue the
+                                // child straight into its bucket. A switch
+                                // never forwards to itself, so the running
+                                // bucket is never the target of its own run,
+                                // and without concurrent drains the resulting
+                                // bucket/active sequence is identical to the
+                                // staged drain below — minus one write+read
+                                // pass over every cross-switch copy.
+                                let local = part.owner[dense as usize].1 as usize;
+                                buckets[local].push(port, out_state, pkt_i);
+                                if !queued[local] {
+                                    queued[local] = true;
+                                    active.push(local as u32);
+                                }
+                            } else {
+                                staged.push(ShardMsg {
+                                    sw: dense,
+                                    port,
+                                    state: out_state,
+                                    pkt: pkt_i,
+                                });
                             }
                         }
                     }
                 }
             }
+            // One guarded add per touched counter for the whole run.
+            node.flush_global_stats();
+        }
+        // Count every staged child before any becomes visible, then
+        // route them; the run's own entries are decremented only after
+        // both, so `pending` can never read zero while work exists.
+        if !solo && !w.staged.is_empty() {
+            pending.fetch_add(w.staged.len(), Ordering::AcqRel);
+        }
+        for i in 0..w.staged.len() {
+            let msg = w.staged[i];
+            let owner = part.owner[msg.sw as usize].0 as usize;
+            match &txs[owner] {
+                None => w.enqueue(part, msg),
+                Some(tx) => {
+                    w.cross_msgs += 1;
+                    let mut msg = msg;
+                    // Full ring: drain our own inputs while retrying, so
+                    // no cycle of full rings can stall every producer at
+                    // once.
+                    while let Err(back) = tx.try_push(msg) {
+                        msg = back;
+                        w.drain_incoming(&mut rxs, part);
+                        std::hint::spin_loop();
+                    }
+                }
+            }
+        }
+        w.staged.clear();
+        w.stats.packets_on_links += links;
+        if links > 0 {
+            m.packets_on_links.add(links);
+        }
+        if delivered > 0 {
+            w.stats.leaf_to_host_bytes += host_bytes;
+            m.leaf_to_host_bytes.add(host_bytes);
+            m.replay_materialized.add(delivered);
+        }
+        let [ls, sl, sc, cs] = tier_bytes;
+        if ls > 0 {
+            w.stats.leaf_to_spine_bytes += ls;
+            m.leaf_to_spine_bytes.add(ls);
+        }
+        if sl > 0 {
+            w.stats.spine_to_leaf_bytes += sl;
+            m.spine_to_leaf_bytes.add(sl);
+        }
+        if sc > 0 {
+            w.stats.spine_to_core_bytes += sc;
+            m.spine_to_core_bytes.add(sc);
+        }
+        if cs > 0 {
+            w.stats.core_to_spine_bytes += cs;
+            m.core_to_spine_bytes.add(cs);
         }
         if !solo {
-            pending.fetch_sub(1, Ordering::AcqRel);
+            pending.fetch_sub(run_len, Ordering::AcqRel);
         }
+        w.run.clear();
     }
     w
 }

@@ -68,6 +68,10 @@ pub const REQUIRED_METRICS: &[&str] = &[
     "fabric.replay.buffer_reuse",
     "fabric.replay.fresh_alloc",
     "fabric.replay.materialized",
+    // Compiled MatchPlan freshness: bumped on every s-rule install or
+    // removal that recompiles a switch's plan. Zero after a churn delta
+    // that touched group tables means a stale plan.
+    "fabric.replay.plan_rebuilds",
     "fabric.replay.shard.batches",
     "fabric.replay.shard.cross_msgs",
     "fabric.replay.trace_serial_fallback",

@@ -449,6 +449,60 @@ mod tests {
     }
 
     #[test]
+    fn corrupted_compiled_plan_caught_by_differential_replay() {
+        // A header budget too small for eight distinct leaf bitmaps forces
+        // half the receiver leaves onto s-rules (capacity is unlimited), so
+        // the replay must route through the compiled MatchPlan.
+        let topo = Clos::paper_example();
+        let mut cfg = ControllerConfig::paper_default(0);
+        cfg.header_budget_bytes = 14;
+        let mut ctl = Controller::new(topo, cfg);
+        ctl.create_group(
+            GroupId(1),
+            elmo_net::Vni(7),
+            Ipv4Addr::new(225, 0, 0, 1),
+            // Host port l on leaf l: every leaf bitmap is distinct, so at
+            // R = 0 no p-rule can be shared and the tight budget spills
+            // most leaves onto s-rules.
+            (0..8).map(|l| (HostId(l * 8 + l), MemberRole::Both)),
+        );
+        let mut fabric = Fabric::new(topo, SwitchConfig::default());
+        install(&ctl, &mut fabric, GroupId(1));
+        for shards in [1, 2] {
+            let clean = differential_check_with(&ctl, &mut fabric, 8, 0xe1, shards);
+            assert_eq!(clean.sampled, 1);
+            assert!(
+                clean.violations.is_empty(),
+                "clean state diverged at {shards} shards: {:#?}",
+                clean.violations
+            );
+        }
+        // Flip one compiled port bit on every s-rule leaf, leaving the
+        // authoritative tables (and the plans' version stamps) intact —
+        // the silent plan/table divergence the compiled-plan design risks.
+        let state = ctl.group(GroupId(1)).expect("group");
+        let outer = state.outer_addr;
+        let srule_leaves: Vec<u32> = state.enc.d_leaf.s_rules.iter().map(|(l, _)| *l).collect();
+        assert!(!srule_leaves.is_empty(), "R=0 must force leaf s-rules");
+        for leaf in &srule_leaves {
+            assert!(fabric.leaf_mut(LeafId(*leaf)).corrupt_plan_for_test(outer));
+        }
+        // The static checker reads the authoritative tables, so it still
+        // passes; only the differential replay can observe the divergence.
+        assert!(check_state(&ctl, &fabric).ok());
+        for shards in [1, 2] {
+            let out = differential_check_with(&ctl, &mut fabric, 8, 0xe1, shards);
+            assert!(
+                out.violations
+                    .iter()
+                    .any(|v| matches!(v.kind, ViolationKind::Loss | ViolationKind::Leakage)),
+                "corrupted plan not caught at {shards} shards: {:#?}",
+                out.violations
+            );
+        }
+    }
+
+    #[test]
     fn budget_override_reports_header_budget() {
         let (ctl, fabric) = setup(&[HostId(0), HostId(17), HostId(42), HostId(57)]);
         let opts = VerifyOptions {

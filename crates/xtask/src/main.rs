@@ -141,8 +141,8 @@ fn line_of(text: &str, offset: usize) -> usize {
 /// Is the byte before `idx` part of an identifier (so `DetHashMap` does
 /// not match a `HashMap` scan)?
 fn ident_before(text: &str, idx: usize) -> bool {
-    idx > 0 && text.as_bytes()[idx - 1].is_ascii_alphanumeric()
-        || idx > 0 && text.as_bytes()[idx - 1] == b'_'
+    idx > 0
+        && (text.as_bytes()[idx - 1].is_ascii_alphanumeric() || text.as_bytes()[idx - 1] == b'_')
 }
 
 /// Comment and string contents can legitimately mention the banned names;

@@ -141,6 +141,81 @@ fn single_bit_flips_never_panic() {
     }
 }
 
+/// `FlightBatch::push_wire` must share `FlightPacket::parse`'s grammar
+/// exactly over adversarial inputs — truncations, single-bit flips, and
+/// seeded random buffers. Accept/reject parity (same typed error) on
+/// every input, a rejected input leaves the batch untouched, and every
+/// accepted packet's precomputed wire-length rows agree with the
+/// per-state lengths the scalar path computes on demand.
+#[test]
+fn push_wire_parity_with_scalar_parse() {
+    let layout = layout();
+    let pkt = valid_packet(&layout);
+    let mut batch = elmo::dataplane::FlightBatch::new();
+    let check = |bytes: &[u8], batch: &mut elmo::dataplane::FlightBatch| {
+        let before = batch.len();
+        match (
+            batch.push_wire(bytes, &layout),
+            FlightPacket::parse(bytes, &layout),
+        ) {
+            (Ok(()), Ok(parsed)) => {
+                assert_eq!(
+                    batch.len(),
+                    before + 1,
+                    "push_wire accepted without pushing"
+                );
+                let i = batch.len() - 1;
+                for depth in elmo::core::pop::NONE..=elmo::core::pop::D_SPINE {
+                    let mut copy = parsed.clone();
+                    copy.popped = depth;
+                    assert_eq!(
+                        batch.wire_len(i, depth),
+                        copy.wire_len(&layout),
+                        "wire-length row diverged at depth {depth}"
+                    );
+                }
+                // u8::MAX is the engine's host-stripped state: the row must
+                // equal the length of the fully materialized host copy.
+                assert_eq!(
+                    batch.wire_len(i, u8::MAX),
+                    parsed.to_host_bytes(&layout).len(),
+                    "host-stripped wire-length row diverged"
+                );
+            }
+            (Err(got), Err(want)) => {
+                assert_eq!(got, want, "push_wire and scalar parse errors differ");
+                assert_eq!(batch.len(), before, "rejected input mutated the batch");
+            }
+            (got, want) => panic!(
+                "accept/reject divergence: push_wire={got:?}, parse={}",
+                if want.is_ok() { "Ok" } else { "Err" }
+            ),
+        }
+    };
+    for len in 0..=pkt.len() {
+        check(&pkt[..len], &mut batch);
+    }
+    for at in 0..pkt.len() {
+        for bit in 0..8 {
+            let mut corrupted = pkt.clone();
+            corrupted[at] ^= 1 << bit;
+            check(&corrupted, &mut batch);
+        }
+    }
+    let mut rng = SplitMix64(0xf1e7_ba7c);
+    let mut buf = [0u8; 128];
+    for len in [0usize, 8, 40, 64, 96, 128] {
+        for _ in 0..64 {
+            rng.fill(&mut buf[..len]);
+            check(&buf[..len], &mut batch);
+        }
+    }
+    assert!(
+        !batch.is_empty(),
+        "the valid fixture must have been accepted"
+    );
+}
+
 /// Corruptions aimed at the Elmo header region specifically: random bytes
 /// overwrite the section area so the bitmap-count and switch-count fields
 /// take arbitrary values; the decoder must bound-check every claimed

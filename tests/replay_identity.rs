@@ -584,6 +584,86 @@ fn assert_traced_identical(s: &Scenario, what: &str) {
     }
 }
 
+/// The full batched ≡ scalar ≡ reference triangle: the run-grouped SoA
+/// engine (`replay_flights_sharded` through one *reused* `DeliveryBatch`,
+/// materialized via the zero-copy `for_each` the bench times) must match
+/// the encode-per-hop reference path byte for byte at 1/2/4/8 shards,
+/// with tracing enabled as well as disabled. The serial flight path is
+/// the middle leg — its equality with both ends pins all three.
+fn assert_batched_matches_reference(s: &Scenario, what: &str) {
+    let mut wire_batch = Vec::new();
+    let mut flights = Vec::new();
+    for &sender in &MEMBERS {
+        for pkt in sender_packets(s, sender, 3) {
+            // Parse the identical wire bytes the reference path consumes,
+            // so the two streams cannot drift apart by construction.
+            flights.push((
+                sender,
+                elmo::dataplane::FlightPacket::parse(&pkt, &s.layout).expect("packet parses"),
+            ));
+            wire_batch.push((sender, pkt));
+        }
+    }
+    // Reference leg: encode-per-hop, canonicalized per packet.
+    let mut reference = build_fabric(s);
+    let mut expected = Vec::new();
+    for (sender, pkt) in &wire_batch {
+        let mut per_pkt = reference.inject_reference(*sender, pkt.clone());
+        per_pkt.sort_unstable_by(|a, b| ((a.0).0, &a.1).cmp(&((b.0).0, &b.1)));
+        expected.extend(per_pkt);
+    }
+    assert!(!expected.is_empty(), "{what}: scenario delivered nothing");
+    // Scalar leg.
+    let mut serial = build_fabric(s);
+    let scalar = canonicalize_serial(&mut serial, &wire_batch);
+    assert_eq!(scalar, expected, "{what}: scalar != reference");
+    assert_fabrics_identical(&reference, &serial, &format!("{what}: scalar"));
+    // Batched leg: one DeliveryBatch reused across every shard count and
+    // tracing mode, so arena recycling is part of what's being proven.
+    let mut out = elmo::dataplane::DeliveryBatch::new();
+    for tracing in [false, true] {
+        for shards in [1usize, 2, 4, 8] {
+            let mut batched = build_fabric(s);
+            if tracing {
+                batched.start_tree_trace();
+            }
+            batched.replay_flights_sharded(&flights, shards, &mut out);
+            let mut got = Vec::with_capacity(expected.len());
+            out.for_each(|h, b| got.push((h, b.to_vec())));
+            assert_eq!(
+                got, expected,
+                "{what}: batched({shards}, tracing={tracing}) != reference"
+            );
+            assert_fabrics_identical(
+                &reference,
+                &batched,
+                &format!("{what}: batched({shards}, tracing={tracing})"),
+            );
+            if tracing {
+                assert!(
+                    !batched.take_tree_trace().is_empty(),
+                    "{what}: traced batched({shards}) recorded nothing"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn figure3_batched_engine_matches_reference() {
+    assert_batched_matches_reference(&figure3_scenario(), "figure3");
+}
+
+#[test]
+fn srule_batched_engine_matches_reference() {
+    assert_batched_matches_reference(&srule_scenario(), "srule");
+}
+
+#[test]
+fn default_prule_batched_engine_matches_reference() {
+    assert_batched_matches_reference(&default_prule_scenario(), "default-prule");
+}
+
 #[test]
 fn figure3_traced_replay_is_bit_identical_at_all_shard_counts() {
     assert_traced_identical(&figure3_scenario(), "figure3");
