@@ -6,6 +6,7 @@
 //! replication](smr) (one of §1's motivating workloads) and the calibrated
 //! [host model](hostmodel) standing in for the 9-server testbed (see
 //! DESIGN.md §1 for the substitution argument).
+#![forbid(unsafe_code)]
 
 pub mod hostmodel;
 pub mod pubsub;

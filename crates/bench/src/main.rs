@@ -62,6 +62,7 @@
 //! the delta path absorbed vs the mean full re-encode in the baseline run
 //! (the end-to-end ops/s ratio is Amdahl-capped by the hit rate and is
 //! reported alongside).
+#![forbid(unsafe_code)]
 
 use std::net::Ipv4Addr;
 use std::time::Instant;

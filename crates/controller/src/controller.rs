@@ -153,6 +153,13 @@ pub struct UpdateSet {
     /// size it cannot control; accounting consumers expand it with
     /// [`Self::materialize_senders`] against the group's current state.
     pub all_senders: bool,
+    /// The group's encoding epoch *after* this event (`0` when the event
+    /// touched no tracked group). Deployment agents stamp reprogrammed
+    /// flows with it, and the temporal verifier uses it to attribute any
+    /// delivery divergence of in-flight packets: a diverging pre-update
+    /// header is acceptable only when this epoch advanced past the one
+    /// the header was encoded under (the packet is "versioned out").
+    pub epoch: u64,
 }
 
 impl UpdateSet {
@@ -560,6 +567,7 @@ impl Controller {
         updates.leaves.extend(second.leaves);
         updates.spine_pods.extend(second.spine_pods);
         updates.all_senders |= second.all_senders;
+        updates.epoch = updates.epoch.max(second.epoch);
         updates
     }
 
@@ -611,6 +619,7 @@ impl Controller {
         // The changed VM's own hypervisor always updates (flow install or
         // subscription change).
         updates.hypervisors.insert(host);
+        updates.epoch = state.epoch;
 
         if !role.receives() {
             // Paper §5.1.3a: "If a member is a sender, the controller only
@@ -628,6 +637,7 @@ impl Controller {
         // placement structure is preserved, patch the leaf layer in place
         // and skip re-encoding entirely.
         state.epoch += 1;
+        updates.epoch = state.epoch;
         if *delta_enabled {
             match crate::delta::try_apply(
                 topo,

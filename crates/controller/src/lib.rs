@@ -14,6 +14,7 @@
 //!   reach every member (§3.3, §5.1.3b);
 //! * [`Controller::header_for`] — the per-sender packet header hypervisors
 //!   encapsulate with.
+#![forbid(unsafe_code)]
 
 pub mod attribution;
 pub mod batch;

@@ -20,6 +20,7 @@
 //!    spine rules, a core pod bitmap, then the shared downstream sections —
 //!    and [serialize](header::ElmoHeader::encode) it bit-exactly per the
 //!    [layout](layout::HeaderLayout) derived from the fabric's dimensions.
+#![forbid(unsafe_code)]
 
 pub mod bitmap;
 pub mod bits;
@@ -33,6 +34,8 @@ pub mod par;
 pub mod plan;
 pub mod rng;
 pub mod sig;
+pub mod spsc;
+pub mod sync;
 
 pub use bitmap::PortBitmap;
 pub use cluster::{
@@ -43,7 +46,7 @@ pub use det::{DetHashMap, DetHashSet, DetHasher};
 pub use header::{pop, DownstreamRule, ElmoHeader, HeaderError, UpstreamRule};
 pub use layout::HeaderLayout;
 pub use min_k_union::{approx_min_k_union, approx_min_k_union_with, MinKUnionScratch};
-pub use par::{parallel_map, parallel_map_with, resolve_threads, spsc, SpscReceiver, SpscSender};
+pub use par::{parallel_map, parallel_map_with, resolve_threads};
 pub use plan::{
     encode_group, encode_group_optimistic_cached, encode_group_with, header_for_sender,
     leaf_layer_cfg, EncodeScratch, EncoderConfig, GroupEncoding,
@@ -53,3 +56,5 @@ pub use sig::{
     cluster_layer_cached, CacheOutcome, CacheShard, CanonicalLayer, EncodeCache, LayerSig,
     SigHasher, CACHE_MIN_ROWS,
 };
+pub use spsc::{spsc, spsc_in, SpscReceiver, SpscReceiverIn, SpscSender, SpscSenderIn};
+pub use sync::{AtomicCell, Pending, Stamp};

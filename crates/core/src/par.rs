@@ -8,17 +8,11 @@
 //! plain `Vec<T>` in input order, so downstream sequential folds see the
 //! same order at any thread count.
 //!
-//! The module also provides a bounded single-producer single-consumer
-//! ring ([`spsc`]) for pipelines whose workers exchange messages instead
-//! of joining — the sharded data-plane replay sends cross-shard packet
-//! copies through one ring per (producer, consumer) pair. Like the rest
-//! of the crate it is safe code only: each slot is a `Mutex<Option<T>>`
-//! that is never contended under the SPSC discipline (the atomic head and
-//! tail cursors make sure producer and consumer touch disjoint slots), so
-//! the locks stay in their fast path.
+//! Pipelines whose workers exchange messages instead of joining use the
+//! bounded SPSC ring in [`crate::spsc`] (it lived here before the `sync`
+//! abstraction made it generic over the atomic backend).
 
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex};
 
 /// Resolve a requested thread count: `0` means "all available cores".
 pub fn resolve_threads(requested: usize) -> usize {
@@ -65,6 +59,9 @@ where
                     let mut scratch = init();
                     let mut local: Vec<(usize, T)> = Vec::new();
                     loop {
+                        // ordering: Relaxed — the cursor only partitions
+                        // indices; results flow back through the scope
+                        // join, which is the synchronization point.
                         let start = cursor.fetch_add(claim, Ordering::Relaxed);
                         if start >= n {
                             break;
@@ -89,84 +86,6 @@ where
         .into_iter()
         .map(|s| s.expect("all indices computed"))
         .collect()
-}
-
-/// Shared state of one SPSC ring: `cap` slots, a monotonically increasing
-/// `head` (next slot to pop) and `tail` (next slot to push). The producer
-/// only writes `tail`, the consumer only writes `head`, so each cursor has
-/// a single writer and the slot a cursor designates is owned exclusively
-/// by that side until the cursor is published.
-struct SpscShared<T> {
-    slots: Box<[Mutex<Option<T>>]>,
-    head: AtomicUsize,
-    tail: AtomicUsize,
-}
-
-/// Producer half of a bounded SPSC ring (not `Clone` — one producer).
-pub struct SpscSender<T> {
-    shared: Arc<SpscShared<T>>,
-}
-
-/// Consumer half of a bounded SPSC ring (not `Clone` — one consumer).
-pub struct SpscReceiver<T> {
-    shared: Arc<SpscShared<T>>,
-}
-
-/// Create a bounded SPSC ring with `cap` slots (`cap >= 1`).
-pub fn spsc<T: Send>(cap: usize) -> (SpscSender<T>, SpscReceiver<T>) {
-    let cap = cap.max(1);
-    let mut slots = Vec::with_capacity(cap);
-    slots.resize_with(cap, || Mutex::new(None));
-    let shared = Arc::new(SpscShared {
-        slots: slots.into_boxed_slice(),
-        head: AtomicUsize::new(0),
-        tail: AtomicUsize::new(0),
-    });
-    (
-        SpscSender {
-            shared: Arc::clone(&shared),
-        },
-        SpscReceiver { shared },
-    )
-}
-
-impl<T> SpscSender<T> {
-    /// Push one value; returns `Err(value)` when the ring is full. Never
-    /// blocks — callers decide how to wait (the replay workers drain their
-    /// own incoming rings while retrying, which breaks push cycles).
-    pub fn try_push(&self, value: T) -> Result<(), T> {
-        let s = &*self.shared;
-        let tail = s.tail.load(Ordering::Relaxed);
-        if tail.wrapping_sub(s.head.load(Ordering::Acquire)) >= s.slots.len() {
-            return Err(value);
-        }
-        let slot = &s.slots[tail % s.slots.len()];
-        *slot.lock().unwrap_or_else(|e| e.into_inner()) = Some(value);
-        s.tail.store(tail.wrapping_add(1), Ordering::Release);
-        Ok(())
-    }
-}
-
-impl<T> SpscReceiver<T> {
-    /// Pop one value, or `None` when the ring is empty. Never blocks.
-    pub fn try_pop(&self) -> Option<T> {
-        let s = &*self.shared;
-        let head = s.head.load(Ordering::Relaxed);
-        if head == s.tail.load(Ordering::Acquire) {
-            return None;
-        }
-        let slot = &s.slots[head % s.slots.len()];
-        let value = slot.lock().unwrap_or_else(|e| e.into_inner()).take();
-        s.head.store(head.wrapping_add(1), Ordering::Release);
-        value
-    }
-
-    /// Whether the ring currently holds no messages. A transient answer in
-    /// concurrent use; exact once the producer is quiescent.
-    pub fn is_empty(&self) -> bool {
-        let s = &*self.shared;
-        s.head.load(Ordering::Relaxed) == s.tail.load(Ordering::Acquire)
-    }
 }
 
 /// [`parallel_map_with`] without per-worker scratch.
@@ -219,66 +138,5 @@ mod tests {
     fn resolve_zero_is_positive() {
         assert!(resolve_threads(0) >= 1);
         assert_eq!(resolve_threads(5), 5);
-    }
-
-    #[test]
-    fn spsc_fifo_within_capacity() {
-        let (tx, rx) = spsc::<u32>(4);
-        assert!(rx.is_empty());
-        for i in 0..4 {
-            tx.try_push(i).unwrap();
-        }
-        assert_eq!(tx.try_push(99), Err(99), "full ring rejects");
-        for i in 0..4 {
-            assert_eq!(rx.try_pop(), Some(i));
-        }
-        assert_eq!(rx.try_pop(), None);
-        assert!(rx.is_empty());
-    }
-
-    #[test]
-    fn spsc_wraps_around() {
-        let (tx, rx) = spsc::<usize>(2);
-        for round in 0..1000 {
-            tx.try_push(round).unwrap();
-            assert_eq!(rx.try_pop(), Some(round));
-        }
-    }
-
-    #[test]
-    fn spsc_cross_thread_transfers_everything() {
-        let (tx, rx) = spsc::<usize>(8);
-        const N: usize = 10_000;
-        std::thread::scope(|scope| {
-            scope.spawn(move || {
-                for i in 0..N {
-                    let mut v = i;
-                    while let Err(back) = tx.try_push(v) {
-                        v = back;
-                        std::hint::spin_loop();
-                    }
-                }
-            });
-            let mut seen = 0usize;
-            let mut sum = 0usize;
-            while seen < N {
-                if let Some(v) = rx.try_pop() {
-                    assert_eq!(v, seen, "FIFO order");
-                    sum += v;
-                    seen += 1;
-                } else {
-                    std::hint::spin_loop();
-                }
-            }
-            assert_eq!(sum, N * (N - 1) / 2);
-        });
-    }
-
-    #[test]
-    fn spsc_zero_capacity_clamps_to_one() {
-        let (tx, rx) = spsc::<u8>(0);
-        tx.try_push(1).unwrap();
-        assert_eq!(tx.try_push(2), Err(2));
-        assert_eq!(rx.try_pop(), Some(1));
     }
 }

@@ -1,0 +1,276 @@
+//! Bounded single-producer single-consumer ring, generic over the atomic
+//! backend.
+//!
+//! The sharded data-plane replay sends cross-shard packet copies through
+//! one ring per (producer, consumer) pair. Like the rest of the crate it
+//! is safe code only: each slot is a `Mutex<Option<T>>` that is never
+//! contended under the SPSC discipline (the atomic head and tail cursors
+//! make sure producer and consumer touch disjoint slots), so the locks
+//! stay in their fast path.
+//!
+//! The ring algorithm is written once against
+//! [`AtomicCell`](crate::sync::AtomicCell) and instantiated twice: the
+//! production alias [`spsc`] monomorphizes over `AtomicUsize` (bit-
+//! identical to hand-written atomics), while `elmo-race` instantiates
+//! [`spsc_in`] over its virtual scheduler cell to model-check the *same*
+//! cursor protocol — wraparound, full-ring rejection, cross-thread
+//! handoff — under exhaustive interleaving exploration.
+
+use crate::sync::AtomicCell;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Shared state of one SPSC ring: `cap` slots, a monotonically increasing
+/// `head` (next slot to pop) and `tail` (next slot to push). The producer
+/// only writes `tail`, the consumer only writes `head`, so each cursor has
+/// a single writer and the slot a cursor designates is owned exclusively
+/// by that side until the cursor is published.
+struct SpscShared<T, A: AtomicCell> {
+    slots: Box<[Mutex<Option<T>>]>,
+    head: A,
+    tail: A,
+}
+
+/// Producer half of a bounded SPSC ring (not `Clone` — one producer).
+pub struct SpscSenderIn<T, A: AtomicCell> {
+    shared: Arc<SpscShared<T, A>>,
+}
+
+/// Consumer half of a bounded SPSC ring (not `Clone` — one consumer).
+pub struct SpscReceiverIn<T, A: AtomicCell> {
+    shared: Arc<SpscShared<T, A>>,
+}
+
+/// Producer half on the real atomic backend (the production type).
+pub type SpscSender<T> = SpscSenderIn<T, AtomicUsize>;
+
+/// Consumer half on the real atomic backend (the production type).
+pub type SpscReceiver<T> = SpscReceiverIn<T, AtomicUsize>;
+
+/// Create a bounded SPSC ring with `cap` slots (`cap >= 1`) over an
+/// explicit atomic backend `A`.
+pub fn spsc_in<T: Send, A: AtomicCell>(cap: usize) -> (SpscSenderIn<T, A>, SpscReceiverIn<T, A>) {
+    let cap = cap.max(1);
+    let mut slots = Vec::with_capacity(cap);
+    slots.resize_with(cap, || Mutex::new(None));
+    let shared = Arc::new(SpscShared {
+        slots: slots.into_boxed_slice(),
+        head: A::new(0),
+        tail: A::new(0),
+    });
+    (
+        SpscSenderIn {
+            shared: Arc::clone(&shared),
+        },
+        SpscReceiverIn { shared },
+    )
+}
+
+/// Create a bounded SPSC ring with `cap` slots (`cap >= 1`) on the real
+/// atomic backend.
+pub fn spsc<T: Send>(cap: usize) -> (SpscSender<T>, SpscReceiver<T>) {
+    spsc_in::<T, AtomicUsize>(cap)
+}
+
+impl<T, A: AtomicCell> SpscSenderIn<T, A> {
+    /// Push one value; returns `Err(value)` when the ring is full. Never
+    /// blocks — callers decide how to wait (the replay workers drain their
+    /// own incoming rings while retrying, which breaks push cycles).
+    pub fn try_push(&self, value: T) -> Result<(), T> {
+        let s = &*self.shared;
+        // ordering: Relaxed — `tail` has a single writer (this producer),
+        // so reading our own cursor needs no synchronization.
+        let tail = s.tail.load(Ordering::Relaxed);
+        // ordering: Acquire — pairs with the consumer's Release `head`
+        // store so the freed slot's take() is visible before we reuse it.
+        if tail.wrapping_sub(s.head.load(Ordering::Acquire)) >= s.slots.len() {
+            return Err(value);
+        }
+        let slot = &s.slots[tail % s.slots.len()];
+        *slot.lock().unwrap_or_else(|e| e.into_inner()) = Some(value);
+        // ordering: Release — publishes the slot write above; pairs with
+        // the consumer's Acquire `tail` load in try_pop.
+        s.tail.store(tail.wrapping_add(1), Ordering::Release);
+        Ok(())
+    }
+}
+
+impl<T, A: AtomicCell> SpscReceiverIn<T, A> {
+    /// Pop one value, or `None` when the ring is empty. Never blocks.
+    pub fn try_pop(&self) -> Option<T> {
+        let s = &*self.shared;
+        // ordering: Relaxed — `head` has a single writer (this consumer).
+        let head = s.head.load(Ordering::Relaxed);
+        // ordering: Acquire — pairs with the producer's Release `tail`
+        // store so the slot contents are visible before we take them.
+        if head == s.tail.load(Ordering::Acquire) {
+            return None;
+        }
+        let slot = &s.slots[head % s.slots.len()];
+        let value = slot.lock().unwrap_or_else(|e| e.into_inner()).take();
+        // ordering: Release — publishes the slot take(); pairs with the
+        // producer's Acquire `head` load in try_push before slot reuse.
+        s.head.store(head.wrapping_add(1), Ordering::Release);
+        value
+    }
+
+    /// Whether the ring currently holds no messages. A transient answer in
+    /// concurrent use; exact once the producer is quiescent.
+    pub fn is_empty(&self) -> bool {
+        let s = &*self.shared;
+        // ordering: Relaxed own cursor / Acquire peer cursor — same
+        // pairing as try_pop, without claiming a slot.
+        s.head.load(Ordering::Relaxed) == s.tail.load(Ordering::Acquire)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU32;
+
+    #[test]
+    fn spsc_fifo_within_capacity() {
+        let (tx, rx) = spsc::<u32>(4);
+        assert!(rx.is_empty());
+        for i in 0..4 {
+            tx.try_push(i).unwrap();
+        }
+        assert_eq!(tx.try_push(99), Err(99), "full ring rejects");
+        for i in 0..4 {
+            assert_eq!(rx.try_pop(), Some(i));
+        }
+        assert_eq!(rx.try_pop(), None);
+        assert!(rx.is_empty());
+    }
+
+    #[test]
+    fn spsc_wraps_around() {
+        let (tx, rx) = spsc::<usize>(2);
+        for round in 0..1000 {
+            tx.try_push(round).unwrap();
+            assert_eq!(rx.try_pop(), Some(round));
+        }
+    }
+
+    #[test]
+    fn spsc_wraparound_at_capacity_boundaries() {
+        // Drive the cursors across every alignment of the wrap point for
+        // several small capacities: fill to exactly cap, drain k, refill,
+        // and check FIFO order end to end.
+        for cap in 1..=5usize {
+            let (tx, rx) = spsc::<usize>(cap);
+            let mut next_in = 0usize;
+            let mut next_out = 0usize;
+            for phase in 0..4 * cap {
+                while tx.try_push(next_in).is_ok() {
+                    next_in += 1;
+                }
+                assert_eq!(next_in - next_out, cap, "full ring holds cap items");
+                let drain = phase % cap + 1;
+                for _ in 0..drain {
+                    assert_eq!(rx.try_pop(), Some(next_out), "FIFO across wrap");
+                    next_out += 1;
+                }
+            }
+            while let Some(v) = rx.try_pop() {
+                assert_eq!(v, next_out);
+                next_out += 1;
+            }
+            assert_eq!(next_out, next_in, "no loss, no duplication");
+        }
+    }
+
+    #[test]
+    fn spsc_drain_and_retry_under_full_ring() {
+        // The shard workers' discipline: a producer whose push fails keeps
+        // retrying while the consumer drains. The ring must reject exactly
+        // while full and accept as soon as one slot frees.
+        let (tx, rx) = spsc::<usize>(3);
+        for i in 0..3 {
+            tx.try_push(i).unwrap();
+        }
+        let mut pending = 3usize; // next value to place
+        let mut expected = 0usize;
+        while pending < 32 {
+            let mut v = pending;
+            let mut rejections = 0usize;
+            while let Err(back) = tx.try_push(v) {
+                v = back;
+                rejections += 1;
+                assert!(rejections <= 1, "retry must succeed after one drain");
+                assert_eq!(rx.try_pop(), Some(expected));
+                expected += 1;
+            }
+            pending += 1;
+        }
+        while let Some(got) = rx.try_pop() {
+            assert_eq!(got, expected);
+            expected += 1;
+        }
+        assert_eq!(expected, pending, "everything pushed was popped in order");
+    }
+
+    #[test]
+    fn spsc_drop_with_pending_messages() {
+        // Messages still in the ring when both halves drop must be dropped
+        // exactly once — no leak, no double drop.
+        static DROPS: AtomicU32 = AtomicU32::new(0);
+        struct Tracked;
+        impl Drop for Tracked {
+            fn drop(&mut self) {
+                // ordering: Relaxed — test-only counter, checked after the
+                // ring is gone (happens-before via drop on this thread).
+                DROPS.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        {
+            let (tx, rx) = spsc::<Tracked>(8);
+            for _ in 0..5 {
+                assert!(tx.try_push(Tracked).is_ok());
+            }
+            drop(rx.try_pop()); // one consumed...
+            assert_eq!(DROPS.load(Ordering::Relaxed), 1);
+            drop(tx);
+            drop(rx); // ...four still in flight
+        }
+        assert_eq!(DROPS.load(Ordering::Relaxed), 5);
+    }
+
+    #[test]
+    fn spsc_cross_thread_transfers_everything() {
+        let (tx, rx) = spsc::<usize>(8);
+        const N: usize = 10_000;
+        std::thread::scope(|scope| {
+            scope.spawn(move || {
+                for i in 0..N {
+                    let mut v = i;
+                    while let Err(back) = tx.try_push(v) {
+                        v = back;
+                        std::hint::spin_loop();
+                    }
+                }
+            });
+            let mut seen = 0usize;
+            let mut sum = 0usize;
+            while seen < N {
+                if let Some(v) = rx.try_pop() {
+                    assert_eq!(v, seen, "FIFO order");
+                    sum += v;
+                    seen += 1;
+                } else {
+                    std::hint::spin_loop();
+                }
+            }
+            assert_eq!(sum, N * (N - 1) / 2);
+        });
+    }
+
+    #[test]
+    fn spsc_zero_capacity_clamps_to_one() {
+        let (tx, rx) = spsc::<u8>(0);
+        tx.try_push(1).unwrap();
+        assert_eq!(tx.try_push(2), Err(2));
+        assert_eq!(rx.try_pop(), Some(1));
+    }
+}

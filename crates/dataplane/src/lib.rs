@@ -13,6 +13,7 @@
 //! parser header-vector size, group-table capacity, single-pass parsing —
 //! so the scalability results exercise the constraints the paper's hardware
 //! imposes, without requiring the hardware.
+#![forbid(unsafe_code)]
 
 pub mod fabric;
 pub mod hypervisor;

@@ -22,6 +22,7 @@ use std::collections::HashMap;
 use std::hash::BuildHasherDefault;
 use std::net::Ipv4Addr;
 
+use elmo_core::sync::Stamp;
 use elmo_core::{pop, HeaderLayout, PortBitmap, SigHasher};
 use elmo_net::ipv4;
 use elmo_topology::{Clos, CoreId, LeafId, SpineId, SwitchRef};
@@ -113,6 +114,7 @@ struct DpMetrics {
     dropped_header_vector: elmo_obs::Counter,
     header_pops: elmo_obs::Counter,
     plan_rebuilds: elmo_obs::Counter,
+    plan_stale_detected: elmo_obs::Counter,
 }
 
 fn metrics() -> &'static DpMetrics {
@@ -127,6 +129,7 @@ fn metrics() -> &'static DpMetrics {
         dropped_header_vector: elmo_obs::counter("dataplane.dropped_header_vector"),
         header_pops: elmo_obs::counter("dataplane.header_pops"),
         plan_rebuilds: elmo_obs::counter("fabric.replay.plan_rebuilds"),
+        plan_stale_detected: elmo_obs::counter("fabric.replay.plan_stale_detected"),
     })
 }
 
@@ -198,13 +201,16 @@ fn push_word_hops(words: &[u64], state: u8, out: &mut Vec<(u16, u8)>) {
 /// downstream copy, the table is flattened at install/patch time into a
 /// sorted dense key index (binary-searched, no hashing of any kind per
 /// copy) over a flat port-bitmap word arena. The plan carries the
-/// `table_version` it was compiled from; the hot path debug-asserts the
-/// versions match, so any mutation path that forgets to recompile trips
-/// immediately under `cargo test` instead of silently serving stale rules.
+/// [`Stamp`] of the `table_version` it was compiled from; the hot path
+/// compares the stamps (per packet on the serial paths, once per switch
+/// run in the batched engine — `check_plan_stale`) and counts a mismatch
+/// as `fabric.replay.plan_stale_detected`, so any mutation path that
+/// forgets to recompile is visible in release metrics and trips a debug
+/// assert under `cargo test` instead of silently serving stale rules.
 #[derive(Clone, Debug, Default)]
 struct MatchPlan {
     /// `NetworkSwitch::table_version` at compile time.
-    version: u64,
+    version: Stamp,
     /// Sorted outer group addresses (big-endian `u32` form).
     keys: Vec<u32>,
     /// Parallel to `keys`: word offset of each rule in `words`.
@@ -217,7 +223,7 @@ struct MatchPlan {
 
 impl MatchPlan {
     /// Recompile from the authoritative hash table.
-    fn rebuild(&mut self, table: &GroupTable, version: u64) {
+    fn rebuild(&mut self, table: &GroupTable, version: Stamp) {
         self.keys.clear();
         self.offs.clear();
         self.lens.clear();
@@ -273,7 +279,7 @@ pub struct NetworkSwitch {
     /// Compiled form of `group_table`, consulted by the replay hot path.
     plan: MatchPlan,
     /// Bumped on every `group_table` mutation; `plan.version` must match.
-    table_version: u64,
+    table_version: Stamp,
     /// Counters.
     pub stats: SwitchStats,
     /// Header sections popped by this switch (D2d egress). Only the
@@ -297,7 +303,7 @@ impl NetworkSwitch {
             config,
             group_table: GroupTable::default(),
             plan: MatchPlan::default(),
-            table_version: 0,
+            table_version: Stamp::ZERO,
             stats: SwitchStats::default(),
             pops: 0,
             flushed: SwitchStats::default(),
@@ -313,7 +319,7 @@ impl NetworkSwitch {
             config,
             group_table: GroupTable::default(),
             plan: MatchPlan::default(),
-            table_version: 0,
+            table_version: Stamp::ZERO,
             stats: SwitchStats::default(),
             pops: 0,
             flushed: SwitchStats::default(),
@@ -329,7 +335,7 @@ impl NetworkSwitch {
             config,
             group_table: GroupTable::default(),
             plan: MatchPlan::default(),
-            table_version: 0,
+            table_version: Stamp::ZERO,
             stats: SwitchStats::default(),
             pops: 0,
             flushed: SwitchStats::default(),
@@ -355,7 +361,7 @@ impl NetworkSwitch {
             return Err(GroupTableFull);
         }
         self.group_table.insert(group, ports);
-        self.table_version += 1;
+        self.table_version.bump();
         self.plan.rebuild(&self.group_table, self.table_version);
         Ok(())
     }
@@ -364,7 +370,7 @@ impl NetworkSwitch {
     pub fn remove_srule(&mut self, group: &Ipv4Addr) -> bool {
         let removed = self.group_table.remove(group).is_some();
         if removed {
-            self.table_version += 1;
+            self.table_version.bump();
             self.plan.rebuild(&self.group_table, self.table_version);
         }
         removed
@@ -496,6 +502,7 @@ impl NetworkSwitch {
         layout: &HeaderLayout,
         out: &mut Vec<(u16, u8)>,
     ) {
+        self.check_plan_stale();
         self.process_hops_hv(ingress_port, pkt, pkt.header_vector_len(layout), out);
         self.flush_global_stats();
     }
@@ -510,7 +517,9 @@ impl NetworkSwitch {
     /// the per-switch counters into the process-wide metric mirrors —
     /// the engine calls `flush_global_stats` once per run instead of
     /// per packet. Direct callers that read global metrics afterwards
-    /// must flush through a wrapper entry point first.
+    /// must flush through a wrapper entry point first, and owe a
+    /// [`check_plan_stale`](Self::check_plan_stale) call once per run of
+    /// copies against this switch.
     pub fn process_hops_hv(
         &mut self,
         ingress_port: usize,
@@ -518,11 +527,6 @@ impl NetworkSwitch {
         header_vector_len: usize,
         out: &mut Vec<(u16, u8)>,
     ) {
-        debug_assert_eq!(
-            self.plan.version, self.table_version,
-            "stale MatchPlan at {:?}: group table mutated without recompiling",
-            self.id
-        );
         if header_vector_len > self.config.header_vector_limit {
             self.stats.drop_header_vector();
             return;
@@ -536,6 +540,36 @@ impl NetworkSwitch {
             SwitchRef::Spine(s) => self.spine_hops(s, ingress_port, pkt, out),
             SwitchRef::Core(c) => self.core_hops(c, pkt, out),
         }
+    }
+
+    /// Verify the compiled plan's stamp matches the group table's — a
+    /// mismatch means a mutation path forgot to recompile. Fires in
+    /// release builds too: the stale plan is still served (dropping the
+    /// packet would turn a bookkeeping bug into packet loss) but the
+    /// divergence is counted as `fabric.replay.plan_stale_detected` so
+    /// operators and the verify harness see it; debug builds trip
+    /// immediately. [`process_hops`](Self::process_hops) checks per
+    /// packet; the run-grouped batched engine calls this once per switch
+    /// run, which covers every copy of the run since the table cannot
+    /// mutate mid-replay (the switch is exclusively borrowed).
+    #[inline]
+    pub fn check_plan_stale(&self) {
+        if self.plan.version != self.table_version {
+            self.note_stale_plan();
+        }
+    }
+
+    /// Cold half of [`check_plan_stale`](Self::check_plan_stale), out of
+    /// line so the hot path pays only the one-word stamp compare.
+    #[cold]
+    #[inline(never)]
+    fn note_stale_plan(&self) {
+        metrics().plan_stale_detected.inc();
+        debug_assert_eq!(
+            self.plan.version, self.table_version,
+            "stale MatchPlan at {:?}: group table mutated without recompiling",
+            self.id
+        );
     }
 
     /// Which rule source a *downstream* copy of `pkt` resolves to at this
@@ -1422,5 +1456,36 @@ mod tests {
         let out = leaf.process(0, &[0u8; 10], &layout);
         assert!(out.is_empty());
         assert_eq!(leaf.stats.dropped_parse, 1);
+    }
+
+    #[test]
+    fn stale_plan_is_detected() {
+        let (topo, _) = setup();
+        let mut leaf = NetworkSwitch::new_leaf(topo, LeafId(0), SwitchConfig::default());
+        leaf.install_srule(Ipv4Addr::new(239, 0, 0, 1), PortBitmap::from_ports(8, [1]))
+            .unwrap();
+        leaf.check_plan_stale(); // stamps aligned: silent
+
+        // Seed the bug the guard exists for: mutate the table and bump its
+        // stamp without recompiling the plan.
+        leaf.group_table.remove(&Ipv4Addr::new(239, 0, 0, 1));
+        leaf.table_version.bump();
+
+        if cfg!(debug_assertions) {
+            // Debug builds trip immediately.
+            let r =
+                std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| leaf.check_plan_stale()));
+            assert!(r.is_err(), "stale plan must trip the debug assert");
+        } else {
+            // Release builds keep serving but must count the divergence.
+            let before = elmo_obs::snapshot()
+                .counter("fabric.replay.plan_stale_detected")
+                .unwrap_or(0);
+            leaf.check_plan_stale();
+            let after = elmo_obs::snapshot()
+                .counter("fabric.replay.plan_stale_detected")
+                .unwrap_or(0);
+            assert_eq!(after, before + 1, "stale plan must be counted in release");
+        }
     }
 }

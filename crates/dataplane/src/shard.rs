@@ -83,8 +83,7 @@
 //! and link/switch counters for any shard count, including one — which is
 //! how `tests/replay_identity.rs` pins it.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
-
+use elmo_core::sync::Pending;
 use elmo_core::{resolve_threads, spsc, HeaderLayout, SpscReceiver, SpscSender};
 use elmo_topology::{Clos, CoreId, HostId, LeafId, SpineId, SwitchRef};
 
@@ -780,10 +779,11 @@ impl Fabric {
         }
 
         // Copies queued anywhere but not yet processed. Seeded before the
-        // workers start; producers increment before publishing a child
-        // copy and decrement after finishing an entry, so zero means
-        // globally done.
-        let pending = AtomicUsize::new(seeds.len());
+        // workers start; producers publish before making a child copy
+        // visible and retire after finishing an entry, so quiescence means
+        // globally done. The protocol lives in `elmo_core::sync::Pending`,
+        // where the `elmo-race` model checker exercises it exhaustively.
+        let pending: Pending = Pending::new(seeds.len());
 
         // Seed each shard's local queue with the batch entries whose
         // ingress leaf it owns.
@@ -950,7 +950,7 @@ fn run_worker(
     wire: &[[u32; 6]],
     part: &Partition,
     down: &std::collections::BTreeSet<SwitchRef>,
-    pending: &AtomicUsize,
+    pending: &Pending,
     tracing: bool,
     recorder_cap: usize,
 ) -> Worker {
@@ -982,7 +982,7 @@ fn run_worker(
     loop {
         w.drain_incoming(&mut rxs, part);
         let Some(local) = w.active.pop() else {
-            if solo || pending.load(Ordering::Acquire) == 0 {
+            if solo || pending.quiescent() {
                 break;
             }
             std::hint::spin_loop();
@@ -1000,7 +1000,7 @@ fn run_worker(
             // Failed switch: the whole run is lost here, exactly as in
             // the serial loop.
             if !solo {
-                pending.fetch_sub(run_len, Ordering::AcqRel);
+                pending.retire(run_len);
             }
             w.run.clear();
             continue;
@@ -1028,6 +1028,9 @@ fn run_worker(
                 ..
             } = &mut w;
             let node = &mut switches[li];
+            // One stamp compare covers the whole run: the switch is
+            // exclusively borrowed, so its table cannot mutate mid-run.
+            node.check_plan_stale();
             staged.clear();
             for e in 0..run_len {
                 let (port, state, pkt_i) = (run.port[e], run.state[e], run.pkt[e]);
@@ -1115,10 +1118,10 @@ fn run_worker(
             node.flush_global_stats();
         }
         // Count every staged child before any becomes visible, then
-        // route them; the run's own entries are decremented only after
+        // route them; the run's own entries are retired only after
         // both, so `pending` can never read zero while work exists.
         if !solo && !w.staged.is_empty() {
-            pending.fetch_add(w.staged.len(), Ordering::AcqRel);
+            pending.publish(w.staged.len());
         }
         for i in 0..w.staged.len() {
             let msg = w.staged[i];
@@ -1167,7 +1170,7 @@ fn run_worker(
             m.core_to_spine_bytes.add(cs);
         }
         if !solo {
-            pending.fetch_sub(run_len, Ordering::AcqRel);
+            pending.retire(run_len);
         }
         w.run.clear();
     }

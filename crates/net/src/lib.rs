@@ -13,6 +13,7 @@
 //!
 //! Nothing here allocates on the packet path; views borrow the caller's
 //! buffer.
+#![forbid(unsafe_code)]
 
 pub mod ethernet;
 pub mod igmp;

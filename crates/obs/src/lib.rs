@@ -26,6 +26,7 @@
 //!   snapshots for time-resolved replay/failure runs. Both derive every
 //!   id from (packet index, switch id) — never wall clocks — so traced
 //!   runs stay bit-identical at any shard count.
+#![forbid(unsafe_code)]
 
 pub mod hist;
 pub mod json;

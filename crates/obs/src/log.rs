@@ -47,11 +47,13 @@ static FORMAT: AtomicU8 = AtomicU8::new(0); // 0 = Human, 1 = Jsonl
 
 /// Set the maximum level that gets emitted (default [`Level::Info`]).
 pub fn set_level(level: Level) {
+    // ordering: standalone config flag; publishes no other memory.
     LEVEL.store(level as u8, Ordering::Relaxed);
 }
 
 /// Current level filter.
 pub fn level() -> Level {
+    // ordering: standalone config flag; stale reads only delay a level change.
     match LEVEL.load(Ordering::Relaxed) {
         0 => Level::Error,
         1 => Level::Warn,
@@ -63,12 +65,14 @@ pub fn level() -> Level {
 
 /// Set the output format (default [`Format::Human`]).
 pub fn set_format(format: Format) {
+    // ordering: standalone config flag; publishes no other memory.
     FORMAT.store(matches!(format, Format::Jsonl) as u8, Ordering::Relaxed);
 }
 
 /// Would an event at `level` be emitted?
 #[inline]
 pub fn enabled(level: Level) -> bool {
+    // ordering: standalone config flag; stale reads only delay a level change.
     (level as u8) <= LEVEL.load(Ordering::Relaxed)
 }
 
@@ -182,6 +186,8 @@ impl FieldValue {
 
 /// Format an event line without emitting it (exposed for tests).
 pub fn format_event(level: Level, event: &str, fields: &[(&str, FieldValue)]) -> String {
+    // ordering: standalone config flag; a racing format switch may route
+    // one event to the old sink, which is harmless.
     if FORMAT.load(Ordering::Relaxed) == 1 {
         let mut obj = std::collections::BTreeMap::new();
         obj.insert("level".to_string(), JsonValue::String(level.name().into()));

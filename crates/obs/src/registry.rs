@@ -55,6 +55,7 @@ impl Shard {
         let mut hists = Vec::with_capacity(MAX_HISTS * HIST_STRIDE);
         hists.resize_with(MAX_HISTS * HIST_STRIDE, || AtomicU64::new(0));
         // Min slots start at MAX so fetch_min works from the first record.
+        // ordering: shard not yet shared; Relaxed is trivially enough.
         for h in 0..MAX_HISTS {
             hists[h * HIST_STRIDE + H_MIN].store(u64::MAX, Ordering::Relaxed);
         }
@@ -62,12 +63,15 @@ impl Shard {
     }
 
     fn reset(&self) {
+        // ordering: statistics cells publish no other memory; callers reset
+        // between runs, when recorders are quiescent.
         for c in &self.counters {
             c.store(0, Ordering::Relaxed);
         }
         for h in 0..MAX_HISTS {
             for s in 0..HIST_STRIDE {
                 let init = if s == H_MIN { u64::MAX } else { 0 };
+                // ordering: see the counter reset above.
                 self.hists[h * HIST_STRIDE + s].store(init, Ordering::Relaxed);
             }
         }
@@ -133,12 +137,15 @@ fn register(table: &mut Vec<String>, name: &str, cap: usize, kind: &str) -> u16 
 
 /// Whether recording is enabled (default: yes).
 pub fn enabled() -> bool {
+    // ordering: standalone on/off flag; publishes no other memory.
     registry().enabled.load(Ordering::Relaxed)
 }
 
 /// Turn recording on or off globally. Handles stay valid either way; a
 /// disabled registry makes every record a single relaxed load.
 pub fn set_enabled(on: bool) {
+    // ordering: standalone on/off flag; a racing record may slip through
+    // once, which snapshot consumers tolerate.
     registry().enabled.store(on, Ordering::Relaxed);
 }
 
@@ -146,6 +153,8 @@ pub fn set_enabled(on: bool) {
 /// For tests and CLI runs that want a per-run snapshot.
 pub fn reset() {
     let reg = registry();
+    // ordering: statistics cells publish no other memory; reset runs
+    // between runs, when recorders are quiescent.
     for g in &reg.gauges {
         g.store(0, Ordering::Relaxed);
     }
@@ -167,6 +176,8 @@ impl Counter {
         if self.0 == DEAD || n == 0 || !enabled() {
             return;
         }
+        // ordering: monotonic statistic, aggregated only at snapshot time
+        // after recorders quiesce; publishes no other memory.
         SHARD.with(|s| s.counters[self.0 as usize].fetch_add(n, Ordering::Relaxed));
     }
 
@@ -189,6 +200,8 @@ impl Gauge {
         if self.0 == DEAD || !enabled() {
             return;
         }
+        // ordering: last-write-wins statistic set from sequential code;
+        // publishes no other memory.
         registry().gauges[self.0 as usize].store(v, Ordering::Relaxed);
     }
 }
@@ -206,6 +219,8 @@ impl Histogram {
         }
         SHARD.with(|s| {
             let base = self.0 as usize * HIST_STRIDE;
+            // ordering: per-thread statistic slots, aggregated only at
+            // snapshot time after recorders quiesce.
             s.hists[base + H_COUNT].fetch_add(1, Ordering::Relaxed);
             s.hists[base + H_SUM].fetch_add(v, Ordering::Relaxed);
             s.hists[base + H_MIN].fetch_min(v, Ordering::Relaxed);
@@ -447,6 +462,8 @@ pub fn snapshot() -> Snapshot {
 
     let mut counters = BTreeMap::new();
     for (i, name) in names.counters.iter().enumerate() {
+        // ordering: snapshot reads; recorders are quiescent by contract
+        // (see module docs), so Relaxed observes final values.
         let total: u64 = shards
             .iter()
             .map(|s| s.counters[i].load(Ordering::Relaxed))
@@ -455,6 +472,7 @@ pub fn snapshot() -> Snapshot {
     }
     let mut gauges = BTreeMap::new();
     for (i, name) in names.gauges.iter().enumerate() {
+        // ordering: snapshot read under the same quiescence contract.
         gauges.insert(name.clone(), reg.gauges[i].load(Ordering::Relaxed));
     }
     let mut histograms = BTreeMap::new();
@@ -465,11 +483,13 @@ pub fn snapshot() -> Snapshot {
         let mut max = 0u64;
         let mut buckets = vec![0u64; N_BUCKETS];
         for s in &shards {
+            // ordering: snapshot reads under the same quiescence contract.
             h.count += s.hists[base + H_COUNT].load(Ordering::Relaxed);
             h.sum += s.hists[base + H_SUM].load(Ordering::Relaxed);
             min = min.min(s.hists[base + H_MIN].load(Ordering::Relaxed));
             max = max.max(s.hists[base + H_MAX].load(Ordering::Relaxed));
             for (b, out) in buckets.iter_mut().enumerate() {
+                // ordering: snapshot read under the same quiescence contract.
                 *out += s.hists[base + H_BUCKET0 + b].load(Ordering::Relaxed);
             }
         }

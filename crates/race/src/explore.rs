@@ -1,0 +1,264 @@
+//! Bounded-preemption exhaustive schedule exploration with iterative
+//! deepening and minimal failure witnesses.
+//!
+//! The explorer enumerates every schedule of a model that uses at most
+//! `max_preemptions` *voluntary* preemptions (switching away from a
+//! thread that could have continued; switches forced by a parked or
+//! finished thread are free). Deepening runs bound 0, then 1, … so the
+//! first failing schedule found uses the fewest preemptions possible —
+//! the minimal witness — and `replay` re-executes any recorded schedule
+//! deterministically.
+//!
+//! Enumeration is the classic DFS over decision prefixes: run an
+//! execution, record every decision's candidate set, then branch on each
+//! untaken candidate *past the current prefix* (alternatives at or before
+//! the prefix were branched when the prefix was created, so every
+//! schedule is visited exactly once per bound).
+
+use crate::sched::{self, Scheduler};
+use std::sync::Arc;
+
+/// One checkable protocol model: a re-runnable setup producing thread
+/// bodies and a final-state check.
+pub struct Model {
+    /// Display name (also used by `elmo-eval race`).
+    pub name: &'static str,
+    setup: Box<dyn Fn() -> ModelInstance>,
+}
+
+impl Model {
+    pub fn new(name: &'static str, setup: impl Fn() -> ModelInstance + 'static) -> Model {
+        Model {
+            name,
+            setup: Box::new(setup),
+        }
+    }
+}
+
+/// One execution's worth of threads plus the post-join assertion.
+pub struct ModelInstance {
+    /// Thread bodies; index = thread id in schedules.
+    pub threads: Vec<Box<dyn FnOnce() + Send>>,
+    /// Final-state check, run after every thread joined cleanly.
+    pub check: Box<dyn FnOnce() -> Result<(), String>>,
+}
+
+/// A replayable counterexample schedule.
+#[derive(Clone, Debug)]
+pub struct Witness {
+    /// Thread index granted at each decision — feed to [`Explorer::replay`].
+    pub schedule: Vec<usize>,
+    /// Voluntary preemptions the schedule uses (minimal by construction).
+    pub preemptions: usize,
+    /// What went wrong (assertion text, or the deadlock report).
+    pub message: String,
+    /// Rendered per-step trace of the failing execution.
+    pub trace: Vec<String>,
+}
+
+/// Result of exploring one model.
+#[derive(Clone, Debug)]
+pub struct Exploration {
+    pub model: &'static str,
+    /// Distinct complete schedules explored (each counted once across
+    /// deepening levels).
+    pub schedules: u64,
+    /// Total executions run, including deepening re-runs.
+    pub executions: u64,
+    /// First failure found, at the lowest preemption bound that fails.
+    pub failure: Option<Witness>,
+}
+
+/// The schedule explorer.
+pub struct Explorer {
+    /// Deepening ceiling for voluntary preemptions per schedule.
+    pub max_preemptions: usize,
+    /// Per-execution decision budget; exceeding it is reported as a
+    /// livelock failure rather than looping forever.
+    pub max_steps: usize,
+}
+
+impl Default for Explorer {
+    fn default() -> Self {
+        Explorer {
+            max_preemptions: 3,
+            max_steps: 5_000,
+        }
+    }
+}
+
+struct ExecOutcome {
+    /// Thread granted at each decision.
+    chosen: Vec<usize>,
+    /// Candidate set at each decision (ascending thread ids).
+    candidates: Vec<Vec<usize>>,
+    /// Thread granted at the previous decision, per decision.
+    prev: Vec<Option<usize>>,
+    /// Voluntary preemptions among decisions before each index.
+    preempt_before: Vec<usize>,
+    /// Total voluntary preemptions of the execution.
+    preemptions: usize,
+    failure: Option<String>,
+    sched: Arc<Scheduler>,
+}
+
+fn is_preempt(prev: Option<usize>, candidates: &[usize], pick: usize) -> bool {
+    matches!(prev, Some(p) if p != pick && candidates.contains(&p))
+}
+
+fn run_once(model: &Model, prescribed: &[usize], max_steps: usize) -> ExecOutcome {
+    let sched = Scheduler::new(0);
+    let inst = {
+        // Cells the setup creates (rings, counters) register their
+        // locations with this execution's scheduler via TLS.
+        let _guard = sched::bind(&sched, None);
+        (model.setup)()
+    };
+    sched.register_threads(inst.threads.len());
+    let handles: Vec<_> = inst
+        .threads
+        .into_iter()
+        .enumerate()
+        .map(|(tid, body)| {
+            let s = Arc::clone(&sched);
+            std::thread::spawn(move || sched::run_thread(s, tid, body))
+        })
+        .collect();
+
+    let mut chosen = Vec::new();
+    let mut candidates_log: Vec<Vec<usize>> = Vec::new();
+    let mut prev_log: Vec<Option<usize>> = Vec::new();
+    let mut preempt_before = Vec::new();
+    let mut preemptions = 0usize;
+    let mut failure: Option<String> = None;
+    let mut prev: Option<usize> = None;
+    loop {
+        let d = sched.await_decision();
+        if d.all_done {
+            break;
+        }
+        if d.candidates.is_empty() {
+            failure = Some(
+                "deadlock: every thread parked with no pending store \
+                 (lost wakeup or premature exit)"
+                    .to_string(),
+            );
+            sched.abort();
+            break;
+        }
+        let step = chosen.len();
+        if step >= max_steps {
+            failure = Some(format!("step budget exceeded ({max_steps}): livelock"));
+            sched.abort();
+            break;
+        }
+        let pick = if step < prescribed.len() {
+            let p = prescribed[step];
+            assert!(
+                d.candidates.contains(&p),
+                "schedule divergence at step {step}: prescribed t{p}, runnable {:?} \
+                 (model is nondeterministic?)",
+                d.candidates
+            );
+            p
+        } else if let Some(p) = prev.filter(|p| d.candidates.contains(p)) {
+            // Default policy: never preempt voluntarily.
+            p
+        } else {
+            d.candidates[0]
+        };
+        preempt_before.push(preemptions);
+        if is_preempt(prev, &d.candidates, pick) {
+            preemptions += 1;
+        }
+        candidates_log.push(d.candidates);
+        prev_log.push(prev);
+        chosen.push(pick);
+        prev = Some(pick);
+        sched.grant(pick);
+    }
+    for h in handles {
+        let _ = h.join();
+    }
+    if failure.is_none() {
+        if let Err(msg) = (inst.check)() {
+            failure = Some(msg);
+        }
+    }
+    ExecOutcome {
+        chosen,
+        candidates: candidates_log,
+        prev: prev_log,
+        preempt_before,
+        preemptions,
+        failure,
+        sched,
+    }
+}
+
+impl Explorer {
+    /// Exhaustively explore `model` up to the preemption bound,
+    /// deepening from 0 so any failure is found with a minimal witness.
+    pub fn explore(&self, model: &Model) -> Exploration {
+        let mut executions = 0u64;
+        let mut schedules = 0u64;
+        for bound in 0..=self.max_preemptions {
+            let mut stack: Vec<Vec<usize>> = vec![Vec::new()];
+            while let Some(prefix) = stack.pop() {
+                let prefix_len = prefix.len();
+                let out = run_once(model, &prefix, self.max_steps);
+                executions += 1;
+                if out.preemptions == bound {
+                    // Executions using fewer preemptions were already
+                    // counted at the earlier deepening level.
+                    schedules += 1;
+                }
+                if let Some(message) = out.failure {
+                    let trace = out
+                        .sched
+                        .trace()
+                        .iter()
+                        .map(|s| out.sched.render_step(s))
+                        .collect();
+                    return Exploration {
+                        model: model.name,
+                        schedules,
+                        executions,
+                        failure: Some(Witness {
+                            schedule: out.chosen,
+                            preemptions: out.preemptions,
+                            message,
+                            trace,
+                        }),
+                    };
+                }
+                for i in (prefix_len..out.chosen.len()).rev() {
+                    for &alt in &out.candidates[i] {
+                        if alt == out.chosen[i] {
+                            continue;
+                        }
+                        let cost = out.preempt_before[i]
+                            + usize::from(is_preempt(out.prev[i], &out.candidates[i], alt));
+                        if cost <= bound {
+                            let mut next = out.chosen[..i].to_vec();
+                            next.push(alt);
+                            stack.push(next);
+                        }
+                    }
+                }
+            }
+        }
+        Exploration {
+            model: model.name,
+            schedules,
+            executions,
+            failure: None,
+        }
+    }
+
+    /// Re-execute a recorded schedule; returns the failure it reproduces
+    /// (`None` when the execution passes, i.e. the witness is stale).
+    pub fn replay(&self, model: &Model, schedule: &[usize]) -> Option<String> {
+        run_once(model, schedule, self.max_steps).failure
+    }
+}

@@ -74,6 +74,7 @@
 //! Without `--full` a proportionally scaled fabric is used so every
 //! experiment completes in seconds; shapes (who wins, where the knees are)
 //! are preserved. EXPERIMENTS.md records paper-vs-measured numbers.
+#![forbid(unsafe_code)]
 
 use elmo_sim::report::{avg_max, count, pct, ratio, table};
 use elmo_sim::{sweep, SweepConfig};
@@ -109,6 +110,9 @@ struct Opts {
     delta: bool,
     expect_hit_rate: Option<u64>,
     min_group: Option<usize>,
+    temporal_events: usize,
+    temporal_senders: usize,
+    expect_min_schedules: Option<u64>,
 }
 
 fn parse_args() -> Opts {
@@ -141,6 +145,9 @@ fn parse_args() -> Opts {
         delta: true,
         expect_hit_rate: None,
         min_group: None,
+        temporal_events: 10_000,
+        temporal_senders: 2,
+        expect_min_schedules: None,
     };
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -201,6 +208,15 @@ fn parse_args() -> Opts {
                 opts.expect_hit_rate = Some(expect_num(&mut args, "--expect-hit-rate"));
             }
             "--min-group" => opts.min_group = Some(expect_num(&mut args, "--min-group") as usize),
+            "--temporal-events" => {
+                opts.temporal_events = expect_num(&mut args, "--temporal-events") as usize;
+            }
+            "--temporal-senders" => {
+                opts.temporal_senders = expect_num(&mut args, "--temporal-senders") as usize;
+            }
+            "--expect-min-schedules" => {
+                opts.expect_min_schedules = Some(expect_num(&mut args, "--expect-min-schedules"));
+            }
             "--windows" => opts.windows = expect_num(&mut args, "--windows") as usize,
             "--tick" => opts.tick = expect_num(&mut args, "--tick") as usize,
             "--timeline-out" => {
@@ -248,7 +264,7 @@ fn usage(msg: &str) -> ! {
     }
     eprintln!(
         "usage: elmo-eval <fig4|fig5|uniform|limited-srules|small-header|table1|table2|table3|\
-         fig6|fig7|telemetry|failures|latency|xpander|verify|churn|trace|timeline|all> [--full] \
+         fig6|fig7|telemetry|failures|latency|xpander|verify|churn|race|trace|timeline|all> [--full] \
          [--groups N] \
          [--tenants N] [--events N] [--pkt N] [--r 0,6,12] [--seed N] [--threads N] \
          [--samples N] [--replay-threads N] [--replay-allow-oversubscribed] \
@@ -256,6 +272,7 @@ fn usage(msg: &str) -> ! {
          [--trace-pcap PATH] \
          [--group N] [--sender H] [--trace-out PATH] [--expect-nodes N] \
          [--burst N] [--delta on|off] [--expect-hit-rate PCT] \
+         [--temporal-events N] [--temporal-senders N] [--expect-min-schedules N] \
          [--windows N] [--tick N] [--timeline-out PATH] \
          [-v|-vv|--quiet] [--log-json]\n\
          \n       elmo-eval check-metrics <snapshot.json>"
@@ -317,6 +334,7 @@ fn main() {
             "trace",
             "timeline",
             "churn",
+            "race",
             "table1",
         ] {
             let mut o = opts.clone();
@@ -447,6 +465,7 @@ fn run_one(opts: &Opts) {
         "two-tier" => run_two_tier(opts),
         "verify" => run_verify(opts),
         "churn" => run_churn(opts),
+        "race" => run_race(opts),
         "trace" => run_trace(opts),
         "timeline" => run_timeline(opts),
         other => usage(&format!("unknown experiment: {other}")),
@@ -659,6 +678,51 @@ fn run_verify(opts: &Opts) {
         }
         reports.insert(name.to_string(), rep.to_json());
     }
+    // Temporal update-safety: replay a seeded churn stream on the P=12
+    // workload and prove every intermediate patch state leaves in-flight
+    // (pre-event) headers either byte-exact or attributably versioned
+    // out. `--temporal-events 0` skips the sweep.
+    if opts.temporal_events > 0 {
+        use elmo_sim::temporal_exp::{self, TemporalExpConfig};
+        let mut wl = workload_cfg(opts, &topo, 12, GroupSizeDist::Wve);
+        if opts.groups.is_none() {
+            wl.total_groups = wl.total_groups.min(2_000);
+        }
+        let tcfg = TemporalExpConfig {
+            r,
+            header_budget: budget,
+            threads: opts.threads,
+            events: opts.temporal_events,
+            burst: opts.burst,
+            seed: opts.seed ^ 0x7e,
+            delta: true,
+            max_senders: opts.temporal_senders,
+        };
+        let trun = temporal_exp::run(topo, wl, &tcfg);
+        let rep = &trun.report;
+        println!(
+            "verify temporal: {} groups, {} churn events, {} steps checked, {} sender walks \
+             ({} exact, {} converged, {} versioned out) -> {}",
+            count(trun.groups as u64),
+            count(rep.events as u64),
+            count(rep.steps_checked as u64),
+            count(rep.senders_walked as u64),
+            count(rep.exact as u64),
+            count(rep.converged as u64),
+            count(rep.versioned_out as u64),
+            if rep.ok() { "ok" } else { "FAIL" },
+        );
+        if !rep.ok() {
+            failed = true;
+            for v in rep.violations.iter().take(20) {
+                println!("  violation: {}", v.render());
+            }
+            if rep.violations.len() > 20 {
+                println!("  ... and {} more", rep.violations.len() - 20);
+            }
+        }
+        reports.insert("temporal".to_string(), rep.to_json());
+    }
     if let Some(path) = &opts.report_out {
         // Record how the differential replays were sharded, so a report
         // produced on an oversubscribed runner is marked as such instead
@@ -691,6 +755,91 @@ fn run_verify(opts: &Opts) {
                 );
                 std::process::exit(1);
             }
+        }
+    }
+    if failed {
+        std::process::exit(1);
+    }
+    println!();
+}
+
+/// `elmo-eval race` — run the `elmo-race` schedule explorer over every
+/// clean protocol model and every seeded mutation. Exit 1 if a clean
+/// model fails any schedule, a model degenerates below 10 schedules, a
+/// mutation goes uncaught, a witness fails to replay identically, or the
+/// clean-model schedule total falls below `--expect-min-schedules`.
+fn run_race(opts: &Opts) {
+    use elmo_race::{clean_models, mutated_models, Explorer};
+    let explorer = Explorer::default();
+    let mut failed = false;
+    let mut total_schedules = 0u64;
+    for model in clean_models() {
+        let rep = explorer.explore(&model);
+        total_schedules += rep.schedules;
+        let degenerate = rep.schedules < 10;
+        println!(
+            "race clean {}: {} schedules, {} executions -> {}",
+            rep.model,
+            count(rep.schedules),
+            count(rep.executions),
+            if rep.failure.is_none() && !degenerate {
+                "ok"
+            } else {
+                "FAIL"
+            },
+        );
+        if degenerate {
+            failed = true;
+            println!("  model degenerated: fewer than 10 distinct schedules");
+        }
+        if let Some(w) = rep.failure {
+            failed = true;
+            println!("  failure: {} (schedule {:?})", w.message, w.schedule);
+            for line in w.trace.iter().take(30) {
+                println!("    {line}");
+            }
+        }
+    }
+    for model in mutated_models() {
+        let rep = explorer.explore(&model);
+        match rep.failure {
+            Some(w) => {
+                // The witness must replay to the identical failure:
+                // that is what makes it actionable.
+                let replayed = explorer.replay(&model, &w.schedule);
+                let ok = replayed.as_deref() == Some(w.message.as_str());
+                println!(
+                    "race mutated {}: caught in {} executions, {} preemptions, replay {} -> {}",
+                    rep.model,
+                    count(rep.executions),
+                    w.preemptions,
+                    if ok { "identical" } else { "DIVERGED" },
+                    if ok { "ok" } else { "FAIL" },
+                );
+                if !ok {
+                    failed = true;
+                }
+            }
+            None => {
+                failed = true;
+                println!(
+                    "race mutated {}: NOT caught in {} schedules -> FAIL",
+                    rep.model,
+                    count(rep.schedules),
+                );
+            }
+        }
+    }
+    if let Some(floor) = opts.expect_min_schedules {
+        let ok = total_schedules >= floor;
+        println!(
+            "race schedule floor: {} clean-model schedules, floor {} -> {}",
+            count(total_schedules),
+            count(floor),
+            if ok { "ok" } else { "FAIL" },
+        );
+        if !ok {
+            failed = true;
         }
     }
     if failed {

@@ -147,7 +147,9 @@ impl ChurnRun {
     }
 }
 
-fn to_role(r: Role) -> MemberRole {
+/// Map a workload role to a controller role (shared with the temporal
+/// sweep, which must replay the identical stream).
+pub(crate) fn to_role(r: Role) -> MemberRole {
     match r {
         Role::Sender => MemberRole::Sender,
         Role::Receiver => MemberRole::Receiver,

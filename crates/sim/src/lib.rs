@@ -16,6 +16,7 @@
 //!
 //! The `elmo-eval` binary drives all of these and prints paper-style rows;
 //! see `EXPERIMENTS.md` at the workspace root for paper-vs-measured values.
+#![forbid(unsafe_code)]
 
 pub mod ablation;
 pub mod baselines;
@@ -28,6 +29,7 @@ pub mod report;
 pub mod sweep;
 pub mod table2;
 pub mod table3;
+pub mod temporal_exp;
 pub mod timeline_exp;
 pub mod trace_exp;
 pub mod verify_exp;

@@ -72,6 +72,10 @@ pub const REQUIRED_METRICS: &[&str] = &[
     // removal that recompiles a switch's plan. Zero after a churn delta
     // that touched group tables means a stale plan.
     "fabric.replay.plan_rebuilds",
+    // Stale-plan detections on the replay hot path: a switch served a
+    // packet while `plan.version != table_version`. Always-on (release
+    // builds included); any nonzero value is a recompile-discipline bug.
+    "fabric.replay.plan_stale_detected",
     "fabric.replay.shard.batches",
     "fabric.replay.shard.cross_msgs",
     "fabric.replay.trace_serial_fallback",

@@ -17,6 +17,7 @@
 //!   spines/cores via explicit upstream ports (paper §3.3),
 //! * [`xpander::Xpander`] — an expander topology used for the non-Clos
 //!   discussion at the end of §5.1.2.
+#![forbid(unsafe_code)]
 
 pub mod clos;
 pub mod failure;

@@ -34,10 +34,12 @@
 //! let report = elmo_verify::check_state(&ctl, &fabric);
 //! assert!(report.ok(), "{:#?}", report.violations);
 //! ```
+#![forbid(unsafe_code)]
 
 pub mod differential;
 pub mod report;
 mod tables;
+pub mod temporal;
 mod walk;
 
 use std::collections::{BTreeMap, BTreeSet};
@@ -52,6 +54,10 @@ pub use differential::{
 pub use report::{
     BudgetSummary, RedundancySummary, Report, RuleRef, SenderTraffic, TableTier, Violation,
     ViolationKind, Witness,
+};
+pub use temporal::{
+    check_update, EpochSnapshot, StepOutcome, TemporalReport, TemporalViolation,
+    TemporalViolationKind,
 };
 
 /// The static walk's predicted delivery multiset for one (group, sender)

@@ -6,6 +6,7 @@
 //! distributions (WVE-calibrated and Uniform), proportional group-to-tenant
 //! assignment, and join/leave churn streams with sender/receiver/both roles
 //! (§5.1.3a).
+#![forbid(unsafe_code)]
 
 pub mod churn;
 pub mod dist;

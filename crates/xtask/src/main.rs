@@ -22,9 +22,19 @@
 //!    `dataplane/shard.rs`) get the encode path's wall-clock ban — trace
 //!    ids derive from (packet index, switch id) and windows are logical
 //!    ticks, so traced replays stay bit-identical at any shard count.
+//! 5. **Audited atomics**: every atomic `Ordering::*` token in non-test
+//!    code must live in an allowlisted sync module *and* sit under a
+//!    `// ordering:` justification comment (the comment covers uses up
+//!    to the next blank line). New lock-free code must either join the
+//!    allowlist deliberately or use the `elmo_core::sync` abstraction,
+//!    whose backends are exhaustively schedule-checked by `elmo-race`.
+//! 6. **`forbid(unsafe_code)` coverage**: every crate root and binary
+//!    root under `crates/` must carry `#![forbid(unsafe_code)]` — the
+//!    workspace is 100% safe Rust and stays that way by construction.
 //!
 //! Exits non-zero with `file:line` diagnostics on any violation. Wired
 //! into CI next to clippy and rustfmt.
+#![forbid(unsafe_code)]
 
 use std::fmt::Write as _;
 use std::path::{Path, PathBuf};
@@ -82,7 +92,14 @@ fn main() {
         {
             check_metric_names(&rel_str, non_test, &declared, &mut problems);
         }
+        // Integration tests under `tests/` are all test code and exempt,
+        // like `#[cfg(test)]` blocks.
+        if rel_str.starts_with("crates/") {
+            check_atomic_orderings(&rel_str, non_test, &mut problems);
+        }
     }
+
+    check_forbid_coverage(&root, &mut problems);
 
     if problems.is_empty() {
         println!("xtask lint: {} files clean", sources.len());
@@ -325,6 +342,112 @@ fn string_array(text: &str, name: &str) -> Vec<String> {
         rest = &after[q2 + 1..];
     }
     names
+}
+
+/// Modules allowed to touch atomic memory orderings directly. Everything
+/// else goes through `elmo_core::sync`, whose two backends (real atomics
+/// and the `elmo-race` instrumented cells) are schedule-checked.
+const ORDERING_ALLOWLIST: &[&str] = &[
+    "crates/core/src/par.rs",
+    "crates/core/src/spsc.rs",
+    "crates/core/src/sync.rs",
+    "crates/obs/src/log.rs",
+    "crates/obs/src/registry.rs",
+    "crates/race/src/sched.rs",
+    "crates/race/src/models.rs",
+];
+
+/// The atomic `Ordering` variants. `std::cmp::Ordering`'s variants
+/// (`Less`/`Equal`/`Greater`) never match, so comparator code is free to
+/// name its `Ordering` without tripping the audit.
+const ATOMIC_ORDERINGS: &[&str] = &[
+    "Ordering::Relaxed",
+    "Ordering::Acquire",
+    "Ordering::Release",
+    "Ordering::AcqRel",
+    "Ordering::SeqCst",
+];
+
+/// Lint 5: atomic `Ordering::*` tokens are only legal in allowlisted sync
+/// modules, and every use must sit under a `// ordering:` justification
+/// comment. A justification covers all uses from its own line down to the
+/// next blank line, so one comment can vouch for a contiguous cluster
+/// (e.g. the paired loads of a snapshot read) but not for a whole file.
+fn check_atomic_orderings(rel: &str, text: &str, problems: &mut Vec<String>) {
+    let allowlisted = ORDERING_ALLOWLIST.contains(&rel);
+    let mut justified = false;
+    let mut line_no = 0usize;
+    for line in text.lines() {
+        line_no += 1;
+        if line.trim().is_empty() {
+            justified = false;
+            continue;
+        }
+        if line.contains("// ordering:") {
+            justified = true;
+        }
+        // Only audit code: ignore tokens that sit inside the line's
+        // comment tail (justification prose often names an ordering).
+        let code = line.split("//").next().unwrap_or(line);
+        if !ATOMIC_ORDERINGS.iter().any(|o| code.contains(o)) {
+            continue;
+        }
+        if !allowlisted {
+            problems.push(format!(
+                "{rel}:{line_no}: atomic Ordering use outside the allowlisted sync \
+                 modules; build on elmo_core::sync (or extend the xtask allowlist \
+                 deliberately, with a `// ordering:` justification)"
+            ));
+        } else if !justified {
+            problems.push(format!(
+                "{rel}:{line_no}: atomic Ordering use without a `// ordering:` \
+                 justification comment above it (comments cover uses up to the \
+                 next blank line)"
+            ));
+        }
+    }
+}
+
+/// Lint 6: every crate root (`src/lib.rs`) and binary root (`src/main.rs`,
+/// `src/bin/*.rs`) must carry `#![forbid(unsafe_code)]`.
+fn check_forbid_coverage(root: &Path, problems: &mut Vec<String>) {
+    let crates = root.join("crates");
+    let Ok(entries) = std::fs::read_dir(&crates) else {
+        problems.push("crates/: unreadable workspace layout".into());
+        return;
+    };
+    let mut roots = Vec::new();
+    for e in entries.flatten() {
+        let src = e.path().join("src");
+        for name in ["lib.rs", "main.rs"] {
+            let p = src.join(name);
+            if p.is_file() {
+                roots.push(p);
+            }
+        }
+        let bin = src.join("bin");
+        if let Ok(bins) = std::fs::read_dir(&bin) {
+            for b in bins.flatten() {
+                let p = b.path();
+                if p.extension().is_some_and(|x| x == "rs") {
+                    roots.push(p);
+                }
+            }
+        }
+    }
+    roots.sort();
+    for p in roots {
+        let rel = p.strip_prefix(root).unwrap_or(&p);
+        let rel_str = rel.to_string_lossy().replace('\\', "/");
+        match std::fs::read_to_string(&p) {
+            Ok(text) if text.contains("#![forbid(unsafe_code)]") => {}
+            Ok(_) => problems.push(format!(
+                "{rel_str}: crate/binary root missing `#![forbid(unsafe_code)]`; \
+                 the workspace is 100% safe Rust by construction"
+            )),
+            Err(e) => problems.push(format!("{rel_str}: unreadable: {e}")),
+        }
+    }
 }
 
 /// Lint 3: every literal `elmo_obs::counter("..")`/`histogram("..")` name
